@@ -1,0 +1,263 @@
+(* Command-line interface to the library: evaluate models, check
+   stability, fit distributions to logs, generate synthetic logs and run
+   simulations without writing OCaml. *)
+
+open Cmdliner
+
+(* ---- shared argument parsing ---- *)
+
+let dist_conv =
+  (* "exp:RATE" | "h2:W1,R1,R2" | "det:VALUE" | "erlang:K,RATE" *)
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "exp"; r ] -> (
+        match float_of_string_opt r with
+        | Some r when r > 0.0 -> Ok (Urs_prob.Distribution.exponential ~rate:r)
+        | _ -> Error (`Msg "exp: needs a positive rate"))
+    | [ "h2"; rest ] -> (
+        match List.map float_of_string_opt (String.split_on_char ',' rest) with
+        | [ Some w1; Some r1; Some r2 ] when w1 >= 0.0 && w1 <= 1.0 ->
+            Ok (Urs_prob.Distribution.h2 ~w1 ~r1 ~r2)
+        | _ -> Error (`Msg "h2: needs W1,RATE1,RATE2"))
+    | [ "det"; v ] -> (
+        match float_of_string_opt v with
+        | Some v when v > 0.0 -> Ok (Urs_prob.Distribution.deterministic v)
+        | _ -> Error (`Msg "det: needs a positive value"))
+    | [ "erlang"; rest ] -> (
+        match String.split_on_char ',' rest with
+        | [ k; r ] -> (
+            match (int_of_string_opt k, float_of_string_opt r) with
+            | Some k, Some r when k >= 1 && r > 0.0 ->
+                Ok (Urs_prob.Distribution.erlang ~k ~rate:r)
+            | _ -> Error (`Msg "erlang: needs K,RATE"))
+        | _ -> Error (`Msg "erlang: needs K,RATE"))
+    | _ -> Error (`Msg (Printf.sprintf "unknown distribution %S" s))
+  in
+  let print ppf d = Urs_prob.Distribution.pp ppf d in
+  Arg.conv (parse, print)
+
+let servers =
+  Arg.(value & opt int 10 & info [ "N"; "servers" ] ~doc:"Number of servers.")
+
+let lambda =
+  Arg.(value & opt float 8.0 & info [ "lambda" ] ~doc:"Poisson arrival rate.")
+
+let mu =
+  Arg.(value & opt float 1.0 & info [ "mu" ] ~doc:"Exponential service rate.")
+
+let operative =
+  Arg.(
+    value
+    & opt dist_conv Urs.Model.paper_operative
+    & info [ "operative" ]
+        ~doc:
+          "Operative-period distribution (exp:R | h2:W,R1,R2 | det:V | \
+           erlang:K,R). Default: the paper's fitted H2.")
+
+let inoperative =
+  Arg.(
+    value
+    & opt dist_conv Urs.Model.paper_inoperative_exp
+    & info [ "inoperative" ]
+        ~doc:"Inoperative-period distribution. Default: exp(25).")
+
+let repair_crews =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "repair-crews" ]
+        ~doc:"Bound on simultaneous repairs (default: unlimited).")
+
+let make_model ?repair_crews servers lambda mu operative inoperative =
+  Urs.Model.create ?repair_crews ~servers ~arrival_rate:lambda
+    ~service_rate:mu ~operative ~inoperative ()
+
+(* ---- solve ---- *)
+
+let strategy_conv =
+  let parse = function
+    | "exact" -> Ok `Exact
+    | "approx" -> Ok `Approx
+    | "mg" -> Ok `Mg
+    | "sim" -> Ok `Sim
+    | s -> Error (`Msg (Printf.sprintf "unknown method %S" s))
+  in
+  let print ppf v =
+    Format.pp_print_string ppf
+      (match v with `Exact -> "exact" | `Approx -> "approx" | `Mg -> "mg" | `Sim -> "sim")
+  in
+  Arg.conv (parse, print)
+
+let solve_cmd =
+  let run servers lambda mu operative inoperative crews meth =
+    let m = make_model ?repair_crews:crews servers lambda mu operative inoperative in
+    let strategy =
+      match meth with
+      | `Exact -> Urs.Solver.Exact
+      | `Approx -> Urs.Solver.Approximate
+      | `Mg -> Urs.Solver.Matrix_geometric
+      | `Sim -> Urs.Solver.Simulation Urs.Solver.default_sim_options
+    in
+    Format.printf "%a@.@." Urs.Model.pp m;
+    Format.printf "stability: %a@.@." Urs_mmq.Stability.pp_verdict
+      (Urs.Model.stability m);
+    match Urs.Solver.evaluate ~strategy m with
+    | Ok p ->
+        Format.printf "%a@." Urs.Solver.pp_performance p;
+        `Ok ()
+    | Error e -> `Error (false, Format.asprintf "%a" Urs.Solver.pp_error e)
+  in
+  let meth =
+    Arg.(
+      value & opt strategy_conv `Exact
+      & info [ "method" ] ~doc:"Solution method: exact | approx | mg | sim.")
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Evaluate a model (mean queue, response time).")
+    Term.(
+      ret
+        (const run $ servers $ lambda $ mu $ operative $ inoperative
+       $ repair_crews $ meth))
+
+(* ---- stability ---- *)
+
+let stability_cmd =
+  let run servers lambda mu operative inoperative =
+    let m = make_model servers lambda mu operative inoperative in
+    Format.printf "%a@." Urs_mmq.Stability.pp_verdict (Urs.Model.stability m)
+  in
+  Cmd.v
+    (Cmd.info "stability" ~doc:"Check the ergodicity condition (eq. 11).")
+    Term.(const run $ servers $ lambda $ mu $ operative $ inoperative)
+
+(* ---- optimize ---- *)
+
+let optimize_cmd =
+  let run servers lambda mu operative inoperative holding server_cost =
+    let m = make_model servers lambda mu operative inoperative in
+    let params = { Urs.Cost.holding; server = server_cost } in
+    match Urs.Cost.optimal_servers m params with
+    | Ok (n, c) ->
+        Format.printf "optimal servers: %d (cost %.4f)@." n c;
+        `Ok ()
+    | Error e -> `Error (false, Format.asprintf "%a" Urs.Solver.pp_error e)
+  in
+  let holding =
+    Arg.(value & opt float 4.0 & info [ "c1"; "holding" ] ~doc:"Holding cost c1.")
+  in
+  let server_cost =
+    Arg.(value & opt float 1.0 & info [ "c2"; "server-cost" ] ~doc:"Server cost c2.")
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Find the cost-optimal number of servers (eq. 22).")
+    Term.(
+      ret
+        (const run $ servers $ lambda $ mu $ operative $ inoperative $ holding
+       $ server_cost))
+
+(* ---- capacity ---- *)
+
+let capacity_cmd =
+  let run lambda mu operative inoperative target =
+    let m = make_model 1 lambda mu operative inoperative in
+    match Urs.Capacity.min_servers_for_response m ~target with
+    | Ok (n, perf) ->
+        Format.printf "minimum servers for W <= %g: %d (achieves W = %.4f)@."
+          target n perf.Urs.Solver.mean_response;
+        `Ok ()
+    | Error e -> `Error (false, Format.asprintf "%a" Urs.Solver.pp_error e)
+  in
+  let target =
+    Arg.(value & opt float 1.5 & info [ "target" ] ~doc:"Response-time target.")
+  in
+  Cmd.v
+    (Cmd.info "capacity" ~doc:"Minimum servers for a response-time target.")
+    Term.(ret (const run $ lambda $ mu $ operative $ inoperative $ target))
+
+(* ---- simulate ---- *)
+
+let simulate_cmd =
+  let run servers lambda mu operative inoperative crews duration replications
+      seed =
+    let cfg =
+      { Urs_sim.Server_farm.servers; lambda; mu; operative; inoperative;
+        repair_crews = crews }
+    in
+    let s = Urs_sim.Replicate.run ~seed ~replications ~duration cfg in
+    Format.printf "%a@." Urs_sim.Replicate.pp_summary s
+  in
+  let duration =
+    Arg.(
+      value & opt float 100_000.0
+      & info [ "duration" ] ~doc:"Measured time units per replication.")
+  in
+  let replications =
+    Arg.(value & opt int 5 & info [ "replications" ] ~doc:"Independent replications.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Discrete-event simulation of the model.")
+    Term.(
+      const run $ servers $ lambda $ mu $ operative $ inoperative
+      $ repair_crews $ duration $ replications $ seed)
+
+(* ---- dataset ---- *)
+
+let dataset_cmd =
+  let run rows out seed =
+    let cfg = { Urs_dataset.Generate.default with Urs_dataset.Generate.rows; seed } in
+    let events = Urs_dataset.Generate.generate cfg in
+    (match out with
+    | Some path ->
+        Urs_dataset.Csv.write path events;
+        Format.printf "wrote %d rows to %s@." rows path
+    | None -> print_string (Urs_dataset.Csv.to_string events))
+  in
+  let rows =
+    Arg.(value & opt int 140_000 & info [ "rows" ] ~doc:"Number of event rows.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~doc:"Output CSV path (default: stdout).")
+  in
+  let seed = Arg.(value & opt int 2006 & info [ "seed" ] ~doc:"Random seed.") in
+  Cmd.v
+    (Cmd.info "dataset" ~doc:"Generate a synthetic breakdown log (CSV).")
+    Term.(const run $ rows $ out $ seed)
+
+(* ---- fit ---- *)
+
+let fit_cmd =
+  let run path significance =
+    let events = Urs_dataset.Csv.read path in
+    match Urs_dataset.Pipeline.analyze ~significance events with
+    | Ok report ->
+        Format.printf "%a@." Urs_dataset.Pipeline.pp_report report;
+        `Ok ()
+    | Error e -> `Error (false, Format.asprintf "%a" Urs_prob.Fit.pp_error e)
+  in
+  let path =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"LOG.csv" ~doc:"Breakdown event log (CSV).")
+  in
+  let significance =
+    Arg.(value & opt float 0.05 & info [ "significance" ] ~doc:"KS significance level.")
+  in
+  Cmd.v
+    (Cmd.info "fit"
+       ~doc:"Run the Section-2 pipeline on an event log: clean, fit, KS-test.")
+    Term.(ret (const run $ path $ significance))
+
+let () =
+  let info =
+    Cmd.info "urs" ~version:"1.0.0"
+      ~doc:"Performance evaluation of multi-server systems with unreliable servers"
+  in
+  let group =
+    Cmd.group info
+      [ solve_cmd; stability_cmd; optimize_cmd; capacity_cmd; simulate_cmd;
+        dataset_cmd; fit_cmd ]
+  in
+  exit (Cmd.eval group)

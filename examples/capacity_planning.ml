@@ -1,0 +1,50 @@
+(* Capacity planning (the Figure 9 scenario): what is the minimum number
+   of servers that keeps the mean response time below a target?
+   Also shows why ignoring breakdown variability undersizes the fleet.
+
+   Run with: dune exec examples/capacity_planning.exe *)
+
+let () =
+  let target = 1.5 in
+  let lambda = 7.5 in
+  let model =
+    Urs.Model.create ~servers:8 ~arrival_rate:lambda ~service_rate:1.0
+      ~operative:Urs.Model.paper_operative
+      ~inoperative:Urs.Model.paper_inoperative_exp ()
+  in
+  Format.printf "Mean response time against fleet size (λ = %.1f):@.@." lambda;
+  Format.printf "  %4s  %12s  %12s@." "N" "W (exact)" "W (approx)";
+  let exact = Urs.Capacity.response_profile model ~n_min:8 ~n_max:13 in
+  let approx =
+    Urs.Capacity.response_profile ~strategy:Urs.Solver.Approximate model
+      ~n_min:8 ~n_max:13
+  in
+  List.iter2
+    (fun (n, w) (_, wa) -> Format.printf "  %4d  %12.4f  %12.4f@." n w wa)
+    exact approx;
+
+  (match Urs.Capacity.min_servers_for_response model ~target with
+  | Ok (n, perf) ->
+      Format.printf "@.Minimum fleet for W <= %.2f: N = %d (achieves W = %.4f)@."
+        target n perf.Urs.Solver.mean_response
+  | Error e -> Format.printf "@.planning failed: %a@." Urs.Solver.pp_error e);
+
+  (* a planner who ignores breakdowns entirely would use Erlang C *)
+  let naive =
+    Urs_mmq.Mmc.min_servers_for_response_time ~lambda ~mu:1.0 ~target
+  in
+  Format.printf
+    "@.An M/M/c planner that ignores breakdowns would deploy N = %d —@."
+    naive;
+  let naive_model = Urs.Model.with_servers model naive in
+  (match Urs.Solver.evaluate naive_model with
+  | Ok perf ->
+      Format.printf
+        "with real breakdowns that fleet actually delivers W = %.3f%s@."
+        perf.Urs.Solver.mean_response
+        (if perf.Urs.Solver.mean_response > target then
+           " (MISSES the target)"
+         else "")
+  | Error (Urs.Solver.Unstable _) ->
+      Format.printf "with real breakdowns that fleet is not even stable!@."
+  | Error e -> Format.printf "evaluation failed: %a@." Urs.Solver.pp_error e)

@@ -1,0 +1,49 @@
+(* Beyond the paper: the spectral solution is steady-state only, but an
+   operator also wants to know how the cluster behaves right after it
+   comes online. This example computes the transient build-up of the
+   queue from a cold start (uniformization on the truncated chain) and
+   the time to get within 1% of the stationary regime.
+
+   Run with: dune exec examples/cold_start.exe *)
+
+let () =
+  let model =
+    Urs.Model.create ~servers:4 ~arrival_rate:3.0 ~service_rate:1.0
+      ~operative:Urs.Model.paper_operative
+      ~inoperative:Urs.Model.paper_inoperative_exp ()
+  in
+  let steady = Urs.Solver.evaluate_exn model in
+  let q = Option.get (Urs.Model.qbd model) in
+  match Urs_mmq.Transient.create ~levels:150 q with
+  | Error e ->
+      Format.printf "transient setup failed: %a@." Urs_mmq.Transient.pp_error e
+  | Ok t ->
+      let init = Urs_mmq.Transient.empty_all_operative t in
+      Format.printf
+        "Queue build-up from a cold start (empty, all servers up):@.@.";
+      Format.printf "  %8s  %10s@." "time" "L(t)";
+      let profile =
+        Urs_mmq.Transient.relaxation_profile t ~initial:init
+          ~times:[ 0.0; 0.5; 1.0; 2.0; 5.0; 10.0; 20.0; 50.0; 100.0; 200.0 ]
+      in
+      List.iter (fun (tm, l) -> Format.printf "  %8.1f  %10.4f@." tm l) profile;
+      Format.printf "  %8s  %10.4f   (steady state)@.@." "∞"
+        steady.Urs.Solver.mean_jobs;
+
+      (* time to reach 99% of the stationary mean *)
+      let target = 0.99 *. steady.Urs.Solver.mean_jobs in
+      let rec search lo hi =
+        if hi -. lo < 0.5 then hi
+        else begin
+          let mid = 0.5 *. (lo +. hi) in
+          if Urs_mmq.Transient.mean_jobs_at t ~initial:init ~time:mid >= target
+          then search lo mid
+          else search mid hi
+        end
+      in
+      let t99 = search 0.0 400.0 in
+      Format.printf
+        "time to reach 99%% of the stationary queue: ~%.0f time units@.\
+         (about %.0f mean service times — warm-up matters when measuring@.\
+         such systems, which is why the simulator discards a warm-up phase)@."
+        t99 t99

@@ -1,0 +1,40 @@
+(* Cost optimization (the Figure 5 scenario): a provider pays c2 per
+   server per unit time and c1 per waiting job per unit time; find the
+   fleet size minimizing total cost C = c1·L + c2·N  (paper eq. 22).
+
+   Run with: dune exec examples/cost_optimization.exe *)
+
+let () =
+  let model =
+    Urs.Model.create ~servers:10 ~arrival_rate:8.0 ~service_rate:1.0
+      ~operative:Urs.Model.paper_operative
+      ~inoperative:Urs.Model.paper_inoperative_exp ()
+  in
+  let params = Urs.Cost.paper_params in
+  Format.printf
+    "Cost C = %.0f·L + %.0f·N for λ = %.1f (paper Figure 5 scenario)@.@."
+    params.Urs.Cost.holding params.Urs.Cost.server
+    model.Urs.Model.arrival_rate;
+  Format.printf "  %4s  %10s  %10s@." "N" "L" "C";
+  let costs = Urs.Cost.evaluate_range model params ~n_min:9 ~n_max:15 in
+  List.iter
+    (fun (n, c) ->
+      let perf = Urs.Solver.evaluate_exn (Urs.Model.with_servers model n) in
+      Format.printf "  %4d  %10.4f  %10.2f@." n perf.Urs.Solver.mean_jobs c)
+    costs;
+  (match Urs.Cost.optimal_servers model params with
+  | Ok (n, c) ->
+      Format.printf "@.Optimal fleet size: N = %d at cost C = %.2f@." n c
+  | Error e -> Format.printf "@.optimization failed: %a@." Urs.Solver.pp_error e);
+
+  (* the trade-off moves with the load, as in the paper: heavier load,
+     larger optimal fleet *)
+  Format.printf "@.Optimal N as the arrival rate grows:@.";
+  List.iter
+    (fun lambda ->
+      match
+        Urs.Cost.optimal_servers (Urs.Model.with_arrival_rate model lambda) params
+      with
+      | Ok (n, c) -> Format.printf "  λ = %.1f -> N* = %d (C = %.2f)@." lambda n c
+      | Error e -> Format.printf "  λ = %.1f -> %a@." lambda Urs.Solver.pp_error e)
+    [ 7.0; 8.0; 8.5 ]

@@ -1,0 +1,47 @@
+(* Quickstart: describe an unreliable multi-server system, check its
+   stability, and evaluate it with every solver.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* A cluster of 10 servers, Poisson arrivals at rate 8 jobs per unit
+     time, exponential service at rate 1. Operative periods follow the
+     paper's fitted hyperexponential (mean 34.62, C² = 4.6); repairs are
+     exponential with mean 0.04. *)
+  let model =
+    Urs.Model.create ~servers:10 ~arrival_rate:8.0 ~service_rate:1.0
+      ~operative:Urs.Model.paper_operative
+      ~inoperative:Urs.Model.paper_inoperative_exp ()
+  in
+  Format.printf "%a@.@." Urs.Model.pp model;
+
+  (* Stability (paper eq. 11): offered load vs average operative servers *)
+  let verdict = Urs.Model.stability model in
+  Format.printf "stability: %a@.@." Urs_mmq.Stability.pp_verdict verdict;
+
+  (* Exact solution by spectral expansion *)
+  let exact = Urs.Solver.evaluate_exn model in
+  Format.printf "exact:       %a@." Urs.Solver.pp_performance exact;
+
+  (* Heavy-traffic geometric approximation *)
+  let approx = Urs.Solver.evaluate_exn ~strategy:Urs.Solver.Approximate model in
+  Format.printf "approximate: %a@." Urs.Solver.pp_performance approx;
+
+  (* Independent exact method (matrix-geometric), as a cross-check *)
+  let mg = Urs.Solver.evaluate_exn ~strategy:Urs.Solver.Matrix_geometric model in
+  Format.printf "matrix-geo:  %a@." Urs.Solver.pp_performance mg;
+
+  (* Simulation agrees too (and would also accept non-phase-type
+     distributions) *)
+  let sim_opts = { Urs.Solver.duration = 50_000.0; replications = 3; seed = 1 } in
+  let sim =
+    Urs.Solver.evaluate_exn ~strategy:(Urs.Solver.Simulation sim_opts) model
+  in
+  Format.printf "simulation:  %a@.@." Urs.Solver.pp_performance sim;
+
+  Format.printf
+    "The exact and matrix-geometric numbers agree to ~1e-8 and the@.\
+     simulation confirms them. The geometric approximation underestimates@.\
+     at this utilization (%.2f) — the paper's Figure 8 shows it becoming@.\
+     exact as the load approaches 1.@."
+    exact.Urs.Solver.utilization

@@ -1,0 +1,72 @@
+(* Beyond the paper: the model assumes every broken server is repaired
+   immediately and independently — implicitly, unlimited repair crews.
+   In practice a cluster has a handful of technicians. This example
+   bounds the number of simultaneous repairs and asks the operational
+   question: how many crews keep the service level acceptable?
+
+   Run with: dune exec examples/repair_crews.exe *)
+
+module D = Urs_prob.Distribution
+
+let () =
+  (* 8 servers with the paper's operative law, but slow repairs
+     (mean 2 time units) so that repair capacity actually matters *)
+  let model crews =
+    Urs.Model.create ?repair_crews:crews ~servers:8 ~arrival_rate:5.0
+      ~service_rate:1.0 ~operative:Urs.Model.paper_operative
+      ~inoperative:(D.exponential ~rate:0.5) ()
+  in
+  Format.printf
+    "8 servers, λ = 5, operative mean 34.62 (fitted H2), repair mean 2:@.@.";
+  Format.printf "  %6s  %10s  %10s  %10s@." "crews" "capacity" "L" "W";
+  List.iter
+    (fun crews ->
+      let m = model crews in
+      let v = Urs.Model.stability m in
+      let label =
+        match crews with None -> "all" | Some c -> string_of_int c
+      in
+      if not v.Urs_mmq.Stability.stable then
+        Format.printf "  %6s  %10.4f  %10s  %10s@." label
+          v.Urs_mmq.Stability.effective_capacity "unstable" "-"
+      else begin
+        let p = Urs.Solver.evaluate_exn m in
+        Format.printf "  %6s  %10.4f  %10.4f  %10.4f@." label
+          v.Urs_mmq.Stability.effective_capacity p.Urs.Solver.mean_jobs
+          p.Urs.Solver.mean_response
+      end)
+    [ Some 1; Some 2; Some 3; Some 4; None ];
+
+  (* smallest crew count meeting a response-time target *)
+  let target = 1.2 in
+  let rec find crews =
+    if crews > 8 then None
+    else begin
+      let m = model (Some crews) in
+      if not (Urs.Model.stability m).Urs_mmq.Stability.stable then
+        find (crews + 1)
+      else
+        match Urs.Solver.evaluate m with
+        | Ok p when p.Urs.Solver.mean_response <= target -> Some (crews, p)
+        | _ -> find (crews + 1)
+    end
+  in
+  (match find 1 with
+  | Some (crews, p) ->
+      Format.printf "@.smallest crew count with W <= %.1f: %d (W = %.4f)@."
+        target crews p.Urs.Solver.mean_response
+  | None -> Format.printf "@.no crew count meets W <= %.1f@." target);
+
+  (* cross-check one limited-crew configuration by simulation *)
+  let m = model (Some 2) in
+  let exact = Urs.Solver.evaluate_exn m in
+  let sim =
+    Urs.Solver.evaluate_exn
+      ~strategy:
+        (Urs.Solver.Simulation
+           { Urs.Solver.duration = 100_000.0; replications = 3; seed = 21 })
+      m
+  in
+  Format.printf "@.2 crews, cross-check: exact L = %.4f, simulated L = %.4f ± %.3f@."
+    exact.Urs.Solver.mean_jobs sim.Urs.Solver.mean_jobs
+    (Option.value ~default:0.0 sim.Urs.Solver.confidence_half_width)

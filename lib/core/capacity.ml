@@ -1,0 +1,29 @@
+let min_servers_for_response ?strategy ?(n_max = 500) model ~target =
+  if target <= 0.0 then
+    invalid_arg "Capacity.min_servers_for_response: target must be positive";
+  let rec go n last_err =
+    if n > n_max then
+      match last_err with
+      | Some e -> Error e
+      | None -> Error (Solver.Solver_failure "target not reachable within n_max")
+    else
+      let m = Model.with_servers model n in
+      if not (Model.stability m).Urs_mmq.Stability.stable then go (n + 1) last_err
+      else
+        match Solver.evaluate ?strategy m with
+        | Error e -> go (n + 1) (Some e)
+        | Ok perf ->
+            if perf.Solver.mean_response <= target then Ok (n, perf)
+            else go (n + 1) last_err
+  in
+  go 1 None
+
+let response_profile ?strategy model ~n_min ~n_max =
+  if n_min < 1 || n_max < n_min then
+    invalid_arg "Capacity.response_profile: bad range";
+  List.filter_map
+    (fun n ->
+      match Solver.evaluate ?strategy (Model.with_servers model n) with
+      | Ok perf -> Some (n, perf.Solver.mean_response)
+      | Error _ -> None)
+    (List.init (n_max - n_min + 1) (fun i -> n_min + i))

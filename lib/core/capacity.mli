@@ -1,0 +1,23 @@
+(** Capacity planning: "what is the minimum number of servers that
+    ensures a desired level of performance?" (question 2 of the
+    introduction; Figure 9 answers it graphically for W ≤ 1.5). *)
+
+val min_servers_for_response :
+  ?strategy:Solver.strategy ->
+  ?n_max:int ->
+  Model.t ->
+  target:float ->
+  (int * Solver.performance, Solver.error) result
+(** Smallest [N <= n_max] (default 500) whose mean response time is at
+    most [target]; the model's own server count is ignored. Returns the
+    count and the performance achieved. W is decreasing in [N], so the
+    search walks upward from the first stable size. *)
+
+val response_profile :
+  ?strategy:Solver.strategy ->
+  Model.t ->
+  n_min:int ->
+  n_max:int ->
+  (int * float) list
+(** Mean response time per server count (Figure 9's series); unstable
+    sizes are omitted. *)

@@ -1,0 +1,51 @@
+type params = { holding : float; server : float }
+
+let paper_params = { holding = 4.0; server = 1.0 }
+
+let of_performance p ~servers perf =
+  (p.holding *. perf.Solver.mean_jobs) +. (p.server *. float_of_int servers)
+
+let evaluate_range ?strategy model p ~n_min ~n_max =
+  if n_min < 1 || n_max < n_min then invalid_arg "Cost.evaluate_range: bad range";
+  List.filter_map
+    (fun n ->
+      let m = Model.with_servers model n in
+      match Solver.evaluate ?strategy m with
+      | Ok perf -> Some (n, of_performance p ~servers:n perf)
+      | Error _ -> None)
+    (List.init (n_max - n_min + 1) (fun i -> n_min + i))
+
+let optimal_servers ?strategy ?(n_max = 200) model p =
+  (* start at the smallest stable N *)
+  let rec first_stable n =
+    if n > n_max then None
+    else if (Model.stability (Model.with_servers model n)).Urs_mmq.Stability.stable
+    then Some n
+    else first_stable (n + 1)
+  in
+  match first_stable 1 with
+  | None ->
+      Error
+        (Solver.Unstable (Model.stability (Model.with_servers model n_max)))
+  | Some n0 ->
+      let rec search n best rising last_err =
+        if n > n_max || rising >= 3 then
+          match best with
+          | Some (bn, bc) -> Ok (bn, bc)
+          | None -> (
+              match last_err with
+              | Some e -> Error e
+              | None -> Error (Solver.Solver_failure "no stable configuration"))
+        else
+          let m = Model.with_servers model n in
+          match Solver.evaluate ?strategy m with
+          | Error e -> search (n + 1) best rising (Some e)
+          | Ok perf ->
+              let c = of_performance p ~servers:n perf in
+              let better =
+                match best with None -> true | Some (_, bc) -> c < bc
+              in
+              if better then search (n + 1) (Some (n, c)) 0 last_err
+              else search (n + 1) best (rising + 1) last_err
+      in
+      search n0 None 0 None

@@ -1,0 +1,36 @@
+(** The cost model of §4 (eq. (22)): [C = c₁·L + c₂·N], trading off the
+    users' waiting cost against the provider's server cost. For each
+    parameter set there is an optimal number of servers; Figure 5 plots
+    [C] against [N] for the paper's cost coefficients [c₁=4, c₂=1]. *)
+
+type params = {
+  holding : float;  (** c₁ — cost per job-unit-time in the system. *)
+  server : float;  (** c₂ — cost per server-unit-time provided. *)
+}
+
+val paper_params : params
+(** [c₁ = 4], [c₂ = 1]. *)
+
+val of_performance : params -> servers:int -> Solver.performance -> float
+(** [c₁·L + c₂·N]. *)
+
+val evaluate_range :
+  ?strategy:Solver.strategy ->
+  Model.t ->
+  params ->
+  n_min:int ->
+  n_max:int ->
+  (int * float) list
+(** Cost for each server count in [n_min..n_max]; unstable or failing
+    configurations are omitted. *)
+
+val optimal_servers :
+  ?strategy:Solver.strategy ->
+  ?n_max:int ->
+  Model.t ->
+  params ->
+  (int * float, Solver.error) result
+(** The server count minimizing the cost, searched upward from the
+    smallest stable [N] until the cost has increased for 3 consecutive
+    values (the cost is convex-ish in practice) or [n_max] (default
+    [200]) is reached. *)

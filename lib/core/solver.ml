@@ -1,0 +1,138 @@
+module Mq = Urs_mmq
+
+type sim_options = { duration : float; replications : int; seed : int }
+
+let default_sim_options = { duration = 200_000.0; replications = 5; seed = 1 }
+
+type strategy = Exact | Approximate | Matrix_geometric | Simulation of sim_options
+
+type performance = {
+  strategy_used : strategy;
+  mean_jobs : float;
+  mean_response : float;
+  utilization : float;
+  dominant_eigenvalue : float option;
+  confidence_half_width : float option;
+}
+
+type error =
+  | Not_phase_type
+  | Unstable of Mq.Stability.verdict
+  | Solver_failure of string
+
+let pp_error ppf = function
+  | Not_phase_type ->
+      Format.fprintf ppf
+        "period distributions are not phase-type; use the Simulation strategy"
+  | Unstable v ->
+      Format.fprintf ppf "queue is unstable: %a" Mq.Stability.pp_verdict v
+  | Solver_failure msg -> Format.fprintf ppf "solver failure: %s" msg
+
+let render pp_e e = Format.asprintf "%a" pp_e e
+
+let evaluate ?(strategy = Exact) model =
+  let verdict = Model.stability model in
+  if not verdict.Mq.Stability.stable then Error (Unstable verdict)
+  else
+    match strategy with
+    | Exact -> (
+        match Model.qbd model with
+        | None -> Error Not_phase_type
+        | Some q -> (
+            match Mq.Spectral.solve q with
+            | Error (Mq.Spectral.Unstable v) -> Error (Unstable v)
+            | Error e -> Error (Solver_failure (render Mq.Spectral.pp_error e))
+            | Ok sol ->
+                Ok
+                  {
+                    strategy_used = strategy;
+                    mean_jobs = Mq.Spectral.mean_queue_length sol;
+                    mean_response = Mq.Spectral.mean_response_time sol;
+                    utilization = verdict.Mq.Stability.utilization;
+                    dominant_eigenvalue =
+                      Some (Mq.Spectral.dominant_eigenvalue sol);
+                    confidence_half_width = None;
+                  }))
+    | Approximate -> (
+        match Model.qbd model with
+        | None -> Error Not_phase_type
+        | Some q -> (
+            match Mq.Geometric.solve q with
+            | Error (Mq.Geometric.Unstable v) -> Error (Unstable v)
+            | Error e -> Error (Solver_failure (render Mq.Geometric.pp_error e))
+            | Ok sol ->
+                Ok
+                  {
+                    strategy_used = strategy;
+                    mean_jobs = Mq.Geometric.mean_queue_length sol;
+                    mean_response = Mq.Geometric.mean_response_time sol;
+                    utilization = verdict.Mq.Stability.utilization;
+                    dominant_eigenvalue =
+                      Some (Mq.Geometric.dominant_eigenvalue sol);
+                    confidence_half_width = None;
+                  }))
+    | Matrix_geometric -> (
+        match Model.qbd model with
+        | None -> Error Not_phase_type
+        | Some q -> (
+            match Mq.Matrix_geometric.solve q with
+            | Error (Mq.Matrix_geometric.Unstable v) -> Error (Unstable v)
+            | Error e ->
+                Error (Solver_failure (render Mq.Matrix_geometric.pp_error e))
+            | Ok sol ->
+                Ok
+                  {
+                    strategy_used = strategy;
+                    mean_jobs = Mq.Matrix_geometric.mean_queue_length sol;
+                    mean_response = Mq.Matrix_geometric.mean_response_time sol;
+                    utilization = verdict.Mq.Stability.utilization;
+                    dominant_eigenvalue =
+                      Some (Mq.Matrix_geometric.spectral_radius_estimate sol);
+                    confidence_half_width = None;
+                  }))
+    | Simulation opts ->
+        let cfg =
+          {
+            Urs_sim.Server_farm.servers = model.Model.servers;
+            lambda = model.Model.arrival_rate;
+            mu = model.Model.service_rate;
+            operative = model.Model.operative;
+            inoperative = model.Model.inoperative;
+            repair_crews = model.Model.repair_crews;
+          }
+        in
+        let summary =
+          Urs_sim.Replicate.run ~seed:opts.seed ~replications:opts.replications
+            ~duration:opts.duration cfg
+        in
+        Ok
+          {
+            strategy_used = strategy;
+            mean_jobs = summary.Urs_sim.Replicate.mean_jobs.estimate;
+            mean_response = summary.Urs_sim.Replicate.mean_response.estimate;
+            utilization = verdict.Mq.Stability.utilization;
+            dominant_eigenvalue = None;
+            confidence_half_width =
+              Some summary.Urs_sim.Replicate.mean_jobs.half_width;
+          }
+
+let evaluate_exn ?strategy model =
+  match evaluate ?strategy model with
+  | Ok p -> p
+  | Error e -> failwith (render pp_error e)
+
+let strategy_name = function
+  | Exact -> "exact (spectral expansion)"
+  | Approximate -> "geometric approximation"
+  | Matrix_geometric -> "matrix-geometric"
+  | Simulation _ -> "simulation"
+
+let pp_performance ppf p =
+  Format.fprintf ppf "L=%.4f W=%.4f util=%.3f [%s]" p.mean_jobs p.mean_response
+    p.utilization (strategy_name p.strategy_used);
+  (match p.dominant_eigenvalue with
+  | Some z -> Format.fprintf ppf " z_s=%.5f" z
+  | None -> ());
+  match p.confidence_half_width with
+  | Some hw -> Format.fprintf ppf " ±%.4f" hw
+  | None -> ()

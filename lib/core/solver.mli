@@ -1,0 +1,55 @@
+(** Unified evaluation of a {!Model.t} by any of the four methods:
+
+    - [Exact] — spectral expansion (paper §3.1); requires phase-type
+      period distributions.
+    - [Approximate] — the heavy-traffic geometric approximation
+      (paper §3.2); cheap, robust, asymptotically exact as load → 1.
+    - [Matrix_geometric] — Neuts' R-matrix method; an independent exact
+      solver, useful for cross-validation.
+    - [Simulation] — discrete-event simulation; the only method that
+      accepts non-phase-type distributions (used for the C² = 0 points
+      of Figure 6), and the only one that yields response-time
+      percentiles. *)
+
+type sim_options = {
+  duration : float;  (** Measurement window per replication. *)
+  replications : int;
+  seed : int;
+}
+
+val default_sim_options : sim_options
+(** 200,000 time units, 5 replications, seed 1. *)
+
+type strategy =
+  | Exact
+  | Approximate
+  | Matrix_geometric
+  | Simulation of sim_options
+
+type performance = {
+  strategy_used : strategy;
+  mean_jobs : float;  (** L — average number of jobs in the system. *)
+  mean_response : float;  (** W = L/λ (Little's law). *)
+  utilization : float;  (** Offered load over effective capacity. *)
+  dominant_eigenvalue : float option;
+      (** z_s for the analytic methods; [None] for simulation. *)
+  confidence_half_width : float option;
+      (** 95% CI half-width on L, for simulation only. *)
+}
+
+type error =
+  | Not_phase_type
+      (** An analytic method was requested but a period distribution is
+          not (hyper)exponential — use [Simulation]. *)
+  | Unstable of Urs_mmq.Stability.verdict
+  | Solver_failure of string
+
+val pp_error : Format.formatter -> error -> unit
+
+val evaluate : ?strategy:strategy -> Model.t -> (performance, error) result
+(** Evaluate the model (default strategy [Exact]). *)
+
+val evaluate_exn : ?strategy:strategy -> Model.t -> performance
+(** Like {!evaluate} but raises [Failure] with a rendered error. *)
+
+val pp_performance : Format.formatter -> performance -> unit

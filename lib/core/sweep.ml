@@ -1,0 +1,68 @@
+module D = Urs_prob.Distribution
+
+let over_servers ?strategy model ~values =
+  List.filter_map
+    (fun n ->
+      match Solver.evaluate ?strategy (Model.with_servers model n) with
+      | Ok perf -> Some (n, perf)
+      | Error _ -> None)
+    values
+
+let over_arrival_rates ?strategy model ~values =
+  List.filter_map
+    (fun lambda ->
+      match Solver.evaluate ?strategy (Model.with_arrival_rate model lambda) with
+      | Ok perf -> Some (lambda, perf)
+      | Error _ -> None)
+    values
+
+let over_repair_times ?strategy model ~values =
+  List.filter_map
+    (fun mean_repair ->
+      if mean_repair <= 0.0 then None
+      else begin
+        let m =
+          Model.create ~servers:model.Model.servers
+            ~arrival_rate:model.Model.arrival_rate
+            ~service_rate:model.Model.service_rate
+            ~operative:model.Model.operative
+            ~inoperative:(D.exponential ~rate:(1.0 /. mean_repair)) ()
+        in
+        match Solver.evaluate ?strategy m with
+        | Ok perf -> Some (mean_repair, perf)
+        | Error _ -> None
+      end)
+    values
+
+let over_operative_scv ?strategy model ~pinned_rate ~values =
+  let mean = D.mean model.Model.operative in
+  List.filter_map
+    (fun scv ->
+      let operative =
+        if scv <= 0.0 then Some (D.deterministic mean)
+        else if abs_float (scv -. 1.0) < 1e-12 then
+          Some (D.exponential ~rate:(1.0 /. mean))
+        else
+          match Urs_prob.Fit.h2_of_mean_scv_pinned_rate ~mean ~scv ~pinned_rate with
+          | Ok h2 -> Some (D.Hyperexponential h2)
+          | Error _ -> None
+      in
+      match operative with
+      | None -> None
+      | Some operative -> (
+          let m =
+            Model.create ~servers:model.Model.servers
+              ~arrival_rate:model.Model.arrival_rate
+              ~service_rate:model.Model.service_rate ~operative
+              ~inoperative:model.Model.inoperative ()
+          in
+          match Solver.evaluate ?strategy m with
+          | Ok perf -> Some (scv, perf)
+          | Error _ -> None))
+    values
+
+let linspace lo hi k =
+  if k < 2 then [ lo ]
+  else
+    List.init k (fun i ->
+        lo +. ((hi -. lo) *. float_of_int i /. float_of_int (k - 1)))

@@ -1,0 +1,41 @@
+(** Parameter sweeps used by the numerical experiments of §4. Each
+    function returns the x-axis value paired with the evaluated
+    performance; points that fail to solve are omitted. *)
+
+val over_servers :
+  ?strategy:Solver.strategy ->
+  Model.t ->
+  values:int list ->
+  (int * Solver.performance) list
+
+val over_arrival_rates :
+  ?strategy:Solver.strategy ->
+  Model.t ->
+  values:float list ->
+  (float * Solver.performance) list
+
+val over_repair_times :
+  ?strategy:Solver.strategy ->
+  Model.t ->
+  values:float list ->
+  (float * Solver.performance) list
+(** Sweep the {e mean} inoperative period (1/η, Figure 7's x-axis),
+    replacing the model's inoperative distribution by an exponential
+    with that mean. *)
+
+val over_operative_scv :
+  ?strategy:Solver.strategy ->
+  Model.t ->
+  pinned_rate:float ->
+  values:float list ->
+  (float * Solver.performance) list
+(** Figure 6's x-axis: sweep the squared coefficient of variation of
+    the operative periods, keeping the mean fixed at the model's
+    current operative mean, using
+    {!Urs_prob.Fit.h2_of_mean_scv_pinned_rate} with the given pinned
+    rate. A value of exactly [0.] builds a deterministic distribution
+    (only valid with a simulation strategy, as in the paper). *)
+
+val linspace : float -> float -> int -> float list
+(** [linspace lo hi k] is [k] evenly spaced values from [lo] to [hi]
+    inclusive. *)

@@ -1,0 +1,33 @@
+type t = {
+  operative_periods : float array;
+  inoperative_periods : float array;
+  anomalies : int;
+  total : int;
+}
+
+let clean events =
+  let ops = ref [] and inops = ref [] in
+  let anomalies = ref 0 in
+  Array.iter
+    (fun e ->
+      if Event.is_anomalous e then incr anomalies
+      else begin
+        ops := Event.operative_period e :: !ops;
+        inops := e.Event.outage_duration :: !inops
+      end)
+    events;
+  {
+    operative_periods = Array.of_list (List.rev !ops);
+    inoperative_periods = Array.of_list (List.rev !inops);
+    anomalies = !anomalies;
+    total = Array.length events;
+  }
+
+let anomaly_fraction t =
+  if t.total = 0 then 0.0 else float_of_int t.anomalies /. float_of_int t.total
+
+let pp_summary ppf t =
+  Format.fprintf ppf "%d rows, %d anomalous (%.2f%%), %d usable periods"
+    t.total t.anomalies
+    (100.0 *. anomaly_fraction t)
+    (Array.length t.operative_periods)

@@ -1,0 +1,18 @@
+(** The paper's data-cleaning step: rows with
+    [time_between_events < outage_duration] are inconsistent (< 4% of
+    the real data) and are discarded; from the remaining rows the
+    operative and inoperative period samples are extracted. *)
+
+type t = {
+  operative_periods : float array;
+  inoperative_periods : float array;
+  anomalies : int;  (** Rows discarded. *)
+  total : int;  (** Rows seen. *)
+}
+
+val clean : Event.t array -> t
+
+val anomaly_fraction : t -> float
+(** [anomalies / total]. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+let header = "server_id,event_time,outage_duration,time_between_events"
+
+let row_to_string e =
+  Printf.sprintf "%d,%.17g,%.17g,%.17g" e.Event.server_id e.Event.event_time
+    e.Event.outage_duration e.Event.time_between_events
+
+let to_string events =
+  let buf = Buffer.create (64 * (Array.length events + 1)) in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  Array.iter
+    (fun e ->
+      Buffer.add_string buf (row_to_string e);
+      Buffer.add_char buf '\n')
+    events;
+  Buffer.contents buf
+
+let parse_line lineno line =
+  match String.split_on_char ',' (String.trim line) with
+  | [ sid; t; outage; tbe ] -> (
+      try
+        {
+          Event.server_id = int_of_string (String.trim sid);
+          event_time = float_of_string (String.trim t);
+          outage_duration = float_of_string (String.trim outage);
+          time_between_events = float_of_string (String.trim tbe);
+        }
+      with _ -> failwith (Printf.sprintf "Csv: malformed line %d" lineno))
+  | _ -> failwith (Printf.sprintf "Csv: malformed line %d" lineno)
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let rec go lineno acc = function
+    | [] -> List.rev acc
+    | line :: rest ->
+        let trimmed = String.trim line in
+        if trimmed = "" || (lineno = 1 && String.equal trimmed header) then
+          go (lineno + 1) acc rest
+        else go (lineno + 1) (parse_line lineno trimmed :: acc) rest
+  in
+  Array.of_list (go 1 [] lines)
+
+let write path events =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string events))
+
+let read path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      of_string s)

@@ -1,0 +1,14 @@
+(** CSV persistence for event logs, so generated data sets can be
+    inspected or re-used outside the library. Format:
+    [server_id,event_time,outage_duration,time_between_events] with a
+    header line. *)
+
+val write : string -> Event.t array -> unit
+(** Write a log to a file; raises [Sys_error] on I/O failure. *)
+
+val read : string -> Event.t array
+(** Read a log back. Raises [Failure] with a line number on malformed
+    input; tolerates a missing header. *)
+
+val to_string : Event.t array -> string
+val of_string : string -> Event.t array

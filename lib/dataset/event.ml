@@ -1,0 +1,14 @@
+type t = {
+  server_id : int;
+  event_time : float;
+  outage_duration : float;
+  time_between_events : float;
+}
+
+let operative_period e = e.time_between_events -. e.outage_duration
+
+let is_anomalous e = e.time_between_events < e.outage_duration
+
+let pp ppf e =
+  Format.fprintf ppf "server=%d t=%.4f outage=%.4f tbe=%.4f" e.server_id
+    e.event_time e.outage_duration e.time_between_events

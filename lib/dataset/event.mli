@@ -1,0 +1,24 @@
+(** One row of a breakdown event log, mirroring the fields of the Sun
+    Microsystems data set used in §2 (Figure 2): each event is a server
+    breakdown with its outage duration and the time until the same
+    server's next breakdown. The operative period is derived as
+    [time_between_events − outage_duration]. *)
+
+type t = {
+  server_id : int;
+  event_time : float;  (** Absolute time of the breakdown. *)
+  outage_duration : float;  (** Time the server was inoperative. *)
+  time_between_events : float;
+      (** Time from this breakdown to the server's next breakdown. *)
+}
+
+val operative_period : t -> float
+(** [time_between_events − outage_duration]; meaningful only for
+    non-anomalous rows. *)
+
+val is_anomalous : t -> bool
+(** True when [time_between_events < outage_duration] — the
+    inconsistent rows (< 4% of the real data set) that the paper
+    discards. *)
+
+val pp : Format.formatter -> t -> unit

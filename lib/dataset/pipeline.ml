@@ -1,0 +1,111 @@
+module Hist = Urs_stats.Histogram
+module E = Urs_stats.Empirical
+module Ks = Urs_prob.Ks
+module Fit = Urs_prob.Fit
+module Exp = Urs_prob.Exponential
+module H2 = Urs_prob.Hyperexponential
+
+type side_report = {
+  histogram : Hist.t;
+  sample_moments : float array;
+  histogram_moments : float array;
+  scv : float;
+  exponential_fit : Exp.t;
+  exponential_ks : Ks.decision;
+  h2_fit : H2.t;
+  h2_ks : Ks.decision;
+}
+
+type report = {
+  cleaned : Clean.t;
+  operative : side_report;
+  inoperative : side_report;
+}
+
+let analyze_side ~bins ~significance data =
+  let histogram = Hist.build ~bins data in
+  let sample_moments = E.moments data 5 in
+  let histogram_moments = Array.init 5 (fun k -> Hist.moment histogram (k + 1)) in
+  let scv = E.scv data in
+  let exponential_fit = Fit.exponential_of_mean sample_moments.(0) in
+  let points = Hist.empirical_cdf_points histogram in
+  let exponential_ks =
+    Ks.test_points ~significance
+      ~hypothesized:(Exp.cdf exponential_fit)
+      ~points
+  in
+  match
+    Fit.h2_of_three_moments ~m1:sample_moments.(0) ~m2:sample_moments.(1)
+      ~m3:sample_moments.(2)
+  with
+  | Error _ as e -> (
+      (* fall back to the brute-force search on the first three moments *)
+      match Fit.hn_of_moments ~n:2 ~moments:sample_moments with
+      | Error err -> (match e with Error first -> Error first | Ok _ -> Error err)
+      | Ok (h2_fit, _) ->
+          let h2_ks =
+            Ks.test_points ~significance ~hypothesized:(H2.cdf h2_fit) ~points
+          in
+          Ok
+            {
+              histogram;
+              sample_moments;
+              histogram_moments;
+              scv;
+              exponential_fit;
+              exponential_ks;
+              h2_fit;
+              h2_ks;
+            })
+  | Ok h2_fit ->
+      let h2_ks =
+        Ks.test_points ~significance ~hypothesized:(H2.cdf h2_fit) ~points
+      in
+      Ok
+        {
+          histogram;
+          sample_moments;
+          histogram_moments;
+          scv;
+          exponential_fit;
+          exponential_ks;
+          h2_fit;
+          h2_ks;
+        }
+
+let analyze ?(op_bins = 50) ?(inop_bins = 40) ?(significance = 0.05) events =
+  let cleaned = Clean.clean events in
+  if Array.length cleaned.Clean.operative_periods = 0 then Error `Invalid_moments
+  else
+    match
+      analyze_side ~bins:op_bins ~significance cleaned.Clean.operative_periods
+    with
+    | Error e -> Error e
+    | Ok operative -> (
+        match
+          analyze_side ~bins:inop_bins ~significance
+            cleaned.Clean.inoperative_periods
+        with
+        | Error e -> Error e
+        | Ok inoperative -> Ok { cleaned; operative; inoperative })
+
+let density_table hist fitted_pdf ~upper =
+  let xs = Hist.midpoints hist in
+  let ds = Hist.densities hist in
+  let rows = ref [] in
+  for i = Hist.bins hist - 1 downto 0 do
+    if xs.(i) <= upper then rows := (xs.(i), ds.(i), fitted_pdf xs.(i)) :: !rows
+  done;
+  !rows
+
+let pp_side ppf (label, s) =
+  Format.fprintf ppf
+    "@[<v 2>%s periods:@,mean=%.4f scv=%.4f@,exponential fit: %a — %a@,\
+     hyperexponential fit: %a — %a@]"
+    label s.sample_moments.(0) s.scv Exp.pp s.exponential_fit Ks.pp_decision
+    s.exponential_ks H2.pp s.h2_fit Ks.pp_decision s.h2_ks
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>%a@,%a@,%a@]" Clean.pp_summary r.cleaned pp_side
+    ("operative", r.operative) pp_side
+    ("inoperative", r.inoperative)

@@ -1,0 +1,44 @@
+(** The complete Section-2 analysis pipeline: clean the log, build the
+    empirical densities, estimate moments, fit exponential and
+    hyperexponential distributions, and run the Kolmogorov–Smirnov
+    tests — reproducing the paper's Figures 3–4 and its accept/reject
+    decisions. *)
+
+type side_report = {
+  histogram : Urs_stats.Histogram.t;
+      (** Full-range histogram used for the KS points. *)
+  sample_moments : float array;  (** First five raw sample moments. *)
+  histogram_moments : float array;
+      (** The paper's estimator: moments of the binned density (eq. 1). *)
+  scv : float;  (** Estimated squared coefficient of variation. *)
+  exponential_fit : Urs_prob.Exponential.t;
+      (** Exponential with the sample mean. *)
+  exponential_ks : Urs_prob.Ks.decision;
+  h2_fit : Urs_prob.Hyperexponential.t;  (** Three-moment H2 fit. *)
+  h2_ks : Urs_prob.Ks.decision;
+}
+
+type report = {
+  cleaned : Clean.t;
+  operative : side_report;
+  inoperative : side_report;
+}
+
+val analyze :
+  ?op_bins:int ->
+  ?inop_bins:int ->
+  ?significance:float ->
+  Event.t array ->
+  (report, Urs_prob.Fit.error) result
+(** Run the full pipeline. Defaults follow the paper: [op_bins = 50],
+    [inop_bins = 40], [significance = 0.05]. *)
+
+val density_table :
+  Urs_stats.Histogram.t ->
+  (float -> float) ->
+  upper:float ->
+  (float * float * float) list
+(** [(midpoint, empirical density, fitted density)] rows restricted to
+    midpoints below [upper] — the data behind Figures 3 and 4. *)
+
+val pp_report : Format.formatter -> report -> unit

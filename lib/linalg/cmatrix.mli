@@ -1,0 +1,42 @@
+(** Dense complex matrices in row-major order. *)
+
+type t = { rows : int; cols : int; data : Cx.t array }
+
+val create : int -> int -> t
+val init : int -> int -> (int -> int -> Cx.t) -> t
+val identity : int -> t
+
+val of_real : Matrix.t -> t
+(** Embed a real matrix. *)
+
+val dims : t -> int * int
+val get : t -> int -> int -> Cx.t
+val set : t -> int -> int -> Cx.t -> unit
+val copy : t -> t
+val transpose : t -> t
+
+val conj_transpose : t -> t
+(** Hermitian transpose. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : Cx.t -> t -> t
+val mul : t -> t -> t
+
+val mul_vec : t -> Cvec.t -> Cvec.t
+(** Column-vector product [m x]. *)
+
+val vec_mul : Cvec.t -> t -> Cvec.t
+(** Row-vector product [x m]. *)
+
+val row : t -> int -> Cvec.t
+val col : t -> int -> Cvec.t
+
+val max_abs : t -> float
+(** Largest entry modulus. *)
+
+val norm_inf : t -> float
+(** Maximum absolute row sum (using moduli). *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

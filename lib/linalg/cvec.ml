@@ -1,0 +1,87 @@
+type t = Cx.t array
+
+let create n = Array.make n Cx.zero
+
+let init = Array.init
+
+let dim = Array.length
+
+let copy = Array.copy
+
+let of_real v = Array.map Cx.of_float v
+
+let real_part v = Array.map Cx.re v
+
+let imag_part v = Array.map Cx.im v
+
+let check_dims u v =
+  if Array.length u <> Array.length v then invalid_arg "Cvec: dimension mismatch"
+
+let add u v =
+  check_dims u v;
+  Array.init (Array.length u) (fun i -> Cx.add u.(i) v.(i))
+
+let sub u v =
+  check_dims u v;
+  Array.init (Array.length u) (fun i -> Cx.sub u.(i) v.(i))
+
+let scale a v = Array.map (Cx.mul a) v
+
+let dot u v =
+  check_dims u v;
+  let acc = ref Cx.zero in
+  for i = 0 to Array.length u - 1 do
+    acc := Cx.add !acc (Cx.mul u.(i) v.(i))
+  done;
+  !acc
+
+let dot_conj u v =
+  check_dims u v;
+  let acc = ref Cx.zero in
+  for i = 0 to Array.length u - 1 do
+    acc := Cx.add !acc (Cx.mul (Cx.conj u.(i)) v.(i))
+  done;
+  !acc
+
+let sum v = Array.fold_left Cx.add Cx.zero v
+
+let norm2 v =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length v - 1 do
+    acc := !acc +. Cx.modulus2 v.(i)
+  done;
+  sqrt !acc
+
+let norm_inf v =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length v - 1 do
+    let m = Cx.modulus v.(i) in
+    if m > !acc then acc := m
+  done;
+  !acc
+
+let max_abs_index v =
+  if Array.length v = 0 then invalid_arg "Cvec.max_abs_index: empty vector";
+  let best = ref 0 in
+  for i = 1 to Array.length v - 1 do
+    if Cx.modulus2 v.(i) > Cx.modulus2 v.(!best) then best := i
+  done;
+  !best
+
+let normalize v =
+  let n = norm2 v in
+  if n = 0.0 then invalid_arg "Cvec.normalize: zero vector";
+  let k = max_abs_index v in
+  (* rotate so the dominant component becomes real positive *)
+  let phase = Cx.scale (1.0 /. Cx.modulus v.(k)) (Cx.conj v.(k)) in
+  scale (Cx.scale (1.0 /. n) phase) v
+
+let approx_equal ?(tol = 1e-9) u v =
+  Array.length u = Array.length v && norm_inf (sub u v) <= tol
+
+let pp ppf v =
+  Format.fprintf ppf "[@[%a@]]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       Cx.pp)
+    (Array.to_list v)

@@ -1,0 +1,51 @@
+(** Dense complex vectors backed by [Cx.t array]. *)
+
+type t = Cx.t array
+
+val create : int -> t
+(** Zero vector of the given dimension. *)
+
+val init : int -> (int -> Cx.t) -> t
+val dim : t -> int
+val copy : t -> t
+
+val of_real : Vec.t -> t
+(** Embed a real vector. *)
+
+val real_part : t -> Vec.t
+(** Component-wise real parts. *)
+
+val imag_part : t -> Vec.t
+(** Component-wise imaginary parts. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+
+val scale : Cx.t -> t -> t
+(** Scalar multiple. *)
+
+val dot : t -> t -> Cx.t
+(** Bilinear (unconjugated) product [Σ uᵢ vᵢ]. *)
+
+val dot_conj : t -> t -> Cx.t
+(** Hermitian product [Σ conj(uᵢ) vᵢ]. *)
+
+val sum : t -> Cx.t
+(** Sum of components. *)
+
+val norm2 : t -> float
+(** Euclidean norm. *)
+
+val norm_inf : t -> float
+(** Largest component modulus. *)
+
+val normalize : t -> t
+(** Unit Euclidean norm; raises [Invalid_argument] on zero. Also rotates
+    the vector so its largest component is real positive, fixing the
+    arbitrary phase (useful for comparing eigenvectors). *)
+
+val max_abs_index : t -> int
+(** Index of the component with largest modulus. *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+type t = Complex.t
+
+let zero = Complex.zero
+let one = Complex.one
+
+let make re im : t = { Complex.re; im }
+
+let of_float x = make x 0.0
+
+let re (z : t) = z.Complex.re
+let im (z : t) = z.Complex.im
+
+let add = Complex.add
+let sub = Complex.sub
+let mul = Complex.mul
+let div = Complex.div
+let neg = Complex.neg
+let conj = Complex.conj
+let inv = Complex.inv
+
+let scale a (z : t) : t = { Complex.re = a *. z.Complex.re; im = a *. z.Complex.im }
+
+let modulus = Complex.norm
+let modulus2 = Complex.norm2
+
+let abs1 (z : t) = abs_float z.Complex.re +. abs_float z.Complex.im
+
+let sqrt = Complex.sqrt
+
+let is_real ?(tol = 1e-9) z = abs_float (im z) <= tol *. (1.0 +. modulus z)
+
+let approx_equal ?(tol = 1e-9) a b = modulus (sub a b) <= tol
+
+let compare_by_modulus a b =
+  let c = compare (modulus a) (modulus b) in
+  if c <> 0 then c
+  else
+    let c = compare (re a) (re b) in
+    if c <> 0 then c else compare (im a) (im b)
+
+let pp ppf z =
+  if im z = 0.0 then Format.fprintf ppf "%g" (re z)
+  else if im z >= 0.0 then Format.fprintf ppf "%g+%gi" (re z) (im z)
+  else Format.fprintf ppf "%g-%gi" (re z) (-.im z)

@@ -1,0 +1,52 @@
+(** Helpers over the standard library's [Complex.t].
+
+    Thin convenience layer: construction, arithmetic aliases and
+    predicates used by the eigensolvers. *)
+
+type t = Complex.t
+
+val zero : t
+val one : t
+
+val make : float -> float -> t
+(** [make re im]. *)
+
+val of_float : float -> t
+(** Real number as a complex. *)
+
+val re : t -> float
+val im : t -> float
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val conj : t -> t
+val inv : t -> t
+
+val scale : float -> t -> t
+(** Multiplication by a real scalar. *)
+
+val modulus : t -> float
+(** [|z|]. *)
+
+val modulus2 : t -> float
+(** [|z|²], cheaper than {!modulus}. *)
+
+val abs1 : t -> float
+(** [|re z| + |im z|], a cheap pivoting magnitude. *)
+
+val sqrt : t -> t
+
+val is_real : ?tol:float -> t -> bool
+(** True when [|im z| <= tol * (1 + |z|)] (default [tol = 1e-9]). *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** [|a - b| <= tol] (default [1e-9]). *)
+
+val compare_by_modulus : t -> t -> int
+(** Ascending modulus, ties broken by real part then imaginary part. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints e.g. [0.5-0.25i]. *)

@@ -1,0 +1,176 @@
+type t = {
+  lu : Matrix.t; (* packed L (unit diag, below) and U (on and above) *)
+  perm : int array; (* row permutation: factored row i came from perm.(i) *)
+  sign : int; (* parity of the permutation, for determinants *)
+}
+
+exception Singular
+
+let dim f = f.lu.Matrix.rows
+
+(* Crout-style factorization with partial pivoting on a copy. The inner
+   loops index the flat data array directly: without flambda, going
+   through Matrix.get/set costs a (non-inlined) call per element, which
+   dominates at the sizes the solvers use. *)
+let factor_internal a =
+  if not (Matrix.is_square a) then invalid_arg "Lu.factor: not square";
+  let n = a.Matrix.rows in
+  let m = Matrix.copy a in
+  let d = m.Matrix.data in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1 in
+  let singular = ref false in
+  (try
+     for k = 0 to n - 1 do
+       (* pivot search in column k *)
+       let piv = ref k in
+       let best = ref (abs_float d.((k * n) + k)) in
+       for i = k + 1 to n - 1 do
+         let v = abs_float d.((i * n) + k) in
+         if v > !best then begin
+           best := v;
+           piv := i
+         end
+       done;
+       if !best = 0.0 then begin
+         singular := true;
+         raise Exit
+       end;
+       if !piv <> k then begin
+         (* swap rows k and piv *)
+         let rk = k * n and rp = !piv * n in
+         for j = 0 to n - 1 do
+           let tmp = d.(rk + j) in
+           d.(rk + j) <- d.(rp + j);
+           d.(rp + j) <- tmp
+         done;
+         let tp = perm.(k) in
+         perm.(k) <- perm.(!piv);
+         perm.(!piv) <- tp;
+         sign := - !sign
+       end;
+       let rk = k * n in
+       let pivot = d.(rk + k) in
+       for i = k + 1 to n - 1 do
+         let ri = i * n in
+         let factor = d.(ri + k) /. pivot in
+         d.(ri + k) <- factor;
+         if factor <> 0.0 then
+           for j = k + 1 to n - 1 do
+             d.(ri + j) <- d.(ri + j) -. (factor *. d.(rk + j))
+           done
+       done
+     done
+   with Exit -> ());
+  if !singular then Error `Singular else Ok { lu = m; perm; sign = !sign }
+
+let factor a = factor_internal a
+
+let factor_exn a =
+  match factor_internal a with Ok f -> f | Error `Singular -> raise Singular
+
+let solve f b =
+  let n = dim f in
+  if Vec.dim b <> n then invalid_arg "Lu.solve: dimension mismatch";
+  let d = f.lu.Matrix.data in
+  let x = Array.init n (fun i -> b.(f.perm.(i))) in
+  (* forward substitution with unit lower triangle *)
+  for i = 1 to n - 1 do
+    let ri = i * n in
+    let acc = ref x.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (d.(ri + j) *. x.(j))
+    done;
+    x.(i) <- !acc
+  done;
+  (* back substitution with upper triangle *)
+  for i = n - 1 downto 0 do
+    let ri = i * n in
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (d.(ri + j) *. x.(j))
+    done;
+    let dii = d.(ri + i) in
+    if dii = 0.0 then raise Singular;
+    x.(i) <- !acc /. dii
+  done;
+  x
+
+(* aᵀ x = b  ⇔  Uᵀ Lᵀ P x = b: solve Uᵀ y = b (forward), Lᵀ z = y
+   (backward), then undo the permutation. *)
+let solve_transposed f b =
+  let n = dim f in
+  if Vec.dim b <> n then invalid_arg "Lu.solve_transposed: dimension mismatch";
+  let y = Vec.copy b in
+  for i = 0 to n - 1 do
+    let acc = ref y.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (Matrix.get f.lu j i *. y.(j))
+    done;
+    let d = Matrix.get f.lu i i in
+    if d = 0.0 then raise Singular;
+    y.(i) <- !acc /. d
+  done;
+  for i = n - 1 downto 0 do
+    let acc = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Matrix.get f.lu j i *. y.(j))
+    done;
+    y.(i) <- !acc
+  done;
+  let x = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    x.(f.perm.(i)) <- y.(i)
+  done;
+  x
+
+let solve_matrix f b =
+  let n = dim f in
+  if b.Matrix.rows <> n then invalid_arg "Lu.solve_matrix: dimension mismatch";
+  let cols = b.Matrix.cols in
+  let x = Matrix.create n cols in
+  for j = 0 to cols - 1 do
+    let bj = Matrix.col b j in
+    let xj = solve f bj in
+    for i = 0 to n - 1 do
+      Matrix.set x i j xj.(i)
+    done
+  done;
+  x
+
+let det_of_factor f =
+  let n = dim f in
+  let acc = ref (float_of_int f.sign) in
+  for i = 0 to n - 1 do
+    acc := !acc *. Matrix.get f.lu i i
+  done;
+  !acc
+
+let det a =
+  match factor_internal a with Ok f -> det_of_factor f | Error `Singular -> 0.0
+
+let log_abs_det a =
+  match factor_internal a with
+  | Error `Singular -> (neg_infinity, 0)
+  | Ok f ->
+      let n = dim f in
+      let log_acc = ref 0.0 in
+      let sign = ref f.sign in
+      for i = 0 to n - 1 do
+        let d = Matrix.get f.lu i i in
+        log_acc := !log_acc +. log (abs_float d);
+        if d < 0.0 then sign := - !sign
+      done;
+      (!log_acc, !sign)
+
+let inverse a =
+  match factor_internal a with
+  | Error `Singular -> Error `Singular
+  | Ok f -> (
+      try Ok (solve_matrix f (Matrix.identity (dim f)))
+      with Singular -> Error `Singular)
+
+let solve_system a b =
+  match factor_internal a with
+  | Error `Singular -> Error `Singular
+  | Ok f -> ( try Ok (solve f b) with Singular -> Error `Singular)

@@ -1,0 +1,47 @@
+(** LU factorization with partial pivoting for dense real matrices.
+
+    Factors a square matrix [a] as [P a = L U] where [P] is a row
+    permutation, [L] is unit lower triangular and [U] is upper
+    triangular. *)
+
+type t
+(** An LU factorization. *)
+
+exception Singular
+(** Raised by {!factor_exn} and the solvers when a pivot is exactly zero
+    (the matrix is singular to working precision). *)
+
+val factor : Matrix.t -> (t, [ `Singular ]) result
+(** [factor a] computes the factorization, or reports singularity. Raises
+    [Invalid_argument] if [a] is not square. [a] is not modified. *)
+
+val factor_exn : Matrix.t -> t
+(** Like {!factor} but raises {!Singular}. *)
+
+val dim : t -> int
+(** Order of the factored matrix. *)
+
+val solve : t -> Vec.t -> Vec.t
+(** [solve lu b] solves [a x = b]. *)
+
+val solve_transposed : t -> Vec.t -> Vec.t
+(** [solve_transposed lu b] solves [aᵀ x = b] using the same factors. *)
+
+val solve_matrix : t -> Matrix.t -> Matrix.t
+(** [solve_matrix lu b] solves [a x = b] column by column. *)
+
+val det : Matrix.t -> float
+(** Determinant via LU; [0.] for singular matrices. *)
+
+val det_of_factor : t -> float
+(** Determinant from an existing factorization. *)
+
+val log_abs_det : Matrix.t -> float * int
+(** [(log |det|, sign)] with sign in {-1, 0, 1}; avoids overflow for large
+    matrices. Sign [0] means singular. *)
+
+val inverse : Matrix.t -> (Matrix.t, [ `Singular ]) result
+(** Matrix inverse. *)
+
+val solve_system : Matrix.t -> Vec.t -> (Vec.t, [ `Singular ]) result
+(** One-shot [a x = b] convenience wrapper. *)

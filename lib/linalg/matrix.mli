@@ -1,0 +1,105 @@
+(** Dense real matrices in row-major order.
+
+    A matrix is a record of its dimensions and a flat [float array];
+    elements are accessed with {!get}/{!set}. All binary operations raise
+    [Invalid_argument] on dimension mismatch. *)
+
+type t = { rows : int; cols : int; data : float array }
+
+val create : int -> int -> t
+(** [create r c] is the [r] x [c] zero matrix. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+(** [init r c f] has entry [f i j] at row [i], column [j]. *)
+
+val identity : int -> t
+(** The [n] x [n] identity matrix. *)
+
+val diagonal : Vec.t -> t
+(** Square matrix with the given diagonal and zeros elsewhere. *)
+
+val scalar : int -> float -> t
+(** [scalar n a] is [a] times the [n] x [n] identity. *)
+
+val of_arrays : float array array -> t
+(** Matrix from an array of rows. Raises [Invalid_argument] if rows have
+    unequal lengths or the input is empty. *)
+
+val to_arrays : t -> float array array
+(** Rows of the matrix as a fresh array of fresh arrays. *)
+
+val dims : t -> int * int
+(** [(rows, cols)]. *)
+
+val get : t -> int -> int -> float
+(** [get m i j] is the element at row [i], column [j] (0-based). *)
+
+val set : t -> int -> int -> float -> unit
+(** [set m i j x] stores [x] at row [i], column [j]. *)
+
+val update : t -> int -> int -> (float -> float) -> unit
+(** [update m i j f] replaces element [(i,j)] by [f] of itself. *)
+
+val copy : t -> t
+(** Deep copy. *)
+
+val transpose : t -> t
+(** Matrix transpose. *)
+
+val add : t -> t -> t
+(** Matrix sum. *)
+
+val sub : t -> t -> t
+(** Matrix difference. *)
+
+val scale : float -> t -> t
+(** Scalar multiple. *)
+
+val mul : t -> t -> t
+(** Matrix product. *)
+
+val mul_vec : t -> Vec.t -> Vec.t
+(** [mul_vec m x] is the column-vector product [m * x]. *)
+
+val vec_mul : Vec.t -> t -> Vec.t
+(** [vec_mul x m] is the row-vector product [x * m]. *)
+
+val row : t -> int -> Vec.t
+(** Copy of row [i]. *)
+
+val col : t -> int -> Vec.t
+(** Copy of column [j]. *)
+
+val set_row : t -> int -> Vec.t -> unit
+(** Overwrite row [i]. *)
+
+val row_sums : t -> Vec.t
+(** Vector of row sums. *)
+
+val diag : t -> Vec.t
+(** Main diagonal (of a square matrix). *)
+
+val trace : t -> float
+(** Sum of diagonal elements of a square matrix. *)
+
+val norm_inf : t -> float
+(** Maximum absolute row sum. *)
+
+val norm_frobenius : t -> float
+(** Frobenius norm. *)
+
+val max_abs : t -> float
+(** Largest absolute entry. *)
+
+val is_square : t -> bool
+(** Whether [rows = cols]. *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Entrywise comparison within [tol] (default [1e-9]). *)
+
+val blit : src:t -> dst:t -> int -> int -> unit
+(** [blit ~src ~dst i j] copies [src] into [dst] with its top-left corner
+    at position [(i, j)]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line pretty-printer. *)

@@ -1,0 +1,89 @@
+(* Householder QR: reflectors are stored below the diagonal of [h] plus in
+   the auxiliary array [tau]; the upper triangle of [h] is R. Column k's
+   reflector is v = (1, h.(k+1..m-1, k)) and H = I - tau v vᵀ. *)
+
+type t = { h : Matrix.t; tau : float array }
+
+exception Rank_deficient
+
+let factor a =
+  let m = a.Matrix.rows and n = a.Matrix.cols in
+  if m < n then invalid_arg "Qr.factor: more columns than rows";
+  let h = Matrix.copy a in
+  let tau = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    (* norm of the column below (and including) the diagonal *)
+    let norm = ref 0.0 in
+    for i = k to m - 1 do
+      let v = Matrix.get h i k in
+      norm := !norm +. (v *. v)
+    done;
+    let norm = sqrt !norm in
+    if norm = 0.0 then tau.(k) <- 0.0
+    else begin
+      let akk = Matrix.get h k k in
+      let alpha = if akk >= 0.0 then -.norm else norm in
+      let v0 = akk -. alpha in
+      (* scale the stored part of v by 1/v0 so that v = (1, ...) *)
+      for i = k + 1 to m - 1 do
+        Matrix.set h i k (Matrix.get h i k /. v0)
+      done;
+      tau.(k) <- -.v0 /. alpha;
+      Matrix.set h k k alpha;
+      (* apply the reflector to the remaining columns *)
+      for j = k + 1 to n - 1 do
+        let s = ref (Matrix.get h k j) in
+        for i = k + 1 to m - 1 do
+          s := !s +. (Matrix.get h i k *. Matrix.get h i j)
+        done;
+        let s = tau.(k) *. !s in
+        Matrix.set h k j (Matrix.get h k j -. s);
+        for i = k + 1 to m - 1 do
+          Matrix.set h i j (Matrix.get h i j -. (s *. Matrix.get h i k))
+        done
+      done
+    end
+  done;
+  { h; tau }
+
+let r f =
+  let n = f.h.Matrix.cols in
+  Matrix.init n n (fun i j -> if j >= i then Matrix.get f.h i j else 0.0)
+
+let apply_qt f b =
+  let m = f.h.Matrix.rows and n = f.h.Matrix.cols in
+  if Vec.dim b <> m then invalid_arg "Qr.apply_qt: dimension mismatch";
+  let y = Vec.copy b in
+  for k = 0 to n - 1 do
+    if f.tau.(k) <> 0.0 then begin
+      let s = ref y.(k) in
+      for i = k + 1 to m - 1 do
+        s := !s +. (Matrix.get f.h i k *. y.(i))
+      done;
+      let s = f.tau.(k) *. !s in
+      y.(k) <- y.(k) -. s;
+      for i = k + 1 to m - 1 do
+        y.(i) <- y.(i) -. (s *. Matrix.get f.h i k)
+      done
+    end
+  done;
+  y
+
+let solve_least_squares f b =
+  let n = f.h.Matrix.cols in
+  let y = apply_qt f b in
+  let x = Array.sub y 0 n in
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Matrix.get f.h i j *. x.(j))
+    done;
+    let d = Matrix.get f.h i i in
+    if d = 0.0 then raise Rank_deficient;
+    x.(i) <- !acc /. d
+  done;
+  x
+
+let solve a b = solve_least_squares (factor a) b
+
+let residual_norm a x b = Vec.norm2 (Vec.sub (Matrix.mul_vec a x) b)

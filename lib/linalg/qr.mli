@@ -1,0 +1,32 @@
+(** Householder QR factorization of dense real matrices and least-squares
+    solving.
+
+    For an [m] x [n] matrix with [m >= n], computes [a = Q R] with [Q]
+    orthogonal ([m] x [m], stored implicitly as Householder reflectors)
+    and [R] upper trapezoidal. *)
+
+type t
+(** A QR factorization. *)
+
+exception Rank_deficient
+(** Raised by {!solve_least_squares} when a diagonal entry of [R] vanishes. *)
+
+val factor : Matrix.t -> t
+(** [factor a] computes the factorization. Raises [Invalid_argument] when
+    [a] has fewer rows than columns. [a] is not modified. *)
+
+val r : t -> Matrix.t
+(** The [n] x [n] upper-triangular factor (top block of the full R). *)
+
+val apply_qt : t -> Vec.t -> Vec.t
+(** [apply_qt f b] is [Qᵀ b]. *)
+
+val solve_least_squares : t -> Vec.t -> Vec.t
+(** [solve_least_squares f b] minimizes [||a x - b||₂]; for square
+    nonsingular [a] this solves the system exactly. *)
+
+val solve : Matrix.t -> Vec.t -> Vec.t
+(** One-shot least-squares convenience wrapper. *)
+
+val residual_norm : Matrix.t -> Vec.t -> Vec.t -> float
+(** [residual_norm a x b] is [||a x - b||₂], for diagnostics. *)

@@ -1,0 +1,196 @@
+(* Francis implicit double-shift QR ("hqr"), following the classical
+   EISPACK/Numerical-Recipes formulation, 0-based. The matrix is
+   destroyed during iteration, so we work on a copy held as an array of
+   rows. The algorithm repeatedly: (1) deflates at negligible
+   subdiagonal entries, (2) extracts trailing 1x1 / 2x2 blocks as
+   converged eigenvalues, and (3) otherwise performs an implicit
+   double-shift sweep on rows l..nn, with an exceptional shift every 10
+   stalled iterations. *)
+
+exception No_convergence of int
+
+let sign_of a b = if b >= 0.0 then abs_float a else -.abs_float a
+
+let eigenvalues_hessenberg ?(max_iter = 100) h =
+  if not (Matrix.is_square h) then invalid_arg "Qr_eig: not square";
+  if not (Hessenberg.is_hessenberg h) then invalid_arg "Qr_eig: not Hessenberg";
+  let n = h.Matrix.rows in
+  let a = Matrix.to_arrays h in
+  let wr = Array.make n 0.0 and wi = Array.make n 0.0 in
+  if n = 0 then [||]
+  else begin
+    let eps = epsilon_float in
+    let anorm = ref 0.0 in
+    for i = 0 to n - 1 do
+      for j = max 0 (i - 1) to n - 1 do
+        anorm := !anorm +. abs_float a.(i).(j)
+      done
+    done;
+    let anorm = !anorm in
+    let t = ref 0.0 in
+    let nn = ref (n - 1) in
+    while !nn >= 0 do
+      let its = ref 0 in
+      let deflated = ref false in
+      while not !deflated do
+        let nn_v = !nn in
+        (* find l: smallest row index of the active trailing block *)
+        let l = ref 0 in
+        (try
+           for ll = nn_v downto 1 do
+             let s0 = abs_float a.(ll - 1).(ll - 1) +. abs_float a.(ll).(ll) in
+             let s = if s0 = 0.0 then anorm else s0 in
+             if abs_float a.(ll).(ll - 1) <= eps *. s then begin
+               a.(ll).(ll - 1) <- 0.0;
+               l := ll;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        let l = !l in
+        let x = a.(nn_v).(nn_v) in
+        if l = nn_v then begin
+          (* one real root *)
+          wr.(nn_v) <- x +. !t;
+          wi.(nn_v) <- 0.0;
+          nn := nn_v - 1;
+          deflated := true
+        end
+        else begin
+          let y = a.(nn_v - 1).(nn_v - 1) in
+          let w = a.(nn_v).(nn_v - 1) *. a.(nn_v - 1).(nn_v) in
+          if l = nn_v - 1 then begin
+            (* a trailing 2x2 block: two roots *)
+            let p = 0.5 *. (y -. x) in
+            let q = (p *. p) +. w in
+            let z = sqrt (abs_float q) in
+            let x = x +. !t in
+            if q >= 0.0 then begin
+              let z = p +. sign_of z p in
+              wr.(nn_v - 1) <- x +. z;
+              wr.(nn_v) <- (if z <> 0.0 then x -. (w /. z) else x +. z);
+              wi.(nn_v - 1) <- 0.0;
+              wi.(nn_v) <- 0.0
+            end
+            else begin
+              wr.(nn_v - 1) <- x +. p;
+              wr.(nn_v) <- x +. p;
+              wi.(nn_v) <- z;
+              wi.(nn_v - 1) <- -.z
+            end;
+            nn := nn_v - 2;
+            deflated := true
+          end
+          else begin
+            if !its >= max_iter then raise (No_convergence nn_v);
+            let x = ref x and y = ref y and w = ref w in
+            if !its > 0 && !its mod 10 = 0 then begin
+              (* exceptional shift *)
+              t := !t +. !x;
+              for i = 0 to nn_v do
+                a.(i).(i) <- a.(i).(i) -. !x
+              done;
+              let s =
+                abs_float a.(nn_v).(nn_v - 1)
+                +. abs_float a.(nn_v - 1).(nn_v - 2)
+              in
+              x := 0.75 *. s;
+              y := !x;
+              w := -0.4375 *. s *. s
+            end;
+            incr its;
+            (* find m: start row of the sweep, where two consecutive
+               subdiagonals are small *)
+            let p = ref 0.0 and q = ref 0.0 and r = ref 0.0 in
+            let m = ref (nn_v - 2) in
+            (try
+               while !m >= l do
+                 let mm = !m in
+                 let z = a.(mm).(mm) in
+                 let rr = !x -. z in
+                 let ss = !y -. z in
+                 p := (((rr *. ss) -. !w) /. a.(mm + 1).(mm)) +. a.(mm).(mm + 1);
+                 q := a.(mm + 1).(mm + 1) -. z -. rr -. ss;
+                 r := a.(mm + 2).(mm + 1);
+                 let s = abs_float !p +. abs_float !q +. abs_float !r in
+                 p := !p /. s;
+                 q := !q /. s;
+                 r := !r /. s;
+                 if mm = l then raise Exit;
+                 let u = abs_float a.(mm).(mm - 1) *. (abs_float !q +. abs_float !r) in
+                 let v =
+                   abs_float !p
+                   *. (abs_float a.(mm - 1).(mm - 1)
+                      +. abs_float z
+                      +. abs_float a.(mm + 1).(mm + 1))
+                 in
+                 if u <= eps *. v then raise Exit;
+                 decr m
+               done
+             with Exit -> ());
+            let m = !m in
+            for i = m + 2 to nn_v do
+              a.(i).(i - 2) <- 0.0;
+              if i <> m + 2 then a.(i).(i - 3) <- 0.0
+            done;
+            (* double QR sweep over rows m..nn-1 *)
+            for k = m to nn_v - 1 do
+              if k <> m then begin
+                p := a.(k).(k - 1);
+                q := a.(k + 1).(k - 1);
+                r := if k <> nn_v - 1 then a.(k + 2).(k - 1) else 0.0;
+                let xs = abs_float !p +. abs_float !q +. abs_float !r in
+                x := xs;
+                if xs <> 0.0 then begin
+                  p := !p /. xs;
+                  q := !q /. xs;
+                  r := !r /. xs
+                end
+              end;
+              let s =
+                sign_of (sqrt ((!p *. !p) +. (!q *. !q) +. (!r *. !r))) !p
+              in
+              if s <> 0.0 then begin
+                if k = m then begin
+                  if l <> m then a.(k).(k - 1) <- -.a.(k).(k - 1)
+                end
+                else a.(k).(k - 1) <- -.s *. !x;
+                p := !p +. s;
+                x := !p /. s;
+                y := !q /. s;
+                let z = !r /. s in
+                q := !q /. !p;
+                r := !r /. !p;
+                for j = k to nn_v do
+                  (* row modification *)
+                  let pj =
+                    a.(k).(j)
+                    +. (!q *. a.(k + 1).(j))
+                    +.
+                    (if k <> nn_v - 1 then !r *. a.(k + 2).(j) else 0.0)
+                  in
+                  if k <> nn_v - 1 then a.(k + 2).(j) <- a.(k + 2).(j) -. (pj *. z);
+                  a.(k + 1).(j) <- a.(k + 1).(j) -. (pj *. !y);
+                  a.(k).(j) <- a.(k).(j) -. (pj *. !x)
+                done;
+                let mmin = min nn_v (k + 3) in
+                for i = l to mmin do
+                  (* column modification *)
+                  let pi =
+                    (!x *. a.(i).(k))
+                    +. (!y *. a.(i).(k + 1))
+                    +.
+                    (if k <> nn_v - 1 then z *. a.(i).(k + 2) else 0.0)
+                  in
+                  if k <> nn_v - 1 then a.(i).(k + 2) <- a.(i).(k + 2) -. (pi *. !r);
+                  a.(i).(k + 1) <- a.(i).(k + 1) -. (pi *. !q);
+                  a.(i).(k) <- a.(i).(k) -. pi
+                done
+              end
+            done
+          end
+        end
+      done
+    done;
+    Array.init n (fun i -> Cx.make wr.(i) wi.(i))
+  end

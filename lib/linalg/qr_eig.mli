@@ -1,0 +1,15 @@
+(** Francis implicit double-shift QR iteration for the eigenvalues of a
+    real upper Hessenberg matrix. Complex eigenvalues appear in
+    conjugate pairs. Eigenvalues only (no Schur vectors); combine with
+    inverse iteration ({!Clu.null_vector}) when eigenvectors of the
+    original problem are needed. *)
+
+exception No_convergence of int
+(** Raised when an eigenvalue fails to converge; carries the index of the
+    stuck trailing block. *)
+
+val eigenvalues_hessenberg : ?max_iter:int -> Matrix.t -> Cx.t array
+(** [eigenvalues_hessenberg h] computes all eigenvalues of the upper
+    Hessenberg matrix [h] (which is copied, not modified).
+    [max_iter] bounds the QR sweeps per eigenvalue (default [100]).
+    Raises [Invalid_argument] if [h] is not square or not Hessenberg. *)

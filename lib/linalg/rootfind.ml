@@ -1,0 +1,123 @@
+let bisect ?(tol = 1e-12) ?(max_iter = 200) f a b =
+  let fa = f a and fb = f b in
+  if fa = 0.0 then a
+  else if fb = 0.0 then b
+  else if fa *. fb > 0.0 then invalid_arg "Rootfind.bisect: no sign change"
+  else begin
+    let a = ref a and b = ref b and fa = ref fa in
+    let i = ref 0 in
+    while !b -. !a > tol && !i < max_iter do
+      incr i;
+      let m = 0.5 *. (!a +. !b) in
+      let fm = f m in
+      if fm = 0.0 then begin
+        a := m;
+        b := m
+      end
+      else if !fa *. fm < 0.0 then b := m
+      else begin
+        a := m;
+        fa := fm
+      end
+    done;
+    0.5 *. (!a +. !b)
+  end
+
+(* Brent's method, after Brent (1973) / Numerical Recipes zbrent. *)
+let brent ?(tol = 1e-13) ?(max_iter = 200) f a b =
+  let fa = f a and fb = f b in
+  if fa = 0.0 then a
+  else if fb = 0.0 then b
+  else if fa *. fb > 0.0 then invalid_arg "Rootfind.brent: no sign change"
+  else begin
+    let a = ref a and b = ref b and c = ref a in
+    let fa = ref fa and fb = ref fb in
+    let fc = ref !fa in
+    let d = ref (!b -. !a) and e = ref (!b -. !a) in
+    let result = ref nan in
+    let iter = ref 0 in
+    while Float.is_nan !result && !iter < max_iter do
+      incr iter;
+      if (!fb > 0.0 && !fc > 0.0) || (!fb < 0.0 && !fc < 0.0) then begin
+        c := !a;
+        fc := !fa;
+        d := !b -. !a;
+        e := !d
+      end;
+      if abs_float !fc < abs_float !fb then begin
+        a := !b;
+        b := !c;
+        c := !a;
+        fa := !fb;
+        fb := !fc;
+        fc := !fa
+      end;
+      let tol1 = (2.0 *. epsilon_float *. abs_float !b) +. (0.5 *. tol) in
+      let xm = 0.5 *. (!c -. !b) in
+      if abs_float xm <= tol1 || !fb = 0.0 then result := !b
+      else begin
+        if abs_float !e >= tol1 && abs_float !fa > abs_float !fb then begin
+          (* inverse quadratic interpolation *)
+          let s = !fb /. !fa in
+          let p, q =
+            if !a = !c then
+              let p = 2.0 *. xm *. s in
+              let q = 1.0 -. s in
+              (p, q)
+            else begin
+              let q = !fa /. !fc in
+              let r = !fb /. !fc in
+              let p =
+                s *. ((2.0 *. xm *. q *. (q -. r)) -. ((!b -. !a) *. (r -. 1.0)))
+              in
+              let q = (q -. 1.0) *. (r -. 1.0) *. (s -. 1.0) in
+              (p, q)
+            end
+          in
+          let p, q = if p > 0.0 then (p, -.q) else (-.p, q) in
+          let min1 = (3.0 *. xm *. q) -. abs_float (tol1 *. q) in
+          let min2 = abs_float (!e *. q) in
+          if 2.0 *. p < Float.min min1 min2 then begin
+            e := !d;
+            d := p /. q
+          end
+          else begin
+            d := xm;
+            e := !d
+          end
+        end
+        else begin
+          d := xm;
+          e := !d
+        end;
+        a := !b;
+        fa := !fb;
+        if abs_float !d > tol1 then b := !b +. !d
+        else b := !b +. (if xm >= 0.0 then tol1 else -.tol1);
+        fb := f !b
+      end
+    done;
+    if Float.is_nan !result then !b else !result
+  end
+
+let largest_root_in ?(scan_points = 200) ?(tol = 1e-13) f a b =
+  if not (b > a) then invalid_arg "Rootfind.largest_root_in: empty interval";
+  let h = (b -. a) /. float_of_int scan_points in
+  let value k = a +. (float_of_int k *. h) in
+  (* scan from the right for the rightmost sign-change bracket *)
+  let rec scan k fb_right =
+    if k < 0 then None
+    else begin
+      let x = value k in
+      let fx = f x in
+      if not (Float.is_finite fx) then scan (k - 1) fb_right
+      else
+        match fb_right with
+        | None -> scan (k - 1) (Some (x, fx))
+        | Some (xr, fr) ->
+            if fx = 0.0 then Some x
+            else if fx *. fr < 0.0 then Some (brent ~tol f x xr)
+            else scan (k - 1) (Some (x, fx))
+    end
+  in
+  scan scan_points None

@@ -1,0 +1,27 @@
+(** One-dimensional root finding: bisection and Brent's method.
+
+    Used by the geometric approximation to locate the dominant
+    eigenvalue as the largest root of [det Q(z)] in [(0, 1)]. *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+(** [bisect f a b] finds a root of [f] in [[a, b]]; requires
+    [f a * f b <= 0], otherwise raises [Invalid_argument]. Default
+    [tol = 1e-12] on the interval width, [max_iter = 200]. *)
+
+val brent :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+(** Brent's method (inverse quadratic interpolation with bisection
+    fallback); same contract as {!bisect} but faster convergence. *)
+
+val largest_root_in :
+  ?scan_points:int ->
+  ?tol:float ->
+  (float -> float) ->
+  float ->
+  float ->
+  float option
+(** [largest_root_in f a b] scans [scan_points] (default [200]) equal
+    subintervals of [(a, b)] from the right and returns the root in the
+    rightmost sign-change bracket, refined by {!brent}; [None] when no
+    sign change is found. Points where [f] is not finite are skipped. *)

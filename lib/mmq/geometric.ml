@@ -1,0 +1,61 @@
+module V = Urs_linalg.Vec
+module Cx = Urs_linalg.Cx
+module CV = Urs_linalg.Cvec
+
+type error =
+  | Unstable of Stability.verdict
+  | Root_not_found
+
+let pp_error ppf = function
+  | Unstable v ->
+      Format.fprintf ppf "queue is unstable: %a" Stability.pp_verdict v
+  | Root_not_found ->
+      Format.fprintf ppf "no root of det Q(z) found inside (0, 1)"
+
+type t = { qbd : Qbd.t; z : float; weights : V.t }
+
+let solve ?(scan_points = 400) q =
+  let env = Qbd.env q in
+  let verdict = Stability.check ~env ~lambda:(Qbd.lambda q) ~mu:(Qbd.mu q) in
+  if not verdict.Stability.stable then Error (Unstable verdict)
+  else begin
+    let f z = Qbd.det_q_scaled q z in
+    match
+      Urs_linalg.Rootfind.largest_root_in ~scan_points f 1e-9 (1.0 -. 1e-9)
+    with
+    | None -> Error Root_not_found
+    | Some z ->
+        let u = Urs_linalg.Clu.left_null_vector (Qbd.char_poly_at q (Cx.of_float z)) in
+        let u_re = CV.real_part u in
+        let total = V.sum u_re in
+        let weights = V.scale (1.0 /. total) u_re in
+        Ok { qbd = q; z; weights }
+  end
+
+let qbd t = t.qbd
+
+let dominant_eigenvalue t = t.z
+
+let mode_weights t = V.copy t.weights
+
+let level_probability t j =
+  if j < 0 then 0.0 else (1.0 -. t.z) *. (t.z ** float_of_int j)
+
+let probability t ~mode ~jobs =
+  if mode < 0 || mode >= V.dim t.weights then
+    invalid_arg "Geometric.probability: bad mode";
+  t.weights.(mode) *. level_probability t jobs
+
+let tail_probability t j0 =
+  if j0 <= 0 then 1.0 else t.z ** float_of_int j0
+
+let queue_length_quantile t p =
+  if p <= 0.0 || p >= 1.0 then
+    invalid_arg "Geometric.queue_length_quantile: p in (0,1)";
+  (* P(length <= j) = 1 - z^{j+1} >= p  ⇔  j >= ln(1-p)/ln z - 1 *)
+  let j = int_of_float (ceil ((log (1.0 -. p) /. log t.z) -. 1.0)) in
+  max 0 j
+
+let mean_queue_length t = t.z /. (1.0 -. t.z)
+
+let mean_response_time t = mean_queue_length t /. Qbd.lambda t.qbd

@@ -1,0 +1,42 @@
+let check ~servers ~offered_load =
+  if servers < 1 then invalid_arg "Mmc: servers must be >= 1";
+  if offered_load <= 0.0 then invalid_arg "Mmc: offered load must be positive";
+  if offered_load >= float_of_int servers then
+    invalid_arg "Mmc: unstable (offered load >= servers)"
+
+(* Erlang-B by the standard recurrence, then convert to Erlang-C. *)
+let erlang_c ~servers ~offered_load =
+  check ~servers ~offered_load;
+  let a = offered_load in
+  let b = ref 1.0 in
+  for k = 1 to servers do
+    b := a *. !b /. (float_of_int k +. (a *. !b))
+  done;
+  let rho = a /. float_of_int servers in
+  !b /. (1.0 -. rho +. (rho *. !b))
+
+let mean_queue_length ~servers ~lambda ~mu =
+  let a = lambda /. mu in
+  check ~servers ~offered_load:a;
+  let c = erlang_c ~servers ~offered_load:a in
+  let rho = a /. float_of_int servers in
+  (c *. rho /. (1.0 -. rho)) +. a
+
+let mean_response_time ~servers ~lambda ~mu =
+  mean_queue_length ~servers ~lambda ~mu /. lambda
+
+let mean_waiting_time ~servers ~lambda ~mu =
+  mean_response_time ~servers ~lambda ~mu -. (1.0 /. mu)
+
+let min_servers_for_response_time ~lambda ~mu ~target =
+  if target <= 1.0 /. mu then
+    invalid_arg "Mmc.min_servers_for_response_time: target below service time";
+  let rec go c =
+    if c > 1_000_000 then invalid_arg "Mmc.min_servers_for_response_time: no c found"
+    else if
+      float_of_int c > lambda /. mu
+      && mean_response_time ~servers:c ~lambda ~mu <= target
+    then c
+    else go (c + 1)
+  in
+  go 1

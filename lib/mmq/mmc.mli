@@ -1,0 +1,19 @@
+(** Classical M/M/c (Erlang-C) formulas — the reliable-servers baseline.
+    When breakdowns are negligible the unreliable-server model must
+    converge to these values, which the test suite exploits. *)
+
+val erlang_c : servers:int -> offered_load:float -> float
+(** Probability that an arriving job must wait, for [offered_load]
+    [a = λ/µ < servers]. Computed with a numerically stable recurrence. *)
+
+val mean_queue_length : servers:int -> lambda:float -> mu:float -> float
+(** Mean number of jobs in the system (waiting + in service). *)
+
+val mean_response_time : servers:int -> lambda:float -> mu:float -> float
+
+val mean_waiting_time : servers:int -> lambda:float -> mu:float -> float
+(** Mean time in queue, excluding service. *)
+
+val min_servers_for_response_time :
+  lambda:float -> mu:float -> target:float -> int
+(** Smallest [c] with mean response time at most [target]. *)

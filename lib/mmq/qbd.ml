@@ -1,0 +1,92 @@
+module M = Urs_linalg.Matrix
+
+type t = {
+  env : Environment.t;
+  lambda : float;
+  mu : float;
+  a : M.t;
+  b : M.t;
+  d_a : M.t;
+  c_full : M.t; (* C_j for j >= N *)
+}
+
+let create ~env ~lambda ~mu =
+  if lambda <= 0.0 || mu <= 0.0 then
+    invalid_arg "Qbd.create: lambda and mu must be positive";
+  let s = Environment.num_modes env in
+  let a = Environment.transition_matrix env in
+  let b = M.scalar s lambda in
+  let d_a = M.diagonal (M.row_sums a) in
+  let n = Environment.servers env in
+  let c_full =
+    M.init s s (fun i j ->
+        if i = j then
+          float_of_int (min (Environment.operative_servers env i) n) *. mu
+        else 0.0)
+  in
+  { env; lambda; mu; a; b; d_a; c_full }
+
+let env t = t.env
+
+let lambda t = t.lambda
+
+let mu t = t.mu
+
+let s t = Environment.num_modes t.env
+
+let a t = M.copy t.a
+
+let b t = M.copy t.b
+
+let d_a t = M.copy t.d_a
+
+let c t j =
+  if j < 0 then invalid_arg "Qbd.c: negative level";
+  if j >= Environment.servers t.env then M.copy t.c_full
+  else
+    M.init (s t) (s t) (fun i k ->
+        if i = k then
+          float_of_int (min (Environment.operative_servers t.env i) j) *. t.mu
+        else 0.0)
+
+let c_diag t j =
+  if j < 0 then invalid_arg "Qbd.c_diag: negative level";
+  Array.init (s t) (fun i ->
+      float_of_int
+        (min (Environment.operative_servers t.env i)
+           (min j (Environment.servers t.env)))
+      *. t.mu)
+
+let transition_block t j = M.sub (M.sub (M.sub t.a t.d_a) t.b) (c t j)
+
+let q0 t = b t
+
+let q1 t = transition_block t (Environment.servers t.env)
+
+let q2 t = M.copy t.c_full
+
+let char_poly_at t z =
+  Urs_linalg.Companion.evaluate ~q0:(q0 t) ~q1:(q1 t) ~q2:(q2 t) z
+
+let det_q_scaled t z =
+  let sm = s t in
+  let t_full = transition_block t (Environment.servers t.env) in
+  let q =
+    M.init sm sm (fun i j ->
+        M.get t.b i j
+        +. (z *. M.get t_full i j)
+        +. (z *. z *. M.get t.c_full i j))
+  in
+  let log_det, sign = Urs_linalg.Lu.log_abs_det q in
+  if sign = 0 then 0.0
+  else float_of_int sign *. exp (log_det /. float_of_int sm)
+
+let generator_residual t vs j =
+  match vs with
+  | [| v_prev; v_j; v_next |] ->
+      let lhs = M.vec_mul v_prev t.b in
+      let mid = M.vec_mul v_j (transition_block t j) in
+      let nxt = M.vec_mul v_next (c t (j + 1)) in
+      Urs_linalg.Vec.norm_inf
+        (Urs_linalg.Vec.add lhs (Urs_linalg.Vec.add mid nxt))
+  | _ -> invalid_arg "Qbd.generator_residual: expected three vectors"

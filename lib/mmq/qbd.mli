@@ -1,0 +1,66 @@
+(** The quasi-birth-death structure of the Markov-modulated queue
+    (paper §3.1): generator blocks, balance-equation coefficients and
+    the characteristic matrix polynomial.
+
+    With [s] operational modes, the transition blocks are:
+    - [A]: mode changes at fixed queue size (environment moves),
+    - [B = λI]: arrivals (mode-preserving),
+    - [C_j]: departures at queue size [j], the diagonal matrix with
+      entries [min(operative_i, j)·µ]; [C_j = C] for [j >= N].
+
+    The balance equations read
+    [v_{j−1}B + v_j(A − D^A − B − C_j) + v_{j+1}C_{j+1} = 0] with
+    [D^A = diag(row sums of A)], and for [j >= N] the characteristic
+    polynomial is [Q(z) = Q0 + Q1 z + Q2 z²] with [Q0 = B],
+    [Q1 = A − D^A − B − C], [Q2 = C]. *)
+
+type t
+
+val create : env:Environment.t -> lambda:float -> mu:float -> t
+(** Precomputes all blocks. Requires positive rates. *)
+
+val env : t -> Environment.t
+val lambda : t -> float
+val mu : t -> float
+
+val s : t -> int
+(** Number of operational modes. *)
+
+val a : t -> Urs_linalg.Matrix.t
+(** The mode-transition block [A]. *)
+
+val b : t -> Urs_linalg.Matrix.t
+(** The arrival block [λI]. *)
+
+val c : t -> int -> Urs_linalg.Matrix.t
+(** [c t j] is the departure block [C_j]; for [j >= servers] this is the
+    level-independent [C]. [c t 0] is the zero matrix. *)
+
+val c_diag : t -> int -> Urs_linalg.Vec.t
+(** The diagonal of [C_j] ([C_j] is always diagonal: departures do not
+    change the operational mode). *)
+
+val d_a : t -> Urs_linalg.Matrix.t
+(** Diagonal matrix of row sums of [A]. *)
+
+val transition_block : t -> int -> Urs_linalg.Matrix.t
+(** [transition_block t j] is [T_j = A − D^A − B − C_j], the coefficient
+    of [v_j] in the level-[j] balance equation. Always nonsingular (a
+    strictly row-diagonally-dominant M-matrix transpose). *)
+
+val q0 : t -> Urs_linalg.Matrix.t
+val q1 : t -> Urs_linalg.Matrix.t
+val q2 : t -> Urs_linalg.Matrix.t
+
+val char_poly_at : t -> Urs_linalg.Cx.t -> Urs_linalg.Cmatrix.t
+(** [Q(z)] evaluated at a complex point. *)
+
+val det_q_scaled : t -> float -> float
+(** [det Q(z)] for real [z], rescaled as
+    [sign·exp(log|det|/s)] to avoid overflow — same sign and same roots
+    as the determinant, used for locating the dominant eigenvalue. *)
+
+val generator_residual : t -> Urs_linalg.Vec.t array -> int -> float
+(** [generator_residual t vs j] is the infinity-norm residual of the
+    level-[j] balance equation given consecutive probability vectors
+    [vs = [| v_{j−1}; v_j; v_{j+1} |]] — a diagnostic used in tests. *)

@@ -1,0 +1,82 @@
+(** Exact steady-state solution of the Markov-modulated queue by the
+    method of spectral expansion (paper §3.1; Mitrani & Chakka 1995).
+
+    For queue sizes [j >= N] the solution has the form
+    [v_j = Σ_k γ_k u_k z_k^j] where [z_k] are the [s] eigenvalues of the
+    characteristic polynomial [Q(z)] inside the unit disk and [u_k] the
+    corresponding left eigenvectors (eqs. (17)–(19)). The boundary
+    vectors [v_0..v_{N−1}] and coefficients [γ_k] are obtained from the
+    level-[0..N] balance equations (block-tridiagonal forward
+    elimination, then a null-vector computation) and the normalization
+    condition (eq. (20)). *)
+
+type error =
+  | Unstable of Stability.verdict
+      (** The queue has no steady state (eq. (11) violated). *)
+  | Eigenvalue_count of { expected : int; found : int }
+      (** The companion eigensolve did not find exactly [s] eigenvalues
+          strictly inside the unit disk — usually a symptom of being too
+          close to the stability boundary or of ill-conditioning at
+          large [N] (the paper reports the same failure mode for
+          [N ≳ 24]). *)
+  | Numerical of string  (** Other numerical failure. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+type t
+(** A solved model. *)
+
+val solve : ?eig_tol:float -> Qbd.t -> (t, error) result
+(** Solve the model. [eig_tol] is the unit-circle exclusion band used
+    when classifying eigenvalues (default [1e-9]). *)
+
+val qbd : t -> Qbd.t
+
+val eigenvalues : t -> Urs_linalg.Cx.t array
+(** The [s] eigenvalues inside the unit disk, ascending modulus. *)
+
+val dominant_eigenvalue : t -> float
+(** The largest-modulus eigenvalue [z_s]; always real positive. *)
+
+val boundary_vectors : t -> Urs_linalg.Vec.t array
+(** [v_0 .. v_{N−1}]. *)
+
+val probability : t -> mode:int -> jobs:int -> float
+(** Steady-state probability [p(i, j)] of mode [i] with [j] jobs. *)
+
+val level_probability : t -> int -> float
+(** [P(queue length = j) = v_j · 1]. *)
+
+val tail_probability : t -> int -> float
+(** [P(queue length >= j)]. *)
+
+val queue_length_quantile : t -> float -> int
+(** [queue_length_quantile t p] is the smallest [j] with
+    [P(queue length <= j) >= p]; [p] in [(0, 1)]. *)
+
+val mean_queue_length : t -> float
+(** [L = Σ_j j (v_j · 1)], evaluated with closed-form geometric sums. *)
+
+val mean_response_time : t -> float
+(** [W = L/λ] (Little's law). *)
+
+val mean_waiting_jobs : t -> float
+(** Mean number of jobs waiting (not in service), [L − λ/µ]: in steady
+    state the expected number in service equals the offered load. *)
+
+val mean_waiting_time : t -> float
+(** Mean time in queue before service starts, [W − 1/µ]. *)
+
+val mode_marginals : t -> Urs_linalg.Vec.t
+(** Marginal mode probabilities [π_i = Σ_j p(i,j)]; must agree with
+    {!Environment.stationary_mode_probability}. *)
+
+val mean_busy_servers : t -> float
+(** Expected number of servers actively serving,
+    [Σ_{i,j} min(ops(i), j)·p(i,j)] — equals [λ/µ] in steady state
+    (a useful internal consistency check). *)
+
+val residual : t -> float
+(** Largest infinity-norm residual of the level-[0..N+2] balance
+    equations and the normalization — an a-posteriori accuracy
+    certificate. *)

@@ -1,0 +1,19 @@
+(** Ergodicity of the unreliable multi-server queue (paper, eq. (11)):
+    the queue is stable iff the offered load [λ/µ] is less than the
+    steady-state average number of operative servers [N·η/(ξ+η)]. The
+    condition depends only on the {e means} of the operative and
+    inoperative periods, not on their distributions. *)
+
+type verdict = {
+  offered_load : float;  (** λ/µ. *)
+  effective_capacity : float;  (** Average number of operative servers. *)
+  utilization : float;  (** Offered load / effective capacity. *)
+  stable : bool;
+}
+
+val check : env:Environment.t -> lambda:float -> mu:float -> verdict
+
+val max_arrival_rate : env:Environment.t -> mu:float -> float
+(** The supremum of stable arrival rates, [µ · N · availability]. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

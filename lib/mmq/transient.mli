@@ -1,0 +1,44 @@
+(** Transient analysis of the (level-truncated) queue by uniformization.
+
+    The paper's solutions are steady-state only; this module computes
+    the distribution at a finite time [t] from a given initial state —
+    e.g. how the queue builds up after a cold start, or how long the
+    system takes to approach its stationary regime. The generator is
+    the same truncated chain used by {!Truncated}; the transient law is
+    the Poisson-weighted mixture [Σₙ e^{−qt}(qt)ⁿ/n! · π₀Pⁿ] with
+    [P = I + Q/q] (uniformization), which is numerically robust. *)
+
+type error = Too_large of { states : int; limit : int }
+
+val pp_error : Format.formatter -> error -> unit
+
+type t
+
+val create : ?levels:int -> ?state_limit:int -> Qbd.t -> (t, error) result
+(** Precompute the uniformized chain. Defaults: [levels = 200],
+    [state_limit = 20_000] (the transient iteration is sparse and
+    cheaper than {!Truncated}'s dense solve, so the budget is larger).
+    Stability is {e not} required — transient behaviour of an unstable
+    queue is well-defined (and interesting). *)
+
+type state = { mode : int; jobs : int }
+(** An initial condition. *)
+
+val empty_all_operative : t -> state
+(** The canonical cold start: no jobs, every server operative in the
+    phase mix given by the operative law's initial distribution — mode
+    index of the first all-operative mode under stationary phase
+    weights is ambiguous, so this uses the most likely all-operative
+    mode. *)
+
+val distribution_at : t -> initial:state -> time:float -> float array
+(** Full state distribution at time [t] (indexed [jobs * s + mode]). *)
+
+val mean_jobs_at : t -> initial:state -> time:float -> float
+val mean_operative_at : t -> initial:state -> time:float -> float
+
+val level_probability_at : t -> initial:state -> time:float -> int -> float
+
+val relaxation_profile :
+  t -> initial:state -> times:float list -> (float * float) list
+(** [(t, L(t))] along a time grid — the approach to steady state. *)

@@ -1,0 +1,255 @@
+type error = [ `Scv_too_low | `Invalid_moments | `No_convergence ]
+
+let pp_error ppf = function
+  | `Scv_too_low ->
+      Format.fprintf ppf
+        "squared coefficient of variation below 1: no hyperexponential fit"
+  | `Invalid_moments ->
+      Format.fprintf ppf "moments not realizable by the requested family"
+  | `No_convergence -> Format.fprintf ppf "iterative fit failed to converge"
+
+let exponential_of_mean m =
+  if m <= 0.0 then invalid_arg "Fit.exponential_of_mean: mean must be positive";
+  Exponential.create (1.0 /. m)
+
+(* Order phases by descending rate (short-mean phase first), matching the
+   paper's presentation of its fitted distributions. *)
+let h2_sorted ~w1 ~t1 ~w2 ~t2 =
+  let phases = [ (w1, 1.0 /. t1); (w2, 1.0 /. t2) ] in
+  let phases = List.sort (fun (_, r1) (_, r2) -> compare r2 r1) phases in
+  Hyperexponential.of_pairs phases
+
+let valid_weight a = a >= -1e-9 && a <= 1.0 +. 1e-9
+
+let clamp01 a = Float.max 0.0 (Float.min 1.0 a)
+
+let h2_of_three_moments ~m1 ~m2 ~m3 =
+  if m1 <= 0.0 || m2 <= 0.0 || m3 <= 0.0 then Error `Invalid_moments
+  else begin
+    let u1 = m1 and u2 = m2 /. 2.0 and u3 = m3 /. 6.0 in
+    let denom = u2 -. (u1 *. u1) in
+    if denom <= 0.0 then Error `Scv_too_low
+    else begin
+      (* power sums of the two phase means t₁,t₂ obey
+         u_{k+1} = p·u_k − q·u_{k−1} with p = t₁+t₂, q = t₁t₂ *)
+      let p = (u3 -. (u1 *. u2)) /. denom in
+      let q = ((u1 *. u3) -. (u2 *. u2)) /. denom in
+      let disc = (p *. p) -. (4.0 *. q) in
+      if disc < 0.0 then Error `Invalid_moments
+      else begin
+        let t1 = 0.5 *. (p +. sqrt disc) in
+        let t2 = 0.5 *. (p -. sqrt disc) in
+        if t2 <= 0.0 || t1 = t2 then Error `Invalid_moments
+        else begin
+          let a1 = (u1 -. t2) /. (t1 -. t2) in
+          if not (valid_weight a1) then Error `Invalid_moments
+          else
+            let a1 = clamp01 a1 in
+            Ok (h2_sorted ~w1:a1 ~t1 ~w2:(1.0 -. a1) ~t2)
+        end
+      end
+    end
+  end
+
+let h2_of_mean_scv ~mean ~scv =
+  if mean <= 0.0 then Error `Invalid_moments
+  else if scv < 1.0 -. 1e-12 then Error `Scv_too_low
+  else begin
+    let scv = Float.max scv 1.0 in
+    let a1 = 0.5 *. (1.0 +. sqrt ((scv -. 1.0) /. (scv +. 1.0))) in
+    let a2 = 1.0 -. a1 in
+    let r1 = 2.0 *. a1 /. mean in
+    let r2 = 2.0 *. a2 /. mean in
+    if r2 <= 0.0 then
+      (* scv so large that the second phase degenerates; fall back to a
+         tiny-weight long phase *)
+      Error `Invalid_moments
+    else
+      Ok (Hyperexponential.create ~weights:[| a1; a2 |] ~rates:[| r1; r2 |])
+  end
+
+let h2_of_mean_scv_pinned_rate ~mean ~scv ~pinned_rate =
+  if mean <= 0.0 || pinned_rate <= 0.0 then Error `Invalid_moments
+  else if scv < 1.0 -. 1e-12 then Error `Scv_too_low
+  else begin
+    let m = mean in
+    let s = 1.0 /. pinned_rate in
+    (* mean of the pinned phase *)
+    let u2 = m *. m *. (scv +. 1.0) /. 2.0 in
+    (* solve (m−s)t² + (s²−u2)t + (u2·s − m·s²) = 0 for the varied
+       phase mean t; derived from α·t + (1−α)s = m and
+       α·t² + (1−α)s² = u2 with α eliminated *)
+    let a = m -. s in
+    let b = (s *. s) -. u2 in
+    let c = (u2 *. s) -. (m *. s *. s) in
+    let candidates =
+      if abs_float a < 1e-14 *. m then
+        (* linear case: the pinned phase mean equals the overall mean *)
+        if b <> 0.0 then [ -.c /. b ] else []
+      else begin
+        let disc = (b *. b) -. (4.0 *. a *. c) in
+        if disc < 0.0 then []
+        else
+          let sq = sqrt disc in
+          [ (-.b +. sq) /. (2.0 *. a); (-.b -. sq) /. (2.0 *. a) ]
+      end
+    in
+    let check t =
+      if t <= 0.0 || abs_float (t -. s) < 1e-12 *. (t +. s) then None
+      else begin
+        let alpha = (m -. s) /. (t -. s) in
+        if valid_weight alpha then Some (t, clamp01 alpha) else None
+      end
+    in
+    let valid = List.filter_map check candidates in
+    (* prefer the root giving the longer varied phase: that is the branch
+       on which increasing scv makes the varied periods "larger and less
+       likely" (Figure 6) *)
+    match List.sort (fun (t1, _) (t2, _) -> compare t2 t1) valid with
+    | [] -> Error `Invalid_moments
+    | (t, alpha) :: _ ->
+        Ok
+          (Hyperexponential.create
+             ~weights:[| alpha; 1.0 -. alpha |]
+             ~rates:[| 1.0 /. t; pinned_rate |])
+  end
+
+let h2_gauss_seidel ?(max_iter = 10_000) ?(tol = 1e-12) ~m1 ~m2 ~m3 () =
+  if m1 <= 0.0 || m2 <= 0.0 || m3 <= 0.0 then Error `Invalid_moments
+  else begin
+    let u1 = m1 and u2 = m2 /. 2.0 and u3 = m3 /. 6.0 in
+    if u2 <= u1 *. u1 then Error `Scv_too_low
+    else begin
+      let eps = 1e-12 in
+      let alpha = ref 0.5 and t1 = ref (0.5 *. u1) and t2 = ref (2.0 *. u1) in
+      let iters = ref 0 in
+      let delta = ref infinity in
+      (* update ordering matters for convergence: solving the u₂ equation
+         for α, the u₁ equation for t₁ and the u₃ equation for t₂ is
+         (empirically) globally convergent for H2-realizable moments,
+         whereas other orderings diverge *)
+      while !delta > tol && !iters < max_iter do
+        incr iters;
+        let a0 = !alpha and t10 = !t1 and t20 = !t2 in
+        (* eq for u2 solved for alpha *)
+        let num = (u2 -. (!t2 *. !t2)) /. ((!t1 *. !t1) -. (!t2 *. !t2)) in
+        if num > 0.0 && num < 1.0 then alpha := num;
+        (* eq for u1 solved for t1 *)
+        if !alpha > eps then
+          t1 := Float.max eps ((u1 -. ((1.0 -. !alpha) *. !t2)) /. !alpha);
+        (* eq for u3 solved for t2 *)
+        let num = (u3 -. (!alpha *. !t1 *. !t1 *. !t1)) /. (1.0 -. !alpha) in
+        if num > 0.0 then t2 := Float.cbrt num;
+        delta :=
+          abs_float (!alpha -. a0)
+          +. (abs_float (!t1 -. t10) /. u1)
+          +. (abs_float (!t2 -. t20) /. u1)
+      done;
+      (* verify the moment equations actually hold *)
+      let r1 = (!alpha *. !t1) +. ((1.0 -. !alpha) *. !t2) in
+      let r2 = (!alpha *. !t1 *. !t1) +. ((1.0 -. !alpha) *. !t2 *. !t2) in
+      let r3 =
+        (!alpha *. !t1 *. !t1 *. !t1)
+        +. ((1.0 -. !alpha) *. !t2 *. !t2 *. !t2)
+      in
+      let rel a b = abs_float (a -. b) /. Float.max 1e-300 (abs_float b) in
+      if rel r1 u1 < 1e-6 && rel r2 u2 < 1e-6 && rel r3 u3 < 1e-6 then
+        Ok (h2_sorted ~w1:!alpha ~t1:!t1 ~w2:(1.0 -. !alpha) ~t2:!t2, !iters)
+      else Error `No_convergence
+    end
+  end
+
+(* Weights from rates: solve the n x n system
+     Σⱼ αⱼ tⱼᵏ = uₖ , k = 0..n−1  (u₀ = 1)
+   i.e. a Vandermonde system in the phase means tⱼ. *)
+let weights_for_ts ts us =
+  let n = Array.length ts in
+  let v = Urs_linalg.Matrix.init n n (fun k j -> ts.(j) ** float_of_int k) in
+  let rhs = Array.init n (fun k -> if k = 0 then 1.0 else us.(k - 1)) in
+  match Urs_linalg.Lu.solve_system v rhs with
+  | Ok w -> Some w
+  | Error `Singular -> None
+
+let hn_of_moments ~n ~moments =
+  if n < 1 then invalid_arg "Fit.hn_of_moments: n must be >= 1";
+  if Array.length moments < (2 * n) - 1 then
+    invalid_arg "Fit.hn_of_moments: need at least 2n-1 moments";
+  if Array.exists (fun m -> m <= 0.0) moments then Error `Invalid_moments
+  else begin
+    let us = Array.init ((2 * n) - 1) (fun k -> Moments.reduced (k + 1) moments.(k)) in
+    if n = 1 then
+      Ok
+        ( Hyperexponential.create ~weights:[| 1.0 |] ~rates:[| 1.0 /. us.(0) |],
+          0.0 )
+    else begin
+      let u1 = us.(0) in
+      (* objective over log phase means *)
+      let objective theta =
+        let ts = Array.map exp theta in
+        match weights_for_ts ts us with
+        | None -> 1e9
+        | Some w ->
+            let violation =
+              Array.fold_left
+                (fun acc a ->
+                  acc
+                  +. Float.max 0.0 (-.a)
+                  +. Float.max 0.0 (a -. 1.0))
+                0.0 w
+            in
+            if violation > 1e-9 then 1e6 *. (1.0 +. violation)
+            else begin
+              (* relative mismatch of the unused reduced moments
+                 u_n .. u_{2n-1} (us is 0-based: us.(i) = u_{i+1}) *)
+              let acc = ref 0.0 in
+              for k = n - 1 to (2 * n) - 2 do
+                let fitted = ref 0.0 in
+                for j = 0 to n - 1 do
+                  fitted := !fitted +. (w.(j) *. (ts.(j) ** float_of_int (k + 1)))
+                done;
+                acc := !acc +. abs_float ((!fitted /. us.(k)) -. 1.0)
+              done;
+              !acc
+            end
+      in
+      (* deterministic multi-start: geometric spreads of phase means
+         around the empirical mean *)
+      let starts =
+        List.concat_map
+          (fun ratio ->
+            [ Array.init n (fun j ->
+                  log u1
+                  +. (log ratio *. (float_of_int j -. (float_of_int (n - 1) /. 2.0)))) ])
+          [ 2.0; 5.0; 15.0; 50.0 ]
+      in
+      let best =
+        List.fold_left
+          (fun acc start ->
+            let r = Optim.nelder_mead ~max_iter:4000 objective start in
+            match acc with
+            | None -> Some r
+            | Some b -> if r.Optim.fx < b.Optim.fx then Some r else Some b)
+          None starts
+      in
+      match best with
+      | None -> Error `No_convergence
+      | Some r ->
+          let ts = Array.map exp r.Optim.x in
+          (match weights_for_ts ts us with
+          | None -> Error `No_convergence
+          | Some w ->
+              if Array.exists (fun a -> not (valid_weight a)) w then
+                Error `Invalid_moments
+              else begin
+                let w = Array.map clamp01 w in
+                let pairs =
+                  Array.to_list (Array.mapi (fun j a -> (a, 1.0 /. ts.(j))) w)
+                  |> List.filter (fun (a, _) -> a > 1e-12)
+                  |> List.sort (fun (_, r1) (_, r2) -> compare r2 r1)
+                in
+                let total = List.fold_left (fun s (a, _) -> s +. a) 0.0 pairs in
+                let pairs = List.map (fun (a, r) -> (a /. total, r)) pairs in
+                Ok (Hyperexponential.of_pairs pairs, r.Optim.fx)
+              end)
+    end
+  end

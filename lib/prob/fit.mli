@@ -1,0 +1,68 @@
+(** Fitting hyperexponential distributions to empirical moments — the
+    paper's Section 2 machinery.
+
+    An n-phase hyperexponential has [2n−1] free parameters and is
+    determined by its first [2n−1] moments (paper, eqs. (6)–(7)). These
+    routines implement: the closed-form three-moment H2 fit, the
+    two-moment fits used by the numerical experiments, the Gauss–Seidel
+    iteration the paper mentions, and the brute-force rate search
+    (eq. (8)) generalized to n phases with a Nelder–Mead refinement. *)
+
+type error =
+  [ `Scv_too_low  (** Data has C² < 1; no hyperexponential fits. *)
+  | `Invalid_moments  (** Moments not realizable by the family. *)
+  | `No_convergence  (** Iterative method failed to converge. *) ]
+
+val pp_error : Format.formatter -> error -> unit
+
+val exponential_of_mean : float -> Exponential.t
+(** Exponential with the given positive mean. *)
+
+val h2_of_three_moments :
+  m1:float -> m2:float -> m3:float -> (Hyperexponential.t, error) result
+(** Closed-form 2-phase fit matching the first three raw moments: the
+    phase means [t₁, t₂] are the roots of the quadratic whose power sums
+    match the reduced moments, and the weight follows from the mean. *)
+
+val h2_of_mean_scv :
+  mean:float -> scv:float -> (Hyperexponential.t, error) result
+(** Two-moment H2 fit with the standard "balanced means" convention
+    ([α₁/ξ₁ = α₂/ξ₂]); requires [scv >= 1]. *)
+
+val h2_of_mean_scv_pinned_rate :
+  mean:float ->
+  scv:float ->
+  pinned_rate:float ->
+  (Hyperexponential.t, error) result
+(** The Figure-6 protocol: one phase's rate is pinned (the fitted short
+    phase, rate [ξ = 0.1663] in the paper) and the other phase's rate
+    and the weights are solved from the mean and scv. As [scv → 1] the
+    varied phase's mean approaches the overall mean and its weight
+    approaches 1 (the exponential case); as [scv] grows the varied
+    phase's periods become longer and less likely, exactly as the paper
+    describes. Requires [scv >= 1]; [`Invalid_moments] when the
+    requested pair is not reachable with the pinned rate. The returned
+    distribution has the varied phase first. *)
+
+val h2_gauss_seidel :
+  ?max_iter:int ->
+  ?tol:float ->
+  m1:float ->
+  m2:float ->
+  m3:float ->
+  unit ->
+  (Hyperexponential.t * int, error) result
+(** The Gauss–Seidel fixed-point iteration on the three moment equations
+    that the paper reports converges for n = 2. Returns the fit and the
+    number of iterations used. Defaults: [max_iter = 10_000],
+    [tol = 1e-12] (relative change per sweep). *)
+
+val hn_of_moments :
+  n:int -> moments:float array -> (Hyperexponential.t * float, error) result
+(** The paper's brute-force method for n phases (eq. (8)): weights are
+    eliminated by solving the linear system given by normalization and
+    the first [n−1] moment equations; the rates are then searched to
+    minimize the relative mismatch of moments [n..2n−1] (multi-start
+    Nelder–Mead over log-rates). [moments] must contain at least [2n−1]
+    entries ([moments.(k)] is [M̃_{k+1}]). Returns the fit and the final
+    objective value. *)

@@ -1,0 +1,69 @@
+type decision = {
+  statistic : float;
+  n : int;
+  significance : float;
+  critical : float;
+  accept : bool;
+  p_value : float;
+}
+
+let statistic_points ~hypothesized ~points =
+  if Array.length points = 0 then invalid_arg "Ks.statistic_points: no points";
+  Array.fold_left
+    (fun acc (x, f_emp) -> Float.max acc (abs_float (hypothesized x -. f_emp)))
+    0.0 points
+
+let statistic_samples ~hypothesized ~samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Ks.statistic_samples: no samples";
+  let xs = Array.copy samples in
+  Array.sort compare xs;
+  let nf = float_of_int n in
+  let d = ref 0.0 in
+  for i = 0 to n - 1 do
+    let f = hypothesized xs.(i) in
+    let above = (float_of_int (i + 1) /. nf) -. f in
+    let below = f -. (float_of_int i /. nf) in
+    d := Float.max !d (Float.max above below)
+  done;
+  !d
+
+let critical_value ~n ~significance =
+  if n <= 0 then invalid_arg "Ks.critical_value: n must be positive";
+  if significance <= 0.0 || significance >= 1.0 then
+    invalid_arg "Ks.critical_value: significance in (0,1)";
+  sqrt (-.log (significance /. 2.0) /. 2.0) /. sqrt (float_of_int n)
+
+let p_value ~n ~statistic =
+  if n <= 0 then invalid_arg "Ks.p_value: n must be positive";
+  let nf = sqrt (float_of_int n) in
+  (* Stephens' correction improves the asymptotic formula at modest n *)
+  let lambda = (nf +. 0.12 +. (0.11 /. nf)) *. statistic in
+  1.0 -. Special.kolmogorov_cdf lambda
+
+let decide ~significance ~n ~statistic =
+  let critical = critical_value ~n ~significance in
+  {
+    statistic;
+    n;
+    significance;
+    critical;
+    accept = statistic <= critical;
+    p_value = p_value ~n ~statistic;
+  }
+
+let test_points ~significance ~hypothesized ~points =
+  let statistic = statistic_points ~hypothesized ~points in
+  decide ~significance ~n:(Array.length points) ~statistic
+
+let test_samples ~significance ~hypothesized ~samples =
+  let statistic = statistic_samples ~hypothesized ~samples in
+  decide ~significance ~n:(Array.length samples) ~statistic
+
+let pp_decision ppf d =
+  Format.fprintf ppf
+    "D=%.4f (n=%d, critical=%.4f at %g%%): %s (p=%.4g)" d.statistic d.n
+    d.critical
+    (100.0 *. d.significance)
+    (if d.accept then "ACCEPT" else "REJECT")
+    d.p_value

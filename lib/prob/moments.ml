@@ -1,0 +1,15 @@
+let factorial k =
+  if k < 0 then invalid_arg "Moments.factorial: negative";
+  let acc = ref 1.0 in
+  for i = 2 to k do
+    acc := !acc *. float_of_int i
+  done;
+  !acc
+
+let reduced k m = m /. factorial k
+
+let scv_of_moments ~m1 ~m2 = (m2 /. (m1 *. m1)) -. 1.0
+
+let variance_of_moments ~m1 ~m2 = m2 -. (m1 *. m1)
+
+let m2_of_mean_scv ~mean ~scv = mean *. mean *. (scv +. 1.0)

@@ -1,0 +1,99 @@
+type result = {
+  x : float array;
+  fx : float;
+  iterations : int;
+  converged : bool;
+}
+
+(* Standard Nelder–Mead with reflection 1, expansion 2, contraction 1/2,
+   shrink 1/2. *)
+let nelder_mead ?(max_iter = 2000) ?(tol = 1e-12) ?(initial_step = 0.1) f x0 =
+  let n = Array.length x0 in
+  if n = 0 then invalid_arg "Optim.nelder_mead: empty start point";
+  (* build the initial simplex: x0 plus a perturbation per coordinate *)
+  let points =
+    Array.init (n + 1) (fun i ->
+        let p = Array.copy x0 in
+        if i > 0 then begin
+          let j = i - 1 in
+          let step =
+            if p.(j) <> 0.0 then initial_step *. abs_float p.(j)
+            else initial_step
+          in
+          p.(j) <- p.(j) +. step
+        end;
+        p)
+  in
+  let values = Array.map f points in
+  let order () =
+    let idx = Array.init (n + 1) (fun i -> i) in
+    Array.sort (fun a b -> compare values.(a) values.(b)) idx;
+    let pts = Array.map (fun i -> points.(i)) idx in
+    let vls = Array.map (fun i -> values.(i)) idx in
+    Array.blit pts 0 points 0 (n + 1);
+    Array.blit vls 0 values 0 (n + 1)
+  in
+  let centroid () =
+    let c = Array.make n 0.0 in
+    for i = 0 to n - 1 do
+      (* exclude the worst point *)
+      for j = 0 to n - 1 do
+        c.(j) <- c.(j) +. (points.(i).(j) /. float_of_int n)
+      done
+    done;
+    c
+  in
+  let combine c p alpha =
+    Array.init n (fun j -> c.(j) +. (alpha *. (p.(j) -. c.(j))))
+  in
+  let iter = ref 0 in
+  let converged = ref false in
+  order ();
+  while (not !converged) && !iter < max_iter do
+    incr iter;
+    let c = centroid () in
+    let worst = points.(n) in
+    let reflected = combine c worst (-1.0) in
+    let fr = f reflected in
+    if fr < values.(0) then begin
+      (* try expansion *)
+      let expanded = combine c worst (-2.0) in
+      let fe = f expanded in
+      if fe < fr then begin
+        points.(n) <- expanded;
+        values.(n) <- fe
+      end
+      else begin
+        points.(n) <- reflected;
+        values.(n) <- fr
+      end
+    end
+    else if fr < values.(n - 1) then begin
+      points.(n) <- reflected;
+      values.(n) <- fr
+    end
+    else begin
+      (* contraction (outside if the reflected point improved on the
+         worst, inside otherwise) *)
+      let alpha = if fr < values.(n) then -0.5 else 0.5 in
+      let contracted = combine c worst alpha in
+      let fc = f contracted in
+      if fc < Float.min fr values.(n) then begin
+        points.(n) <- contracted;
+        values.(n) <- fc
+      end
+      else
+        (* shrink towards the best point *)
+        for i = 1 to n do
+          points.(i) <-
+            Array.init n (fun j ->
+                points.(0).(j) +. (0.5 *. (points.(i).(j) -. points.(0).(j))));
+          values.(i) <- f points.(i)
+        done
+    end;
+    order ();
+    let spread = abs_float (values.(n) -. values.(0)) in
+    if spread <= tol *. (1.0 +. abs_float values.(0)) then converged := true
+  done;
+  { x = Array.copy points.(0); fx = values.(0); iterations = !iter;
+    converged = !converged }

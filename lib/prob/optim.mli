@@ -1,0 +1,23 @@
+(** Derivative-free minimization: the Nelder–Mead simplex method.
+
+    Used by the distribution-fitting routines to refine the paper's
+    brute-force search over hyperexponential rates (eq. (8)). *)
+
+type result = {
+  x : float array;  (** Best point found. *)
+  fx : float;  (** Objective at [x]. *)
+  iterations : int;  (** Simplex iterations performed. *)
+  converged : bool;  (** Whether the spread tolerance was reached. *)
+}
+
+val nelder_mead :
+  ?max_iter:int ->
+  ?tol:float ->
+  ?initial_step:float ->
+  (float array -> float) ->
+  float array ->
+  result
+(** [nelder_mead f x0] minimizes [f] starting from [x0]. The objective
+    may return [infinity] to encode constraints. Defaults:
+    [max_iter = 2000], [tol = 1e-12] (simplex function-value spread),
+    [initial_step = 0.1] (relative, per coordinate). *)

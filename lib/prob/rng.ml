@@ -1,0 +1,63 @@
+(* splitmix64 (Steele, Lea, Flood 2014): passes BigCrush when used as a
+   64-bit generator; trivially splittable by re-seeding from the stream. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let bits64 g =
+  g.state <- Int64.add g.state golden;
+  mix g.state
+
+let split g = { state = mix (bits64 g) }
+
+let copy g = { state = g.state }
+
+let float g =
+  (* take the top 53 bits *)
+  let bits = Int64.shift_right_logical (bits64 g) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let float_pos g =
+  let u = float g in
+  if u > 0.0 then u else epsilon_float
+
+let uniform g lo hi = lo +. ((hi -. lo) *. float g)
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* rejection-free for our purposes: modulo bias is negligible for
+     bound << 2^63 *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (bits64 g) 1) (Int64.of_int bound))
+
+let exponential g rate =
+  if rate <= 0.0 then invalid_arg "Rng.exponential: rate must be positive";
+  -.log (float_pos g) /. rate
+
+let normal g =
+  let u1 = float_pos g and u2 = float g in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let choose g weights =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then invalid_arg "Rng.choose: weights sum to zero";
+  let u = float g *. total in
+  let acc = ref 0.0 in
+  let chosen = ref (Array.length weights - 1) in
+  (try
+     for i = 0 to Array.length weights - 1 do
+       acc := !acc +. weights.(i);
+       if u < !acc then begin
+         chosen := i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !chosen

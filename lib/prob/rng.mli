@@ -1,0 +1,45 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    A small splitmix64 core: fast, seedable, and independent of the
+    OCaml stdlib [Random] state, so simulations are reproducible across
+    runs and machines. Streams created by {!split} are statistically
+    independent of the parent. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a generator from an integer seed. Equal seeds
+    give equal streams. *)
+
+val split : t -> t
+(** A new generator whose stream is independent of (and does not
+    perturb) the parent beyond consuming one value. *)
+
+val copy : t -> t
+(** Duplicate the current state. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val float : t -> float
+(** Uniform in [[0, 1)], 53-bit resolution. *)
+
+val float_pos : t -> float
+(** Uniform in [(0, 1]]; never returns 0, safe for [log]. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform g lo hi] is uniform in [[lo, hi)]. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [[0, bound)]; [bound > 0]. *)
+
+val exponential : t -> float -> float
+(** [exponential g rate] samples Exp(rate); [rate > 0]. *)
+
+val normal : t -> float
+(** Standard normal via Box–Muller. *)
+
+val choose : t -> float array -> int
+(** [choose g weights] samples an index with probability proportional to
+    the (nonnegative) weights. Raises [Invalid_argument] if all weights
+    are zero. *)

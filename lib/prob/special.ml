@@ -1,0 +1,206 @@
+(* Lanczos approximation with g = 7, n = 9 coefficients (Boost's set). *)
+let lanczos_g = 7.0
+
+let lanczos_coef =
+  [|
+    0.99999999999980993;
+    676.5203681218851;
+    -1259.1392167224028;
+    771.32342877765313;
+    -176.61502916214059;
+    12.507343278686905;
+    -0.13857109526572012;
+    9.9843695780195716e-6;
+    1.5056327351493116e-7;
+  |]
+
+let rec log_gamma x =
+  if x <= 0.0 then invalid_arg "Special.log_gamma: x must be positive";
+  if x < 0.5 then
+    (* reflection: Γ(x)Γ(1−x) = π / sin(πx) *)
+    log (Float.pi /. sin (Float.pi *. x)) -. log_gamma (1.0 -. x)
+  else log_gamma_aux x
+
+and log_gamma_aux x =
+  let x = x -. 1.0 in
+  let acc = ref lanczos_coef.(0) in
+  for i = 1 to Array.length lanczos_coef - 1 do
+    acc := !acc +. (lanczos_coef.(i) /. (x +. float_of_int i))
+  done;
+  let t = x +. lanczos_g +. 0.5 in
+  (0.5 *. log (2.0 *. Float.pi)) +. ((x +. 0.5) *. log t) -. t +. log !acc
+
+(* Regularized incomplete gamma: series expansion (gser) and continued
+   fraction (gcf), after Numerical Recipes. *)
+let gamma_p_series a x =
+  let gln = log_gamma a in
+  let ap = ref a in
+  let sum = ref (1.0 /. a) in
+  let del = ref !sum in
+  let iter = ref 0 in
+  while abs_float !del > abs_float !sum *. 1e-16 && !iter < 500 do
+    incr iter;
+    ap := !ap +. 1.0;
+    del := !del *. x /. !ap;
+    sum := !sum +. !del
+  done;
+  !sum *. exp ((-.x) +. (a *. log x) -. gln)
+
+let gamma_q_cf a x =
+  let gln = log_gamma a in
+  let fpmin = 1e-300 in
+  let b = ref (x +. 1.0 -. a) in
+  let c = ref (1.0 /. fpmin) in
+  let d = ref (1.0 /. !b) in
+  let h = ref !d in
+  let i = ref 1 in
+  let continue_loop = ref true in
+  while !continue_loop && !i <= 500 do
+    let an = -.float_of_int !i *. (float_of_int !i -. a) in
+    b := !b +. 2.0;
+    d := (an *. !d) +. !b;
+    if abs_float !d < fpmin then d := fpmin;
+    c := !b +. (an /. !c);
+    if abs_float !c < fpmin then c := fpmin;
+    d := 1.0 /. !d;
+    let del = !d *. !c in
+    h := !h *. del;
+    if abs_float (del -. 1.0) <= 1e-16 then continue_loop := false;
+    incr i
+  done;
+  exp ((-.x) +. (a *. log x) -. gln) *. !h
+
+let gamma_p a x =
+  if a <= 0.0 then invalid_arg "Special.gamma_p: a must be positive";
+  if x < 0.0 then invalid_arg "Special.gamma_p: x must be nonnegative";
+  if x = 0.0 then 0.0
+  else if x < a +. 1.0 then gamma_p_series a x
+  else 1.0 -. gamma_q_cf a x
+
+(* erfc via the NR rational Chebyshev fit (~1.2e-7), refined below where
+   higher accuracy matters we use the symmetric relation with gamma_p:
+   erf(x) = P(1/2, x²). *)
+let erf x =
+  if x < 0.0 then -.gamma_p 0.5 (x *. x) else gamma_p 0.5 (x *. x)
+
+let erfc x = 1.0 -. erf x
+
+let normal_cdf x = 0.5 *. erfc (-.x /. sqrt 2.0)
+
+(* Acklam's inverse normal CDF approximation + one Halley refinement. *)
+let normal_quantile p =
+  if p <= 0.0 || p >= 1.0 then
+    invalid_arg "Special.normal_quantile: p must lie in (0,1)";
+  let a =
+    [| -39.69683028665376; 220.9460984245205; -275.9285104469687;
+       138.3577518672690; -30.66479806614716; 2.506628277459239 |]
+  in
+  let b =
+    [| -54.47609879822406; 161.5858368580409; -155.6989798598866;
+       66.80131188771972; -13.28068155288572 |]
+  in
+  let c =
+    [| -0.007784894002430293; -0.3223964580411365; -2.400758277161838;
+       -2.549732539343734; 4.374664141464968; 2.938163982698783 |]
+  in
+  let d =
+    [| 0.007784695709041462; 0.3224671290700398; 2.445134137142996;
+       3.754408661907416 |]
+  in
+  let p_low = 0.02425 in
+  let tail_value q =
+    ((((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q
+    +. c.(5))
+    /. ((((((d.(0) *. q) +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q) +. 1.0)
+  in
+  let x =
+    if p < p_low then tail_value (sqrt (-2.0 *. log p))
+    else if p > 1.0 -. p_low then -.tail_value (sqrt (-2.0 *. log (1.0 -. p)))
+    else begin
+      let q = p -. 0.5 in
+      let r = q *. q in
+      let num =
+        (((((a.(0) *. r +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4))
+           *. r
+        +. a.(5))
+        *. q
+      in
+      let den =
+        ((((b.(0) *. r +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r +. b.(4))
+        *. r
+        +. 1.0
+      in
+      num /. den
+    end
+  in
+  (* one Halley step against the accurate CDF *)
+  let e = normal_cdf x -. p in
+  let u = e *. sqrt (2.0 *. Float.pi) *. exp (x *. x /. 2.0) in
+  x -. (u /. (1.0 +. (x *. u /. 2.0)))
+
+(* Continued fraction for the incomplete beta (NR betacf). *)
+let betacf a b x =
+  let fpmin = 1e-300 in
+  let qab = a +. b and qap = a +. 1.0 and qam = a -. 1.0 in
+  let c = ref 1.0 in
+  let d = ref (1.0 -. (qab *. x /. qap)) in
+  if abs_float !d < fpmin then d := fpmin;
+  d := 1.0 /. !d;
+  let h = ref !d in
+  let m = ref 1 in
+  let continue_loop = ref true in
+  while !continue_loop && !m <= 300 do
+    let mf = float_of_int !m in
+    let m2 = 2.0 *. mf in
+    let aa = mf *. (b -. mf) *. x /. ((qam +. m2) *. (a +. m2)) in
+    d := 1.0 +. (aa *. !d);
+    if abs_float !d < fpmin then d := fpmin;
+    c := 1.0 +. (aa /. !c);
+    if abs_float !c < fpmin then c := fpmin;
+    d := 1.0 /. !d;
+    h := !h *. !d *. !c;
+    let aa = -.(a +. mf) *. (qab +. mf) *. x /. ((a +. m2) *. (qap +. m2)) in
+    d := 1.0 +. (aa *. !d);
+    if abs_float !d < fpmin then d := fpmin;
+    c := 1.0 +. (aa /. !c);
+    if abs_float !c < fpmin then c := fpmin;
+    d := 1.0 /. !d;
+    let del = !d *. !c in
+    h := !h *. del;
+    if abs_float (del -. 1.0) < 1e-15 then continue_loop := false;
+    incr m
+  done;
+  !h
+
+let beta_inc ~a ~b x =
+  if a <= 0.0 || b <= 0.0 then invalid_arg "Special.beta_inc: a,b positive";
+  if x < 0.0 || x > 1.0 then invalid_arg "Special.beta_inc: x in [0,1]";
+  if x = 0.0 then 0.0
+  else if x = 1.0 then 1.0
+  else begin
+    let bt =
+      exp
+        (log_gamma (a +. b) -. log_gamma a -. log_gamma b
+        +. (a *. log x)
+        +. (b *. log (1.0 -. x)))
+    in
+    if x < (a +. 1.0) /. (a +. b +. 2.0) then bt *. betacf a b x /. a
+    else 1.0 -. (bt *. betacf b a (1.0 -. x) /. b)
+  end
+
+let kolmogorov_cdf x =
+  if x <= 0.0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    let k = ref 1 in
+    let continue_loop = ref true in
+    while !continue_loop && !k <= 100 do
+      let kf = float_of_int !k in
+      let term = exp (-2.0 *. kf *. kf *. x *. x) in
+      let signed = if !k mod 2 = 1 then term else -.term in
+      acc := !acc +. signed;
+      if term < 1e-16 then continue_loop := false;
+      incr k
+    done;
+    Float.max 0.0 (Float.min 1.0 (1.0 -. (2.0 *. !acc)))
+  end

@@ -1,0 +1,31 @@
+(** Special functions needed by the distributions and statistical tests.
+    All implemented locally (no external numerics dependency). *)
+
+val log_gamma : float -> float
+(** [log Γ(x)] for [x > 0], Lanczos approximation (~1e-13 relative). *)
+
+val gamma_p : float -> float -> float
+(** Regularized lower incomplete gamma [P(a, x) = γ(a,x)/Γ(a)] for
+    [a > 0], [x >= 0]; series for [x < a+1], continued fraction
+    otherwise. *)
+
+val erf : float -> float
+(** Error function. *)
+
+val erfc : float -> float
+(** Complementary error function. *)
+
+val normal_cdf : float -> float
+(** Standard normal distribution function Φ. *)
+
+val normal_quantile : float -> float
+(** Φ⁻¹ on (0, 1); Acklam's rational approximation refined by one
+    Halley step (~1e-15). *)
+
+val beta_inc : a:float -> b:float -> float -> float
+(** Regularized incomplete beta function [I_x(a, b)] for positive [a],
+    [b] and [x] in [[0, 1]], by Lentz's continued fraction. *)
+
+val kolmogorov_cdf : float -> float
+(** CDF of the Kolmogorov distribution
+    [K(x) = 1 − 2 Σ_{k≥1} (−1)^{k−1} exp(−2k²x²)] for [x > 0]. *)

@@ -1,0 +1,82 @@
+type t = {
+  track_responses : bool;
+  mutable start : float;
+  mutable last_jobs_time : float;
+  mutable jobs : int;
+  mutable jobs_area : float;
+  mutable last_ops_time : float;
+  mutable ops : int;
+  mutable ops_area : float;
+  mutable resp : Urs_stats.Welford.t;
+  mutable resp_samples : float array;
+  mutable resp_count : int;
+}
+
+let create ?(track_responses = true) () =
+  {
+    track_responses;
+    start = 0.0;
+    last_jobs_time = 0.0;
+    jobs = 0;
+    jobs_area = 0.0;
+    last_ops_time = 0.0;
+    ops = 0;
+    ops_area = 0.0;
+    resp = Urs_stats.Welford.create ();
+    resp_samples = Array.make 1024 0.0;
+    resp_count = 0;
+  }
+
+let set_jobs t ~now n =
+  t.jobs_area <- t.jobs_area +. (float_of_int t.jobs *. (now -. t.last_jobs_time));
+  t.last_jobs_time <- now;
+  t.jobs <- n
+
+let record_operative t ~now n =
+  t.ops_area <- t.ops_area +. (float_of_int t.ops *. (now -. t.last_ops_time));
+  t.last_ops_time <- now;
+  t.ops <- n
+
+let record_response t r =
+  Urs_stats.Welford.add t.resp r;
+  if t.track_responses then begin
+    if t.resp_count = Array.length t.resp_samples then begin
+      let bigger = Array.make (2 * t.resp_count) 0.0 in
+      Array.blit t.resp_samples 0 bigger 0 t.resp_count;
+      t.resp_samples <- bigger
+    end;
+    t.resp_samples.(t.resp_count) <- r;
+    t.resp_count <- t.resp_count + 1
+  end
+
+let reset t ~now =
+  t.start <- now;
+  t.last_jobs_time <- now;
+  t.jobs_area <- 0.0;
+  t.last_ops_time <- now;
+  t.ops_area <- 0.0;
+  t.resp <- Urs_stats.Welford.create ();
+  t.resp_count <- 0
+
+let mean_jobs t ~now =
+  let area = t.jobs_area +. (float_of_int t.jobs *. (now -. t.last_jobs_time)) in
+  let elapsed = now -. t.start in
+  if elapsed <= 0.0 then 0.0 else area /. elapsed
+
+let mean_operative t ~now =
+  let area = t.ops_area +. (float_of_int t.ops *. (now -. t.last_ops_time)) in
+  let elapsed = now -. t.start in
+  if elapsed <= 0.0 then 0.0 else area /. elapsed
+
+let mean_response t = Urs_stats.Welford.mean t.resp
+
+let completed t = Urs_stats.Welford.count t.resp
+
+let responses t = Array.sub t.resp_samples 0 t.resp_count
+
+let response_percentile t p =
+  if not t.track_responses then
+    invalid_arg "Collector.response_percentile: tracking disabled";
+  if t.resp_count = 0 then
+    invalid_arg "Collector.response_percentile: no responses recorded";
+  Urs_stats.Empirical.quantile (responses t) p

@@ -1,0 +1,42 @@
+(** Measurement collection for the queueing simulator: a time-weighted
+    integral of the number of jobs in the system, response-time
+    accumulators, and (optionally) the full response-time sample for
+    percentile estimation — covering the paper's stated open problem
+    (the distribution of response times). *)
+
+type t
+
+val create : ?track_responses:bool -> unit -> t
+(** [track_responses] (default [true]) stores every response time so
+    percentiles can be queried; disable to save memory on very long
+    runs. *)
+
+val set_jobs : t -> now:float -> int -> unit
+(** Record that the number of jobs in the system changed to the given
+    value at time [now]. *)
+
+val record_response : t -> float -> unit
+(** Record the response time of a completed job. *)
+
+val record_operative : t -> now:float -> int -> unit
+(** Record that the number of operative servers changed. *)
+
+val reset : t -> now:float -> unit
+(** Discard everything measured so far (end of warm-up); keeps the
+    current job/operative counts as the new initial state. *)
+
+val mean_jobs : t -> now:float -> float
+(** Time-averaged number of jobs in the system up to [now]. *)
+
+val mean_operative : t -> now:float -> float
+(** Time-averaged number of operative servers. *)
+
+val mean_response : t -> float
+val completed : t -> int
+
+val responses : t -> float array
+(** The recorded response times (empty when tracking is off). *)
+
+val response_percentile : t -> float -> float
+(** Empirical percentile of response times; raises [Invalid_argument]
+    when tracking is off or no responses were recorded. *)

@@ -1,0 +1,37 @@
+(* Two-stack deque: [front] holds elements to serve next (top first),
+   [back] holds later arrivals in reverse; amortized O(1). *)
+type 'a t = { mutable front : 'a list; mutable back : 'a list; mutable n : int }
+
+let create () = { front = []; back = []; n = 0 }
+
+let length d = d.n
+
+let is_empty d = d.n = 0
+
+let push_back d x =
+  d.back <- x :: d.back;
+  d.n <- d.n + 1
+
+let push_front d x =
+  d.front <- x :: d.front;
+  d.n <- d.n + 1
+
+let pop_front d =
+  match d.front with
+  | x :: rest ->
+      d.front <- rest;
+      d.n <- d.n - 1;
+      Some x
+  | [] -> (
+      match List.rev d.back with
+      | [] -> None
+      | x :: rest ->
+          d.front <- rest;
+          d.back <- [];
+          d.n <- d.n - 1;
+          Some x)
+
+let clear d =
+  d.front <- [];
+  d.back <- [];
+  d.n <- 0

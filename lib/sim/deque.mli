@@ -1,0 +1,13 @@
+(** Mutable double-ended queue, used for the job queue: arrivals join at
+    the back; a job whose service is interrupted by a breakdown returns
+    to the {e front} (paper §3). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push_back : 'a t -> 'a -> unit
+val push_front : 'a t -> 'a -> unit
+val pop_front : 'a t -> 'a option
+val clear : 'a t -> unit

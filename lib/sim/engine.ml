@@ -1,0 +1,26 @@
+type t = { mutable clock : float; events : (t -> unit) Event_heap.t }
+
+let create () = { clock = 0.0; events = Event_heap.create () }
+
+let now e = e.clock
+
+let schedule e ~delay f =
+  if delay < 0.0 || Float.is_nan delay then
+    invalid_arg "Engine.schedule: negative delay";
+  Event_heap.push e.events ~time:(e.clock +. delay) f
+
+let run_until e deadline =
+  let continue_loop = ref true in
+  while !continue_loop do
+    match Event_heap.peek_time e.events with
+    | Some t when t <= deadline -> (
+        match Event_heap.pop e.events with
+        | Some (time, f) ->
+            e.clock <- time;
+            f e
+        | None -> continue_loop := false)
+    | Some _ | None -> continue_loop := false
+  done;
+  e.clock <- deadline
+
+let pending e = Event_heap.size e.events

@@ -1,0 +1,22 @@
+(** Minimal discrete-event simulation core: a clock and a future event
+    list. Event handlers receive the engine and may schedule further
+    events. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulation time. *)
+
+val schedule : t -> delay:float -> (t -> unit) -> unit
+(** [schedule e ~delay f] runs [f] at time [now e +. delay];
+    [delay >= 0]. Events at equal times fire in scheduling order. *)
+
+val run_until : t -> float -> unit
+(** Process events in time order until the event list is exhausted or
+    the next event is after the deadline; the clock is then set to the
+    deadline. *)
+
+val pending : t -> int
+(** Number of scheduled events. *)

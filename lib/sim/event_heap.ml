@@ -1,0 +1,76 @@
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable data : 'a entry option array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = Array.make 64 None; size = 0; next_seq = 0 }
+
+let size h = h.size
+
+let is_empty h = h.size = 0
+
+let entry_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow h =
+  let bigger = Array.make (2 * Array.length h.data) None in
+  Array.blit h.data 0 bigger 0 h.size;
+  h.data <- bigger
+
+let get h i = match h.data.(i) with Some e -> e | None -> assert false
+
+let push h ~time payload =
+  if h.size = Array.length h.data then grow h;
+  let e = { time; seq = h.next_seq; payload } in
+  h.next_seq <- h.next_seq + 1;
+  (* sift up *)
+  let i = ref h.size in
+  h.size <- h.size + 1;
+  h.data.(!i) <- Some e;
+  let continue_sift = ref true in
+  while !continue_sift && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if entry_lt e (get h parent) then begin
+      h.data.(!i) <- h.data.(parent);
+      h.data.(parent) <- Some e;
+      i := parent
+    end
+    else continue_sift := false
+  done
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = get h 0 in
+    h.size <- h.size - 1;
+    let last = get h h.size in
+    h.data.(h.size) <- None;
+    if h.size > 0 then begin
+      h.data.(0) <- Some last;
+      (* sift down *)
+      let i = ref 0 in
+      let continue_sift = ref true in
+      while !continue_sift do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && entry_lt (get h l) (get h !smallest) then smallest := l;
+        if r < h.size && entry_lt (get h r) (get h !smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.data.(!i) in
+          h.data.(!i) <- h.data.(!smallest);
+          h.data.(!smallest) <- tmp;
+          i := !smallest
+        end
+        else continue_sift := false
+      done
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek_time h = if h.size = 0 then None else Some (get h 0).time
+
+let clear h =
+  Array.fill h.data 0 (Array.length h.data) None;
+  h.size <- 0

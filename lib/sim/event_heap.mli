@@ -1,0 +1,19 @@
+(** Binary min-heap keyed by event time, with FIFO tie-breaking for
+    equal times (a monotone sequence number is attached internally). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Insert an event at the given time. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event, or [None] when empty. *)
+
+val peek_time : 'a t -> float option
+(** Earliest scheduled time without removing. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,48 @@
+type interval = { estimate : float; half_width : float }
+
+type summary = {
+  mean_jobs : interval;
+  mean_response : interval;
+  mean_operative : interval;
+  replications : int;
+  confidence : float;
+}
+
+let interval_of ~confidence values =
+  let n = Array.length values in
+  let mean = Urs_stats.Empirical.mean values in
+  if n < 2 then { estimate = mean; half_width = infinity }
+  else begin
+    let s = Urs_stats.Empirical.std_dev values in
+    let t = Urs_stats.Student_t.critical ~df:(n - 1) ~confidence in
+    { estimate = mean; half_width = t *. s /. sqrt (float_of_int n) }
+  end
+
+let run ?(seed = 1) ?(replications = 10) ?(confidence = 0.95) ?warmup ~duration
+    cfg =
+  if replications < 1 then invalid_arg "Replicate.run: replications >= 1";
+  let master = Urs_prob.Rng.create seed in
+  let results =
+    Array.init replications (fun _ ->
+        let rep_seed = Int64.to_int (Urs_prob.Rng.bits64 master) land 0x3FFFFFFF in
+        Server_farm.run ~seed:rep_seed ?warmup ~track_responses:false ~duration
+          cfg)
+  in
+  let pick f = Array.map f results in
+  {
+    mean_jobs = interval_of ~confidence (pick (fun r -> r.Server_farm.mean_jobs));
+    mean_response =
+      interval_of ~confidence (pick (fun r -> r.Server_farm.mean_response));
+    mean_operative =
+      interval_of ~confidence (pick (fun r -> r.Server_farm.mean_operative));
+    replications;
+    confidence;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "L = %.4f ± %.4f, W = %.4f ± %.4f, operative = %.4f ± %.4f (%d reps, %g%%)"
+    s.mean_jobs.estimate s.mean_jobs.half_width s.mean_response.estimate
+    s.mean_response.half_width s.mean_operative.estimate
+    s.mean_operative.half_width s.replications
+    (100.0 *. s.confidence)

@@ -1,0 +1,26 @@
+(** Independent replications of the simulator with Student-t confidence
+    intervals across replications. *)
+
+type interval = { estimate : float; half_width : float }
+
+type summary = {
+  mean_jobs : interval;
+  mean_response : interval;
+  mean_operative : interval;
+  replications : int;
+  confidence : float;
+}
+
+val run :
+  ?seed:int ->
+  ?replications:int ->
+  ?confidence:float ->
+  ?warmup:float ->
+  duration:float ->
+  Server_farm.config ->
+  summary
+(** Defaults: [replications = 10], [confidence = 0.95], [seed = 1]
+    (replication [i] uses an independent stream derived from the seed).
+    Other arguments are passed to {!Server_farm.run}. *)
+
+val pp_summary : Format.formatter -> summary -> unit

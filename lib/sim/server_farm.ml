@@ -1,0 +1,189 @@
+module D = Urs_prob.Distribution
+module Rng = Urs_prob.Rng
+
+type config = {
+  servers : int;
+  lambda : float;
+  mu : float;
+  operative : D.t;
+  inoperative : D.t;
+  repair_crews : int option;
+}
+
+type result = {
+  mean_jobs : float;
+  mean_response : float;
+  mean_operative : float;
+  completed : int;
+  measured_time : float;
+  responses : float array;
+}
+
+type job = { arrived : float; mutable remaining : float }
+
+type server = {
+  mutable operative : bool;
+  mutable epoch : int; (* bumped on any change that invalidates a completion *)
+  mutable current : (job * float) option; (* job and its service start time *)
+}
+
+let validate cfg =
+  if cfg.servers < 1 then invalid_arg "Server_farm: servers must be >= 1";
+  (match cfg.repair_crews with
+  | Some c when c < 1 -> invalid_arg "Server_farm: repair_crews must be >= 1"
+  | _ -> ());
+  if cfg.lambda <= 0.0 then invalid_arg "Server_farm: lambda must be positive";
+  if cfg.mu <= 0.0 then invalid_arg "Server_farm: mu must be positive";
+  if D.mean cfg.operative <= 0.0 then
+    invalid_arg "Server_farm: operative periods must have positive mean";
+  if D.mean cfg.inoperative <= 0.0 then
+    invalid_arg "Server_farm: inoperative periods must have positive mean"
+
+type state = {
+  cfg : config;
+  rng : Rng.t;
+  servers_arr : server array;
+  queue : job Deque.t;
+  repair_queue : server Deque.t; (* broken servers waiting for a crew *)
+  mutable idle_crews : int;
+  coll : Collector.t;
+  mutable in_system : int;
+}
+
+let operative_count st =
+  Array.fold_left (fun acc s -> if s.operative then acc + 1 else acc) 0 st.servers_arr
+
+let sample_positive rng dist =
+  (* guard against zero-length periods from degenerate distributions *)
+  Float.max 1e-12 (D.sample dist rng)
+
+let first_idle_operative st =
+  let found = ref None in
+  (try
+     Array.iter
+       (fun s ->
+         if s.operative && s.current = None then begin
+           found := Some s;
+           raise Exit
+         end)
+       st.servers_arr
+   with Exit -> ());
+  !found
+
+let rec dispatch st eng =
+  (* assign queued jobs to idle operative servers *)
+  match first_idle_operative st with
+  | None -> ()
+  | Some srv -> (
+      match Deque.pop_front st.queue with
+      | None -> ()
+      | Some job ->
+          srv.current <- Some (job, Engine.now eng);
+          srv.epoch <- srv.epoch + 1;
+          let epoch = srv.epoch in
+          Engine.schedule eng ~delay:job.remaining (fun eng ->
+              completion st eng srv epoch);
+          dispatch st eng)
+
+and completion st eng srv epoch =
+  if srv.epoch = epoch then begin
+    match srv.current with
+    | Some (job, _) ->
+        srv.current <- None;
+        srv.epoch <- srv.epoch + 1;
+        st.in_system <- st.in_system - 1;
+        Collector.set_jobs st.coll ~now:(Engine.now eng) st.in_system;
+        Collector.record_response st.coll (Engine.now eng -. job.arrived);
+        dispatch st eng
+    | None -> ()
+  end
+
+let rec breakdown st eng srv =
+  let now = Engine.now eng in
+  srv.operative <- false;
+  srv.epoch <- srv.epoch + 1;
+  (match srv.current with
+  | Some (job, started) ->
+      (* preempt: the job keeps its residual work and rejoins the front *)
+      job.remaining <- Float.max 0.0 (job.remaining -. (now -. started));
+      srv.current <- None;
+      Deque.push_front st.queue job
+  | None -> ());
+  Collector.record_operative st.coll ~now (operative_count st);
+  if st.idle_crews > 0 then begin
+    st.idle_crews <- st.idle_crews - 1;
+    start_repair st eng srv
+  end
+  else Deque.push_back st.repair_queue srv;
+  (* the preempted job may resume at once on another idle server *)
+  dispatch st eng
+
+and start_repair st eng srv =
+  Engine.schedule eng ~delay:(sample_positive st.rng st.cfg.inoperative)
+    (fun eng -> repair st eng srv)
+
+and repair st eng srv =
+  srv.operative <- true;
+  Collector.record_operative st.coll ~now:(Engine.now eng) (operative_count st);
+  Engine.schedule eng ~delay:(sample_positive st.rng st.cfg.operative)
+    (fun eng -> breakdown st eng srv);
+  (* hand the freed crew to the next broken server, if any *)
+  (match Deque.pop_front st.repair_queue with
+  | Some next -> start_repair st eng next
+  | None -> st.idle_crews <- st.idle_crews + 1);
+  dispatch st eng
+
+let rec arrival st eng =
+  let now = Engine.now eng in
+  let job = { arrived = now; remaining = Rng.exponential st.rng st.cfg.mu } in
+  st.in_system <- st.in_system + 1;
+  Collector.set_jobs st.coll ~now st.in_system;
+  Deque.push_back st.queue job;
+  dispatch st eng;
+  Engine.schedule eng ~delay:(Rng.exponential st.rng st.cfg.lambda) (fun eng ->
+      arrival st eng)
+
+let run ?(seed = 1) ?warmup ?(track_responses = true) ~duration cfg =
+  validate cfg;
+  if duration <= 0.0 then invalid_arg "Server_farm.run: duration must be positive";
+  let warmup = match warmup with Some w -> w | None -> 0.1 *. duration in
+  if warmup < 0.0 then invalid_arg "Server_farm.run: negative warmup";
+  let eng = Engine.create () in
+  let st =
+    {
+      cfg;
+      rng = Rng.create seed;
+      servers_arr =
+        Array.init cfg.servers (fun _ ->
+            { operative = true; epoch = 0; current = None });
+      queue = Deque.create ();
+      repair_queue = Deque.create ();
+      idle_crews =
+        (match cfg.repair_crews with
+        | None -> cfg.servers
+        | Some c -> min c cfg.servers);
+      coll = Collector.create ~track_responses ();
+      in_system = 0;
+    }
+  in
+  Collector.record_operative st.coll ~now:0.0 cfg.servers;
+  (* stagger initial breakdowns *)
+  Array.iter
+    (fun srv ->
+      Engine.schedule eng ~delay:(sample_positive st.rng cfg.operative)
+        (fun eng -> breakdown st eng srv))
+    st.servers_arr;
+  Engine.schedule eng ~delay:(Rng.exponential st.rng cfg.lambda) (fun eng ->
+      arrival st eng);
+  Engine.run_until eng warmup;
+  Collector.reset st.coll ~now:warmup;
+  let stop = warmup +. duration in
+  Engine.run_until eng stop;
+  {
+    mean_jobs = Collector.mean_jobs st.coll ~now:stop;
+    mean_response = Collector.mean_response st.coll;
+    mean_operative = Collector.mean_operative st.coll ~now:stop;
+    completed = Collector.completed st.coll;
+    measured_time = duration;
+    responses = Collector.responses st.coll;
+  }

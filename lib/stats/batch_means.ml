@@ -1,0 +1,38 @@
+type interval = {
+  estimate : float;
+  half_width : float;
+  confidence : float;
+  batches : int;
+}
+
+let analyze ?(warmup_fraction = 0.1) ?(batches = 20) ?(confidence = 0.95) series =
+  if warmup_fraction < 0.0 || warmup_fraction >= 1.0 then
+    invalid_arg "Batch_means.analyze: warmup_fraction in [0,1)";
+  if batches < 2 then invalid_arg "Batch_means.analyze: need >= 2 batches";
+  let n = Array.length series in
+  let start = int_of_float (warmup_fraction *. float_of_int n) in
+  let m = n - start in
+  let per_batch = m / batches in
+  if per_batch < 2 then
+    invalid_arg "Batch_means.analyze: series too short for the batch count";
+  let batch_means =
+    Array.init batches (fun b ->
+        let acc = ref 0.0 in
+        for i = 0 to per_batch - 1 do
+          acc := !acc +. series.(start + (b * per_batch) + i)
+        done;
+        !acc /. float_of_int per_batch)
+  in
+  let grand = Empirical.mean batch_means in
+  let s = Empirical.std_dev batch_means in
+  let tcrit = Student_t.critical ~df:(batches - 1) ~confidence in
+  {
+    estimate = grand;
+    half_width = tcrit *. s /. sqrt (float_of_int batches);
+    confidence;
+    batches;
+  }
+
+let pp_interval ppf iv =
+  Format.fprintf ppf "%.6g ± %.3g (%g%%, %d batches)" iv.estimate iv.half_width
+    (100.0 *. iv.confidence) iv.batches

@@ -1,0 +1,26 @@
+(** Simulation output analysis by the method of batch means.
+
+    A steady-state time series is split into [batches] contiguous
+    batches after discarding a [warmup] prefix; the batch means are
+    treated as approximately i.i.d. normal and a Student-t confidence
+    interval is formed for the long-run mean. *)
+
+type interval = {
+  estimate : float;  (** Point estimate (grand mean of batch means). *)
+  half_width : float;  (** Half width of the confidence interval. *)
+  confidence : float;  (** Confidence level used. *)
+  batches : int;  (** Number of batches. *)
+}
+
+val analyze :
+  ?warmup_fraction:float ->
+  ?batches:int ->
+  ?confidence:float ->
+  float array ->
+  interval
+(** [analyze series] computes a confidence interval for the mean of the
+    stationary part of [series]. Defaults: [warmup_fraction = 0.1],
+    [batches = 20], [confidence = 0.95]. Raises [Invalid_argument] when
+    fewer than 2 points per batch remain. *)
+
+val pp_interval : Format.formatter -> interval -> unit

@@ -1,0 +1,78 @@
+let check_nonempty data name =
+  if Array.length data = 0 then invalid_arg ("Empirical." ^ name ^ ": empty data")
+
+let mean data =
+  check_nonempty data "mean";
+  Array.fold_left ( +. ) 0.0 data /. float_of_int (Array.length data)
+
+let variance data =
+  check_nonempty data "variance";
+  let n = Array.length data in
+  if n < 2 then 0.0
+  else begin
+    let m = mean data in
+    let acc = ref 0.0 in
+    Array.iter
+      (fun x ->
+        let d = x -. m in
+        acc := !acc +. (d *. d))
+      data;
+    !acc /. float_of_int (n - 1)
+  end
+
+let std_dev data = sqrt (variance data)
+
+let moment data k =
+  check_nonempty data "moment";
+  if k < 1 then invalid_arg "Empirical.moment: k must be >= 1";
+  let acc = ref 0.0 in
+  Array.iter (fun x -> acc := !acc +. (x ** float_of_int k)) data;
+  !acc /. float_of_int (Array.length data)
+
+let moments data k =
+  check_nonempty data "moments";
+  if k < 1 then invalid_arg "Empirical.moments: k must be >= 1";
+  let sums = Array.make k 0.0 in
+  Array.iter
+    (fun x ->
+      let p = ref 1.0 in
+      for i = 0 to k - 1 do
+        p := !p *. x;
+        sums.(i) <- sums.(i) +. !p
+      done)
+    data;
+  Array.map (fun s -> s /. float_of_int (Array.length data)) sums
+
+let scv data =
+  let m1 = moment data 1 and m2 = moment data 2 in
+  (m2 /. (m1 *. m1)) -. 1.0
+
+let quantile data p =
+  check_nonempty data "quantile";
+  if p < 0.0 || p > 1.0 then invalid_arg "Empirical.quantile: p in [0,1]";
+  let xs = Array.copy data in
+  Array.sort compare xs;
+  let n = Array.length xs in
+  if n = 1 then xs.(0)
+  else begin
+    let pos = p *. float_of_int (n - 1) in
+    let i = int_of_float pos in
+    if i >= n - 1 then xs.(n - 1)
+    else begin
+      let frac = pos -. float_of_int i in
+      (xs.(i) *. (1.0 -. frac)) +. (xs.(i + 1) *. frac)
+    end
+  end
+
+let ecdf data x =
+  check_nonempty data "ecdf";
+  let count = Array.fold_left (fun acc v -> if v <= x then acc + 1 else acc) 0 data in
+  float_of_int count /. float_of_int (Array.length data)
+
+let minimum data =
+  check_nonempty data "minimum";
+  Array.fold_left Float.min data.(0) data
+
+let maximum data =
+  check_nonempty data "maximum";
+  Array.fold_left Float.max data.(0) data

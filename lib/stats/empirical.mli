@@ -1,0 +1,26 @@
+(** Descriptive statistics computed directly from raw observations. *)
+
+val mean : float array -> float
+val variance : float array -> float
+(** Unbiased sample variance (n−1 denominator). *)
+
+val std_dev : float array -> float
+
+val scv : float array -> float
+(** Squared coefficient of variation (biased, matching the paper's
+    moment-based estimator). *)
+
+val moment : float array -> int -> float
+(** Raw sample moment [Σ xᵢᵏ / n]. *)
+
+val moments : float array -> int -> float array
+(** [moments data k] is the first [k] raw moments, in one pass. *)
+
+val quantile : float array -> float -> float
+(** Empirical quantile with linear interpolation; [p] in [[0, 1]]. *)
+
+val ecdf : float array -> float -> float
+(** Empirical CDF evaluated at a point ([O(n)] scan). *)
+
+val minimum : float array -> float
+val maximum : float array -> float

@@ -1,0 +1,85 @@
+type t = {
+  lo : float;
+  width : float;
+  counts : int array;
+  total : int;
+}
+
+let build ~bins ?range data =
+  if bins <= 0 then invalid_arg "Histogram.build: bins must be positive";
+  let n = Array.length data in
+  if n = 0 then invalid_arg "Histogram.build: empty data";
+  let lo, hi =
+    match range with
+    | Some (lo, hi) ->
+        if hi <= lo then invalid_arg "Histogram.build: empty range";
+        (lo, hi)
+    | None ->
+        let lo = Array.fold_left Float.min data.(0) data in
+        let hi = Array.fold_left Float.max data.(0) data in
+        if hi = lo then (lo, lo +. 1.0) else (lo, hi)
+  in
+  let width = (hi -. lo) /. float_of_int bins in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun x ->
+      let i = int_of_float ((x -. lo) /. width) in
+      let i = max 0 (min (bins - 1) i) in
+      counts.(i) <- counts.(i) + 1)
+    data;
+  { lo; width; counts; total = n }
+
+let bins h = Array.length h.counts
+
+let total h = h.total
+
+let width h = h.width
+
+let midpoints h =
+  Array.init (bins h) (fun i ->
+      h.lo +. ((float_of_int i +. 0.5) *. h.width))
+
+let counts h = Array.copy h.counts
+
+let probabilities h =
+  Array.map (fun c -> float_of_int c /. float_of_int h.total) h.counts
+
+let densities h = Array.map (fun p -> p /. h.width) (probabilities h)
+
+let empirical_cdf_points h =
+  let xs = midpoints h in
+  let ps = probabilities h in
+  let acc = ref 0.0 in
+  Array.init (bins h) (fun i ->
+      acc := !acc +. ps.(i);
+      (xs.(i), !acc))
+
+let moment h k =
+  if k < 1 then invalid_arg "Histogram.moment: k must be >= 1";
+  let xs = midpoints h in
+  let ps = probabilities h in
+  let acc = ref 0.0 in
+  for i = 0 to bins h - 1 do
+    acc := !acc +. ((xs.(i) ** float_of_int k) *. ps.(i))
+  done;
+  !acc
+
+let mean h = moment h 1
+
+let variance h =
+  let m1 = mean h in
+  moment h 2 -. (m1 *. m1)
+
+let scv h =
+  let m1 = mean h in
+  (moment h 2 /. (m1 *. m1)) -. 1.0
+
+let pp ppf h =
+  let xs = midpoints h in
+  let ds = densities h in
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to bins h - 1 do
+    Format.fprintf ppf "%12.5g %8d %12.6g" xs.(i) h.counts.(i) ds.(i);
+    if i < bins h - 1 then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,50 @@
+(** Equal-width histograms and the empirical densities of Section 2.
+
+    Following the paper: if the i-th observation interval has midpoint
+    [xᵢ] and [fᵢ] of the [n] observations fall into it, the empirical
+    probability is [pᵢ = fᵢ/n] and the empirical density is
+    [dᵢ = pᵢ/δᵢ] where [δᵢ] is the interval width. *)
+
+type t
+
+val build : bins:int -> ?range:float * float -> float array -> t
+(** [build ~bins data] bins [data] into [bins] equal-width intervals
+    covering [range] (default: [min data, max data]). Observations
+    outside the range are clamped into the end bins. Raises
+    [Invalid_argument] on empty data or nonpositive [bins]. *)
+
+val bins : t -> int
+val total : t -> int
+(** Number of observations. *)
+
+val midpoints : t -> float array
+(** Interval midpoints [xᵢ]. *)
+
+val counts : t -> int array
+(** Frequencies [fᵢ]. *)
+
+val probabilities : t -> float array
+(** [pᵢ = fᵢ/n]. *)
+
+val densities : t -> float array
+(** [dᵢ = pᵢ/δᵢ]. *)
+
+val width : t -> float
+(** Common interval width δ. *)
+
+val empirical_cdf_points : t -> (float * float) array
+(** [(xᵢ, F̃(xᵢ))] with [F̃(xᵢ) = Σ_{j<=i} pⱼ] (paper, eq. (3)) —
+    the points at which the paper evaluates the KS statistic. *)
+
+val moment : t -> int -> float
+(** Estimated k-th moment [M̃ₖ = Σ xᵢᵏ pᵢ] (paper, eq. (1)). *)
+
+val mean : t -> float
+val variance : t -> float
+(** [M̃₂ − M̃₁²] (paper, eq. (2)). *)
+
+val scv : t -> float
+(** Estimated squared coefficient of variation [M̃₂/M̃₁² − 1]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Text rendering (midpoint, count, density per line). *)

@@ -1,0 +1,26 @@
+let cdf ~df x =
+  if df < 1 then invalid_arg "Student_t.cdf: df must be >= 1";
+  let v = float_of_int df in
+  let ib = Urs_prob.Special.beta_inc ~a:(v /. 2.0) ~b:0.5 (v /. (v +. (x *. x))) in
+  if x >= 0.0 then 1.0 -. (0.5 *. ib) else 0.5 *. ib
+
+let quantile ~df p =
+  if p <= 0.0 || p >= 1.0 then invalid_arg "Student_t.quantile: p in (0,1)";
+  (* symmetric; bracket then bisect *)
+  let lo = ref (-1.0) and hi = ref 1.0 in
+  while cdf ~df !lo > p do
+    lo := !lo *. 2.0
+  done;
+  while cdf ~df !hi < p do
+    hi := !hi *. 2.0
+  done;
+  for _ = 1 to 200 do
+    let m = 0.5 *. (!lo +. !hi) in
+    if cdf ~df m < p then lo := m else hi := m
+  done;
+  0.5 *. (!lo +. !hi)
+
+let critical ~df ~confidence =
+  if confidence <= 0.0 || confidence >= 1.0 then
+    invalid_arg "Student_t.critical: confidence in (0,1)";
+  quantile ~df (1.0 -. ((1.0 -. confidence) /. 2.0))

@@ -1,0 +1,12 @@
+(** Student-t quantiles for simulation confidence intervals. *)
+
+val cdf : df:int -> float -> float
+(** CDF of the t distribution with [df >= 1] degrees of freedom, via the
+    regularized incomplete beta function. *)
+
+val quantile : df:int -> float -> float
+(** Inverse CDF on (0, 1), by monotone bisection on {!cdf}. *)
+
+val critical : df:int -> confidence:float -> float
+(** Two-sided critical value: [quantile ~df (1 − (1−confidence)/2)],
+    e.g. [critical ~df:9 ~confidence:0.95 ≈ 2.262]. *)

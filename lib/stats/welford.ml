@@ -1,0 +1,32 @@
+type t = { mutable n : int; mutable mean : float; mutable m2 : float }
+
+let create () = { n = 0; mean = 0.0; m2 = 0.0 }
+
+let add acc x =
+  acc.n <- acc.n + 1;
+  let delta = x -. acc.mean in
+  acc.mean <- acc.mean +. (delta /. float_of_int acc.n);
+  acc.m2 <- acc.m2 +. (delta *. (x -. acc.mean))
+
+let count acc = acc.n
+
+let mean acc = acc.mean
+
+let variance acc = if acc.n < 2 then 0.0 else acc.m2 /. float_of_int (acc.n - 1)
+
+let std_dev acc = sqrt (variance acc)
+
+let merge a b =
+  if a.n = 0 then { n = b.n; mean = b.mean; m2 = b.m2 }
+  else if b.n = 0 then { n = a.n; mean = a.mean; m2 = a.m2 }
+  else begin
+    let n = a.n + b.n in
+    let delta = b.mean -. a.mean in
+    let nf = float_of_int n in
+    let mean = a.mean +. (delta *. float_of_int b.n /. nf) in
+    let m2 =
+      a.m2 +. b.m2
+      +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. nf)
+    in
+    { n; mean; m2 }
+  end

@@ -1,0 +1,16 @@
+(** Online mean/variance accumulation (Welford's algorithm), used by the
+    simulator's collectors to avoid storing every observation. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+
+val variance : t -> float
+(** Unbiased sample variance; [0.] with fewer than two observations. *)
+
+val std_dev : t -> float
+val merge : t -> t -> t
+(** Combine two accumulators (Chan et al. parallel update). *)

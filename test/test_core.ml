@@ -1,0 +1,281 @@
+(* Tests for the public API: Model, Solver, Cost, Capacity and Sweep —
+   including the headline reproduction checks (Figure 5 optima at small
+   scale, Figure 9 capacity answer, strategy agreement). *)
+
+let check_float ?(tol = 1e-9) msg expected actual =
+  if abs_float (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let paper_model ~servers ~lambda =
+  Urs.Model.create ~servers ~arrival_rate:lambda ~service_rate:1.0
+    ~operative:Urs.Model.paper_operative
+    ~inoperative:Urs.Model.paper_inoperative_exp ()
+
+(* ---- Model ---- *)
+
+let test_model_validation () =
+  Alcotest.check_raises "servers" (Invalid_argument "Model.create: servers must be >= 1")
+    (fun () -> ignore (paper_model ~servers:0 ~lambda:1.0));
+  Alcotest.check_raises "rate" (Invalid_argument "Model.create: arrival_rate positive")
+    (fun () -> ignore (paper_model ~servers:1 ~lambda:(-1.0)))
+
+let test_model_paper_distributions () =
+  check_float ~tol:0.01 "operative mean" 34.62
+    (Urs_prob.Distribution.mean Urs.Model.paper_operative);
+  check_float ~tol:0.05 "operative scv" 4.59
+    (Urs_prob.Distribution.scv Urs.Model.paper_operative);
+  check_float ~tol:1e-3 "inoperative h2 mean" 0.0797
+    (Urs_prob.Distribution.mean Urs.Model.paper_inoperative_h2);
+  check_float ~tol:1e-9 "inoperative exp mean" 0.04
+    (Urs_prob.Distribution.mean Urs.Model.paper_inoperative_exp)
+
+let test_model_phase_type_detection () =
+  let m = paper_model ~servers:2 ~lambda:1.0 in
+  Alcotest.(check bool) "phase type" true (Urs.Model.is_phase_type m);
+  Alcotest.(check bool) "has environment" true
+    (Option.is_some (Urs.Model.environment m));
+  let det =
+    Urs.Model.create ~servers:2 ~arrival_rate:1.0 ~service_rate:1.0
+      ~operative:(Urs_prob.Distribution.deterministic 30.0)
+      ~inoperative:Urs.Model.paper_inoperative_exp ()
+  in
+  Alcotest.(check bool) "deterministic not phase type" false
+    (Urs.Model.is_phase_type det);
+  (* stability is still computable from the means *)
+  Alcotest.(check bool) "stability distribution-free" true
+    (Urs.Model.stability det).Urs_mmq.Stability.stable
+
+let test_model_with_servers () =
+  let m = paper_model ~servers:3 ~lambda:1.0 in
+  let m2 = Urs.Model.with_servers m 7 in
+  Alcotest.(check int) "servers changed" 7 m2.Urs.Model.servers;
+  check_float "rate unchanged" 1.0 m2.Urs.Model.arrival_rate
+
+(* ---- Solver ---- *)
+
+let test_solver_strategies_agree () =
+  let m = paper_model ~servers:5 ~lambda:4.0 in
+  let exact = Urs.Solver.evaluate_exn m in
+  let mg = Urs.Solver.evaluate_exn ~strategy:Urs.Solver.Matrix_geometric m in
+  check_float ~tol:1e-6 "exact = matrix-geometric" exact.Urs.Solver.mean_jobs
+    mg.Urs.Solver.mean_jobs;
+  let sim_opts = { Urs.Solver.duration = 80_000.0; replications = 4; seed = 3 } in
+  let sim = Urs.Solver.evaluate_exn ~strategy:(Urs.Solver.Simulation sim_opts) m in
+  let hw = Option.value ~default:0.0 sim.Urs.Solver.confidence_half_width in
+  if
+    abs_float (sim.Urs.Solver.mean_jobs -. exact.Urs.Solver.mean_jobs)
+    > Float.max (4.0 *. hw) (0.05 *. exact.Urs.Solver.mean_jobs)
+  then
+    Alcotest.failf "simulation %.4f±%.4f disagrees with exact %.4f"
+      sim.Urs.Solver.mean_jobs hw exact.Urs.Solver.mean_jobs
+
+let test_solver_little_law () =
+  let m = paper_model ~servers:5 ~lambda:4.0 in
+  let p = Urs.Solver.evaluate_exn m in
+  check_float ~tol:1e-12 "W = L/λ" (p.Urs.Solver.mean_jobs /. 4.0)
+    p.Urs.Solver.mean_response
+
+let test_solver_unstable_error () =
+  let m = paper_model ~servers:2 ~lambda:5.0 in
+  match Urs.Solver.evaluate m with
+  | Error (Urs.Solver.Unstable _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Urs.Solver.pp_error e
+  | Ok _ -> Alcotest.fail "expected instability"
+
+let test_solver_non_phase_type_needs_simulation () =
+  let det =
+    Urs.Model.create ~servers:3 ~arrival_rate:1.0 ~service_rate:1.0
+      ~operative:(Urs_prob.Distribution.deterministic 30.0)
+      ~inoperative:(Urs_prob.Distribution.exponential ~rate:2.0) ()
+  in
+  (match Urs.Solver.evaluate det with
+  | Error Urs.Solver.Not_phase_type -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Urs.Solver.pp_error e
+  | Ok _ -> Alcotest.fail "exact solver must refuse non-phase-type");
+  let sim_opts = { Urs.Solver.duration = 20_000.0; replications = 2; seed = 5 } in
+  match Urs.Solver.evaluate ~strategy:(Urs.Solver.Simulation sim_opts) det with
+  | Ok p -> Alcotest.(check bool) "positive L" true (p.Urs.Solver.mean_jobs > 0.0)
+  | Error e -> Alcotest.failf "simulation failed: %a" Urs.Solver.pp_error e
+
+let test_solver_approximate_underestimates_moderate_load () =
+  (* at util ~0.8 the geometric approximation gives a smaller L than the
+     exact solution for this model (cf. Figure 8's left edge) *)
+  let m = paper_model ~servers:10 ~lambda:8.0 in
+  let exact = Urs.Solver.evaluate_exn m in
+  let approx = Urs.Solver.evaluate_exn ~strategy:Urs.Solver.Approximate m in
+  Alcotest.(check bool) "approx < exact here" true
+    (approx.Urs.Solver.mean_jobs < exact.Urs.Solver.mean_jobs);
+  (* both agree on the dominant eigenvalue *)
+  match (exact.Urs.Solver.dominant_eigenvalue, approx.Urs.Solver.dominant_eigenvalue) with
+  | Some a, Some b -> check_float ~tol:1e-6 "z_s" a b
+  | _ -> Alcotest.fail "missing eigenvalues"
+
+(* ---- Cost (Figure 5) ---- *)
+
+let test_cost_formula () =
+  let perf =
+    {
+      Urs.Solver.strategy_used = Urs.Solver.Exact;
+      mean_jobs = 3.0;
+      mean_response = 1.0;
+      utilization = 0.5;
+      dominant_eigenvalue = None;
+      confidence_half_width = None;
+    }
+  in
+  check_float "C = c1 L + c2 N" 17.0
+    (Urs.Cost.of_performance Urs.Cost.paper_params ~servers:5 perf)
+
+let test_cost_optimum_small () =
+  (* scaled-down Figure 5: λ = 4, the optimum must be interior and the
+     cost curve convex around it *)
+  let m = paper_model ~servers:5 ~lambda:4.0 in
+  match Urs.Cost.optimal_servers ~n_max:20 m Urs.Cost.paper_params with
+  | Error e -> Alcotest.failf "optimization failed: %a" Urs.Solver.pp_error e
+  | Ok (n_star, c_star) ->
+      let costs = Urs.Cost.evaluate_range m Urs.Cost.paper_params
+          ~n_min:(max 1 (n_star - 1)) ~n_max:(n_star + 2) in
+      List.iter
+        (fun (n, c) ->
+          if n <> n_star && c < c_star -. 1e-9 then
+            Alcotest.failf "N=%d has lower cost than the claimed optimum" n)
+        costs
+
+let test_cost_unstable_range_empty () =
+  let m = paper_model ~servers:2 ~lambda:10.0 in
+  let costs = Urs.Cost.evaluate_range m Urs.Cost.paper_params ~n_min:2 ~n_max:9 in
+  Alcotest.(check int) "no stable point" 0 (List.length costs)
+
+(* ---- Capacity (Figure 9) ---- *)
+
+let test_capacity_monotone_and_minimal () =
+  let m = paper_model ~servers:8 ~lambda:5.0 in
+  let prof = Urs.Capacity.response_profile m ~n_min:6 ~n_max:12 in
+  (* response time decreases with more servers *)
+  let rec check_decreasing = function
+    | (_, w1) :: ((_, w2) :: _ as rest) ->
+        if w2 > w1 +. 1e-9 then Alcotest.fail "W must decrease in N";
+        check_decreasing rest
+    | _ -> ()
+  in
+  check_decreasing prof;
+  match Urs.Capacity.min_servers_for_response m ~target:1.3 with
+  | Error e -> Alcotest.failf "capacity failed: %a" Urs.Solver.pp_error e
+  | Ok (n, perf) ->
+      Alcotest.(check bool) "meets target" true
+        (perf.Urs.Solver.mean_response <= 1.3);
+      (* minimality: one fewer server misses the target or is unstable *)
+      let m' = Urs.Model.with_servers m (n - 1) in
+      (match Urs.Solver.evaluate m' with
+      | Ok p ->
+          Alcotest.(check bool) "minimal" true (p.Urs.Solver.mean_response > 1.3)
+      | Error _ -> ())
+
+let test_capacity_unreachable_target () =
+  let m = paper_model ~servers:2 ~lambda:1.0 in
+  (* W can never drop below the mean service time 1.0 *)
+  match Urs.Capacity.min_servers_for_response ~n_max:30 m ~target:0.5 with
+  | Error _ -> ()
+  | Ok (n, _) -> Alcotest.failf "impossible target claimed reachable at N=%d" n
+
+(* ---- Sweep ---- *)
+
+let test_sweep_arrival_rates () =
+  let m = paper_model ~servers:5 ~lambda:1.0 in
+  let pts = Urs.Sweep.over_arrival_rates m ~values:[ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check int) "all solved" 4 (List.length pts);
+  (* L increases with λ *)
+  let ls = List.map (fun (_, p) -> p.Urs.Solver.mean_jobs) pts in
+  let rec incr_check = function
+    | a :: (b :: _ as rest) ->
+        if b <= a then Alcotest.fail "L must increase with λ";
+        incr_check rest
+    | _ -> ()
+  in
+  incr_check ls
+
+let test_sweep_scv_monotone () =
+  (* the Figure 6 claim: L grows with operative-period variability *)
+  let m =
+    Urs.Model.create ~servers:10 ~arrival_rate:8.5 ~service_rate:1.0
+      ~operative:(Urs_prob.Distribution.exponential ~rate:(1.0 /. 34.62))
+      ~inoperative:(Urs_prob.Distribution.exponential ~rate:0.2) ()
+  in
+  let pts =
+    Urs.Sweep.over_operative_scv m ~pinned_rate:0.1663
+      ~values:[ 1.0; 4.0; 10.0; 18.0 ]
+  in
+  Alcotest.(check int) "all solved" 4 (List.length pts);
+  let ls = List.map (fun (_, p) -> p.Urs.Solver.mean_jobs) pts in
+  let rec incr_check = function
+    | a :: (b :: _ as rest) ->
+        if b <= a then Alcotest.fail "L must increase with C²";
+        incr_check rest
+    | _ -> ()
+  in
+  incr_check ls
+
+let test_sweep_repair_times () =
+  let m = paper_model ~servers:10 ~lambda:8.0 in
+  let pts = Urs.Sweep.over_repair_times m ~values:[ 1.0; 3.0; 5.0 ] in
+  Alcotest.(check int) "solved" 3 (List.length pts);
+  let ls = List.map (fun (_, p) -> p.Urs.Solver.mean_jobs) pts in
+  (match ls with
+  | [ a; b; c ] ->
+      Alcotest.(check bool) "L grows with repair time" true (a < b && b < c)
+  | _ -> Alcotest.fail "unexpected shape")
+
+let test_linspace () =
+  match Urs.Sweep.linspace 0.0 1.0 5 with
+  | [ a; b; _; _; e ] ->
+      check_float "first" 0.0 a;
+      check_float "step" 0.25 b;
+      check_float "last" 1.0 e
+  | _ -> Alcotest.fail "wrong length"
+
+let () =
+  Alcotest.run "urs_core"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "validation" `Quick test_model_validation;
+          Alcotest.test_case "paper distributions" `Quick
+            test_model_paper_distributions;
+          Alcotest.test_case "phase-type detection" `Quick
+            test_model_phase_type_detection;
+          Alcotest.test_case "with_servers" `Quick test_model_with_servers;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "strategies agree" `Slow test_solver_strategies_agree;
+          Alcotest.test_case "little's law" `Quick test_solver_little_law;
+          Alcotest.test_case "unstable error" `Quick test_solver_unstable_error;
+          Alcotest.test_case "non-phase-type routing" `Slow
+            test_solver_non_phase_type_needs_simulation;
+          Alcotest.test_case "approximation behaviour at moderate load" `Quick
+            test_solver_approximate_underestimates_moderate_load;
+        ] );
+      ( "cost (figure 5)",
+        [
+          Alcotest.test_case "formula (eq 22)" `Quick test_cost_formula;
+          Alcotest.test_case "optimum is a local minimum" `Slow
+            test_cost_optimum_small;
+          Alcotest.test_case "unstable range" `Quick test_cost_unstable_range_empty;
+        ] );
+      ( "capacity (figure 9)",
+        [
+          Alcotest.test_case "monotone and minimal" `Slow
+            test_capacity_monotone_and_minimal;
+          Alcotest.test_case "unreachable target" `Quick
+            test_capacity_unreachable_target;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "arrival rates" `Quick test_sweep_arrival_rates;
+          Alcotest.test_case "scv monotone (figure 6)" `Quick
+            test_sweep_scv_monotone;
+          Alcotest.test_case "repair times (figure 7)" `Quick
+            test_sweep_repair_times;
+          Alcotest.test_case "linspace" `Quick test_linspace;
+        ] );
+    ]

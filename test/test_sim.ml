@@ -1,0 +1,454 @@
+(* Tests for the discrete-event simulator: event heap, deque, engine,
+   collector, the server-farm model and replications. The key
+   correctness tests validate the simulator against closed forms
+   (M/M/c) and against the exact spectral solution. *)
+
+open Urs_sim
+
+let check_float ?(tol = 1e-9) msg expected actual =
+  if abs_float (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* ---- Event_heap ---- *)
+
+let test_heap_ordering () =
+  let h = Event_heap.create () in
+  List.iter (fun t -> Event_heap.push h ~time:t (int_of_float t))
+    [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let order = ref [] in
+  let rec drain () =
+    match Event_heap.pop h with
+    | Some (_, v) ->
+        order := v :: !order;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+and test_heap_fifo_ties () =
+  let h = Event_heap.create () in
+  Event_heap.push h ~time:1.0 "first";
+  Event_heap.push h ~time:1.0 "second";
+  Event_heap.push h ~time:1.0 "third";
+  let a = Event_heap.pop h and b = Event_heap.pop h and c = Event_heap.pop h in
+  (match (a, b, c) with
+  | Some (_, "first"), Some (_, "second"), Some (_, "third") -> ()
+  | _ -> Alcotest.fail "equal-time events must preserve insertion order")
+
+let test_heap_growth () =
+  let h = Event_heap.create () in
+  for i = 999 downto 0 do
+    Event_heap.push h ~time:(float_of_int i) i
+  done;
+  Alcotest.(check int) "size" 1000 (Event_heap.size h);
+  let prev = ref neg_infinity in
+  let rec drain () =
+    match Event_heap.pop h with
+    | Some (t, _) ->
+        if t < !prev then Alcotest.fail "heap order violated";
+        prev := t;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check bool) "empty" true (Event_heap.is_empty h)
+
+let test_heap_random_property () =
+  let g = Urs_prob.Rng.create 3 in
+  let h = Event_heap.create () in
+  for _ = 1 to 5000 do
+    Event_heap.push h ~time:(Urs_prob.Rng.float g) ()
+  done;
+  let prev = ref neg_infinity in
+  let rec drain n =
+    match Event_heap.pop h with
+    | Some (t, ()) ->
+        if t < !prev then Alcotest.fail "order violated";
+        prev := t;
+        drain (n + 1)
+    | None -> n
+  in
+  Alcotest.(check int) "all popped" 5000 (drain 0)
+
+(* ---- Deque ---- *)
+
+let test_deque_fifo () =
+  let d = Deque.create () in
+  Deque.push_back d 1;
+  Deque.push_back d 2;
+  Deque.push_back d 3;
+  Alcotest.(check (option int)) "first" (Some 1) (Deque.pop_front d);
+  Alcotest.(check (option int)) "second" (Some 2) (Deque.pop_front d);
+  Deque.push_back d 4;
+  Alcotest.(check (option int)) "third" (Some 3) (Deque.pop_front d);
+  Alcotest.(check (option int)) "fourth" (Some 4) (Deque.pop_front d);
+  Alcotest.(check (option int)) "empty" None (Deque.pop_front d)
+
+let test_deque_push_front () =
+  (* a preempted job must come back before older queued jobs *)
+  let d = Deque.create () in
+  Deque.push_back d "queued1";
+  Deque.push_back d "queued2";
+  Deque.push_front d "preempted";
+  Alcotest.(check (option string)) "preempted first" (Some "preempted")
+    (Deque.pop_front d);
+  Alcotest.(check (option string)) "then queued" (Some "queued1")
+    (Deque.pop_front d)
+
+let test_deque_length () =
+  let d = Deque.create () in
+  Alcotest.(check bool) "empty" true (Deque.is_empty d);
+  Deque.push_back d 1;
+  Deque.push_front d 0;
+  Alcotest.(check int) "length" 2 (Deque.length d);
+  ignore (Deque.pop_front d);
+  Alcotest.(check int) "after pop" 1 (Deque.length d)
+
+(* ---- Engine ---- *)
+
+let test_engine_order_and_clock () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  Engine.schedule eng ~delay:2.0 (fun e -> log := (Engine.now e, "b") :: !log);
+  Engine.schedule eng ~delay:1.0 (fun e ->
+      log := (Engine.now e, "a") :: !log;
+      Engine.schedule e ~delay:0.5 (fun e -> log := (Engine.now e, "a2") :: !log));
+  Engine.run_until eng 10.0;
+  check_float "final clock" 10.0 (Engine.now eng);
+  match List.rev !log with
+  | [ (t1, "a"); (t2, "a2"); (t3, "b") ] ->
+      check_float "t1" 1.0 t1;
+      check_float "t2" 1.5 t2;
+      check_float "t3" 2.0 t3
+  | _ -> Alcotest.fail "wrong event order"
+
+let test_engine_deadline_stops () =
+  let eng = Engine.create () in
+  let fired = ref false in
+  Engine.schedule eng ~delay:5.0 (fun _ -> fired := true);
+  Engine.run_until eng 4.0;
+  Alcotest.(check bool) "not fired" false !fired;
+  Alcotest.(check int) "still pending" 1 (Engine.pending eng);
+  Engine.run_until eng 6.0;
+  Alcotest.(check bool) "fired" true !fired
+
+(* ---- Collector ---- *)
+
+let test_collector_time_average () =
+  let c = Collector.create () in
+  Collector.set_jobs c ~now:0.0 2;
+  (* 2 jobs on [0,4) *)
+  Collector.set_jobs c ~now:4.0 0;
+  (* 0 jobs on [4,10) *)
+  check_float "time average" 0.8 (Collector.mean_jobs c ~now:10.0)
+
+let test_collector_reset () =
+  let c = Collector.create () in
+  Collector.set_jobs c ~now:0.0 100;
+  Collector.record_response c 42.0;
+  Collector.reset c ~now:5.0;
+  (* after reset: still 100 jobs in system, but no history *)
+  check_float "mean after reset" 100.0 (Collector.mean_jobs c ~now:6.0);
+  Alcotest.(check int) "responses cleared" 0 (Collector.completed c)
+
+let test_collector_percentiles () =
+  let c = Collector.create () in
+  for i = 1 to 100 do
+    Collector.record_response c (float_of_int i)
+  done;
+  check_float ~tol:0.6 "median" 50.5 (Collector.response_percentile c 0.5);
+  check_float ~tol:1.1 "p90" 90.0 (Collector.response_percentile c 0.9);
+  Alcotest.(check int) "count" 100 (Collector.completed c)
+
+let test_collector_tracking_disabled () =
+  let c = Collector.create ~track_responses:false () in
+  Collector.record_response c 1.0;
+  Alcotest.(check int) "welford still counts" 1 (Collector.completed c);
+  Alcotest.check_raises "percentile raises"
+    (Invalid_argument "Collector.response_percentile: tracking disabled")
+    (fun () -> ignore (Collector.response_percentile c 0.5))
+
+(* ---- Server_farm vs closed forms ---- *)
+
+let reliable_operative = Urs_prob.Distribution.exponential ~rate:1e-9
+let instant_repair = Urs_prob.Distribution.exponential ~rate:1e6
+
+let test_sim_matches_mm1 () =
+  (* effectively reliable single server: M/M/1 with ρ=0.7, L=2.333 *)
+  let cfg =
+    {
+      Server_farm.servers = 1;
+      lambda = 0.7;
+      mu = 1.0;
+      operative = reliable_operative;
+      inoperative = instant_repair;
+      repair_crews = None;
+    }
+  in
+  let r = Server_farm.run ~seed:11 ~duration:400_000.0 cfg in
+  check_float ~tol:0.1 "L" (0.7 /. 0.3) r.Server_farm.mean_jobs;
+  (* Little's law inside the simulation *)
+  check_float ~tol:0.02 "W = L/λ"
+    (r.Server_farm.mean_jobs /. 0.7)
+    r.Server_farm.mean_response
+
+let test_sim_matches_mmc () =
+  let cfg =
+    {
+      Server_farm.servers = 3;
+      lambda = 2.0;
+      mu = 1.0;
+      operative = reliable_operative;
+      inoperative = instant_repair;
+      repair_crews = None;
+    }
+  in
+  let r = Server_farm.run ~seed:13 ~duration:400_000.0 cfg in
+  let expected = Urs_mmq.Mmc.mean_queue_length ~servers:3 ~lambda:2.0 ~mu:1.0 in
+  check_float ~tol:0.08 "L vs Erlang C" expected r.Server_farm.mean_jobs
+
+let test_sim_matches_spectral_with_breakdowns () =
+  let op = Urs_prob.Distribution.h2 ~w1:0.7246 ~r1:0.1663 ~r2:0.0091 in
+  let inop = Urs_prob.Distribution.exponential ~rate:25.0 in
+  let cfg =
+    { Server_farm.servers = 4; lambda = 3.0; mu = 1.0; operative = op;
+      inoperative = inop; repair_crews = None }
+  in
+  let env =
+    Urs_mmq.Environment.create ~servers:4
+      ~operative:(Option.get (Urs_prob.Distribution.as_hyperexponential op))
+      ~inoperative:(Option.get (Urs_prob.Distribution.as_hyperexponential inop))
+  in
+  let q = Urs_mmq.Qbd.create ~env ~lambda:3.0 ~mu:1.0 in
+  let exact =
+    match Urs_mmq.Spectral.solve q with
+    | Ok sol -> Urs_mmq.Spectral.mean_queue_length sol
+    | Error e -> Alcotest.failf "spectral failed: %a" Urs_mmq.Spectral.pp_error e
+  in
+  let s = Replicate.run ~seed:17 ~replications:5 ~duration:150_000.0 cfg in
+  let est = s.Replicate.mean_jobs.Replicate.estimate in
+  let hw = s.Replicate.mean_jobs.Replicate.half_width in
+  if abs_float (est -. exact) > Float.max (3.0 *. hw) (0.05 *. exact) then
+    Alcotest.failf "sim %.4f±%.4f vs exact %.4f" est hw exact
+
+let test_sim_availability () =
+  (* fraction of operative servers matches η/(ξ+η) *)
+  let cfg =
+    {
+      Server_farm.servers = 5;
+      lambda = 0.5;
+      mu = 1.0;
+      operative = Urs_prob.Distribution.exponential ~rate:0.1;
+      inoperative = Urs_prob.Distribution.exponential ~rate:0.4;
+      repair_crews = None;
+    }
+  in
+  let r = Server_farm.run ~seed:19 ~duration:200_000.0 cfg in
+  (* availability = (1/0.1)/(1/0.1 + 1/0.4) = 0.8 *)
+  check_float ~tol:0.02 "mean operative" 4.0 r.Server_farm.mean_operative
+
+let test_sim_deterministic_periods () =
+  (* deterministic operative periods: the C²=0 case of Figure 6 *)
+  let cfg =
+    {
+      Server_farm.servers = 2;
+      lambda = 1.0;
+      mu = 1.0;
+      operative = Urs_prob.Distribution.deterministic 30.0;
+      inoperative = Urs_prob.Distribution.exponential ~rate:2.0;
+      repair_crews = None;
+    }
+  in
+  let r = Server_farm.run ~seed:23 ~duration:100_000.0 cfg in
+  Alcotest.(check bool) "completes jobs" true (r.Server_farm.completed > 10_000);
+  Alcotest.(check bool) "finite queue" true (r.Server_farm.mean_jobs < 50.0)
+
+let test_sim_seed_determinism () =
+  let cfg =
+    {
+      Server_farm.servers = 2;
+      lambda = 1.0;
+      mu = 1.0;
+      operative = Urs_prob.Distribution.exponential ~rate:0.05;
+      inoperative = Urs_prob.Distribution.exponential ~rate:10.0;
+      repair_crews = None;
+    }
+  in
+  let a = Server_farm.run ~seed:5 ~duration:10_000.0 cfg in
+  let b = Server_farm.run ~seed:5 ~duration:10_000.0 cfg in
+  check_float "reproducible" a.Server_farm.mean_jobs b.Server_farm.mean_jobs;
+  let c = Server_farm.run ~seed:6 ~duration:10_000.0 cfg in
+  Alcotest.(check bool) "seed changes stream" true
+    (a.Server_farm.mean_jobs <> c.Server_farm.mean_jobs)
+
+let test_sim_preempt_resume_conserves_work () =
+  (* with breakdowns, throughput must still equal λ in steady state
+     (all work is eventually served; preempt-resume loses nothing) *)
+  let cfg =
+    {
+      Server_farm.servers = 3;
+      lambda = 1.5;
+      mu = 1.0;
+      operative = Urs_prob.Distribution.exponential ~rate:0.2;
+      inoperative = Urs_prob.Distribution.exponential ~rate:1.0;
+      repair_crews = None;
+    }
+  in
+  let r = Server_farm.run ~seed:29 ~duration:200_000.0 cfg in
+  let throughput = float_of_int r.Server_farm.completed /. r.Server_farm.measured_time in
+  check_float ~tol:0.02 "throughput = λ" 1.5 throughput
+
+let test_sim_validation_errors () =
+  let cfg =
+    {
+      Server_farm.servers = 0;
+      lambda = 1.0;
+      mu = 1.0;
+      operative = reliable_operative;
+      inoperative = instant_repair;
+      repair_crews = None;
+    }
+  in
+  Alcotest.check_raises "servers >= 1"
+    (Invalid_argument "Server_farm: servers must be >= 1") (fun () ->
+      Server_farm.validate cfg)
+
+let test_sim_response_percentiles_present () =
+  let cfg =
+    {
+      Server_farm.servers = 2;
+      lambda = 1.0;
+      mu = 1.0;
+      operative = Urs_prob.Distribution.exponential ~rate:0.05;
+      inoperative = Urs_prob.Distribution.exponential ~rate:10.0;
+      repair_crews = None;
+    }
+  in
+  let r = Server_farm.run ~seed:31 ~duration:20_000.0 cfg in
+  Alcotest.(check bool) "responses recorded" true
+    (Array.length r.Server_farm.responses > 1000);
+  let p90 = Urs_stats.Empirical.quantile r.Server_farm.responses 0.9 in
+  let p50 = Urs_stats.Empirical.quantile r.Server_farm.responses 0.5 in
+  Alcotest.(check bool) "p90 > p50" true (p90 > p50)
+
+let test_sim_repair_crews_match_exact () =
+  (* one repair crew, exponential repairs: the simulator's FCFS repair
+     shop must match the analytic min(y,c)·η model *)
+  let cfg =
+    {
+      Server_farm.servers = 6;
+      lambda = 2.0;
+      mu = 1.0;
+      operative = Urs_prob.Distribution.exponential ~rate:0.1;
+      inoperative = Urs_prob.Distribution.exponential ~rate:0.5;
+      repair_crews = Some 1;
+    }
+  in
+  let m =
+    Urs.Model.create ~repair_crews:1 ~servers:6 ~arrival_rate:2.0
+      ~service_rate:1.0
+      ~operative:(Urs_prob.Distribution.exponential ~rate:0.1)
+      ~inoperative:(Urs_prob.Distribution.exponential ~rate:0.5) ()
+  in
+  let exact = (Urs.Solver.evaluate_exn m).Urs.Solver.mean_jobs in
+  let s = Replicate.run ~seed:43 ~replications:5 ~duration:150_000.0 cfg in
+  let est = s.Replicate.mean_jobs.Replicate.estimate in
+  let hw = s.Replicate.mean_jobs.Replicate.half_width in
+  if abs_float (est -. exact) > Float.max (4.0 *. hw) (0.05 *. exact) then
+    Alcotest.failf "crews sim %.4f±%.4f vs exact %.4f" est hw exact
+
+let test_sim_crews_slow_down_repairs () =
+  let base crews =
+    {
+      Server_farm.servers = 5;
+      lambda = 1.0;
+      mu = 1.0;
+      operative = Urs_prob.Distribution.exponential ~rate:0.2;
+      inoperative = Urs_prob.Distribution.exponential ~rate:0.5;
+      repair_crews = crews;
+    }
+  in
+  let ops crews =
+    (Server_farm.run ~seed:47 ~duration:100_000.0 (base crews))
+      .Server_farm.mean_operative
+  in
+  Alcotest.(check bool) "fewer crews, fewer operative servers" true
+    (ops (Some 1) < ops None)
+
+(* ---- Replicate ---- *)
+
+let test_replicate_ci_narrows () =
+  let cfg =
+    {
+      Server_farm.servers = 2;
+      lambda = 1.0;
+      mu = 1.0;
+      operative = Urs_prob.Distribution.exponential ~rate:0.05;
+      inoperative = Urs_prob.Distribution.exponential ~rate:10.0;
+      repair_crews = None;
+    }
+  in
+  let short = Replicate.run ~seed:37 ~replications:5 ~duration:5_000.0 cfg in
+  let long = Replicate.run ~seed:37 ~replications:5 ~duration:80_000.0 cfg in
+  Alcotest.(check bool) "longer runs narrow the CI" true
+    (long.Replicate.mean_jobs.Replicate.half_width
+    < short.Replicate.mean_jobs.Replicate.half_width)
+
+let () =
+  Alcotest.run "urs_sim"
+    [
+      ( "event_heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "growth" `Quick test_heap_growth;
+          Alcotest.test_case "random stream" `Quick test_heap_random_property;
+        ] );
+      ( "deque",
+        [
+          Alcotest.test_case "fifo" `Quick test_deque_fifo;
+          Alcotest.test_case "push front (preemption)" `Quick
+            test_deque_push_front;
+          Alcotest.test_case "length" `Quick test_deque_length;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "event order and clock" `Quick
+            test_engine_order_and_clock;
+          Alcotest.test_case "deadline stops processing" `Quick
+            test_engine_deadline_stops;
+        ] );
+      ( "collector",
+        [
+          Alcotest.test_case "time average" `Quick test_collector_time_average;
+          Alcotest.test_case "reset" `Quick test_collector_reset;
+          Alcotest.test_case "percentiles" `Quick test_collector_percentiles;
+          Alcotest.test_case "tracking disabled" `Quick
+            test_collector_tracking_disabled;
+        ] );
+      ( "server_farm",
+        [
+          Alcotest.test_case "matches M/M/1" `Slow test_sim_matches_mm1;
+          Alcotest.test_case "matches M/M/3" `Slow test_sim_matches_mmc;
+          Alcotest.test_case "matches spectral with breakdowns" `Slow
+            test_sim_matches_spectral_with_breakdowns;
+          Alcotest.test_case "availability" `Slow test_sim_availability;
+          Alcotest.test_case "deterministic periods (C²=0)" `Slow
+            test_sim_deterministic_periods;
+          Alcotest.test_case "seed determinism" `Quick test_sim_seed_determinism;
+          Alcotest.test_case "preempt-resume conserves work" `Slow
+            test_sim_preempt_resume_conserves_work;
+          Alcotest.test_case "config validation" `Quick test_sim_validation_errors;
+          Alcotest.test_case "response percentiles" `Quick
+            test_sim_response_percentiles_present;
+        ] );
+      ( "repair crews",
+        [
+          Alcotest.test_case "matches exact" `Slow test_sim_repair_crews_match_exact;
+          Alcotest.test_case "crews bound repairs" `Slow
+            test_sim_crews_slow_down_repairs;
+        ] );
+      ( "replicate",
+        [ Alcotest.test_case "ci narrows with duration" `Slow test_replicate_ci_narrows ] );
+    ]
