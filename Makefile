@@ -1,0 +1,37 @@
+# Convenience targets; `make ci` is what the CI workflow runs.
+
+.PHONY: all build test bench fmt smoke ci clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# Formatting is checked only when ocamlformat is available (it is not a
+# build dependency of the library itself).
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt; \
+	else \
+	  echo "ocamlformat not installed; skipping format check"; \
+	fi
+
+# End-to-end observability smoke test: a solve must emit a Prometheus
+# snapshot containing the headline instrumentation.
+smoke:
+	dune exec bin/urs_cli.exe -- solve --metrics - > /tmp/urs_metrics.prom
+	grep -q '^urs_spectral_solve_seconds' /tmp/urs_metrics.prom
+	grep -q '^urs_spectral_eigenvalues'   /tmp/urs_metrics.prom
+	grep -q '^urs_sim_events_total'       /tmp/urs_metrics.prom
+	@echo "smoke: ok"
+
+ci: fmt build test smoke
+
+clean:
+	dune clean

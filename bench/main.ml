@@ -13,6 +13,10 @@
    comparison is explicit. *)
 
 module D = Urs_prob.Distribution
+module Metrics = Urs_obs.Metrics
+module Span = Urs_obs.Span
+module Export = Urs_obs.Export
+module Json = Urs_obs.Json
 
 let paper_op = Urs.Model.paper_operative
 let paper_inop_exp = Urs.Model.paper_inoperative_exp
@@ -481,11 +485,50 @@ let sections : (string * string * (unit -> unit)) list =
     ("timing", "bechamel micro-benchmarks", section_timing);
   ]
 
+(* Each section runs against a freshly reset registry; its wall time and
+   final metrics snapshot are accumulated and written to
+   BENCH_solvers.json so solver behaviour (QR sweeps, LU counts,
+   simulation event totals, per-stage histograms) can be compared
+   across commits. *)
+
+let bench_records : (string * float * Json.t) list ref = ref []
+
+let run_section name f =
+  Metrics.reset ();
+  let t0 = Span.now () in
+  f ();
+  let seconds = Span.now () -. t0 in
+  bench_records :=
+    (name, seconds, Export.json_value (Metrics.snapshot ())) :: !bench_records
+
+let write_bench_json path =
+  let sections =
+    List.rev_map
+      (fun (name, seconds, metrics) ->
+        Json.Obj
+          [ ("name", Json.String name); ("seconds", Json.Float seconds);
+            ("metrics", metrics) ])
+      !bench_records
+  in
+  let doc =
+    Json.Obj
+      [ ("schema", Json.String "urs-bench/1"); ("sections", Json.List sections) ]
+  in
+  let oc = open_out path in
+  Json.to_channel oc doc;
+  close_out oc;
+  Format.printf "@.wrote %s (%d sections)@." path (List.length sections)
+
 let () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level
+    (match Option.map Logs.level_of_string (Sys.getenv_opt "URS_LOG") with
+    | Some (Ok level) -> level
+    | Some (Error _) | None -> Some Logs.Warning);
   let args = List.tl (Array.to_list Sys.argv) in
-  match args with
+  (match args with
   | [] | [ "all" ] ->
-      List.iter (fun (_, _, f) -> f ()) sections;
+      List.iter (fun (name, _, f) -> run_section name f) sections;
       Format.printf "@.all sections complete.@."
   | [ "list" ] ->
       List.iter (fun (name, descr, _) -> Format.printf "%-10s %s@." name descr)
@@ -494,8 +537,9 @@ let () =
       List.iter
         (fun name ->
           match List.find_opt (fun (n, _, _) -> n = name) sections with
-          | Some (_, _, f) -> f ()
+          | Some (_, _, f) -> run_section name f
           | None ->
               Format.printf "unknown section %S (try: list)@." name;
               exit 1)
-        names
+        names);
+  if !bench_records <> [] then write_bench_json "BENCH_solvers.json"

@@ -4,6 +4,117 @@
 
 open Cmdliner
 
+(* ---- observability wiring ----
+
+   Every subcommand accepts --verbose/-v (with the URS_LOG env var as a
+   fallback), --metrics FILE / --metrics-format, and --trace FILE. A
+   Logs format reporter is installed up front so library warnings
+   (e.g. urs.spectral eigenvalue-count complaints, urs.sweep dropped
+   points) are no longer silently discarded. *)
+
+type obs = {
+  metrics : string option;
+  format : [ `Prometheus | `Json ];
+  trace : string option;
+}
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  let level =
+    if verbose >= 2 then Some Logs.Debug
+    else if verbose = 1 then Some Logs.Info
+    else
+      match Sys.getenv_opt "URS_LOG" with
+      | None -> Some Logs.Warning
+      | Some s -> (
+          match Logs.level_of_string s with
+          | Ok l -> l
+          | Error _ ->
+              Format.eprintf "urs: ignoring invalid URS_LOG=%S@." s;
+              Some Logs.Warning)
+  in
+  Logs.set_level level
+
+let write_output path content =
+  if path = "-" then print_string content
+  else begin
+    let oc = open_out path in
+    output_string oc content;
+    close_out oc
+  end
+
+let dump_obs obs =
+  (* an unwritable destination should lose the snapshot, not the run's
+     exit status (dump_obs runs from a Fun.protect finally) *)
+  let write path content =
+    try write_output path content
+    with Sys_error msg -> Format.eprintf "urs: cannot write metrics: %s@." msg
+  in
+  (match obs.metrics with
+  | None -> ()
+  | Some path ->
+      let snap = Urs_obs.Metrics.snapshot () in
+      let body =
+        match obs.format with
+        | `Prometheus -> Urs_obs.Export.prometheus snap
+        | `Json -> Urs_obs.Export.json snap ^ "\n"
+      in
+      write path body);
+  match obs.trace with
+  | None -> ()
+  | Some path -> write path (Urs_obs.Span.trace_json () ^ "\n")
+
+(* dump on the way out even if the command fails, so a crashed run still
+   leaves its metrics behind *)
+let with_obs obs f =
+  if obs.trace <> None then Urs_obs.Span.set_tracing true;
+  Fun.protect ~finally:(fun () -> dump_obs obs) f
+
+let obs_t =
+  let verbose =
+    Arg.(
+      value & flag_all
+      & info [ "v"; "verbose" ]
+          ~doc:
+            "Increase log verbosity (once: info, twice: debug). Without the \
+             flag the level comes from the URS_LOG environment variable \
+             (quiet|error|warning|info|debug), defaulting to warning.")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "After the run, write a snapshot of the metrics registry to \
+             $(docv) ('-' for stdout).")
+  in
+  let format =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("prom", `Prometheus); ("prometheus", `Prometheus);
+               ("json", `Json) ])
+          `Prometheus
+      & info [ "metrics-format" ]
+          ~doc:"Metrics snapshot format: $(b,prom) or $(b,json).")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Collect a hierarchical span trace during the run and write it \
+             as flame-style JSON to $(docv) ('-' for stdout).")
+  in
+  let make verbose metrics format trace =
+    setup_logs (List.length verbose);
+    { metrics; format; trace }
+  in
+  Term.(const make $ verbose $ metrics $ format $ trace)
+
 (* ---- shared argument parsing ---- *)
 
 let dist_conv =
@@ -89,7 +200,8 @@ let strategy_conv =
   Arg.conv (parse, print)
 
 let solve_cmd =
-  let run servers lambda mu operative inoperative crews meth =
+  let run obs servers lambda mu operative inoperative crews meth =
+    with_obs obs @@ fun () ->
     let m = make_model ?repair_crews:crews servers lambda mu operative inoperative in
     let strategy =
       match meth with
@@ -116,24 +228,26 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Evaluate a model (mean queue, response time).")
     Term.(
       ret
-        (const run $ servers $ lambda $ mu $ operative $ inoperative
+        (const run $ obs_t $ servers $ lambda $ mu $ operative $ inoperative
        $ repair_crews $ meth))
 
 (* ---- stability ---- *)
 
 let stability_cmd =
-  let run servers lambda mu operative inoperative =
+  let run obs servers lambda mu operative inoperative =
+    with_obs obs @@ fun () ->
     let m = make_model servers lambda mu operative inoperative in
     Format.printf "%a@." Urs_mmq.Stability.pp_verdict (Urs.Model.stability m)
   in
   Cmd.v
     (Cmd.info "stability" ~doc:"Check the ergodicity condition (eq. 11).")
-    Term.(const run $ servers $ lambda $ mu $ operative $ inoperative)
+    Term.(const run $ obs_t $ servers $ lambda $ mu $ operative $ inoperative)
 
 (* ---- optimize ---- *)
 
 let optimize_cmd =
-  let run servers lambda mu operative inoperative holding server_cost =
+  let run obs servers lambda mu operative inoperative holding server_cost =
+    with_obs obs @@ fun () ->
     let m = make_model servers lambda mu operative inoperative in
     let params = { Urs.Cost.holding; server = server_cost } in
     match Urs.Cost.optimal_servers m params with
@@ -152,13 +266,14 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc:"Find the cost-optimal number of servers (eq. 22).")
     Term.(
       ret
-        (const run $ servers $ lambda $ mu $ operative $ inoperative $ holding
-       $ server_cost))
+        (const run $ obs_t $ servers $ lambda $ mu $ operative $ inoperative
+       $ holding $ server_cost))
 
 (* ---- capacity ---- *)
 
 let capacity_cmd =
-  let run lambda mu operative inoperative target =
+  let run obs lambda mu operative inoperative target =
+    with_obs obs @@ fun () ->
     let m = make_model 1 lambda mu operative inoperative in
     match Urs.Capacity.min_servers_for_response m ~target with
     | Ok (n, perf) ->
@@ -172,13 +287,15 @@ let capacity_cmd =
   in
   Cmd.v
     (Cmd.info "capacity" ~doc:"Minimum servers for a response-time target.")
-    Term.(ret (const run $ lambda $ mu $ operative $ inoperative $ target))
+    Term.(
+      ret (const run $ obs_t $ lambda $ mu $ operative $ inoperative $ target))
 
 (* ---- simulate ---- *)
 
 let simulate_cmd =
-  let run servers lambda mu operative inoperative crews duration replications
-      seed =
+  let run obs servers lambda mu operative inoperative crews duration
+      replications seed =
+    with_obs obs @@ fun () ->
     let cfg =
       { Urs_sim.Server_farm.servers; lambda; mu; operative; inoperative;
         repair_crews = crews }
@@ -198,13 +315,61 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Discrete-event simulation of the model.")
     Term.(
-      const run $ servers $ lambda $ mu $ operative $ inoperative
+      const run $ obs_t $ servers $ lambda $ mu $ operative $ inoperative
+      $ repair_crews $ duration $ replications $ seed)
+
+(* ---- metrics ---- *)
+
+let metrics_cmd =
+  let run obs servers lambda mu operative inoperative crews duration
+      replications seed =
+    (* this subcommand exists to dump the registry, so default to stdout *)
+    let obs =
+      match obs.metrics with
+      | None -> { obs with metrics = Some "-" }
+      | Some _ -> obs
+    in
+    with_obs obs @@ fun () ->
+    let m =
+      make_model ?repair_crews:crews servers lambda mu operative inoperative
+    in
+    List.iter
+      (fun strategy ->
+        match Urs.Solver.evaluate ~strategy m with
+        | Ok _ -> ()
+        | Error e ->
+            Logs.warn (fun f ->
+                f "%s strategy failed: %a"
+                  (Urs.Solver.strategy_name strategy)
+                  Urs.Solver.pp_error e))
+      [ Urs.Solver.Exact; Urs.Solver.Approximate; Urs.Solver.Matrix_geometric;
+        Urs.Solver.Simulation { duration; replications; seed } ]
+  in
+  let duration =
+    Arg.(
+      value & opt float 5_000.0
+      & info [ "duration" ]
+          ~doc:"Simulated time units per replication (kept short by default).")
+  in
+  let replications =
+    Arg.(value & opt int 2 & info [ "replications" ] ~doc:"Independent replications.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Exercise every solver strategy once on the model and dump the \
+          metrics registry (Prometheus text to stdout unless --metrics / \
+          --metrics-format say otherwise).")
+    Term.(
+      const run $ obs_t $ servers $ lambda $ mu $ operative $ inoperative
       $ repair_crews $ duration $ replications $ seed)
 
 (* ---- dataset ---- *)
 
 let dataset_cmd =
-  let run rows out seed =
+  let run obs rows out seed =
+    with_obs obs @@ fun () ->
     let cfg = { Urs_dataset.Generate.default with Urs_dataset.Generate.rows; seed } in
     let events = Urs_dataset.Generate.generate cfg in
     (match out with
@@ -224,12 +389,13 @@ let dataset_cmd =
   let seed = Arg.(value & opt int 2006 & info [ "seed" ] ~doc:"Random seed.") in
   Cmd.v
     (Cmd.info "dataset" ~doc:"Generate a synthetic breakdown log (CSV).")
-    Term.(const run $ rows $ out $ seed)
+    Term.(const run $ obs_t $ rows $ out $ seed)
 
 (* ---- fit ---- *)
 
 let fit_cmd =
-  let run path significance =
+  let run obs path significance =
+    with_obs obs @@ fun () ->
     let events = Urs_dataset.Csv.read path in
     match Urs_dataset.Pipeline.analyze ~significance events with
     | Ok report ->
@@ -248,7 +414,7 @@ let fit_cmd =
   Cmd.v
     (Cmd.info "fit"
        ~doc:"Run the Section-2 pipeline on an event log: clean, fit, KS-test.")
-    Term.(ret (const run $ path $ significance))
+    Term.(ret (const run $ obs_t $ path $ significance))
 
 let () =
   let info =
@@ -258,6 +424,6 @@ let () =
   let group =
     Cmd.group info
       [ solve_cmd; stability_cmd; optimize_cmd; capacity_cmd; simulate_cmd;
-        dataset_cmd; fit_cmd ]
+        metrics_cmd; dataset_cmd; fit_cmd ]
   in
   exit (Cmd.eval group)

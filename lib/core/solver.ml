@@ -1,4 +1,6 @@
 module Mq = Urs_mmq
+module Metrics = Urs_obs.Metrics
+module Span = Urs_obs.Span
 
 type sim_options = { duration : float; replications : int; seed : int }
 
@@ -30,7 +32,13 @@ let pp_error ppf = function
 
 let render pp_e e = Format.asprintf "%a" pp_e e
 
-let evaluate ?(strategy = Exact) model =
+let strategy_label = function
+  | Exact -> "exact"
+  | Approximate -> "approx"
+  | Matrix_geometric -> "mg"
+  | Simulation _ -> "sim"
+
+let evaluate_inner ?(strategy = Exact) model =
   let verdict = Model.stability model in
   if not verdict.Mq.Stability.stable then Error (Unstable verdict)
   else
@@ -115,6 +123,27 @@ let evaluate ?(strategy = Exact) model =
             confidence_half_width =
               Some summary.Urs_sim.Replicate.mean_jobs.half_width;
           }
+
+let evaluate ?(strategy = Exact) model =
+  let labels = [ ("strategy", strategy_label strategy) ] in
+  Metrics.inc
+    (Metrics.counter ~labels ~help:"Solver.evaluate calls"
+       "urs_solver_calls_total");
+  let result =
+    Span.with_ ~name:"urs_solver_evaluate" ~labels (fun () ->
+        evaluate_inner ~strategy model)
+  in
+  let outcome_counter =
+    match result with
+    | Ok _ ->
+        Metrics.counter ~labels ~help:"Solver.evaluate successes"
+          "urs_solver_success_total"
+    | Error _ ->
+        Metrics.counter ~labels ~help:"Solver.evaluate failures"
+          "urs_solver_failures_total"
+  in
+  Metrics.inc outcome_counter;
+  result
 
 let evaluate_exn ?strategy model =
   match evaluate ?strategy model with

@@ -52,4 +52,7 @@ val evaluate : ?strategy:strategy -> Model.t -> (performance, error) result
 val evaluate_exn : ?strategy:strategy -> Model.t -> performance
 (** Like {!evaluate} but raises [Failure] with a rendered error. *)
 
+val strategy_name : strategy -> string
+(** Human-readable strategy name, e.g. ["exact (spectral expansion)"]. *)
+
 val pp_performance : Format.formatter -> performance -> unit

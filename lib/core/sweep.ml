@@ -1,25 +1,70 @@
 module D = Urs_prob.Distribution
+module Metrics = Urs_obs.Metrics
+
+let log_src = Logs.Src.create "urs.sweep" ~doc:"parameter sweeps"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Failed points used to vanish silently from sweep results; every drop
+   is now logged with the failing parameter value and counted per sweep
+   under urs_sweep_failures_total{sweep="..."}. *)
+
+let m_points sweep =
+  Metrics.counter
+    ~labels:[ ("sweep", sweep) ]
+    ~help:"Sweep points attempted" "urs_sweep_points_total"
+
+let m_failures sweep =
+  Metrics.counter
+    ~labels:[ ("sweep", sweep) ]
+    ~help:"Sweep points dropped (solver error or invalid parameter)"
+    "urs_sweep_failures_total"
+
+let drop ~sweep ~param reason =
+  Metrics.inc (m_failures sweep);
+  Log.warn (fun m ->
+      m "%s sweep: dropping point %s: %t" sweep param reason);
+  None
+
+let eval_point ?strategy ~sweep ~param model =
+  Metrics.inc (m_points sweep);
+  match Solver.evaluate ?strategy model with
+  | Ok perf -> Some perf
+  | Error e ->
+      drop ~sweep ~param (fun ppf -> Solver.pp_error ppf e)
 
 let over_servers ?strategy model ~values =
   List.filter_map
     (fun n ->
-      match Solver.evaluate ?strategy (Model.with_servers model n) with
-      | Ok perf -> Some (n, perf)
-      | Error _ -> None)
+      match
+        eval_point ?strategy ~sweep:"servers" ~param:(string_of_int n)
+          (Model.with_servers model n)
+      with
+      | Some perf -> Some (n, perf)
+      | None -> None)
     values
 
 let over_arrival_rates ?strategy model ~values =
   List.filter_map
     (fun lambda ->
-      match Solver.evaluate ?strategy (Model.with_arrival_rate model lambda) with
-      | Ok perf -> Some (lambda, perf)
-      | Error _ -> None)
+      match
+        eval_point ?strategy ~sweep:"arrival_rates"
+          ~param:(Printf.sprintf "lambda=%g" lambda)
+          (Model.with_arrival_rate model lambda)
+      with
+      | Some perf -> Some (lambda, perf)
+      | None -> None)
     values
 
 let over_repair_times ?strategy model ~values =
   List.filter_map
     (fun mean_repair ->
-      if mean_repair <= 0.0 then None
+      let param = Printf.sprintf "mean_repair=%g" mean_repair in
+      if mean_repair <= 0.0 then begin
+        Metrics.inc (m_points "repair_times");
+        drop ~sweep:"repair_times" ~param (fun ppf ->
+            Format.pp_print_string ppf "mean repair time must be positive")
+      end
       else begin
         let m =
           Model.create ~servers:model.Model.servers
@@ -28,9 +73,9 @@ let over_repair_times ?strategy model ~values =
             ~operative:model.Model.operative
             ~inoperative:(D.exponential ~rate:(1.0 /. mean_repair)) ()
         in
-        match Solver.evaluate ?strategy m with
-        | Ok perf -> Some (mean_repair, perf)
-        | Error _ -> None
+        match eval_point ?strategy ~sweep:"repair_times" ~param m with
+        | Some perf -> Some (mean_repair, perf)
+        | None -> None
       end)
     values
 
@@ -38,27 +83,33 @@ let over_operative_scv ?strategy model ~pinned_rate ~values =
   let mean = D.mean model.Model.operative in
   List.filter_map
     (fun scv ->
+      let param = Printf.sprintf "scv=%g" scv in
       let operative =
-        if scv <= 0.0 then Some (D.deterministic mean)
+        if scv <= 0.0 then Ok (D.deterministic mean)
         else if abs_float (scv -. 1.0) < 1e-12 then
-          Some (D.exponential ~rate:(1.0 /. mean))
+          Ok (D.exponential ~rate:(1.0 /. mean))
         else
-          match Urs_prob.Fit.h2_of_mean_scv_pinned_rate ~mean ~scv ~pinned_rate with
-          | Ok h2 -> Some (D.Hyperexponential h2)
-          | Error _ -> None
+          match
+            Urs_prob.Fit.h2_of_mean_scv_pinned_rate ~mean ~scv ~pinned_rate
+          with
+          | Ok h2 -> Ok (D.Hyperexponential h2)
+          | Error e -> Error e
       in
       match operative with
-      | None -> None
-      | Some operative -> (
+      | Error e ->
+          Metrics.inc (m_points "operative_scv");
+          drop ~sweep:"operative_scv" ~param (fun ppf ->
+              Format.fprintf ppf "H2 fit failed: %a" Urs_prob.Fit.pp_error e)
+      | Ok operative -> (
           let m =
             Model.create ~servers:model.Model.servers
               ~arrival_rate:model.Model.arrival_rate
               ~service_rate:model.Model.service_rate ~operative
               ~inoperative:model.Model.inoperative ()
           in
-          match Solver.evaluate ?strategy m with
-          | Ok perf -> Some (scv, perf)
-          | Error _ -> None))
+          match eval_point ?strategy ~sweep:"operative_scv" ~param m with
+          | Some perf -> Some (scv, perf)
+          | None -> None))
     values
 
 let linspace lo hi k =

@@ -1,6 +1,10 @@
 (** Parameter sweeps used by the numerical experiments of §4. Each
     function returns the x-axis value paired with the evaluated
-    performance; points that fail to solve are omitted. *)
+    performance. Points that fail to solve are omitted from the result,
+    but never silently: each drop is logged on the [urs.sweep] source
+    with the failing parameter value and the solver error, and counted
+    in the [urs_sweep_failures_total{sweep="..."}] metric
+    ([urs_sweep_points_total] counts attempts). *)
 
 val over_servers :
   ?strategy:Solver.strategy ->

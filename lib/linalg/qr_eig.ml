@@ -7,7 +7,11 @@
    double-shift sweep on rows l..nn, with an exceptional shift every 10
    stalled iterations. *)
 
-exception No_convergence of int
+exception No_convergence of { dim : int; block : int; iterations : int }
+
+let sweep_count = ref 0
+
+let total_sweeps () = !sweep_count
 
 let sign_of a b = if b >= 0.0 then abs_float a else -.abs_float a
 
@@ -82,7 +86,8 @@ let eigenvalues_hessenberg ?(max_iter = 100) h =
             deflated := true
           end
           else begin
-            if !its >= max_iter then raise (No_convergence nn_v);
+            if !its >= max_iter then
+              raise (No_convergence { dim = n; block = nn_v; iterations = !its });
             let x = ref x and y = ref y and w = ref w in
             if !its > 0 && !its mod 10 = 0 then begin
               (* exceptional shift *)
@@ -99,6 +104,7 @@ let eigenvalues_hessenberg ?(max_iter = 100) h =
               w := -0.4375 *. s *. s
             end;
             incr its;
+            incr sweep_count;
             (* find m: start row of the sweep, where two consecutive
                subdiagonals are small *)
             let p = ref 0.0 and q = ref 0.0 and r = ref 0.0 in

@@ -4,9 +4,18 @@
     inverse iteration ({!Clu.null_vector}) when eigenvectors of the
     original problem are needed. *)
 
-exception No_convergence of int
-(** Raised when an eigenvalue fails to converge; carries the index of the
-    stuck trailing block. *)
+exception
+  No_convergence of { dim : int; block : int; iterations : int }
+(** Raised when an eigenvalue fails to converge: [dim] is the order of
+    the matrix, [block] the index of the stuck trailing block and
+    [iterations] the number of sweeps spent on it. *)
+
+val total_sweeps : unit -> int
+(** Cumulative count of implicit double-shift sweeps performed by this
+    process, across all calls — a cheap progress/efficiency counter that
+    callers can difference around a solve and feed into a metrics
+    registry (this library sits below the observability layer, so it
+    cannot record the metric itself). *)
 
 val eigenvalues_hessenberg : ?max_iter:int -> Matrix.t -> Cx.t array
 (** [eigenvalues_hessenberg h] computes all eigenvalues of the upper

@@ -9,6 +9,43 @@ let log_src = Logs.Src.create "urs.spectral" ~doc:"spectral expansion solver"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+module Metrics = Urs_obs.Metrics
+module Span = Urs_obs.Span
+
+let m_solves =
+  Metrics.counter ~help:"Spectral solve attempts" "urs_spectral_solves_total"
+
+let m_failures =
+  Metrics.counter ~help:"Spectral solves that returned an error"
+    "urs_spectral_failures_total"
+
+let m_eigenvalues =
+  Metrics.gauge ~help:"Eigenvalues found inside the unit disk (last solve)"
+    "urs_spectral_eigenvalues"
+
+let m_dominant =
+  Metrics.gauge ~help:"Dominant eigenvalue z_s (last successful solve)"
+    "urs_spectral_dominant_z"
+
+let m_residual =
+  Metrics.gauge
+    ~help:"A-posteriori balance/normalization residual (last successful solve)"
+    "urs_spectral_residual"
+
+let m_lu =
+  Metrics.counter
+    ~help:"Real LU factorizations during boundary elimination"
+    "urs_spectral_lu_factorizations_total"
+
+let m_conj =
+  Metrics.counter
+    ~help:"Left eigenvectors obtained via the conjugate-pair shortcut"
+    "urs_spectral_conjugate_shortcuts_total"
+
+let m_qr_sweeps =
+  Metrics.counter ~help:"Francis QR double-shift sweeps"
+    "urs_qr_sweeps_total"
+
 type error =
   | Unstable of Stability.verdict
   | Eigenvalue_count of { expected : int; found : int }
@@ -42,7 +79,7 @@ let boundary_vectors t = Array.map V.copy t.boundary
 
 exception Solve_error of error
 
-let solve ?(eig_tol = 1e-9) q =
+let solve_stages ?(eig_tol = 1e-9) q =
   let env = Qbd.env q in
   let n_servers = Environment.servers env in
   let s = Qbd.s q in
@@ -54,15 +91,36 @@ let solve ?(eig_tol = 1e-9) q =
     try
       let q0 = Qbd.q0 q and q1 = Qbd.q1 q and q2 = Qbd.q2 q in
       let zs =
-        try
-          Urs_linalg.Companion.eigenvalues_inside_unit_disk ~tol:eig_tol ~q0
-            ~q1 ~q2 ()
-        with
-        | Urs_linalg.Qr_eig.No_convergence _ ->
-            raise (Solve_error (Numerical "QR iteration did not converge"))
-        | Urs_linalg.Lu.Singular ->
-            raise (Solve_error (Numerical "singular arrival block"))
+        Span.with_ ~name:"urs_spectral_stage"
+          ~labels:[ ("stage", "eigenvalues") ]
+          (fun () ->
+            let sweeps_before = Urs_linalg.Qr_eig.total_sweeps () in
+            Fun.protect
+              ~finally:(fun () ->
+                Metrics.inc
+                  ~by:
+                    (float_of_int
+                       (Urs_linalg.Qr_eig.total_sweeps () - sweeps_before))
+                  m_qr_sweeps)
+              (fun () ->
+                try
+                  Urs_linalg.Companion.eigenvalues_inside_unit_disk
+                    ~tol:eig_tol ~q0 ~q1 ~q2 ()
+                with
+                | Urs_linalg.Qr_eig.No_convergence { dim; block; iterations }
+                  ->
+                    raise
+                      (Solve_error
+                         (Numerical
+                            (Printf.sprintf
+                               "QR iteration did not converge (%dx%d \
+                                companion matrix, trailing block %d stuck \
+                                after %d sweeps)"
+                               dim dim block iterations)))
+                | Urs_linalg.Lu.Singular ->
+                    raise (Solve_error (Numerical "singular arrival block"))))
       in
+      Metrics.set m_eigenvalues (float_of_int (Array.length zs));
       if Array.length zs <> s then begin
         Log.warn (fun m ->
             m "expected %d eigenvalues inside the unit disk, found %d" s
@@ -77,30 +135,39 @@ let solve ?(eig_tol = 1e-9) q =
       (* left eigenvectors of Q(z_k); conjugate eigenvalues have
          conjugate eigenvectors (Q has real coefficients), so compute
          each pair only once *)
-      let us = Array.make s [||] in
-      for k = 0 to s - 1 do
-        let z = zs.(k) in
-        if Cx.im z >= 0.0 then
-          us.(k) <- Clu.left_null_vector (Qbd.char_poly_at q z)
-      done;
-      for k = 0 to s - 1 do
-        if Cx.im zs.(k) < 0.0 then begin
-          (* find the conjugate partner (pairs are adjacent after the
-             modulus sort, but search defensively) *)
-          let partner = ref (-1) in
-          let zc = Cx.conj zs.(k) in
-          for k' = 0 to s - 1 do
-            if
-              !partner < 0
-              && Cx.im zs.(k') > 0.0
-              && Cx.modulus (Cx.sub zs.(k') zc)
-                 <= 1e-12 *. (1.0 +. Cx.modulus zc)
-            then partner := k'
-          done;
-          if !partner >= 0 then us.(k) <- Array.map Cx.conj us.(!partner)
-          else us.(k) <- Clu.left_null_vector (Qbd.char_poly_at q zs.(k))
-        end
-      done;
+      let us =
+        Span.with_ ~name:"urs_spectral_stage"
+          ~labels:[ ("stage", "eigenvectors") ]
+          (fun () ->
+            let us = Array.make s [||] in
+            for k = 0 to s - 1 do
+              let z = zs.(k) in
+              if Cx.im z >= 0.0 then
+                us.(k) <- Clu.left_null_vector (Qbd.char_poly_at q z)
+            done;
+            for k = 0 to s - 1 do
+              if Cx.im zs.(k) < 0.0 then begin
+                (* find the conjugate partner (pairs are adjacent after the
+                   modulus sort, but search defensively) *)
+                let partner = ref (-1) in
+                let zc = Cx.conj zs.(k) in
+                for k' = 0 to s - 1 do
+                  if
+                    !partner < 0
+                    && Cx.im zs.(k') > 0.0
+                    && Cx.modulus (Cx.sub zs.(k') zc)
+                       <= 1e-12 *. (1.0 +. Cx.modulus zc)
+                  then partner := k'
+                done;
+                if !partner >= 0 then begin
+                  Metrics.inc m_conj;
+                  us.(k) <- Array.map Cx.conj us.(!partner)
+                end
+                else us.(k) <- Clu.left_null_vector (Qbd.char_poly_at q zs.(k))
+              end
+            done;
+            us)
+      in
       (* Φ_r has column k equal to z_k^{N+r} u_kᵀ, so v_{N+r}ᵀ = Φ_r γᵀ.
          Represent complex matrices as (re, im) pairs of real matrices:
          every block in the boundary elimination except Φ is real
@@ -115,140 +182,167 @@ let solve ?(eig_tol = 1e-9) q =
         in
         go Cx.one zs.(k) e
       in
-      let phi r =
-        let re = M.create s s and im = M.create s s in
-        for k = 0 to s - 1 do
-          let zp = pow_z k (n_servers + r) in
-          for i = 0 to s - 1 do
-            let v = Cx.mul zp us.(k).(i) in
-            M.set re i k (Cx.re v);
-            M.set im i k (Cx.im v)
-          done
-        done;
-        (re, im)
+      let g, xs =
+        Span.with_ ~name:"urs_spectral_stage"
+          ~labels:[ ("stage", "boundary") ]
+          (fun () ->
+            let phi r =
+              let re = M.create s s and im = M.create s s in
+              for k = 0 to s - 1 do
+                let zp = pow_z k (n_servers + r) in
+                for i = 0 to s - 1 do
+                  let v = Cx.mul zp us.(k).(i) in
+                  M.set re i k (Cx.re v);
+                  M.set im i k (Cx.im v)
+                done
+              done;
+              (re, im)
+            in
+            let phi0_re, phi0_im = phi 0 in
+            let phi1_re, phi1_im = phi 1 in
+            let tt j = M.transpose (Qbd.transition_block q j) in
+            let module Lu = Urs_linalg.Lu in
+            (* forward elimination of the block-tridiagonal boundary system:
+               S_j = −(λ S_{j−1} + T_jᵀ)⁻¹ C_{j+1}ᵀ, all real *)
+            let ss = Array.make (max 0 (n_servers - 1)) (M.create 0 0) in
+            let prev = ref None in
+            for j = 0 to n_servers - 2 do
+              let mj =
+                match !prev with
+                | None -> tt j
+                | Some s_prev -> M.add (M.scale lambda s_prev) (tt j)
+              in
+              Metrics.inc m_lu;
+              let f =
+                match Lu.factor mj with
+                | Ok f -> f
+                | Error `Singular ->
+                    raise (Solve_error (Numerical "singular boundary block"))
+              in
+              let cj1 = Qbd.c_diag q (j + 1) in
+              let s_j =
+                Lu.solve_matrix f
+                  (M.diagonal (Urs_linalg.Vec.scale (-1.0) cj1))
+              in
+              ss.(j) <- s_j;
+              prev := Some s_j
+            done;
+            (* level N-1 equation: x_{N-1} = W γᵀ with
+               W = −M_last⁻¹ (C Φ0) (C diagonal) *)
+            let m_last =
+              match !prev with
+              | None -> tt (n_servers - 1) (* N = 1 *)
+              | Some s_prev ->
+                  M.add (M.scale lambda s_prev) (tt (n_servers - 1))
+            in
+            Metrics.inc m_lu;
+            let f_last =
+              match Lu.factor m_last with
+              | Ok f -> f
+              | Error `Singular ->
+                  raise (Solve_error (Numerical "singular boundary block"))
+            in
+            let c_full_diag = Qbd.c_diag q n_servers in
+            let scale_rows_neg d m =
+              M.init s s (fun i j -> -.d.(i) *. M.get m i j)
+            in
+            let w_re =
+              Lu.solve_matrix f_last (scale_rows_neg c_full_diag phi0_re)
+            in
+            let w_im =
+              Lu.solve_matrix f_last (scale_rows_neg c_full_diag phi0_im)
+            in
+            (* level N equation: [λW + T_Nᵀ Φ0 + C Φ1] γᵀ = 0 *)
+            let t_full = tt n_servers in
+            let scale_rows d m = M.init s s (fun i j -> d.(i) *. M.get m i j) in
+            let mg_re =
+              M.add (M.scale lambda w_re)
+                (M.add (M.mul t_full phi0_re) (scale_rows c_full_diag phi1_re))
+            in
+            let mg_im =
+              M.add (M.scale lambda w_im)
+                (M.add (M.mul t_full phi0_im) (scale_rows c_full_diag phi1_im))
+            in
+            let m_gamma =
+              CM.init s s (fun i j ->
+                  Cx.make (M.get mg_re i j) (M.get mg_im i j))
+            in
+            let g = Clu.null_vector m_gamma in
+            (* back substitution: x_{N-1} = W g, then x_j = S_j x_{j+1} *)
+            let g_re = CV.real_part g and g_im = CV.imag_part g in
+            let complex_apply re im vr vi =
+              (* (re + i·im)(vr + i·vi) *)
+              let a = M.mul_vec re vr and b = M.mul_vec im vi in
+              let c = M.mul_vec re vi and d = M.mul_vec im vr in
+              Array.init s (fun i -> Cx.make (a.(i) -. b.(i)) (c.(i) +. d.(i)))
+            in
+            let real_apply m v =
+              let vr = M.mul_vec m (CV.real_part v) in
+              let vi = M.mul_vec m (CV.imag_part v) in
+              Array.init s (fun i -> Cx.make vr.(i) vi.(i))
+            in
+            let xs = Array.make n_servers (CV.create s) in
+            xs.(n_servers - 1) <- complex_apply w_re w_im g_re g_im;
+            for j = n_servers - 2 downto 0 do
+              xs.(j) <- real_apply ss.(j) xs.(j + 1)
+            done;
+            (g, xs))
       in
-      let phi0_re, phi0_im = phi 0 in
-      let phi1_re, phi1_im = phi 1 in
-      let tt j = M.transpose (Qbd.transition_block q j) in
-      let module Lu = Urs_linalg.Lu in
-      (* forward elimination of the block-tridiagonal boundary system:
-         S_j = −(λ S_{j−1} + T_jᵀ)⁻¹ C_{j+1}ᵀ, all real *)
-      let ss = Array.make (max 0 (n_servers - 1)) (M.create 0 0) in
-      let prev = ref None in
-      for j = 0 to n_servers - 2 do
-        let mj =
-          match !prev with
-          | None -> tt j
-          | Some s_prev -> M.add (M.scale lambda s_prev) (tt j)
-        in
-        let f =
-          match Lu.factor mj with
-          | Ok f -> f
-          | Error `Singular ->
-              raise (Solve_error (Numerical "singular boundary block"))
-        in
-        let cj1 = Qbd.c_diag q (j + 1) in
-        let s_j = Lu.solve_matrix f (M.diagonal (Urs_linalg.Vec.scale (-1.0) cj1)) in
-        ss.(j) <- s_j;
-        prev := Some s_j
-      done;
-      (* level N-1 equation: x_{N-1} = W γᵀ with
-         W = −M_last⁻¹ (C Φ0) (C diagonal) *)
-      let m_last =
-        match !prev with
-        | None -> tt (n_servers - 1) (* N = 1 *)
-        | Some s_prev -> M.add (M.scale lambda s_prev) (tt (n_servers - 1))
-      in
-      let f_last =
-        match Lu.factor m_last with
-        | Ok f -> f
-        | Error `Singular ->
-            raise (Solve_error (Numerical "singular boundary block"))
-      in
-      let c_full_diag = Qbd.c_diag q n_servers in
-      let scale_rows_neg d m =
-        M.init s s (fun i j -> -.d.(i) *. M.get m i j)
-      in
-      let w_re = Lu.solve_matrix f_last (scale_rows_neg c_full_diag phi0_re) in
-      let w_im = Lu.solve_matrix f_last (scale_rows_neg c_full_diag phi0_im) in
-      (* level N equation: [λW + T_Nᵀ Φ0 + C Φ1] γᵀ = 0 *)
-      let t_full = tt n_servers in
-      let scale_rows d m = M.init s s (fun i j -> d.(i) *. M.get m i j) in
-      let mg_re =
-        M.add (M.scale lambda w_re)
-          (M.add (M.mul t_full phi0_re) (scale_rows c_full_diag phi1_re))
-      in
-      let mg_im =
-        M.add (M.scale lambda w_im)
-          (M.add (M.mul t_full phi0_im) (scale_rows c_full_diag phi1_im))
-      in
-      let m_gamma = CM.init s s (fun i j -> Cx.make (M.get mg_re i j) (M.get mg_im i j)) in
-      let g = Clu.null_vector m_gamma in
-      (* back substitution: x_{N-1} = W g, then x_j = S_j x_{j+1} *)
-      let g_re = CV.real_part g and g_im = CV.imag_part g in
-      let complex_apply re im vr vi =
-        (* (re + i·im)(vr + i·vi) *)
-        let a = M.mul_vec re vr and b = M.mul_vec im vi in
-        let c = M.mul_vec re vi and d = M.mul_vec im vr in
-        Array.init s (fun i -> Cx.make (a.(i) -. b.(i)) (c.(i) +. d.(i)))
-      in
-      let real_apply m v =
-        let vr = M.mul_vec m (CV.real_part v) in
-        let vi = M.mul_vec m (CV.imag_part v) in
-        Array.init s (fun i -> Cx.make vr.(i) vi.(i))
-      in
-      let xs = Array.make n_servers (CV.create s) in
-      xs.(n_servers - 1) <- complex_apply w_re w_im g_re g_im;
-      for j = n_servers - 2 downto 0 do
-        xs.(j) <- real_apply ss.(j) xs.(j + 1)
-      done;
       (* normalization (eq. 20): Σ_{j<N} x_j·1 + Σ_k γ_k (u_k·1) z^N/(1−z) *)
-      let u_sums = Array.map CV.sum us in
-      let spectral_total =
-        let acc = ref Cx.zero in
-        for k = 0 to s - 1 do
-          let zn = pow_z k n_servers in
-          let term =
-            Cx.div (Cx.mul g.(k) (Cx.mul u_sums.(k) zn)) (Cx.sub Cx.one zs.(k))
+      Span.with_ ~name:"urs_spectral_stage"
+        ~labels:[ ("stage", "normalization") ]
+        (fun () ->
+          let u_sums = Array.map CV.sum us in
+          let spectral_total =
+            let acc = ref Cx.zero in
+            for k = 0 to s - 1 do
+              let zn = pow_z k n_servers in
+              let term =
+                Cx.div
+                  (Cx.mul g.(k) (Cx.mul u_sums.(k) zn))
+                  (Cx.sub Cx.one zs.(k))
+              in
+              acc := Cx.add !acc term
+            done;
+            !acc
           in
-          acc := Cx.add !acc term
-        done;
-        !acc
-      in
-      let total =
-        Array.fold_left (fun acc x -> Cx.add acc (CV.sum x)) spectral_total xs
-      in
-      if Cx.modulus total < 1e-300 then
-        raise (Solve_error (Numerical "normalization constant vanished"));
-      let inv_total = Cx.inv total in
-      let gammas = Array.map (fun gk -> Cx.mul gk inv_total) g in
-      let boundary =
-        Array.map
-          (fun x ->
-            let scaled = CV.scale inv_total x in
-            let imag = V.norm_inf (CV.imag_part scaled) in
-            if imag > 1e-6 then
-              raise
-                (Solve_error
-                   (Numerical
-                      (Printf.sprintf
-                         "boundary vector has imaginary residue %.2e" imag)));
-            CV.real_part scaled)
-          xs
-      in
-      (* sanity: boundary probabilities must be (essentially) nonnegative *)
-      Array.iter
-        (fun v ->
+          let total =
+            Array.fold_left
+              (fun acc x -> Cx.add acc (CV.sum x))
+              spectral_total xs
+          in
+          if Cx.modulus total < 1e-300 then
+            raise (Solve_error (Numerical "normalization constant vanished"));
+          let inv_total = Cx.inv total in
+          let gammas = Array.map (fun gk -> Cx.mul gk inv_total) g in
+          let boundary =
+            Array.map
+              (fun x ->
+                let scaled = CV.scale inv_total x in
+                let imag = V.norm_inf (CV.imag_part scaled) in
+                if imag > 1e-6 then
+                  raise
+                    (Solve_error
+                       (Numerical
+                          (Printf.sprintf
+                             "boundary vector has imaginary residue %.2e" imag)));
+                CV.real_part scaled)
+              xs
+          in
+          (* sanity: boundary probabilities must be (essentially)
+             nonnegative *)
           Array.iter
-            (fun p ->
-              if p < -1e-8 then
-                raise
-                  (Solve_error
-                     (Numerical
-                        (Printf.sprintf "negative probability %.3e" p))))
-            v)
-        boundary;
-      Ok { qbd = q; zs; us; u_sums; gammas; boundary }
+            (fun v ->
+              Array.iter
+                (fun p ->
+                  if p < -1e-8 then
+                    raise
+                      (Solve_error
+                         (Numerical
+                            (Printf.sprintf "negative probability %.3e" p))))
+                v)
+            boundary;
+          Ok { qbd = q; zs; us; u_sums; gammas; boundary })
     with
     | Solve_error e -> Error e
     | Clu.Singular -> Error (Numerical "singular block during elimination")
@@ -407,3 +501,20 @@ let residual t =
   done;
   let total = !head +. tail_from t n ~weight:(fun k -> t.u_sums.(k)) in
   Float.max !worst (abs_float (total -. 1.0))
+
+(* public entry point: the staged solve wrapped in a span, with summary
+   gauges recorded after the fact (the residual doubles as an accuracy
+   certificate and is cheap next to the companion eigensolve) *)
+let solve ?eig_tol q =
+  Metrics.inc m_solves;
+  let result =
+    Span.with_ ~name:"urs_spectral_solve" (fun () -> solve_stages ?eig_tol q)
+  in
+  (match result with
+  | Ok sol ->
+      Metrics.set m_dominant (dominant_eigenvalue sol);
+      Metrics.set m_residual (residual sol)
+  | Error e ->
+      Metrics.inc m_failures;
+      Log.info (fun m -> m "spectral solve failed: %a" pp_error e));
+  result

@@ -1,0 +1,130 @@
+let fmt_float v =
+  if Float.is_nan v then "NaN"
+  else if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Json.float_str v
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* render a label set, optionally with an extra le="..." pair appended *)
+let label_str ?le labels =
+  let pairs =
+    List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v)) labels
+    @ (match le with
+      | Some bound -> [ Printf.sprintf "le=\"%s\"" bound ]
+      | None -> [])
+  in
+  if pairs = [] then "" else "{" ^ String.concat "," pairs ^ "}"
+
+let type_name (e : Metrics.entry) =
+  match e.Metrics.data with
+  | Metrics.Counter_value _ -> "counter"
+  | Metrics.Gauge_value _ -> "gauge"
+  | Metrics.Histogram_value _ -> "histogram"
+
+let prometheus entries =
+  let buf = Buffer.create 1024 in
+  let last_header = ref "" in
+  List.iter
+    (fun (e : Metrics.entry) ->
+      (* entries are sorted by name: emit HELP/TYPE once per family *)
+      if e.Metrics.name <> !last_header then begin
+        last_header := e.Metrics.name;
+        if e.Metrics.help <> "" then
+          Buffer.add_string buf
+            (Printf.sprintf "# HELP %s %s\n" e.Metrics.name e.Metrics.help);
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s %s\n" e.Metrics.name (type_name e))
+      end;
+      match e.Metrics.data with
+      | Metrics.Counter_value v | Metrics.Gauge_value v ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %s\n" e.Metrics.name
+               (label_str e.Metrics.labels)
+               (fmt_float v))
+      | Metrics.Histogram_value h ->
+          let cum = ref 0 in
+          Array.iteri
+            (fun i c ->
+              cum := !cum + c;
+              let bound =
+                if i < Array.length h.bounds then fmt_float h.bounds.(i)
+                else "+Inf"
+              in
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket%s %d\n" e.Metrics.name
+                   (label_str ~le:bound e.Metrics.labels)
+                   !cum))
+            h.counts;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum%s %s\n" e.Metrics.name
+               (label_str e.Metrics.labels)
+               (fmt_float h.sum));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count%s %d\n" e.Metrics.name
+               (label_str e.Metrics.labels)
+               h.count))
+    entries;
+  Buffer.contents buf
+
+let entry_json (e : Metrics.entry) =
+  let labels =
+    if e.Metrics.labels = [] then []
+    else
+      [
+        ( "labels",
+          Json.Obj
+            (List.map (fun (k, v) -> (k, Json.String v)) e.Metrics.labels) );
+      ]
+  in
+  let help =
+    if e.Metrics.help = "" then [] else [ ("help", Json.String e.Metrics.help) ]
+  in
+  let payload =
+    match e.Metrics.data with
+    | Metrics.Counter_value v | Metrics.Gauge_value v ->
+        [ ("value", Json.Float v) ]
+    | Metrics.Histogram_value h ->
+        let cum = ref 0 in
+        let buckets =
+          Array.to_list
+            (Array.mapi
+               (fun i c ->
+                 cum := !cum + c;
+                 let le =
+                   if i < Array.length h.bounds then Json.Float h.bounds.(i)
+                   else Json.String "+Inf"
+                 in
+                 Json.Obj [ ("le", le); ("count", Json.Int !cum) ])
+               h.counts)
+        in
+        [
+          ("count", Json.Int h.count);
+          ("sum", Json.Float h.sum);
+          ("mean", Json.Float h.mean);
+          ("stddev", Json.Float h.stddev);
+          ("buckets", Json.List buckets);
+        ]
+  in
+  Json.Obj
+    ([ ("name", Json.String e.Metrics.name);
+       ("type", Json.String (type_name e));
+     ]
+    @ help @ labels @ payload)
+
+let json_value entries =
+  Json.Obj [ ("metrics", Json.List (List.map entry_json entries)) ]
+
+let json entries = Json.to_string (json_value entries)

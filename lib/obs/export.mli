@@ -1,0 +1,15 @@
+(** Render a metrics snapshot as Prometheus text-exposition format or as
+    JSON. *)
+
+val prometheus : Metrics.entry list -> string
+(** Text exposition format (version 0.0.4): [# HELP] / [# TYPE] comment
+    lines followed by samples; histograms expand to cumulative
+    [_bucket{le="..."}] samples plus [_sum] and [_count]. *)
+
+val json_value : Metrics.entry list -> Json.t
+(** The snapshot as a JSON value — [{"metrics": [...]}] — for embedding
+    in larger documents (the bench harness). Histogram buckets are
+    cumulative, matching the Prometheus rendering, and carry the Welford
+    [mean]/[stddev] summary. *)
+
+val json : Metrics.entry list -> string

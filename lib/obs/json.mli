@@ -1,0 +1,26 @@
+(** Minimal JSON value type and serializer — just enough for the
+    exporters and the bench harness to emit machine-readable output
+    without an external JSON dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of t_float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+and t_float = float
+(** Non-finite floats serialize as [null] (JSON has no NaN/Inf). *)
+
+val float_str : float -> string
+(** Shortest decimal form of a finite float that round-trips. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val to_channel : out_channel -> t -> unit
+(** Compact rendering followed by a newline. *)

@@ -1,0 +1,202 @@
+module W = Urs_stats.Welford
+
+type labels = (string * string) list
+
+type data =
+  | Counter of { mutable total : float }
+  | Gauge of { mutable v : float }
+  | Histogram of {
+      bounds : float array;
+      counts : int array; (* length = Array.length bounds + 1; last = +Inf *)
+      mutable sum : float;
+      mutable stats : W.t;
+    }
+
+type metric = { name : string; help : string; labels : labels; data : data }
+
+type t = { tbl : (string * labels, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let default = create ()
+
+let is_valid_name s =
+  String.length s > 0
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+         | _ -> false)
+       s
+
+let canon labels = List.sort (fun (a, _) (b, _) -> compare a b) labels
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let register registry ~name ~help ~labels ~make ~same_kind =
+  if not (is_valid_name name) then
+    invalid_arg (Printf.sprintf "Metrics: invalid metric name %S" name);
+  let labels = canon labels in
+  let key = (name, labels) in
+  match Hashtbl.find_opt registry.tbl key with
+  | Some m ->
+      if not (same_kind m.data) then
+        invalid_arg
+          (Printf.sprintf "Metrics: %s already registered as a %s" name
+             (kind_name m.data));
+      m
+  | None ->
+      let m = { name; help; labels; data = make () } in
+      Hashtbl.add registry.tbl key m;
+      m
+
+(* ---- counters ---- *)
+
+type counter = metric
+
+let counter ?(registry = default) ?(help = "") ?(labels = []) name =
+  register registry ~name ~help ~labels
+    ~make:(fun () -> Counter { total = 0.0 })
+    ~same_kind:(function Counter _ -> true | _ -> false)
+
+let inc ?(by = 1.0) (c : counter) =
+  if by < 0.0 then invalid_arg "Metrics.inc: counters only go up";
+  match c.data with
+  | Counter c -> c.total <- c.total +. by
+  | _ -> assert false
+
+let counter_value (c : counter) =
+  match c.data with Counter c -> c.total | _ -> assert false
+
+(* ---- gauges ---- *)
+
+type gauge = metric
+
+let gauge ?(registry = default) ?(help = "") ?(labels = []) name =
+  register registry ~name ~help ~labels
+    ~make:(fun () -> Gauge { v = 0.0 })
+    ~same_kind:(function Gauge _ -> true | _ -> false)
+
+let set (g : gauge) x =
+  match g.data with Gauge g -> g.v <- x | _ -> assert false
+
+let add (g : gauge) x =
+  match g.data with Gauge g -> g.v <- g.v +. x | _ -> assert false
+
+let set_max (g : gauge) x =
+  match g.data with Gauge g -> if x > g.v then g.v <- x | _ -> assert false
+
+let gauge_value (g : gauge) =
+  match g.data with Gauge g -> g.v | _ -> assert false
+
+(* ---- histograms ---- *)
+
+type histogram = metric
+
+let default_time_buckets =
+  [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0; 60.0 |]
+
+let check_bounds bounds =
+  let n = Array.length bounds in
+  if n = 0 then invalid_arg "Metrics.histogram: empty bucket bounds";
+  for i = 1 to n - 1 do
+    if bounds.(i) <= bounds.(i - 1) then
+      invalid_arg "Metrics.histogram: bucket bounds must be strictly increasing"
+  done
+
+let histogram ?(registry = default) ?(help = "") ?(labels = [])
+    ?(buckets = default_time_buckets) name =
+  check_bounds buckets;
+  register registry ~name ~help ~labels
+    ~make:(fun () ->
+      Histogram
+        {
+          bounds = Array.copy buckets;
+          counts = Array.make (Array.length buckets + 1) 0;
+          sum = 0.0;
+          stats = W.create ();
+        })
+    ~same_kind:(function Histogram _ -> true | _ -> false)
+
+let observe (h : histogram) x =
+  match h.data with
+  | Histogram h ->
+      let nb = Array.length h.bounds in
+      let i = ref 0 in
+      (* Prometheus buckets are inclusive upper bounds: x <= le *)
+      while !i < nb && x > h.bounds.(!i) do
+        incr i
+      done;
+      h.counts.(!i) <- h.counts.(!i) + 1;
+      h.sum <- h.sum +. x;
+      W.add h.stats x
+  | _ -> assert false
+
+(* ---- registry-wide operations ---- *)
+
+let reset ?(registry = default) () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m.data with
+      | Counter c -> c.total <- 0.0
+      | Gauge g -> g.v <- 0.0
+      | Histogram h ->
+          Array.fill h.counts 0 (Array.length h.counts) 0;
+          h.sum <- 0.0;
+          h.stats <- W.create ())
+    registry.tbl
+
+type snapshot_data =
+  | Counter_value of float
+  | Gauge_value of float
+  | Histogram_value of {
+      bounds : float array;
+      counts : int array;
+      sum : float;
+      count : int;
+      mean : float;
+      stddev : float;
+    }
+
+type entry = {
+  name : string;
+  help : string;
+  labels : labels;
+  data : snapshot_data;
+}
+
+let snapshot ?(registry = default) () =
+  let entries =
+    Hashtbl.fold
+      (fun _ (m : metric) acc ->
+        let data =
+          match m.data with
+          | Counter c -> Counter_value c.total
+          | Gauge g -> Gauge_value g.v
+          | Histogram h ->
+              Histogram_value
+                {
+                  bounds = Array.copy h.bounds;
+                  counts = Array.copy h.counts;
+                  sum = h.sum;
+                  count = W.count h.stats;
+                  mean = W.mean h.stats;
+                  stddev = W.std_dev h.stats;
+                }
+        in
+        { name = m.name; help = m.help; labels = m.labels; data } :: acc)
+      registry.tbl []
+  in
+  List.sort
+    (fun a b ->
+      match compare a.name b.name with 0 -> compare a.labels b.labels | c -> c)
+    entries
+
+let value ?(registry = default) ?(labels = []) name =
+  match Hashtbl.find_opt registry.tbl (name, canon labels) with
+  | Some { data = Counter c; _ } -> Some c.total
+  | Some { data = Gauge g; _ } -> Some g.v
+  | Some { data = Histogram _; _ } | None -> None

@@ -1,0 +1,108 @@
+(** Process-wide metrics registry: counters, gauges and fixed-bucket
+    histograms, in the spirit of a Prometheus client library but with no
+    external dependencies. Histograms additionally keep a
+    {!Urs_stats.Welford} accumulator so snapshots carry mean/stddev
+    summaries, not just bucket counts.
+
+    Handles are cheap records; creation functions are idempotent — the
+    same (name, labels) pair always returns the same underlying metric,
+    so instrumented modules can create their handles at load time and
+    mutate them from hot paths without hashtable lookups. The registry
+    is not thread-safe; the solvers and the simulator are
+    single-threaded.
+
+    Render a {!snapshot} with {!Export.prometheus} or {!Export.json}. *)
+
+type labels = (string * string) list
+(** Label pairs, e.g. [[("strategy", "exact")]]. Canonicalized (sorted
+    by key) at registration, so label order never distinguishes
+    metrics. *)
+
+type t
+(** A registry. *)
+
+val create : unit -> t
+(** A fresh, empty registry (tests, scoped measurements). *)
+
+val default : t
+(** The process-global registry used when [?registry] is omitted. *)
+
+val reset : ?registry:t -> unit -> unit
+(** Zero every metric in place: counters and gauges to [0.], histogram
+    buckets emptied. Existing handles remain valid (and registered) —
+    used by the bench harness to get per-section snapshots. *)
+
+(** {1 Counters} — monotonically increasing totals. *)
+
+type counter
+
+val counter : ?registry:t -> ?help:string -> ?labels:labels -> string -> counter
+val inc : ?by:float -> counter -> unit
+(** Increase the counter ([by] defaults to [1.]; negative raises
+    [Invalid_argument]). *)
+
+val counter_value : counter -> float
+
+(** {1 Gauges} — instantaneous values that can move both ways. *)
+
+type gauge
+
+val gauge : ?registry:t -> ?help:string -> ?labels:labels -> string -> gauge
+val set : gauge -> float -> unit
+val add : gauge -> float -> unit
+
+val set_max : gauge -> float -> unit
+(** Keep the running maximum — high-water marks. *)
+
+val gauge_value : gauge -> float
+
+(** {1 Histograms} — fixed cumulative-style buckets plus a Welford
+    summary. *)
+
+type histogram
+
+val default_time_buckets : float array
+(** Upper bounds suited to wall-clock durations in seconds:
+    [1e-6 .. 60]. *)
+
+val histogram :
+  ?registry:t ->
+  ?help:string ->
+  ?labels:labels ->
+  ?buckets:float array ->
+  string ->
+  histogram
+(** [buckets] are strictly increasing upper bounds (default
+    {!default_time_buckets}); an implicit [+Inf] bucket is always
+    appended. Raises [Invalid_argument] on unsorted or empty bounds. *)
+
+val observe : histogram -> float -> unit
+
+(** {1 Snapshots} *)
+
+type snapshot_data =
+  | Counter_value of float
+  | Gauge_value of float
+  | Histogram_value of {
+      bounds : float array;
+      counts : int array;  (** per-bucket (not cumulative); last = +Inf *)
+      sum : float;
+      count : int;
+      mean : float;
+      stddev : float;
+    }
+
+type entry = {
+  name : string;
+  help : string;
+  labels : labels;
+  data : snapshot_data;
+}
+
+val snapshot : ?registry:t -> unit -> entry list
+(** A consistent copy of every registered metric, sorted by name then
+    labels. Safe to take at any point. *)
+
+val value : ?registry:t -> ?labels:labels -> string -> float option
+(** Current value of a counter or gauge by name (convenience for tests
+    and assertions); [None] if absent or a histogram. *)

@@ -1,0 +1,109 @@
+let default_clock () = Unix.gettimeofday ()
+
+let clock = ref default_clock
+
+let now () = !clock ()
+
+let set_clock f = clock := f
+
+let use_default_clock () = clock := default_clock
+
+type node = {
+  name : string;
+  labels : Metrics.labels;
+  start : float;
+  mutable duration : float;
+  mutable children : node list; (* reverse completion order *)
+}
+
+let tracing = ref false
+
+let stack : node list ref = ref []
+
+let roots : node list ref = ref [] (* reverse completion order *)
+
+let root_count = ref 0
+
+let dropped = ref 0
+
+let max_roots = 16_384
+
+let reset_trace () =
+  stack := [];
+  roots := [];
+  root_count := 0;
+  dropped := 0
+
+let set_tracing b =
+  tracing := b;
+  if b then reset_trace ()
+
+let tracing_enabled () = !tracing
+
+let with_ ?registry ?(labels = []) ~name f =
+  let hist =
+    Metrics.histogram ?registry ~labels ~help:"span duration"
+      (name ^ "_seconds")
+  in
+  let t0 = now () in
+  let node =
+    if !tracing then begin
+      let n = { name; labels; start = t0; duration = 0.0; children = [] } in
+      stack := n :: !stack;
+      Some n
+    end
+    else None
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      let dt = now () -. t0 in
+      Metrics.observe hist dt;
+      match node with
+      | None -> ()
+      | Some n -> (
+          n.duration <- dt;
+          match !stack with
+          | top :: rest when top == n -> (
+              stack := rest;
+              match rest with
+              | parent :: _ -> parent.children <- n :: parent.children
+              | [] ->
+                  if !root_count >= max_roots then incr dropped
+                  else begin
+                    roots := n :: !roots;
+                    incr root_count
+                  end)
+          | _ ->
+              (* unbalanced (tracing toggled mid-span): drop the node *)
+              ()))
+    f
+
+let rec node_json n =
+  let base =
+    [
+      ("name", Json.String n.name);
+      ("start_s", Json.Float n.start);
+      ("duration_s", Json.Float n.duration);
+    ]
+  in
+  let labels =
+    if n.labels = [] then []
+    else
+      [
+        ( "labels",
+          Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) n.labels) );
+      ]
+  in
+  let children =
+    if n.children = [] then []
+    else [ ("children", Json.List (List.rev_map node_json n.children)) ]
+  in
+  Json.Obj (base @ labels @ children)
+
+let trace_json () =
+  Json.to_string
+    (Json.Obj
+       [
+         ("spans", Json.List (List.rev_map node_json !roots));
+         ("dropped", Json.Int !dropped);
+       ])

@@ -1,0 +1,44 @@
+(** Wall-clock timers and hierarchical spans.
+
+    [with_ ~name f] times [f] and records the duration into a
+    [<name>_seconds] histogram in the metrics registry (so every span is
+    also a metric). When tracing is enabled ({!set_tracing}), spans
+    additionally build a tree of timed regions — nested [with_] calls
+    become children — which {!trace_json} renders as a flame-style JSON
+    document.
+
+    The clock is pluggable ({!set_clock}) so tests can drive
+    deterministic durations. The default clock is
+    [Unix.gettimeofday]. *)
+
+val now : unit -> float
+(** Current time from the active clock, in seconds. *)
+
+val set_clock : (unit -> float) -> unit
+(** Replace the clock (tests). *)
+
+val use_default_clock : unit -> unit
+
+val set_tracing : bool -> unit
+(** Enable/disable trace-tree collection (default: disabled — metrics
+    are always recorded regardless). Enabling also clears any previous
+    trace. *)
+
+val tracing_enabled : unit -> bool
+
+val with_ :
+  ?registry:Metrics.t -> ?labels:Metrics.labels -> name:string ->
+  (unit -> 'a) -> 'a
+(** [with_ ~name f] runs [f], observing its wall-clock duration in the
+    histogram [name ^ "_seconds"] (with the given labels) even when [f]
+    raises. [name] must be a valid metric name. *)
+
+val trace_json : unit -> string
+(** The completed root spans (chronological), as JSON:
+    [{"spans": [{"name", "labels", "start_s", "duration_s",
+    "children": [...]}, ...], "dropped": n}]. Roots are capped at an
+    internal limit; [dropped] counts the excess. *)
+
+val reset_trace : unit -> unit
+(** Drop all completed spans (the open-span stack survives only within
+    [with_], so this is safe at any quiescent point). *)

@@ -1,15 +1,33 @@
-type t = { mutable clock : float; events : (t -> unit) Event_heap.t }
+module Metrics = Urs_obs.Metrics
 
-let create () = { clock = 0.0; events = Event_heap.create () }
+let m_events =
+  Metrics.counter ~help:"Simulation events processed" "urs_sim_events_total"
+
+let m_heap_hwm =
+  Metrics.gauge ~help:"Event-heap high-water mark (process-wide)"
+    "urs_sim_event_heap_high_water"
+
+type t = {
+  mutable clock : float;
+  events : (t -> unit) Event_heap.t;
+  mutable processed : int;
+  mutable heap_max : int;
+}
+
+let create () =
+  { clock = 0.0; events = Event_heap.create (); processed = 0; heap_max = 0 }
 
 let now e = e.clock
 
 let schedule e ~delay f =
   if delay < 0.0 || Float.is_nan delay then
     invalid_arg "Engine.schedule: negative delay";
-  Event_heap.push e.events ~time:(e.clock +. delay) f
+  Event_heap.push e.events ~time:(e.clock +. delay) f;
+  let sz = Event_heap.size e.events in
+  if sz > e.heap_max then e.heap_max <- sz
 
 let run_until e deadline =
+  let before = e.processed in
   let continue_loop = ref true in
   while !continue_loop do
     match Event_heap.peek_time e.events with
@@ -17,10 +35,17 @@ let run_until e deadline =
         match Event_heap.pop e.events with
         | Some (time, f) ->
             e.clock <- time;
+            e.processed <- e.processed + 1;
             f e
         | None -> continue_loop := false)
     | Some _ | None -> continue_loop := false
   done;
-  e.clock <- deadline
+  e.clock <- deadline;
+  Metrics.inc ~by:(float_of_int (e.processed - before)) m_events;
+  Metrics.set_max m_heap_hwm (float_of_int e.heap_max)
 
 let pending e = Event_heap.size e.events
+
+let events_processed e = e.processed
+
+let heap_high_water e = e.heap_max

@@ -20,3 +20,12 @@ val run_until : t -> float -> unit
 
 val pending : t -> int
 (** Number of scheduled events. *)
+
+val events_processed : t -> int
+(** Events executed so far by this engine. Also accumulated into the
+    [urs_sim_events_total] counter (flushed at the end of each
+    {!run_until}). *)
+
+val heap_high_water : t -> int
+(** Largest event-list size seen by this engine; the process-wide
+    maximum is kept in the [urs_sim_event_heap_high_water] gauge. *)

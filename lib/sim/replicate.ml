@@ -1,3 +1,10 @@
+module Metrics = Urs_obs.Metrics
+module Span = Urs_obs.Span
+
+let m_replications =
+  Metrics.counter ~help:"Simulation replications completed"
+    "urs_sim_replications_total"
+
 type interval = { estimate : float; half_width : float }
 
 type summary = {
@@ -25,8 +32,15 @@ let run ?(seed = 1) ?(replications = 10) ?(confidence = 0.95) ?warmup ~duration
   let results =
     Array.init replications (fun _ ->
         let rep_seed = Int64.to_int (Urs_prob.Rng.bits64 master) land 0x3FFFFFFF in
-        Server_farm.run ~seed:rep_seed ?warmup ~track_responses:false ~duration
-          cfg)
+        (* one span per replication: urs_sim_replication_seconds is the
+           per-replication wall-time histogram *)
+        Span.with_ ~name:"urs_sim_replication" (fun () ->
+            let r =
+              Server_farm.run ~seed:rep_seed ?warmup ~track_responses:false
+                ~duration cfg
+            in
+            Metrics.inc m_replications;
+            r))
   in
   let pick f = Array.map f results in
   {

@@ -1,5 +1,26 @@
 module D = Urs_prob.Distribution
 module Rng = Urs_prob.Rng
+module Metrics = Urs_obs.Metrics
+
+let m_arrivals =
+  Metrics.counter ~help:"Jobs arrived across all simulation runs"
+    "urs_sim_arrivals_total"
+
+let m_completions =
+  Metrics.counter ~help:"Jobs completed across all simulation runs"
+    "urs_sim_completions_total"
+
+let m_breakdowns =
+  Metrics.counter ~help:"Server breakdowns across all simulation runs"
+    "urs_sim_breakdowns_total"
+
+let m_preemptions =
+  Metrics.counter ~help:"Jobs preempted by a breakdown mid-service"
+    "urs_sim_preemptions_total"
+
+let m_repairs =
+  Metrics.counter ~help:"Server repairs completed across all simulation runs"
+    "urs_sim_repairs_total"
 
 type config = {
   servers : int;
@@ -89,6 +110,7 @@ and completion st eng srv epoch =
   if srv.epoch = epoch then begin
     match srv.current with
     | Some (job, _) ->
+        Metrics.inc m_completions;
         srv.current <- None;
         srv.epoch <- srv.epoch + 1;
         st.in_system <- st.in_system - 1;
@@ -100,11 +122,13 @@ and completion st eng srv epoch =
 
 let rec breakdown st eng srv =
   let now = Engine.now eng in
+  Metrics.inc m_breakdowns;
   srv.operative <- false;
   srv.epoch <- srv.epoch + 1;
   (match srv.current with
   | Some (job, started) ->
       (* preempt: the job keeps its residual work and rejoins the front *)
+      Metrics.inc m_preemptions;
       job.remaining <- Float.max 0.0 (job.remaining -. (now -. started));
       srv.current <- None;
       Deque.push_front st.queue job
@@ -123,6 +147,7 @@ and start_repair st eng srv =
     (fun eng -> repair st eng srv)
 
 and repair st eng srv =
+  Metrics.inc m_repairs;
   srv.operative <- true;
   Collector.record_operative st.coll ~now:(Engine.now eng) (operative_count st);
   Engine.schedule eng ~delay:(sample_positive st.rng st.cfg.operative)
@@ -135,6 +160,7 @@ and repair st eng srv =
 
 let rec arrival st eng =
   let now = Engine.now eng in
+  Metrics.inc m_arrivals;
   let job = { arrived = now; remaining = Rng.exponential st.rng st.cfg.mu } in
   st.in_system <- st.in_system + 1;
   Collector.set_jobs st.coll ~now st.in_system;

@@ -1,0 +1,386 @@
+(* Tests for the observability layer: metric registry semantics
+   (counters, gauges, histograms, label canonicalization, reset),
+   span timing and trace trees under a deterministic clock, the
+   Prometheus and JSON exporters (golden outputs), and a regression
+   pinning the metrics recorded by a spectral solve of the paper's
+   model. *)
+
+module Metrics = Urs_obs.Metrics
+module Span = Urs_obs.Span
+module Export = Urs_obs.Export
+module Json = Urs_obs.Json
+
+let check_float ?(tol = 1e-9) msg expected actual =
+  if abs_float (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let check_contains msg hay needle =
+  if not (contains hay needle) then
+    Alcotest.failf "%s: %S not found in %S" msg needle hay
+
+type hsnap = {
+  counts : int array;
+  count : int;
+  sum : float;
+  mean : float;
+  stddev : float;
+}
+
+let find_histogram snap name =
+  match
+    List.find_opt (fun e -> e.Metrics.name = name && e.Metrics.labels = []) snap
+  with
+  | Some { Metrics.data = Metrics.Histogram_value h; _ } ->
+      { counts = h.counts; count = h.count; sum = h.sum; mean = h.mean;
+        stddev = h.stddev }
+  | _ -> Alcotest.failf "missing histogram %s" name
+
+(* ---- counters ---- *)
+
+let test_counter_semantics () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r "frobs_total" in
+  check_float "starts at zero" 0.0 (Metrics.counter_value c);
+  Metrics.inc c;
+  Metrics.inc ~by:2.5 c;
+  check_float "accumulates" 3.5 (Metrics.counter_value c);
+  (match Metrics.inc ~by:(-1.0) c with
+  | () -> Alcotest.fail "negative increment should raise"
+  | exception Invalid_argument _ -> ());
+  check_float "unchanged after bad inc" 3.5 (Metrics.counter_value c)
+
+let test_registration_idempotent () =
+  let r = Metrics.create () in
+  let a = Metrics.counter ~registry:r "calls_total" in
+  let b = Metrics.counter ~registry:r "calls_total" in
+  Metrics.inc a;
+  Metrics.inc b;
+  (* both handles address the same underlying metric *)
+  check_float "shared" 2.0 (Metrics.counter_value a);
+  (* re-registering under a different kind is an error *)
+  (match Metrics.gauge ~registry:r "calls_total" with
+  | _ -> Alcotest.fail "kind mismatch should raise"
+  | exception Invalid_argument _ -> ())
+
+let test_label_canonicalization () =
+  let r = Metrics.create () in
+  let a =
+    Metrics.counter ~registry:r ~labels:[ ("b", "2"); ("a", "1") ] "l_total"
+  in
+  let b =
+    Metrics.counter ~registry:r ~labels:[ ("a", "1"); ("b", "2") ] "l_total"
+  in
+  Metrics.inc a;
+  Metrics.inc b;
+  check_float "label order irrelevant" 2.0 (Metrics.counter_value a);
+  check_float "lookup by either order" 2.0
+    (Option.get (Metrics.value ~registry:r ~labels:[ ("b", "2"); ("a", "1") ]
+                   "l_total"))
+
+let test_invalid_name () =
+  let r = Metrics.create () in
+  match Metrics.counter ~registry:r "1bad name" with
+  | _ -> Alcotest.fail "invalid metric name should raise"
+  | exception Invalid_argument _ -> ()
+
+(* ---- gauges ---- *)
+
+let test_gauge_semantics () =
+  let r = Metrics.create () in
+  let g = Metrics.gauge ~registry:r "temp" in
+  check_float "starts at zero" 0.0 (Metrics.gauge_value g);
+  Metrics.set g 5.0;
+  Metrics.add g (-2.0);
+  check_float "set/add" 3.0 (Metrics.gauge_value g);
+  Metrics.set_max g 10.0;
+  Metrics.set_max g 4.0;
+  check_float "high-water mark" 10.0 (Metrics.gauge_value g)
+
+(* ---- histograms ---- *)
+
+let test_histogram_semantics () =
+  let r = Metrics.create () in
+  let h =
+    Metrics.histogram ~registry:r ~buckets:[| 1.0; 2.0 |] "lat_seconds"
+  in
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 1.5; 9.0 ];
+  let v = find_histogram (Metrics.snapshot ~registry:r ()) "lat_seconds" in
+  (* upper bounds are inclusive, Prometheus-style: 1.0 lands in le="1" *)
+  Alcotest.(check (array int)) "per-bucket counts" [| 2; 1; 1 |] v.counts;
+  Alcotest.(check int) "count" 4 v.count;
+  check_float "sum" 12.0 v.sum;
+  check_float "mean" 3.0 v.mean;
+  (* sample stddev of {0.5, 1.0, 1.5, 9.0}: sqrt(48.5/3) *)
+  check_float ~tol:1e-9 "stddev" (sqrt (48.5 /. 3.0)) v.stddev
+
+let test_histogram_bad_buckets () =
+  let r = Metrics.create () in
+  (match Metrics.histogram ~registry:r ~buckets:[||] "e_seconds" with
+  | _ -> Alcotest.fail "empty buckets should raise"
+  | exception Invalid_argument _ -> ());
+  match Metrics.histogram ~registry:r ~buckets:[| 2.0; 1.0 |] "u_seconds" with
+  | _ -> Alcotest.fail "unsorted buckets should raise"
+  | exception Invalid_argument _ -> ()
+
+(* ---- reset ---- *)
+
+let test_reset_keeps_handles () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r "r_total" in
+  let g = Metrics.gauge ~registry:r "r_gauge" in
+  let h = Metrics.histogram ~registry:r ~buckets:[| 1.0 |] "r_seconds" in
+  Metrics.inc ~by:7.0 c;
+  Metrics.set g 3.0;
+  Metrics.observe h 0.5;
+  Metrics.reset ~registry:r ();
+  check_float "counter zeroed" 0.0 (Metrics.counter_value c);
+  check_float "gauge zeroed" 0.0 (Metrics.gauge_value g);
+  let v = find_histogram (Metrics.snapshot ~registry:r ()) "r_seconds" in
+  Alcotest.(check int) "histogram emptied" 0 v.count;
+  (* stale handles keep working after reset *)
+  Metrics.inc c;
+  check_float "handle alive" 1.0 (Metrics.counter_value c)
+
+let test_value_lookup () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r "v_total" in
+  Metrics.inc c;
+  let _ = Metrics.histogram ~registry:r ~buckets:[| 1.0 |] "v_seconds" in
+  Alcotest.(check (option (float 1e-12)))
+    "counter" (Some 1.0)
+    (Metrics.value ~registry:r "v_total");
+  Alcotest.(check (option (float 1e-12)))
+    "histogram is None" None
+    (Metrics.value ~registry:r "v_seconds");
+  Alcotest.(check (option (float 1e-12)))
+    "absent is None" None
+    (Metrics.value ~registry:r "nope_total")
+
+(* ---- spans ---- *)
+
+let with_fake_clock f =
+  let t = ref 0.0 in
+  Span.set_clock (fun () -> !t);
+  Fun.protect
+    ~finally:(fun () ->
+      Span.use_default_clock ();
+      Span.set_tracing false)
+    (fun () -> f t)
+
+let test_span_records_duration () =
+  with_fake_clock @@ fun t ->
+  let r = Metrics.create () in
+  let result =
+    Span.with_ ~registry:r ~name:"outer" (fun () ->
+        t := !t +. 1.0;
+        Span.with_ ~registry:r ~name:"inner" (fun () ->
+            t := !t +. 0.25;
+            42))
+  in
+  Alcotest.(check int) "result threaded through" 42 result;
+  let snap = Metrics.snapshot ~registry:r () in
+  let outer = find_histogram snap "outer_seconds" in
+  let inner = find_histogram snap "inner_seconds" in
+  check_float "outer duration" 1.25 outer.sum;
+  check_float "inner duration" 0.25 inner.sum;
+  Alcotest.(check int) "one observation each" 1 outer.count;
+  Alcotest.(check int) "one observation each" 1 inner.count
+
+let test_span_exception_safe () =
+  with_fake_clock @@ fun t ->
+  let r = Metrics.create () in
+  (try
+     Span.with_ ~registry:r ~name:"boom" (fun () ->
+         t := !t +. 0.5;
+         failwith "bang")
+   with Failure _ -> ());
+  let v = find_histogram (Metrics.snapshot ~registry:r ()) "boom_seconds" in
+  Alcotest.(check int) "recorded despite raise" 1 v.count;
+  check_float "duration" 0.5 v.sum
+
+let test_span_trace_tree () =
+  with_fake_clock @@ fun t ->
+  let r = Metrics.create () in
+  Span.set_tracing true;
+  Span.with_ ~registry:r ~name:"root" (fun () ->
+      t := !t +. 1.0;
+      Span.with_ ~registry:r ~name:"child"
+        ~labels:[ ("stage", "x") ]
+        (fun () -> t := !t +. 0.5));
+  let trace = Span.trace_json () in
+  check_contains "root span" trace "\"name\":\"root\"";
+  check_contains "nested child" trace
+    "\"children\":[{\"name\":\"child\"";
+  check_contains "child labels" trace "\"labels\":{\"stage\":\"x\"}";
+  check_contains "nothing dropped" trace "\"dropped\":0";
+  (* disabling tracing clears nothing; re-enabling starts fresh *)
+  Span.set_tracing false;
+  Span.set_tracing true;
+  check_contains "cleared on enable" (Span.trace_json ()) "\"spans\":[]"
+
+let test_tracing_disabled_still_measures () =
+  with_fake_clock @@ fun t ->
+  let r = Metrics.create () in
+  Alcotest.(check bool) "tracing off by default" false (Span.tracing_enabled ());
+  Span.with_ ~registry:r ~name:"quiet" (fun () -> t := !t +. 2.0);
+  let v = find_histogram (Metrics.snapshot ~registry:r ()) "quiet_seconds" in
+  check_float "metric recorded without tracing" 2.0 v.sum;
+  check_contains "no trace collected" (Span.trace_json ()) "\"spans\":[]"
+
+(* ---- JSON serializer ---- *)
+
+let test_json_render () =
+  let check msg expected v =
+    Alcotest.(check string) msg expected (Json.to_string v)
+  in
+  check "escaping" {|"a\"b\\c\nd"|} (Json.String "a\"b\\c\nd");
+  check "control chars" {|"\u0001"|} (Json.String "\001");
+  check "non-finite floats are null" "null" (Json.Float nan);
+  check "round-trip float" "0.1" (Json.Float 0.1);
+  check "list" "[1,true,null]" (Json.List [ Json.Int 1; Json.Bool true; Json.Null ]);
+  check "object" {|{"a":1,"b":[]}|}
+    (Json.Obj [ ("a", Json.Int 1); ("b", Json.List []) ])
+
+(* ---- exporters ---- *)
+
+let golden_registry () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r ~help:"Total frobs" "frobs_total" in
+  Metrics.inc ~by:3.0 c;
+  let g =
+    Metrics.gauge ~registry:r ~help:"Temperature"
+      ~labels:[ ("site", "lab") ]
+      "temp"
+  in
+  Metrics.set g 1.5;
+  let h =
+    Metrics.histogram ~registry:r ~help:"Latency" ~buckets:[| 1.0; 2.0 |]
+      "lat_seconds"
+  in
+  List.iter (Metrics.observe h) [ 0.5; 1.5; 9.0 ];
+  r
+
+let test_prometheus_golden () =
+  let expected =
+    "# HELP frobs_total Total frobs\n\
+     # TYPE frobs_total counter\n\
+     frobs_total 3\n\
+     # HELP lat_seconds Latency\n\
+     # TYPE lat_seconds histogram\n\
+     lat_seconds_bucket{le=\"1\"} 1\n\
+     lat_seconds_bucket{le=\"2\"} 2\n\
+     lat_seconds_bucket{le=\"+Inf\"} 3\n\
+     lat_seconds_sum 11\n\
+     lat_seconds_count 3\n\
+     # HELP temp Temperature\n\
+     # TYPE temp gauge\n\
+     temp{site=\"lab\"} 1.5\n"
+  in
+  Alcotest.(check string) "prometheus text" expected
+    (Export.prometheus (Metrics.snapshot ~registry:(golden_registry ()) ()))
+
+let test_prometheus_label_escaping () =
+  let r = Metrics.create () in
+  let c =
+    Metrics.counter ~registry:r ~labels:[ ("p", "a\"b\\c\nd") ] "esc_total"
+  in
+  Metrics.inc c;
+  check_contains "escaped label value"
+    (Export.prometheus (Metrics.snapshot ~registry:r ()))
+    {|esc_total{p="a\"b\\c\nd"} 1|}
+
+let test_json_golden () =
+  let r = Metrics.create () in
+  Metrics.inc (Metrics.counter ~registry:r "hits_total");
+  Alcotest.(check string)
+    "json export"
+    {|{"metrics":[{"name":"hits_total","type":"counter","value":1}]}|}
+    (Export.json (Metrics.snapshot ~registry:r ()));
+  (* histogram buckets render cumulative, like the Prometheus text *)
+  let j = Export.json (Metrics.snapshot ~registry:(golden_registry ()) ()) in
+  check_contains "cumulative buckets" j
+    {|"buckets":[{"le":1,"count":1},{"le":2,"count":2},{"le":"+Inf","count":3}]|};
+  check_contains "welford summary" j {|"mean":3.6666666666666665|}
+
+(* ---- regression: metrics recorded by a spectral solve ---- *)
+
+let test_spectral_solve_metrics () =
+  let m =
+    Urs.Model.create ~servers:5 ~arrival_rate:3.0 ~service_rate:1.0
+      ~operative:Urs.Model.paper_operative
+      ~inoperative:Urs.Model.paper_inoperative_exp ()
+  in
+  let q =
+    match Urs.Model.qbd m with
+    | Some q -> q
+    | None -> Alcotest.fail "paper model should be phase-type"
+  in
+  (match Urs_mmq.Spectral.solve q with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "solve failed: %a" Urs_mmq.Spectral.pp_error e);
+  (* N=5 servers in a 3-phase environment (2 operative + 1 repair) give
+     C(5+2,2) = 21 states, hence 21 eigenvalues inside the unit disk *)
+  Alcotest.(check (option (float 1e-12)))
+    "eigenvalue-count gauge" (Some 21.0)
+    (Metrics.value "urs_spectral_eigenvalues");
+  (match Metrics.value "urs_spectral_residual" with
+  | Some resid ->
+      if not (resid >= 0.0 && resid < 1e-8) then
+        Alcotest.failf "balance residual %g not in [0, 1e-8)" resid
+  | None -> Alcotest.fail "missing urs_spectral_residual gauge");
+  (match Metrics.value "urs_qr_sweeps_total" with
+  | Some sweeps when sweeps > 0.0 -> ()
+  | v ->
+      Alcotest.failf "urs_qr_sweeps_total should be positive, got %s"
+        (match v with Some x -> string_of_float x | None -> "absent"));
+  match Metrics.value "urs_spectral_lu_factorizations_total" with
+  | Some lu when lu > 0.0 -> ()
+  | _ -> Alcotest.fail "urs_spectral_lu_factorizations_total should be positive"
+
+let () =
+  Alcotest.run "urs_obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter semantics" `Quick test_counter_semantics;
+          Alcotest.test_case "idempotent registration" `Quick
+            test_registration_idempotent;
+          Alcotest.test_case "label canonicalization" `Quick
+            test_label_canonicalization;
+          Alcotest.test_case "invalid name" `Quick test_invalid_name;
+          Alcotest.test_case "gauge semantics" `Quick test_gauge_semantics;
+          Alcotest.test_case "histogram semantics" `Quick
+            test_histogram_semantics;
+          Alcotest.test_case "bad buckets" `Quick test_histogram_bad_buckets;
+          Alcotest.test_case "reset keeps handles" `Quick
+            test_reset_keeps_handles;
+          Alcotest.test_case "value lookup" `Quick test_value_lookup;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "records duration" `Quick
+            test_span_records_duration;
+          Alcotest.test_case "exception safe" `Quick test_span_exception_safe;
+          Alcotest.test_case "trace tree" `Quick test_span_trace_tree;
+          Alcotest.test_case "tracing off still measures" `Quick
+            test_tracing_disabled_still_measures;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "json rendering" `Quick test_json_render;
+          Alcotest.test_case "prometheus golden" `Quick test_prometheus_golden;
+          Alcotest.test_case "prometheus label escaping" `Quick
+            test_prometheus_label_escaping;
+          Alcotest.test_case "json golden" `Quick test_json_golden;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "spectral solve metrics" `Quick
+            test_spectral_solve_metrics;
+        ] );
+    ]
