@@ -1,6 +1,6 @@
 # Convenience targets; `make ci` is what the CI workflow runs.
 
-.PHONY: all build test bench fmt smoke ci clean
+.PHONY: all build test bench fmt smoke doctor-smoke serve-smoke ci clean
 
 all: build
 
@@ -25,13 +25,23 @@ fmt:
 # End-to-end observability smoke test: a solve must emit a Prometheus
 # snapshot containing the headline instrumentation.
 smoke:
-	dune exec bin/urs_cli.exe -- solve --metrics - > /tmp/urs_metrics.prom
+	dune exec bin/urs_cli.exe -- solve --metrics - \
+	  --ledger /tmp/urs_smoke_ledger.jsonl > /tmp/urs_metrics.prom
 	grep -q '^urs_spectral_solve_seconds' /tmp/urs_metrics.prom
 	grep -q '^urs_spectral_eigenvalues'   /tmp/urs_metrics.prom
 	grep -q '^urs_sim_events_total'       /tmp/urs_metrics.prom
+	grep -q '"kind":"solver.evaluate"'    /tmp/urs_smoke_ledger.jsonl
 	@echo "smoke: ok"
 
-ci: fmt build test smoke
+# The quick health grid must not come back SUSPECT (exit code 1 if so).
+doctor-smoke:
+	dune exec bin/urs_cli.exe -- doctor --quick
+
+# The HTTP exporter must answer /metrics, /healthz and /runs.
+serve-smoke: build
+	sh scripts/serve_smoke.sh
+
+ci: fmt build test smoke doctor-smoke serve-smoke
 
 clean:
 	dune clean

@@ -489,7 +489,13 @@ let sections : (string * string * (unit -> unit)) list =
    final metrics snapshot are accumulated and written to
    BENCH_solvers.json so solver behaviour (QR sweeps, LU counts,
    simulation event totals, per-stage histograms) can be compared
-   across commits. *)
+   across commits. Zero-valued series are dropped from the snapshot —
+   they carry no information and triple the file size.
+
+   The run also journals to BENCH_ledger.jsonl: every solver call made
+   while reproducing the figures appends its own record, and a
+   "bench.section" record closes each section, so any individual sweep
+   point can be traced back (and re-run) from the journal. *)
 
 let bench_records : (string * float * Json.t) list ref = ref []
 
@@ -498,8 +504,12 @@ let run_section name f =
   let t0 = Span.now () in
   f ();
   let seconds = Span.now () -. t0 in
+  Urs_obs.Ledger.record ~kind:"bench.section"
+    ~params:[ ("section", Json.String name) ]
+    ~wall_seconds:seconds ();
   bench_records :=
-    (name, seconds, Export.json_value (Metrics.snapshot ())) :: !bench_records
+    (name, seconds, Export.json_value ~skip_zero:true (Metrics.snapshot ()))
+    :: !bench_records
 
 let write_bench_json path =
   let sections =
@@ -527,6 +537,9 @@ let () =
     | Some (Error _) | None -> Some Logs.Warning);
   let args = List.tl (Array.to_list Sys.argv) in
   (match args with
+  | [ "list" ] -> ()
+  | _ -> Urs_obs.Ledger.open_file ~truncate:true "BENCH_ledger.jsonl");
+  (match args with
   | [] | [ "all" ] ->
       List.iter (fun (name, _, f) -> run_section name f) sections;
       Format.printf "@.all sections complete.@."
@@ -542,4 +555,5 @@ let () =
               Format.printf "unknown section %S (try: list)@." name;
               exit 1)
         names);
+  Urs_obs.Ledger.close ();
   if !bench_records <> [] then write_bench_json "BENCH_solvers.json"

@@ -16,6 +16,8 @@ type obs = {
   metrics : string option;
   format : [ `Prometheus | `Json ];
   trace : string option;
+  ledger : string option;
+  serve : int option;
 }
 
 let setup_logs verbose =
@@ -64,11 +66,65 @@ let dump_obs obs =
   | None -> ()
   | Some path -> write path (Urs_obs.Span.trace_json () ^ "\n")
 
+(* ---- HTTP routes shared by `urs serve` and --serve-metrics ---- *)
+
+let health_response () =
+  (* the doctor verdict gauge, when a doctor run has happened in this
+     process; load balancers read the status code, humans the body *)
+  match
+    Urs_obs.Metrics.value
+      ~labels:[ ("component", "doctor") ]
+      "urs_health_status"
+  with
+  | None -> Urs_obs.Http.respond "unknown (no doctor run yet)\n"
+  | Some v ->
+      let label =
+        if v = 0.0 then "ok" else if v = 1.0 then "degraded" else "suspect"
+      in
+      Urs_obs.Http.respond
+        ~status:(if v < 2.0 then 200 else 503)
+        (label ^ "\n")
+
+let runs_response () =
+  let records = Urs_obs.Ledger.recent ~limit:100 () in
+  Urs_obs.Http.respond ~content_type:"application/json"
+    (Urs_obs.Json.to_string
+       (Urs_obs.Json.List (List.map Urs_obs.Ledger.to_json records))
+    ^ "\n")
+
+let standard_routes =
+  [
+    ( "/metrics",
+      fun () ->
+        Urs_obs.Http.respond ~content_type:"text/plain; version=0.0.4"
+          (Urs_obs.Export.prometheus (Urs_obs.Metrics.snapshot ())) );
+    ("/healthz", health_response);
+    ("/runs", runs_response);
+  ]
+
 (* dump on the way out even if the command fails, so a crashed run still
    leaves its metrics behind *)
 let with_obs obs f =
   if obs.trace <> None then Urs_obs.Span.set_tracing true;
-  Fun.protect ~finally:(fun () -> dump_obs obs) f
+  (match obs.ledger with
+  | Some path -> Urs_obs.Ledger.open_file path
+  | None -> ());
+  let server =
+    match obs.serve with
+    | None -> None
+    | Some port ->
+        Urs_obs.Ledger.set_memory true;
+        let s = Urs_obs.Http.start ~port ~routes:standard_routes () in
+        Format.eprintf "urs: live metrics on http://127.0.0.1:%d/metrics@."
+          (Urs_obs.Http.port s);
+        Some s
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      dump_obs obs;
+      Option.iter Urs_obs.Http.stop server;
+      Urs_obs.Ledger.close ())
+    f
 
 let obs_t =
   let verbose =
@@ -109,11 +165,30 @@ let obs_t =
             "Collect a hierarchical span trace during the run and write it \
              as flame-style JSON to $(docv) ('-' for stdout).")
   in
-  let make verbose metrics format trace =
-    setup_logs (List.length verbose);
-    { metrics; format; trace }
+  let ledger =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ledger" ] ~docv:"FILE"
+          ~doc:
+            "Append one JSONL record per solver call, sweep point and \
+             simulation replication to $(docv) (the run ledger; see the \
+             README).")
   in
-  Term.(const make $ verbose $ metrics $ format $ trace)
+  let serve =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "serve-metrics" ] ~docv:"PORT"
+          ~doc:
+            "While the command runs, serve live /metrics, /healthz and /runs \
+             on 127.0.0.1:$(docv) (0 picks an ephemeral port).")
+  in
+  let make verbose metrics format trace ledger serve =
+    setup_logs (List.length verbose);
+    { metrics; format; trace; ledger; serve }
+  in
+  Term.(const make $ verbose $ metrics $ format $ trace $ ledger $ serve)
 
 (* ---- shared argument parsing ---- *)
 
@@ -416,6 +491,62 @@ let fit_cmd =
        ~doc:"Run the Section-2 pipeline on an event log: clean, fit, KS-test.")
     Term.(ret (const run $ obs_t $ path $ significance))
 
+(* ---- doctor ---- *)
+
+let doctor_cmd =
+  let run obs quick =
+    with_obs obs @@ fun () ->
+    let report = Urs.Doctor.run ~quick () in
+    Format.printf "%a@." Urs.Doctor.pp_report report;
+    match Urs.Doctor.verdict report with
+    | Urs_mmq.Diagnostics.Suspect _ ->
+        `Error (false, "numerical health checks came back SUSPECT")
+    | _ -> `Ok ()
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Single model, short simulation — a CI-friendly smoke check.")
+  in
+  Cmd.v
+    (Cmd.info "doctor"
+       ~doc:
+         "Numerical self-diagnosis: cross-check the exact, matrix-geometric, \
+          approximate and simulation methods on paper models and score \
+          residuals, conditioning and confidence intervals. Exits nonzero \
+          only on a SUSPECT verdict.")
+    Term.(ret (const run $ obs_t $ quick))
+
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let run obs port =
+    with_obs obs @@ fun () ->
+    Urs_obs.Ledger.set_memory true;
+    Format.printf "urs: running quick doctor self-check...@.";
+    let report = Urs.Doctor.run ~quick:true () in
+    Format.printf "%a@." Urs.Doctor.pp_report report;
+    let server = Urs_obs.Http.start ~port ~routes:standard_routes () in
+    Format.printf
+      "urs: serving http://127.0.0.1:%d (/metrics /healthz /runs) — Ctrl-C \
+       to stop@."
+      (Urs_obs.Http.port server);
+    Urs_obs.Http.wait server
+  in
+  let port =
+    Arg.(
+      value & opt int 9090
+      & info [ "p"; "port" ] ~doc:"Listen port (0 picks an ephemeral port).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a quick doctor self-check, then serve /metrics (Prometheus), \
+          /healthz (doctor verdict; 503 when suspect) and /runs (recent \
+          ledger records, JSON) over HTTP until interrupted.")
+    Term.(const run $ obs_t $ port)
+
 let () =
   let info =
     Cmd.info "urs" ~version:"1.0.0"
@@ -424,6 +555,6 @@ let () =
   let group =
     Cmd.group info
       [ solve_cmd; stability_cmd; optimize_cmd; capacity_cmd; simulate_cmd;
-        metrics_cmd; dataset_cmd; fit_cmd ]
+        metrics_cmd; dataset_cmd; fit_cmd; doctor_cmd; serve_cmd ]
   in
   exit (Cmd.eval group)

@@ -1,0 +1,234 @@
+(* Cross-checks the four evaluation methods against each other on a
+   small grid of paper models and folds every numerical-health probe
+   into one verdict. This is what `urs doctor` runs and what the
+   /healthz endpoint of `urs serve` reports. *)
+
+module Mq = Urs_mmq
+module Diagnostics = Urs_mmq.Diagnostics
+module Metrics = Urs_obs.Metrics
+module Span = Urs_obs.Span
+module Ledger = Urs_obs.Ledger
+module Json = Urs_obs.Json
+
+type check = {
+  name : string;
+  value : float;
+  detail : string;
+  verdict : Diagnostics.verdict;
+}
+
+type report = { checks : check list; verdict : Diagnostics.verdict }
+
+let verdict r = r.verdict
+
+let paper_model ~servers ~lambda =
+  Model.create ~servers ~arrival_rate:lambda ~service_rate:1.0
+    ~operative:Model.paper_operative ~inoperative:Model.paper_inoperative_exp
+    ()
+
+(* the approximation is only asymptotically exact as load -> 1, and its
+   error grows roughly with the distance from saturation; grade against
+   a band proportional to (1 - utilization) — loose enough for honest
+   low-load error, tight enough to catch sign errors and unit mix-ups *)
+let grade_approx ~label ~utilization delta =
+  let band = Float.max 0.2 (3.0 *. (1.0 -. utilization)) in
+  if Float.is_nan delta then
+    Diagnostics.Suspect [ label ^ ": non-finite approximation delta" ]
+  else if delta > 3.0 *. band then
+    Diagnostics.Suspect
+      [ Printf.sprintf "%s: approximation off by %.0f%%" label (100. *. delta) ]
+  else if delta > band then
+    Diagnostics.Degraded
+      [ Printf.sprintf "%s: approximation off by %.0f%%" label (100. *. delta) ]
+  else Diagnostics.Ok
+
+let check_model ?thresholds ?sim model =
+  let name =
+    Printf.sprintf "N=%d lambda=%g" model.Model.servers
+      model.Model.arrival_rate
+  in
+  match Model.qbd model with
+  | None ->
+      [
+        {
+          name;
+          value = nan;
+          detail = "not phase-type";
+          verdict = Diagnostics.Suspect [ name ^ ": model not phase-type" ];
+        };
+      ]
+  | Some q -> (
+      match Mq.Spectral.solve q with
+      | Error e ->
+          let msg = Format.asprintf "%a" Mq.Spectral.pp_error e in
+          [
+            {
+              name = name ^ " spectral";
+              value = nan;
+              detail = msg;
+              verdict = Diagnostics.Suspect [ name ^ ": " ^ msg ];
+            };
+          ]
+      | Ok sol ->
+          let rep = Diagnostics.check_spectral ?thresholds sol in
+          Diagnostics.observe_spectral rep;
+          let exact_l = Mq.Spectral.mean_queue_length sol in
+          let spectral_check =
+            {
+              name = name ^ " spectral";
+              value = rep.Diagnostics.balance_residual;
+              detail = Format.asprintf "%a" Diagnostics.pp_spectral_report rep;
+              verdict = rep.Diagnostics.verdict;
+            }
+          in
+          let mg_check =
+            match Mq.Matrix_geometric.solve q with
+            | Error e ->
+                let msg = Format.asprintf "%a" Mq.Matrix_geometric.pp_error e in
+                {
+                  name = name ^ " exact-vs-mg";
+                  value = nan;
+                  detail = msg;
+                  verdict = Diagnostics.Suspect [ name ^ " mg: " ^ msg ];
+                }
+            | Ok mg ->
+                let d, v =
+                  Diagnostics.check_exact_pair ?thresholds
+                    ~label:(name ^ ": spectral vs matrix-geometric L")
+                    exact_l
+                    (Mq.Matrix_geometric.mean_queue_length mg)
+                in
+                {
+                  name = name ^ " exact-vs-mg";
+                  value = d;
+                  detail = Printf.sprintf "relative delta %.2e" d;
+                  verdict = v;
+                }
+          in
+          let approx_check =
+            match Mq.Geometric.solve q with
+            | Error e ->
+                let msg = Format.asprintf "%a" Mq.Geometric.pp_error e in
+                {
+                  name = name ^ " exact-vs-approx";
+                  value = nan;
+                  detail = msg;
+                  verdict = Diagnostics.Suspect [ name ^ " approx: " ^ msg ];
+                }
+            | Ok g ->
+                let d =
+                  Diagnostics.relative_delta exact_l
+                    (Mq.Geometric.mean_queue_length g)
+                in
+                {
+                  name = name ^ " exact-vs-approx";
+                  value = d;
+                  detail = Printf.sprintf "relative delta %.2e" d;
+                  verdict =
+                    grade_approx ~label:name
+                      ~utilization:
+                        (Model.stability model).Mq.Stability.utilization d;
+                }
+          in
+          let sim_checks =
+            match sim with
+            | None -> []
+            | Some opts -> (
+                match
+                  Solver.evaluate ~strategy:(Solver.Simulation opts) model
+                with
+                | Error e ->
+                    let msg = Format.asprintf "%a" Solver.pp_error e in
+                    [
+                      {
+                        name = name ^ " exact-vs-sim";
+                        value = nan;
+                        detail = msg;
+                        verdict = Diagnostics.Suspect [ name ^ " sim: " ^ msg ];
+                      };
+                    ]
+                | Ok perf ->
+                    let hw =
+                      Option.value perf.Solver.confidence_half_width
+                        ~default:infinity
+                    in
+                    let d, v =
+                      Diagnostics.check_simulation_agreement ?thresholds
+                        ~label:(name ^ ": simulated L") ~exact:exact_l
+                        ~estimate:perf.Solver.mean_jobs ~half_width:hw ()
+                    in
+                    let rel_ci, v_ci =
+                      Diagnostics.check_ci ?thresholds
+                        ~label:(name ^ ": simulated L")
+                        ~estimate:perf.Solver.mean_jobs ~half_width:hw ()
+                    in
+                    [
+                      {
+                        name = name ^ " exact-vs-sim";
+                        value = d;
+                        detail =
+                          Printf.sprintf "relative delta %.2e (CI ±%.3g)" d hw;
+                        verdict = v;
+                      };
+                      {
+                        name = name ^ " sim-ci";
+                        value = rel_ci;
+                        detail =
+                          Printf.sprintf "relative CI half-width %.2e" rel_ci;
+                        verdict = v_ci;
+                      };
+                    ])
+          in
+          spectral_check :: mg_check :: approx_check :: sim_checks)
+
+let quick_grid = [ (5, 4.0) ]
+let full_grid = [ (5, 4.0); (10, 8.0); (12, 8.0) ]
+
+let quick_sim = { Solver.duration = 30_000.0; replications = 5; seed = 7 }
+let full_sim = { Solver.duration = 100_000.0; replications = 5; seed = 7 }
+
+let run ?(quick = false) ?thresholds () =
+  let t0 = Span.now () in
+  let grid = if quick then quick_grid else full_grid in
+  let sim = if quick then quick_sim else full_sim in
+  let checks =
+    Span.with_ ~name:"urs_doctor_run" (fun () ->
+        List.concat_map
+          (fun (servers, lambda) ->
+            check_model ?thresholds ~sim (paper_model ~servers ~lambda))
+          grid)
+  in
+  let verdict =
+    Diagnostics.combine (List.map (fun (c : check) -> c.verdict) checks)
+  in
+  Diagnostics.observe_verdict ~component:"doctor" verdict;
+  let count sev =
+    List.length
+      (List.filter
+         (fun (c : check) -> Diagnostics.severity c.verdict = sev)
+         checks)
+  in
+  Ledger.record ~kind:"doctor.run"
+    ~params:[ ("quick", Json.Bool quick) ]
+    ~wall_seconds:(Span.now () -. t0)
+    ~outcome:(Diagnostics.verdict_label verdict)
+    ~summary:
+      [
+        ("checks", Json.Int (List.length checks));
+        ("ok", Json.Int (count 0));
+        ("degraded", Json.Int (count 1));
+        ("suspect", Json.Int (count 2));
+      ]
+    ();
+  { checks; verdict }
+
+let pp_check ppf (c : check) =
+  Format.fprintf ppf "[%-8s] %-28s %s"
+    (String.uppercase_ascii (Diagnostics.verdict_label c.verdict))
+    c.name c.detail
+
+let pp_report ppf r =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_newline ppf ())
+    pp_check ppf r.checks;
+  Format.fprintf ppf "@.overall: %a" Diagnostics.pp_verdict r.verdict

@@ -1,0 +1,46 @@
+(** Self-diagnosis: exact-vs-simulation-vs-approximation cross-checks
+    on a grid of paper models, folded into one
+    {!Urs_mmq.Diagnostics.verdict}.
+
+    Backs the [urs doctor] subcommand and the [/healthz] endpoint of
+    [urs serve]. A run evaluates each grid model with the spectral
+    method, scores every a-posteriori probe
+    ({!Urs_mmq.Diagnostics.check_spectral}), then cross-validates the
+    mean queue length against the matrix-geometric solver (exact, tight
+    tolerance), the geometric approximation (loose tolerance) and a
+    fixed-seed simulation (confidence-band tolerance). *)
+
+type check = {
+  name : string;  (** e.g. ["N=5 lambda=4 spectral"]. *)
+  value : float;  (** The probe value (residual, relative delta, ...). *)
+  detail : string;  (** Human-readable probe summary. *)
+  verdict : Urs_mmq.Diagnostics.verdict;
+}
+
+type report = { checks : check list; verdict : Urs_mmq.Diagnostics.verdict }
+
+val run :
+  ?quick:bool -> ?thresholds:Urs_mmq.Diagnostics.thresholds -> unit -> report
+(** Run the cross-checks. [quick] (default [false]) restricts the grid
+    to the single N=5, λ=4 paper model with a short simulation — a few
+    seconds, suitable for CI smoke. The full run covers N=5/10/12 with
+    longer simulations.
+
+    Updates the [urs_health_status{component="doctor"}] gauge and
+    appends a ["doctor.run"] record to the active ledger. *)
+
+val verdict : report -> Urs_mmq.Diagnostics.verdict
+
+val check_model :
+  ?thresholds:Urs_mmq.Diagnostics.thresholds ->
+  ?sim:Solver.sim_options ->
+  Model.t ->
+  check list
+(** Cross-check one model; [sim] enables the simulation comparison. *)
+
+val paper_model : servers:int -> lambda:float -> Model.t
+(** The §4 paper model: service rate 1, fitted H2 operative periods,
+    exponential (η = 25) inoperative periods. *)
+
+val pp_check : Format.formatter -> check -> unit
+val pp_report : Format.formatter -> report -> unit

@@ -1,6 +1,8 @@
 module Mq = Urs_mmq
 module Metrics = Urs_obs.Metrics
 module Span = Urs_obs.Span
+module Ledger = Urs_obs.Ledger
+module Json = Urs_obs.Json
 
 type sim_options = { duration : float; replications : int; seed : int }
 
@@ -124,15 +126,41 @@ let evaluate_inner ?(strategy = Exact) model =
               Some summary.Urs_sim.Replicate.mean_jobs.half_width;
           }
 
+let ledger_params model =
+  [
+    ("servers", Json.Int model.Model.servers);
+    ("lambda", Json.Float model.Model.arrival_rate);
+    ("mu", Json.Float model.Model.service_rate);
+    ( "repair_crews",
+      match model.Model.repair_crews with
+      | Some k -> Json.Int k
+      | None -> Json.Null );
+  ]
+
+(* snapshot of the last-write gauges that belong to this strategy; the
+   ledger keeps the per-solve history the process-wide gauges cannot *)
+let ledger_gauges strat =
+  let labels = [ ("strategy", strategy_label strat) ] in
+  List.filter_map
+    (fun name ->
+      Option.map (fun v -> (name, v)) (Metrics.value ~labels name))
+    [
+      "urs_spectral_dominant_z";
+      "urs_spectral_residual";
+      "urs_spectral_eigenvalues";
+    ]
+
 let evaluate ?(strategy = Exact) model =
   let labels = [ ("strategy", strategy_label strategy) ] in
   Metrics.inc
     (Metrics.counter ~labels ~help:"Solver.evaluate calls"
        "urs_solver_calls_total");
+  let t0 = Span.now () in
   let result =
     Span.with_ ~name:"urs_solver_evaluate" ~labels (fun () ->
         evaluate_inner ~strategy model)
   in
+  let wall = Span.now () -. t0 in
   let outcome_counter =
     match result with
     | Ok _ ->
@@ -143,6 +171,33 @@ let evaluate ?(strategy = Exact) model =
           "urs_solver_failures_total"
   in
   Metrics.inc outcome_counter;
+  (match result with
+  | Ok p ->
+      Ledger.record ~kind:"solver.evaluate"
+        ~strategy:(strategy_label strategy) ~params:(ledger_params model)
+        ~wall_seconds:wall
+        ~summary:
+          (List.concat
+             [
+               [
+                 ("mean_jobs", Json.Float p.mean_jobs);
+                 ("mean_response", Json.Float p.mean_response);
+                 ("utilization", Json.Float p.utilization);
+               ];
+               (match p.dominant_eigenvalue with
+               | Some z -> [ ("dominant_z", Json.Float z) ]
+               | None -> []);
+               (match p.confidence_half_width with
+               | Some hw -> [ ("ci_half_width", Json.Float hw) ]
+               | None -> []);
+             ])
+        ~gauges:(ledger_gauges strategy) ()
+  | Error e ->
+      Ledger.record ~kind:"solver.evaluate"
+        ~strategy:(strategy_label strategy) ~params:(ledger_params model)
+        ~wall_seconds:wall ~outcome:"error"
+        ~summary:[ ("error", Json.String (render pp_error e)) ]
+        ());
   result
 
 let evaluate_exn ?strategy model =

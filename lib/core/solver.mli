@@ -47,12 +47,24 @@ type error =
 val pp_error : Format.formatter -> error -> unit
 
 val evaluate : ?strategy:strategy -> Model.t -> (performance, error) result
-(** Evaluate the model (default strategy [Exact]). *)
+(** Evaluate the model (default strategy [Exact]).
+
+    Besides the per-strategy call/success/failure counters and the
+    [urs_solver_evaluate] span, every call appends a
+    ["solver.evaluate"] record to the active {!Urs_obs.Ledger}
+    (strategy, model parameters, wall time, performance summary and a
+    snapshot of the strategy's last-solve gauges). *)
 
 val evaluate_exn : ?strategy:strategy -> Model.t -> performance
 (** Like {!evaluate} but raises [Failure] with a rendered error. *)
 
 val strategy_name : strategy -> string
 (** Human-readable strategy name, e.g. ["exact (spectral expansion)"]. *)
+
+val strategy_label : strategy -> string
+(** Short metric/ledger label: ["exact"], ["approx"], ["mg"], ["sim"]. *)
+
+val ledger_params : Model.t -> (string * Urs_obs.Json.t) list
+(** The model parameters recorded with every ledger entry. *)
 
 val pp_performance : Format.formatter -> performance -> unit

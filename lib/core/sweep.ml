@@ -1,5 +1,8 @@
 module D = Urs_prob.Distribution
 module Metrics = Urs_obs.Metrics
+module Span = Urs_obs.Span
+module Ledger = Urs_obs.Ledger
+module Json = Urs_obs.Json
 
 let log_src = Logs.Src.create "urs.sweep" ~doc:"parameter sweeps"
 
@@ -28,7 +31,39 @@ let drop ~sweep ~param reason =
 
 let eval_point ?strategy ~sweep ~param model =
   Metrics.inc (m_points sweep);
-  match Solver.evaluate ?strategy model with
+  let t0 = Span.now () in
+  let result = Solver.evaluate ?strategy model in
+  let wall = Span.now () -. t0 in
+  let base_summary =
+    [ ("sweep", Json.String sweep); ("param", Json.String param) ]
+  in
+  let strategy_label =
+    Solver.strategy_label (Option.value strategy ~default:Solver.Exact)
+  in
+  (match result with
+  | Ok perf ->
+      Ledger.record ~kind:"sweep.point" ~strategy:strategy_label
+        ~params:(Solver.ledger_params model) ~wall_seconds:wall
+        ~summary:
+          (base_summary
+          @ [
+              ("mean_jobs", Json.Float perf.Solver.mean_jobs);
+              ("mean_response", Json.Float perf.Solver.mean_response);
+              ("utilization", Json.Float perf.Solver.utilization);
+            ])
+        ()
+  | Error e ->
+      Ledger.record ~kind:"sweep.point" ~strategy:strategy_label
+        ~params:(Solver.ledger_params model) ~wall_seconds:wall
+        ~outcome:"dropped"
+        ~summary:
+          (base_summary
+          @ [
+              ( "error",
+                Json.String (Format.asprintf "%a" Solver.pp_error e) );
+            ])
+        ());
+  match result with
   | Ok perf -> Some perf
   | Error e ->
       drop ~sweep ~param (fun ppf -> Solver.pp_error ppf e)

@@ -138,6 +138,16 @@ let solve_matrix f b =
   done;
   x
 
+let pivot_condition f =
+  let n = dim f in
+  let lo = ref infinity and hi = ref 0.0 in
+  for i = 0 to n - 1 do
+    let d = abs_float (Matrix.get f.lu i i) in
+    if d < !lo then lo := d;
+    if d > !hi then hi := d
+  done;
+  if !lo = 0.0 then infinity else !hi /. !lo
+
 let det_of_factor f =
   let n = dim f in
   let acc = ref (float_of_int f.sign) in

@@ -21,6 +21,13 @@ val factor_exn : Matrix.t -> t
 val dim : t -> int
 (** Order of the factored matrix. *)
 
+val pivot_condition : t -> float
+(** Ratio of the largest to the smallest pivot modulus [max|u_ii| /
+    min|u_ii|] — a cheap lower-bound indicator for the condition number
+    of the factored matrix ([infinity] when a pivot is exactly zero).
+    Used by the numerical-health diagnostics; a rigorous estimate would
+    need Hager's algorithm, which the solvers do not warrant. *)
+
 val solve : t -> Vec.t -> Vec.t
 (** [solve lu b] solves [a x = b]. *)
 

@@ -1,0 +1,227 @@
+(* Numerical-health verdicts for the solvers (Palmer & Mitrani,
+   CS-TR-936: the spectral expansion is trustworthy exactly when its
+   eigenvalues sit inside the unit disk, the boundary systems are
+   well-conditioned and the balance residuals are tiny). Each probe is
+   scored against two thresholds; the worst score wins. *)
+
+module Metrics = Urs_obs.Metrics
+
+type verdict = Ok | Degraded of string list | Suspect of string list
+
+type thresholds = {
+  residual_degraded : float;
+  residual_suspect : float;
+  condition_degraded : float;
+  condition_suspect : float;
+  margin_degraded : float;
+  ci_rel_degraded : float;
+  ci_rel_suspect : float;
+  delta_exact_degraded : float;
+  delta_exact_suspect : float;
+}
+
+let default_thresholds =
+  {
+    (* balance/eigenpair residuals and mass defect: paper-model solves
+       land near 1e-15; anything past 1e-10 deserves a second look and
+       past 1e-6 the answer should not be trusted *)
+    residual_degraded = 1e-10;
+    residual_suspect = 1e-6;
+    (* pivot-ratio estimates of the boundary LU blocks *)
+    condition_degraded = 1e10;
+    condition_suspect = 1e14;
+    (* spectral solves go ill-conditioned as utilization -> 1 *)
+    margin_degraded = 1e-3;
+    (* simulation 95% CI half-width relative to the estimate *)
+    ci_rel_degraded = 0.05;
+    ci_rel_suspect = 0.5;
+    (* relative disagreement between two *exact* methods *)
+    delta_exact_degraded = 1e-8;
+    delta_exact_suspect = 1e-4;
+  }
+
+(* ---- verdict algebra ---- *)
+
+let severity = function Ok -> 0 | Degraded _ -> 1 | Suspect _ -> 2
+
+let verdict_label = function
+  | Ok -> "ok"
+  | Degraded _ -> "degraded"
+  | Suspect _ -> "suspect"
+
+let issues = function Ok -> [] | Degraded is | Suspect is -> is
+
+let combine vs =
+  let worst = List.fold_left (fun acc v -> max acc (severity v)) 0 vs in
+  let all = List.concat_map issues vs in
+  match worst with 0 -> Ok | 1 -> Degraded all | _ -> Suspect all
+
+let pp_verdict ppf v =
+  match v with
+  | Ok -> Format.pp_print_string ppf "OK"
+  | Degraded is | Suspect is ->
+      Format.fprintf ppf "%s (%a)"
+        (String.uppercase_ascii (verdict_label v))
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+           Format.pp_print_string)
+        is
+
+(* a little accumulator: score each probe, collect complaints *)
+type scorer = { mutable worst : int; mutable complaints : string list }
+
+let new_scorer () = { worst = 0; complaints = [] }
+
+let complain sc level msg =
+  sc.worst <- max sc.worst level;
+  sc.complaints <- msg :: sc.complaints
+
+let grade sc ~degraded ~suspect ~fmt value =
+  if value >= suspect then
+    complain sc 2 (Printf.sprintf fmt value ^ " (suspect)")
+  else if value >= degraded then
+    complain sc 1 (Printf.sprintf fmt value ^ " (degraded)")
+
+let close sc =
+  match sc.worst with
+  | 0 -> Ok
+  | 1 -> Degraded (List.rev sc.complaints)
+  | _ -> Suspect (List.rev sc.complaints)
+
+(* ---- spectral solves ---- *)
+
+type spectral_report = {
+  balance_residual : float;
+  eigen_residual : float;
+  mass_defect : float;
+  boundary_condition : float;
+  dominant_z : float;
+  stability_margin : float;
+  verdict : verdict;
+}
+
+let check_spectral ?(thresholds = default_thresholds) sol =
+  let t = thresholds in
+  let q = Spectral.qbd sol in
+  let stab =
+    Stability.check ~env:(Qbd.env q) ~lambda:(Qbd.lambda q) ~mu:(Qbd.mu q)
+  in
+  let balance_residual = Spectral.residual sol in
+  let eigen_residual = Spectral.max_eigen_residual sol in
+  let mass_defect = Spectral.mass_defect sol in
+  let boundary_condition = Spectral.boundary_condition sol in
+  let dominant_z = Spectral.dominant_eigenvalue sol in
+  let stability_margin = Stability.margin stab in
+  let sc = new_scorer () in
+  grade sc ~degraded:t.residual_degraded ~suspect:t.residual_suspect
+    ~fmt:"balance residual %.2e" balance_residual;
+  grade sc ~degraded:t.residual_degraded ~suspect:t.residual_suspect
+    ~fmt:"eigenpair residual %.2e" eigen_residual;
+  grade sc ~degraded:t.residual_degraded ~suspect:t.residual_suspect
+    ~fmt:"mass defect %.2e" mass_defect;
+  grade sc ~degraded:t.condition_degraded ~suspect:t.condition_suspect
+    ~fmt:"boundary condition %.2e" boundary_condition;
+  if stability_margin <= 0.0 then
+    complain sc 2
+      (Printf.sprintf "stability margin %.2e not positive" stability_margin)
+  else if stability_margin < t.margin_degraded then
+    complain sc 1
+      (Printf.sprintf "stability margin %.2e: near saturation"
+         stability_margin);
+  if dominant_z <= 0.0 || dominant_z >= 1.0 then
+    complain sc 2
+      (Printf.sprintf "dominant eigenvalue %.6f outside (0, 1)" dominant_z);
+  {
+    balance_residual;
+    eigen_residual;
+    mass_defect;
+    boundary_condition;
+    dominant_z;
+    stability_margin;
+    verdict = close sc;
+  }
+
+let pp_spectral_report ppf r =
+  Format.fprintf ppf
+    "balance=%.2e eigen=%.2e mass=%.2e cond=%.1e z_s=%.6f margin=%.4f -> %a"
+    r.balance_residual r.eigen_residual r.mass_defect r.boundary_condition
+    r.dominant_z r.stability_margin pp_verdict r.verdict
+
+(* ---- cross-method agreement ---- *)
+
+let relative_delta a b =
+  let scale = Float.max (abs_float a) (abs_float b) in
+  if scale = 0.0 then 0.0 else abs_float (a -. b) /. scale
+
+let check_exact_pair ?(thresholds = default_thresholds) ~label a b =
+  let t = thresholds in
+  let sc = new_scorer () in
+  let d = relative_delta a b in
+  if Float.is_nan d then
+    complain sc 2 (Printf.sprintf "%s: non-finite disagreement" label)
+  else if d >= t.delta_exact_suspect then
+    complain sc 2 (Printf.sprintf "%s disagree by %.2e (suspect)" label d)
+  else if d >= t.delta_exact_degraded then
+    complain sc 1 (Printf.sprintf "%s disagree by %.2e (degraded)" label d);
+  (d, close sc)
+
+let check_simulation_agreement ?(thresholds = default_thresholds) ~label
+    ~exact ~estimate ~half_width () =
+  ignore thresholds;
+  let sc = new_scorer () in
+  let delta = abs_float (exact -. estimate) in
+  let rel = relative_delta exact estimate in
+  (* accept anything inside a generously widened confidence band; the
+     CI itself is noisy at few replications *)
+  let band = Float.max (3.0 *. half_width) (0.05 *. abs_float exact) in
+  if Float.is_nan delta then
+    complain sc 2 (Printf.sprintf "%s: non-finite simulation delta" label)
+  else if delta > 3.0 *. band then
+    complain sc 2
+      (Printf.sprintf "%s: simulation off by %.3g (>> CI, suspect)" label delta)
+  else if delta > band then
+    complain sc 1
+      (Printf.sprintf "%s: simulation off by %.3g (outside CI, degraded)" label
+         delta);
+  (rel, close sc)
+
+let check_ci ?(thresholds = default_thresholds) ~label ~estimate ~half_width ()
+    =
+  let t = thresholds in
+  let sc = new_scorer () in
+  let rel =
+    if estimate = 0.0 then if half_width = 0.0 then 0.0 else infinity
+    else half_width /. abs_float estimate
+  in
+  if rel >= t.ci_rel_suspect then
+    complain sc 2
+      (Printf.sprintf "%s: relative CI half-width %.2e (suspect)" label rel)
+  else if rel >= t.ci_rel_degraded then
+    complain sc 1
+      (Printf.sprintf "%s: relative CI half-width %.2e (degraded)" label rel);
+  (rel, close sc)
+
+(* ---- gauges ---- *)
+
+let m_status component =
+  Metrics.gauge
+    ~labels:[ ("component", component) ]
+    ~help:"Health verdict of the last check: 0 ok, 1 degraded, 2 suspect"
+    "urs_health_status"
+
+let m_value check =
+  Metrics.gauge
+    ~labels:[ ("check", check) ]
+    ~help:"Value of the named numerical-health probe (last check)"
+    "urs_health_value"
+
+let observe_verdict ~component v =
+  Metrics.set (m_status component) (float_of_int (severity v))
+
+let observe_spectral r =
+  observe_verdict ~component:"spectral" r.verdict;
+  Metrics.set (m_value "balance_residual") r.balance_residual;
+  Metrics.set (m_value "eigen_residual") r.eigen_residual;
+  Metrics.set (m_value "mass_defect") r.mass_defect;
+  Metrics.set (m_value "boundary_condition") r.boundary_condition;
+  Metrics.set (m_value "stability_margin") r.stability_margin

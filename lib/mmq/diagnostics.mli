@@ -1,0 +1,114 @@
+(** Numerical-health diagnostics for the solvers.
+
+    Each probe (balance residual, per-eigenpair residual, probability
+    mass conservation, boundary-system conditioning, stability margin,
+    simulation confidence-interval width, cross-method agreement) is
+    scored against two thresholds and folded into a severity verdict.
+    The verdicts back the [urs doctor] CLI subcommand and the
+    [/healthz] endpoint of [urs serve]. *)
+
+type verdict =
+  | Ok  (** All probes within tolerance. *)
+  | Degraded of string list
+      (** Result usable but some probe is outside its comfort zone;
+          the strings describe which. *)
+  | Suspect of string list
+      (** At least one probe indicates the result should not be
+          trusted. *)
+
+val severity : verdict -> int
+(** [0] for [Ok], [1] for [Degraded], [2] for [Suspect]. *)
+
+val verdict_label : verdict -> string
+(** ["ok"], ["degraded"] or ["suspect"]. *)
+
+val issues : verdict -> string list
+
+val combine : verdict list -> verdict
+(** Worst severity wins; issue lists are concatenated. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** {1 Thresholds} *)
+
+type thresholds = {
+  residual_degraded : float;
+      (** Balance/eigenpair residual or mass defect above this degrades
+          the verdict (default [1e-10]). *)
+  residual_suspect : float;  (** ... and above this makes it suspect. *)
+  condition_degraded : float;
+      (** Boundary LU pivot-ratio condition estimate (default [1e10]). *)
+  condition_suspect : float;
+  margin_degraded : float;
+      (** Positive stability margins below this degrade (default
+          [1e-3]): the spectral solve goes ill-conditioned as
+          utilization approaches 1. *)
+  ci_rel_degraded : float;
+      (** Simulation CI half-width relative to the estimate. *)
+  ci_rel_suspect : float;
+  delta_exact_degraded : float;
+      (** Relative disagreement between two exact methods. *)
+  delta_exact_suspect : float;
+}
+
+val default_thresholds : thresholds
+
+(** {1 Spectral solves} *)
+
+type spectral_report = {
+  balance_residual : float;  (** {!Spectral.residual}. *)
+  eigen_residual : float;  (** {!Spectral.max_eigen_residual}. *)
+  mass_defect : float;  (** {!Spectral.mass_defect}. *)
+  boundary_condition : float;  (** {!Spectral.boundary_condition}. *)
+  dominant_z : float;
+  stability_margin : float;
+  verdict : verdict;
+}
+
+val check_spectral : ?thresholds:thresholds -> Spectral.t -> spectral_report
+(** Run every a-posteriori probe on a solved model. Pure: does not
+    touch gauges (use {!observe_spectral}). *)
+
+val pp_spectral_report : Format.formatter -> spectral_report -> unit
+
+(** {1 Cross-checks} *)
+
+val relative_delta : float -> float -> float
+(** [|a − b| / max(|a|, |b|)]; [0.] when both are zero. *)
+
+val check_exact_pair :
+  ?thresholds:thresholds -> label:string -> float -> float -> float * verdict
+(** Agreement between two exact methods (e.g. spectral vs
+    matrix-geometric mean queue length). Returns the relative delta
+    and its verdict. *)
+
+val check_simulation_agreement :
+  ?thresholds:thresholds ->
+  label:string ->
+  exact:float ->
+  estimate:float ->
+  half_width:float ->
+  unit ->
+  float * verdict
+(** Does the simulation estimate sit inside a (generously widened)
+    confidence band around the exact value? Returns the relative delta
+    and its verdict. *)
+
+val check_ci :
+  ?thresholds:thresholds ->
+  label:string ->
+  estimate:float ->
+  half_width:float ->
+  unit ->
+  float * verdict
+(** Is the simulation's own confidence interval tight enough relative
+    to its estimate? Returns the relative half-width and its verdict. *)
+
+(** {1 Gauges}
+
+    Verdicts are exported as [urs_health_status{component="..."}]
+    (0 ok / 1 degraded / 2 suspect) and probe values as
+    [urs_health_value{check="..."}], both with last-write semantics. *)
+
+val observe_verdict : component:string -> verdict -> unit
+val observe_spectral : spectral_report -> unit

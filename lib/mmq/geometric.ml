@@ -1,6 +1,17 @@
 module V = Urs_linalg.Vec
 module Cx = Urs_linalg.Cx
 module CV = Urs_linalg.Cvec
+module Metrics = Urs_obs.Metrics
+module Span = Urs_obs.Span
+module Ledger = Urs_obs.Ledger
+module Json = Urs_obs.Json
+
+let strategy_labels = [ ("strategy", "approx") ]
+
+let m_dominant =
+  Metrics.gauge ~labels:strategy_labels
+    ~help:"Dominant eigenvalue z_s of the last solve (last write)"
+    "urs_spectral_dominant_z"
 
 type error =
   | Unstable of Stability.verdict
@@ -14,7 +25,7 @@ let pp_error ppf = function
 
 type t = { qbd : Qbd.t; z : float; weights : V.t }
 
-let solve ?(scan_points = 400) q =
+let solve_inner ~scan_points q =
   let env = Qbd.env q in
   let verdict = Stability.check ~env ~lambda:(Qbd.lambda q) ~mu:(Qbd.mu q) in
   if not verdict.Stability.stable then Error (Unstable verdict)
@@ -31,6 +42,32 @@ let solve ?(scan_points = 400) q =
         let weights = V.scale (1.0 /. total) u_re in
         Ok { qbd = q; z; weights }
   end
+
+let solve ?(scan_points = 400) q =
+  let t0 = Span.now () in
+  let result = solve_inner ~scan_points q in
+  let wall = Span.now () -. t0 in
+  let params =
+    [
+      ("servers", Json.Int (Environment.servers (Qbd.env q)));
+      ("modes", Json.Int (Qbd.s q));
+      ("lambda", Json.Float (Qbd.lambda q));
+      ("mu", Json.Float (Qbd.mu q));
+    ]
+  in
+  (match result with
+  | Ok sol ->
+      Metrics.set m_dominant sol.z;
+      Ledger.record ~kind:"geometric.solve" ~strategy:"approx" ~params
+        ~wall_seconds:wall
+        ~summary:[ ("dominant_z", Json.Float sol.z) ]
+        ()
+  | Error e ->
+      Ledger.record ~kind:"geometric.solve" ~strategy:"approx" ~params
+        ~wall_seconds:wall ~outcome:"error"
+        ~summary:[ ("error", Json.String (Format.asprintf "%a" pp_error e)) ]
+        ());
+  result
 
 let qbd t = t.qbd
 

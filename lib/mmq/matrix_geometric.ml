@@ -4,6 +4,17 @@ module CM = Urs_linalg.Cmatrix
 module CV = Urs_linalg.Cvec
 module Lu = Urs_linalg.Lu
 module Clu = Urs_linalg.Clu
+module Metrics = Urs_obs.Metrics
+module Span = Urs_obs.Span
+module Ledger = Urs_obs.Ledger
+module Json = Urs_obs.Json
+
+let strategy_labels = [ ("strategy", "mg") ]
+
+let m_dominant =
+  Metrics.gauge ~labels:strategy_labels
+    ~help:"Spectral radius of R from the last solve (last write)"
+    "urs_spectral_dominant_z"
 
 type error =
   | Unstable of Stability.verdict
@@ -58,7 +69,7 @@ let compute_r ~tol ~max_iter q =
 
 let neg_cm m = CM.scale (Urs_linalg.Cx.of_float (-1.0)) m
 
-let solve ?(tol = 1e-13) ?(max_iter = 200_000) q =
+let solve_inner ~tol ~max_iter q =
   let env = Qbd.env q in
   let n_servers = Environment.servers env in
   let s = Qbd.s q in
@@ -168,6 +179,38 @@ let spectral_radius_estimate t =
   !lam
 
 let num_servers t = Environment.servers (Qbd.env t.qbd)
+
+let solve ?(tol = 1e-13) ?(max_iter = 200_000) q =
+  let t0 = Span.now () in
+  let result =
+    Span.with_ ~name:"urs_mg_solve" (fun () -> solve_inner ~tol ~max_iter q)
+  in
+  let wall = Span.now () -. t0 in
+  let params =
+    [
+      ("servers", Json.Int (Environment.servers (Qbd.env q)));
+      ("modes", Json.Int (Qbd.s q));
+      ("lambda", Json.Float (Qbd.lambda q));
+      ("mu", Json.Float (Qbd.mu q));
+    ]
+  in
+  (match result with
+  | Ok sol ->
+      let rho = spectral_radius_estimate sol in
+      Metrics.set m_dominant rho;
+      Ledger.record ~kind:"mg.solve" ~strategy:"mg" ~params ~wall_seconds:wall
+        ~summary:
+          [
+            ("spectral_radius", Json.Float rho);
+            ("r_iterations", Json.Int sol.iterations);
+          ]
+        ()
+  | Error e ->
+      Ledger.record ~kind:"mg.solve" ~strategy:"mg" ~params ~wall_seconds:wall
+        ~outcome:"error"
+        ~summary:[ ("error", Json.String (Format.asprintf "%a" pp_error e)) ]
+        ());
+  result
 
 let vector_at t j =
   if j < 0 then invalid_arg "Matrix_geometric: negative level";

@@ -81,6 +81,13 @@ let det_q_scaled t z =
   if sign = 0 then 0.0
   else float_of_int sign *. exp (log_det /. float_of_int sm)
 
+let eigenpair_residual t z u =
+  let norm_u = Urs_linalg.Cvec.norm_inf u in
+  if norm_u = 0.0 then infinity
+  else
+    Urs_linalg.Cvec.norm_inf (Urs_linalg.Cmatrix.vec_mul u (char_poly_at t z))
+    /. norm_u
+
 let generator_residual t vs j =
   match vs with
   | [| v_prev; v_j; v_next |] ->

@@ -60,6 +60,13 @@ val det_q_scaled : t -> float -> float
     [sign·exp(log|det|/s)] to avoid overflow — same sign and same roots
     as the determinant, used for locating the dominant eigenvalue. *)
 
+val eigenpair_residual : t -> Urs_linalg.Cx.t -> Urs_linalg.Cvec.t -> float
+(** [eigenpair_residual t z u] is [‖u·Q(z)‖∞ / ‖u‖∞] — the a-posteriori
+    accuracy of a left eigenpair of the characteristic polynomial
+    ([infinity] for a zero vector). Near machine epsilon for a
+    well-conditioned solve; the health diagnostics flag anything
+    materially larger. *)
+
 val generator_residual : t -> Urs_linalg.Vec.t array -> int -> float
 (** [generator_residual t vs j] is the infinity-norm residual of the
     level-[j] balance equation given consecutive probability vectors

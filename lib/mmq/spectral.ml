@@ -11,6 +11,8 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 module Metrics = Urs_obs.Metrics
 module Span = Urs_obs.Span
+module Ledger = Urs_obs.Ledger
+module Json = Urs_obs.Json
 
 let m_solves =
   Metrics.counter ~help:"Spectral solve attempts" "urs_spectral_solves_total"
@@ -19,16 +21,26 @@ let m_failures =
   Metrics.counter ~help:"Spectral solves that returned an error"
     "urs_spectral_failures_total"
 
+(* Result-summary gauges have last-write semantics (see Metrics.mli):
+   under a sweep they describe the final point only, with the per-solve
+   history going to the ledger. They are labelled by solver strategy so
+   the approximate and matrix-geometric solvers can publish comparable
+   values side by side. *)
+
+let strategy_labels = [ ("strategy", "exact") ]
+
 let m_eigenvalues =
-  Metrics.gauge ~help:"Eigenvalues found inside the unit disk (last solve)"
+  Metrics.gauge ~labels:strategy_labels
+    ~help:"Eigenvalues found inside the unit disk (last solve)"
     "urs_spectral_eigenvalues"
 
 let m_dominant =
-  Metrics.gauge ~help:"Dominant eigenvalue z_s (last successful solve)"
+  Metrics.gauge ~labels:strategy_labels
+    ~help:"Dominant eigenvalue z_s (last successful solve)"
     "urs_spectral_dominant_z"
 
 let m_residual =
-  Metrics.gauge
+  Metrics.gauge ~labels:strategy_labels
     ~help:"A-posteriori balance/normalization residual (last successful solve)"
     "urs_spectral_residual"
 
@@ -65,6 +77,8 @@ type t = {
   u_sums : Cx.t array; (* u_k · 1 *)
   gammas : Cx.t array;
   boundary : V.t array; (* v_0 .. v_{N-1} *)
+  boundary_condition : float;
+      (* worst pivot-ratio estimate over the boundary LU factorizations *)
 }
 
 let qbd t = t.qbd
@@ -174,6 +188,11 @@ let solve_stages ?(eig_tol = 1e-9) q =
          (Bᵀ = λI and C_j is diagonal), so the expensive factorizations
          stay in real arithmetic. *)
       let lambda = Qbd.lambda q in
+      let worst_cond = ref 1.0 in
+      let note_cond f =
+        worst_cond := Float.max !worst_cond (Urs_linalg.Lu.pivot_condition f);
+        f
+      in
       let pow_z k e =
         let rec go acc base e =
           if e = 0 then acc
@@ -215,7 +234,7 @@ let solve_stages ?(eig_tol = 1e-9) q =
               Metrics.inc m_lu;
               let f =
                 match Lu.factor mj with
-                | Ok f -> f
+                | Ok f -> note_cond f
                 | Error `Singular ->
                     raise (Solve_error (Numerical "singular boundary block"))
               in
@@ -238,7 +257,7 @@ let solve_stages ?(eig_tol = 1e-9) q =
             Metrics.inc m_lu;
             let f_last =
               match Lu.factor m_last with
-              | Ok f -> f
+              | Ok f -> note_cond f
               | Error `Singular ->
                   raise (Solve_error (Numerical "singular boundary block"))
             in
@@ -342,7 +361,16 @@ let solve_stages ?(eig_tol = 1e-9) q =
                             (Printf.sprintf "negative probability %.3e" p))))
                 v)
             boundary;
-          Ok { qbd = q; zs; us; u_sums; gammas; boundary })
+          Ok
+            {
+              qbd = q;
+              zs;
+              us;
+              u_sums;
+              gammas;
+              boundary;
+              boundary_condition = !worst_cond;
+            })
     with
     | Solve_error e -> Error e
     | Clu.Singular -> Error (Numerical "singular block during elimination")
@@ -486,6 +514,16 @@ let mean_busy_servers t =
   done;
   !acc
 
+let mass_defect t =
+  (* probability-mass conservation over the full horizon via tails *)
+  let n = num_servers t in
+  let head = ref 0.0 in
+  for j = 0 to n - 1 do
+    head := !head +. V.sum t.boundary.(j)
+  done;
+  let total = !head +. tail_from t n ~weight:(fun k -> t.u_sums.(k)) in
+  abs_float (total -. 1.0)
+
 let residual t =
   let n = num_servers t in
   let worst = ref 0.0 in
@@ -494,27 +532,56 @@ let residual t =
     let vs = [| v_prev; vector_at t j; vector_at t (j + 1) |] in
     worst := Float.max !worst (Qbd.generator_residual t.qbd vs j)
   done;
-  (* normalization residual over a generous horizon via tails *)
-  let head = ref 0.0 in
-  for j = 0 to n - 1 do
-    head := !head +. V.sum t.boundary.(j)
-  done;
-  let total = !head +. tail_from t n ~weight:(fun k -> t.u_sums.(k)) in
-  Float.max !worst (abs_float (total -. 1.0))
+  Float.max !worst (mass_defect t)
+
+let eigen_residuals t =
+  Array.mapi (fun k z -> Qbd.eigenpair_residual t.qbd z t.us.(k)) t.zs
+
+let max_eigen_residual t =
+  Array.fold_left Float.max 0.0 (eigen_residuals t)
+
+let boundary_condition t = t.boundary_condition
 
 (* public entry point: the staged solve wrapped in a span, with summary
-   gauges recorded after the fact (the residual doubles as an accuracy
-   certificate and is cheap next to the companion eigensolve) *)
+   gauges and a ledger record written after the fact (the residual
+   doubles as an accuracy certificate and is cheap next to the
+   companion eigensolve) *)
 let solve ?eig_tol q =
   Metrics.inc m_solves;
+  let t0 = Span.now () in
   let result =
     Span.with_ ~name:"urs_spectral_solve" (fun () -> solve_stages ?eig_tol q)
   in
+  let wall = Span.now () -. t0 in
+  let params =
+    [
+      ("servers", Json.Int (Environment.servers (Qbd.env q)));
+      ("modes", Json.Int (Qbd.s q));
+      ("lambda", Json.Float (Qbd.lambda q));
+      ("mu", Json.Float (Qbd.mu q));
+    ]
+  in
   (match result with
   | Ok sol ->
+      let resid = residual sol in
+      Metrics.set m_eigenvalues (float_of_int (Array.length sol.zs));
       Metrics.set m_dominant (dominant_eigenvalue sol);
-      Metrics.set m_residual (residual sol)
+      Metrics.set m_residual resid;
+      Ledger.record ~kind:"spectral.solve" ~strategy:"exact" ~params
+        ~wall_seconds:wall
+        ~summary:
+          [
+            ("eigenvalues", Json.Int (Array.length sol.zs));
+            ("dominant_z", Json.Float (dominant_eigenvalue sol));
+            ("residual", Json.Float resid);
+            ("boundary_condition", Json.Float sol.boundary_condition);
+          ]
+        ()
   | Error e ->
       Metrics.inc m_failures;
+      Ledger.record ~kind:"spectral.solve" ~strategy:"exact" ~params
+        ~wall_seconds:wall ~outcome:"error"
+        ~summary:[ ("error", Json.String (Format.asprintf "%a" pp_error e)) ]
+        ();
       Log.info (fun m -> m "spectral solve failed: %a" pp_error e));
   result

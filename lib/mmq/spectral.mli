@@ -28,7 +28,13 @@ type t
 
 val solve : ?eig_tol:float -> Qbd.t -> (t, error) result
 (** Solve the model. [eig_tol] is the unit-circle exclusion band used
-    when classifying eigenvalues (default [1e-9]). *)
+    when classifying eigenvalues (default [1e-9]).
+
+    Each call updates the last-solve gauges
+    ([urs_spectral_eigenvalues] / [urs_spectral_dominant_z] /
+    [urs_spectral_residual], labelled [strategy="exact"]) and appends a
+    ["spectral.solve"] record (parameters, wall time, residual,
+    boundary condition) to the {!Urs_obs.Ledger} when one is active. *)
 
 val qbd : t -> Qbd.t
 
@@ -80,3 +86,21 @@ val residual : t -> float
 (** Largest infinity-norm residual of the level-[0..N+2] balance
     equations and the normalization — an a-posteriori accuracy
     certificate. *)
+
+(** {1 Numerical-health probes} — consumed by {!Diagnostics}. *)
+
+val mass_defect : t -> float
+(** [|Σ_j v_j·1 − 1|] over the full horizon (boundary head plus
+    closed-form spectral tail) — probability-mass conservation. *)
+
+val eigen_residuals : t -> float array
+(** Per-eigenpair residuals [‖u_k Q(z_k)‖∞ / ‖u_k‖∞], in the order of
+    {!eigenvalues}. *)
+
+val max_eigen_residual : t -> float
+
+val boundary_condition : t -> float
+(** Worst pivot-ratio condition estimate
+    ({!Urs_linalg.Lu.pivot_condition}) over the LU factorizations of
+    the boundary block-tridiagonal elimination. [1.] when [N = 1]
+    (no real factorization happens). *)

@@ -12,6 +12,14 @@ type verdict = {
 }
 
 val check : env:Environment.t -> lambda:float -> mu:float -> verdict
+(** Also records the margin of the checked model in the
+    [urs_stability_margin] gauge (last-write semantics). *)
+
+val margin : verdict -> float
+(** [1 - utilization]: how far from saturation the model sits. Negative
+    for unstable models; the health diagnostics degrade verdicts whose
+    margin is positive but tiny, where the spectral solve becomes
+    ill-conditioned (dominant eigenvalue approaching 1). *)
 
 val max_arrival_rate : env:Environment.t -> mu:float -> float
 (** The supremum of stable arrival rates, [µ · N · availability]. *)

@@ -34,7 +34,21 @@ let type_name (e : Metrics.entry) =
   | Metrics.Gauge_value _ -> "gauge"
   | Metrics.Histogram_value _ -> "histogram"
 
-let prometheus entries =
+(* Welford summaries can degenerate: zero observations, or an observed
+   infinity (e.g. the CI half-width of a single replication) poison the
+   running mean. Exporters clamp those to 0 rather than emit nan/inf. *)
+let finite_or_zero v = if Float.is_finite v then v else 0.0
+
+let is_zero (e : Metrics.entry) =
+  match e.Metrics.data with
+  | Metrics.Counter_value v | Metrics.Gauge_value v -> v = 0.0
+  | Metrics.Histogram_value h -> h.count = 0
+
+let filter_zero skip entries =
+  if skip then List.filter (fun e -> not (is_zero e)) entries else entries
+
+let prometheus ?(skip_zero = false) entries =
+  let entries = filter_zero skip_zero entries in
   let buf = Buffer.create 1024 in
   let last_header = ref "" in
   List.iter
@@ -113,8 +127,8 @@ let entry_json (e : Metrics.entry) =
         [
           ("count", Json.Int h.count);
           ("sum", Json.Float h.sum);
-          ("mean", Json.Float h.mean);
-          ("stddev", Json.Float h.stddev);
+          ("mean", Json.Float (finite_or_zero h.mean));
+          ("stddev", Json.Float (finite_or_zero h.stddev));
           ("buckets", Json.List buckets);
         ]
   in
@@ -124,7 +138,11 @@ let entry_json (e : Metrics.entry) =
      ]
     @ help @ labels @ payload)
 
-let json_value entries =
-  Json.Obj [ ("metrics", Json.List (List.map entry_json entries)) ]
+let json_value ?(skip_zero = false) entries =
+  Json.Obj
+    [
+      ( "metrics",
+        Json.List (List.map entry_json (filter_zero skip_zero entries)) );
+    ]
 
-let json entries = Json.to_string (json_value entries)
+let json ?skip_zero entries = Json.to_string (json_value ?skip_zero entries)

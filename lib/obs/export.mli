@@ -1,15 +1,26 @@
 (** Render a metrics snapshot as Prometheus text-exposition format or as
-    JSON. *)
+    JSON.
 
-val prometheus : Metrics.entry list -> string
+    With [~skip_zero:true] the exporters omit metrics that carry no
+    information: counters and gauges at exactly [0.] and histograms with
+    no observations. The bench harness uses this for its per-section
+    snapshots — a section that never touches the simulator should not
+    repeat every [urs_sim_*] series at zero. Leave it off for scrape
+    endpoints, where a disappearing series looks like a restart.
+
+    Histogram [mean]/[stddev] summaries are clamped to [0] when
+    non-finite (no observations, or an observed infinity), so the JSON
+    output never depends on how a consumer treats [null] samples. *)
+
+val prometheus : ?skip_zero:bool -> Metrics.entry list -> string
 (** Text exposition format (version 0.0.4): [# HELP] / [# TYPE] comment
     lines followed by samples; histograms expand to cumulative
     [_bucket{le="..."}] samples plus [_sum] and [_count]. *)
 
-val json_value : Metrics.entry list -> Json.t
+val json_value : ?skip_zero:bool -> Metrics.entry list -> Json.t
 (** The snapshot as a JSON value — [{"metrics": [...]}] — for embedding
     in larger documents (the bench harness). Histogram buckets are
     cumulative, matching the Prometheus rendering, and carry the Welford
     [mean]/[stddev] summary. *)
 
-val json : Metrics.entry list -> string
+val json : ?skip_zero:bool -> Metrics.entry list -> string

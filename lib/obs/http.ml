@@ -1,0 +1,148 @@
+(* A deliberately tiny HTTP/1.0 server: one background thread accepts
+   connections and serves them sequentially (no per-connection threads,
+   no keep-alive). Adequate for a Prometheus scraper or a curl against
+   /healthz; not a general web server.
+
+   Safe against the single-domain runtime: OCaml threads interleave
+   within one domain, so route handlers reading the metrics registry
+   never race with the solver thread mutating it. *)
+
+type response = { status : int; content_type : string; body : string }
+
+let respond ?(status = 200) ?(content_type = "text/plain; charset=utf-8") body =
+  { status; content_type; body }
+
+type t = {
+  sock : Unix.file_descr;
+  port : int;
+  thread : Thread.t;
+  stopping : bool ref;
+}
+
+let status_text = function
+  | 200 -> "OK"
+  | 404 -> "Not Found"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Status"
+
+let write_response fd { status; content_type; body } =
+  let head =
+    Printf.sprintf
+      "HTTP/1.0 %d %s\r\n\
+       Content-Type: %s\r\n\
+       Content-Length: %d\r\n\
+       Connection: close\r\n\
+       \r\n"
+      status (status_text status) content_type (String.length body)
+  in
+  let payload = Bytes.of_string (head ^ body) in
+  let n = Bytes.length payload in
+  let sent = ref 0 in
+  while !sent < n do
+    sent := !sent + Unix.write fd payload !sent (n - !sent)
+  done
+
+(* read up to the end of the request head (we ignore headers and body;
+   only the request line matters) *)
+let read_request fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 1024 in
+  let rec go () =
+    if Buffer.length buf > 16_384 then () (* refuse to buffer more *)
+    else
+      let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+      if n > 0 then begin
+        Buffer.add_subbytes buf chunk 0 n;
+        let s = Buffer.contents buf in
+        let have_head_end =
+          let rec find i =
+            i + 3 < String.length s
+            && (String.sub s i 4 = "\r\n\r\n" || find (i + 1))
+          in
+          String.length s >= 4 && find 0
+        in
+        if not have_head_end then go ()
+      end
+  in
+  (try go () with Unix.Unix_error _ -> ());
+  Buffer.contents buf
+
+let parse_request_line raw =
+  match String.index_opt raw '\r' with
+  | None -> None
+  | Some eol -> (
+      let line = String.sub raw 0 eol in
+      match String.split_on_char ' ' line with
+      | meth :: target :: _ ->
+          (* strip the query string: routes match on the path only *)
+          let path =
+            match String.index_opt target '?' with
+            | Some q -> String.sub target 0 q
+            | None -> target
+          in
+          Some (meth, path)
+      | _ -> None)
+
+let handle routes fd =
+  let raw = read_request fd in
+  let resp =
+    match parse_request_line raw with
+    | None -> respond ~status:500 "malformed request\n"
+    | Some (meth, _) when meth <> "GET" && meth <> "HEAD" ->
+        respond ~status:404 "only GET is supported\n"
+    | Some (_, path) -> (
+        match List.assoc_opt path routes with
+        | None ->
+            let known = String.concat " " (List.map fst routes) in
+            respond ~status:404
+              (Printf.sprintf "no route %s (try: %s)\n" path known)
+        | Some handler -> (
+            try handler ()
+            with e ->
+              respond ~status:500
+                (Printf.sprintf "handler error: %s\n" (Printexc.to_string e))))
+  in
+  (try write_response fd resp with Unix.Unix_error _ -> ())
+
+let accept_loop sock stopping routes =
+  let rec go () =
+    match Unix.accept sock with
+    | exception Unix.Unix_error _ -> if not !stopping then go ()
+    | client, _ ->
+        Fun.protect
+          ~finally:(fun () -> try Unix.close client with Unix.Unix_error _ -> ())
+          (fun () -> try handle routes client with _ -> ());
+        go ()
+  in
+  go ()
+
+let start ?(addr = "127.0.0.1") ~port ~routes () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port));
+     Unix.listen sock 16
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let stopping = ref false in
+  let thread = Thread.create (fun () -> accept_loop sock stopping routes) () in
+  { sock; port; thread; stopping }
+
+let port t = t.port
+
+let stop t =
+  t.stopping := true;
+  (* closing the listening socket makes the blocked accept fail, which
+     terminates the loop *)
+  (try Unix.shutdown t.sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  (try Unix.close t.sock with Unix.Unix_error _ -> ());
+  Thread.join t.thread
+
+let wait t = Thread.join t.thread

@@ -1,0 +1,48 @@
+(** Minimal single-threaded HTTP server (Unix library only) for live
+    exposition of metrics, health and ledger state while a long run is
+    in progress.
+
+    {!start} binds a listening socket and spawns {e one} background
+    thread that accepts and serves connections sequentially —
+    HTTP/1.0, [Connection: close], GET only. This is intentionally the
+    smallest thing a Prometheus scraper, a load balancer's health probe
+    or [curl] can talk to; it is not a general web server.
+
+    Route handlers run on the server thread. Under the OCaml runtime,
+    threads of one domain interleave rather than run in parallel, so
+    handlers that read the (non-thread-safe) metrics registry or the
+    ledger ring observe consistent values without extra locking. *)
+
+type response = { status : int; content_type : string; body : string }
+
+val respond : ?status:int -> ?content_type:string -> string -> response
+(** [respond body] with status [200] and [text/plain] by default. *)
+
+type t
+(** A running server. *)
+
+val start :
+  ?addr:string ->
+  port:int ->
+  routes:(string * (unit -> response)) list ->
+  unit ->
+  t
+(** [start ~port ~routes ()] binds [addr:port] (default
+    [127.0.0.1]; port [0] picks an ephemeral port — see {!port}) and
+    serves [routes] until {!stop}. Routes match the exact request path,
+    query strings stripped; unknown paths get a 404 listing the known
+    routes, and a handler that raises turns into a 500 carrying the
+    exception text. Raises [Unix.Unix_error] if the address cannot be
+    bound. *)
+
+val port : t -> int
+(** The actual bound port (useful with [~port:0]). *)
+
+val stop : t -> unit
+(** Close the listening socket and join the server thread. In-flight
+    requests finish; queued connections are dropped. *)
+
+val wait : t -> unit
+(** Block until the server thread exits ([urs serve] foreground mode —
+    effectively forever unless {!stop} is called from a signal
+    handler). *)

@@ -66,3 +66,195 @@ let to_string v =
 let to_channel oc v =
   output_string oc (to_string v);
   output_char oc '\n'
+
+(* ---- parsing ----
+
+   A recursive-descent parser for the subset this module emits (which is
+   all of JSON except exotic number forms). Numbers without '.', 'e' or
+   'E' that fit in an int parse as Int, everything else as Float. *)
+
+exception Parse_error of string
+
+type cursor = { s : string; mutable pos : int }
+
+let fail cur msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg cur.pos))
+
+let peek cur = if cur.pos < String.length cur.s then Some cur.s.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let skip_ws cur =
+  while
+    match peek cur with
+    | Some (' ' | '\t' | '\n' | '\r') -> true
+    | _ -> false
+  do
+    advance cur
+  done
+
+let expect cur c =
+  match peek cur with
+  | Some c' when c' = c -> advance cur
+  | _ -> fail cur (Printf.sprintf "expected %C" c)
+
+let parse_literal cur word value =
+  let n = String.length word in
+  if
+    cur.pos + n <= String.length cur.s
+    && String.sub cur.s cur.pos n = word
+  then begin
+    cur.pos <- cur.pos + n;
+    value
+  end
+  else fail cur (Printf.sprintf "expected %s" word)
+
+let parse_string_body cur =
+  expect cur '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek cur with
+    | None -> fail cur "unterminated string"
+    | Some '"' -> advance cur
+    | Some '\\' -> (
+        advance cur;
+        match peek cur with
+        | None -> fail cur "dangling escape"
+        | Some c ->
+            advance cur;
+            (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'u' ->
+                if cur.pos + 4 > String.length cur.s then
+                  fail cur "truncated \\u escape";
+                let hex = String.sub cur.s cur.pos 4 in
+                cur.pos <- cur.pos + 4;
+                let code =
+                  match int_of_string_opt ("0x" ^ hex) with
+                  | Some c -> c
+                  | None -> fail cur "bad \\u escape"
+                in
+                (* the serializer only emits \u for control characters;
+                   decode the Latin-1 range, refuse the rest rather than
+                   guess at UTF-16 surrogates *)
+                if code < 0x100 then Buffer.add_char buf (Char.chr code)
+                else fail cur "unsupported \\u escape above U+00FF"
+            | _ -> fail cur "unknown escape");
+            go ())
+    | Some c ->
+        advance cur;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number cur =
+  let start = cur.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek cur with Some c -> is_num_char c | None -> false) do
+    advance cur
+  done;
+  let text = String.sub cur.s start (cur.pos - start) in
+  let has_float_syntax =
+    String.exists (function '.' | 'e' | 'E' -> true | _ -> false) text
+  in
+  if has_float_syntax then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail cur (Printf.sprintf "bad number %S" text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail cur (Printf.sprintf "bad number %S" text))
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | None -> fail cur "unexpected end of input"
+  | Some 'n' -> parse_literal cur "null" Null
+  | Some 't' -> parse_literal cur "true" (Bool true)
+  | Some 'f' -> parse_literal cur "false" (Bool false)
+  | Some '"' -> String (parse_string_body cur)
+  | Some '[' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some ']' then begin
+        advance cur;
+        List []
+      end
+      else begin
+        let items = ref [ parse_value cur ] in
+        skip_ws cur;
+        while peek cur = Some ',' do
+          advance cur;
+          items := parse_value cur :: !items;
+          skip_ws cur
+        done;
+        expect cur ']';
+        List (List.rev !items)
+      end
+  | Some '{' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some '}' then begin
+        advance cur;
+        Obj []
+      end
+      else begin
+        let member () =
+          skip_ws cur;
+          let k = parse_string_body cur in
+          skip_ws cur;
+          expect cur ':';
+          let v = parse_value cur in
+          (k, v)
+        in
+        let items = ref [ member () ] in
+        skip_ws cur;
+        while peek cur = Some ',' do
+          advance cur;
+          items := member () :: !items;
+          skip_ws cur
+        done;
+        expect cur '}';
+        Obj (List.rev !items)
+      end
+  | Some ('0' .. '9' | '-') -> parse_number cur
+  | Some c -> fail cur (Printf.sprintf "unexpected character %C" c)
+
+let of_string s =
+  let cur = { s; pos = 0 } in
+  match parse_value cur with
+  | v ->
+      skip_ws cur;
+      if cur.pos <> String.length s then
+        Error (Printf.sprintf "trailing garbage at offset %d" cur.pos)
+      else Ok v
+  | exception Parse_error msg -> Error msg
+
+(* accessors used by the ledger reader *)
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+let to_float_opt = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_string_opt = function String s -> Some s | _ -> None

@@ -24,3 +24,18 @@ val to_string : t -> string
 
 val to_channel : out_channel -> t -> unit
 (** Compact rendering followed by a newline. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document (the inverse of {!to_string}, used to
+    re-read ledger journals). Numbers without a fractional part or
+    exponent parse as [Int], everything else as [Float]; [\u] escapes
+    above U+00FF are rejected (the serializer never emits them). *)
+
+val member : string -> t -> t option
+(** [member key (Obj ...)] looks up a field; [None] on missing keys or
+    non-objects. *)
+
+val to_float_opt : t -> float option
+(** [Float] or [Int] payload as a float. *)
+
+val to_string_opt : t -> string option

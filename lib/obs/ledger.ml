@@ -1,0 +1,186 @@
+(* Append-only JSONL run journal. Instrumented call sites (Solver,
+   Spectral, Sweep, Replicate, bench sections) call [record]; when the
+   ledger is inactive that is a cheap no-op, so the hooks can stay in
+   the hot paths unconditionally. *)
+
+type record = {
+  seq : int;
+  time : float;
+  kind : string;
+  strategy : string option;
+  params : (string * Json.t) list;
+  wall_seconds : float;
+  outcome : string;
+  summary : (string * Json.t) list;
+  gauges : (string * float) list;
+}
+
+let schema = "urs-ledger/1"
+
+(* ---- sinks ---- *)
+
+let channel : out_channel option ref = ref None
+
+let memory_enabled = ref false
+
+let max_recent = 512
+
+let recent_q : record Queue.t = Queue.create ()
+
+let seq_counter = ref 0
+
+let active () = !channel <> None || !memory_enabled
+
+let set_memory b =
+  memory_enabled := b;
+  if not b then Queue.clear recent_q
+
+let close () =
+  (match !channel with
+  | Some oc ->
+      (try flush oc with Sys_error _ -> ());
+      close_out_noerr oc
+  | None -> ());
+  channel := None
+
+let open_file ?(truncate = false) path =
+  close ();
+  let flags =
+    Open_wronly :: Open_creat
+    :: (if truncate then [ Open_trunc ] else [ Open_append ])
+  in
+  channel := Some (open_out_gen flags 0o644 path)
+
+let recent ?(limit = max_recent) () =
+  let all = List.of_seq (Queue.to_seq recent_q) in
+  let n = List.length all in
+  if n <= limit then all else List.filteri (fun i _ -> i >= n - limit) all
+
+let reset () =
+  close ();
+  set_memory false;
+  seq_counter := 0
+
+(* ---- serialization ---- *)
+
+let kv_obj kvs = Json.Obj kvs
+
+let to_json r =
+  let opt_str key = function
+    | None -> []
+    | Some s -> [ (key, Json.String s) ]
+  in
+  Json.Obj
+    ([
+       ("schema", Json.String schema);
+       ("seq", Json.Int r.seq);
+       ("time", Json.Float r.time);
+       ("kind", Json.String r.kind);
+     ]
+    @ opt_str "strategy" r.strategy
+    @ [
+        ("params", kv_obj r.params);
+        ("wall_seconds", Json.Float r.wall_seconds);
+        ("outcome", Json.String r.outcome);
+        ("summary", kv_obj r.summary);
+        ( "gauges",
+          Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) r.gauges) );
+      ])
+
+let of_json j =
+  let str key =
+    match Json.member key j with
+    | Some (Json.String s) -> Ok s
+    | _ -> Error (Printf.sprintf "ledger record: missing string field %S" key)
+  in
+  let num key =
+    match Option.bind (Json.member key j) Json.to_float_opt with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "ledger record: missing number field %S" key)
+  in
+  let obj key =
+    match Json.member key j with
+    | Some (Json.Obj kvs) -> Ok kvs
+    | None -> Ok []
+    | Some _ -> Error (Printf.sprintf "ledger record: field %S not an object" key)
+  in
+  let ( let* ) = Result.bind in
+  let* kind = str "kind" in
+  let* time = num "time" in
+  let* wall_seconds = num "wall_seconds" in
+  let* outcome = str "outcome" in
+  let* params = obj "params" in
+  let* summary = obj "summary" in
+  let* gauge_kvs = obj "gauges" in
+  let seq =
+    match Option.bind (Json.member "seq" j) Json.to_float_opt with
+    | Some f -> int_of_float f
+    | None -> 0
+  in
+  let strategy =
+    Option.bind (Json.member "strategy" j) Json.to_string_opt
+  in
+  let gauges =
+    List.filter_map
+      (fun (k, v) -> Option.map (fun f -> (k, f)) (Json.to_float_opt v))
+      gauge_kvs
+  in
+  Ok { seq; time; kind; strategy; params; wall_seconds; outcome; summary; gauges }
+
+(* ---- appending ---- *)
+
+let append r =
+  if !memory_enabled then begin
+    Queue.push r recent_q;
+    if Queue.length recent_q > max_recent then ignore (Queue.pop recent_q)
+  end;
+  match !channel with
+  | None -> ()
+  | Some oc -> (
+      try
+        Json.to_channel oc (to_json r);
+        flush oc
+      with Sys_error _ -> ())
+
+let record ?strategy ?(params = []) ?(outcome = "ok") ?(summary = [])
+    ?(gauges = []) ~kind ~wall_seconds () =
+  if active () then begin
+    incr seq_counter;
+    append
+      {
+        seq = !seq_counter;
+        time = Span.now ();
+        kind;
+        strategy;
+        params;
+        wall_seconds;
+        outcome;
+        summary;
+        gauges;
+      }
+  end
+
+(* ---- reading ---- *)
+
+let read_file path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec go acc lineno =
+            match input_line ic with
+            | exception End_of_file -> Ok (List.rev acc)
+            | "" -> go acc (lineno + 1)
+            | line -> (
+                match Json.of_string line with
+                | Error msg ->
+                    Error (Printf.sprintf "%s:%d: %s" path lineno msg)
+                | Ok j -> (
+                    match of_json j with
+                    | Error msg ->
+                        Error (Printf.sprintf "%s:%d: %s" path lineno msg)
+                    | Ok r -> go (r :: acc) (lineno + 1)))
+          in
+          go [] 1)

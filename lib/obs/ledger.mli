@@ -1,0 +1,82 @@
+(** Append-only run ledger: one JSONL line per solver call, sweep point,
+    simulation replication or bench section, carrying the model
+    parameters, wall time, result summary and a snapshot of the relevant
+    gauges.
+
+    The ledger complements the metrics registry: gauges keep only the
+    last written value (see {!Metrics}), while the ledger keeps the full
+    per-solve history, so a sweep's every point can be reconstructed
+    (and re-run) from the journal.
+
+    Two sinks, both optional:
+    - a file sink ({!open_file}) appending one compact JSON document per
+      line — enabled by [--ledger FILE] on the CLI and per bench run;
+    - an in-memory ring of the most recent records ({!set_memory}),
+      served live by the [/runs] HTTP route of [urs serve].
+
+    When neither sink is active, {!record} is a no-op, so instrumented
+    call sites pay nothing. Timestamps come from {!Span.now} (pluggable
+    clock — deterministic in tests). Not thread-safe; all writers live
+    on the main thread, the HTTP server only reads {!recent}. *)
+
+type record = {
+  seq : int;  (** Per-process sequence number, 1-based. *)
+  time : float;  (** {!Span.now} at append time (Unix seconds). *)
+  kind : string;
+      (** Call-site family: ["solver.evaluate"], ["spectral.solve"],
+          ["sweep.point"], ["sim.replication"], ["bench.section"],
+          ["doctor"]. *)
+  strategy : string option;  (** Solver strategy label, when relevant. *)
+  params : (string * Json.t) list;  (** Model / run parameters. *)
+  wall_seconds : float;
+  outcome : string;  (** ["ok"] or an error classification. *)
+  summary : (string * Json.t) list;  (** Result fields. *)
+  gauges : (string * float) list;
+      (** Snapshot of relevant registry gauges at append time. *)
+}
+
+val schema : string
+(** The schema tag embedded in every record (["urs-ledger/1"]). *)
+
+val record :
+  ?strategy:string ->
+  ?params:(string * Json.t) list ->
+  ?outcome:string ->
+  ?summary:(string * Json.t) list ->
+  ?gauges:(string * float) list ->
+  kind:string ->
+  wall_seconds:float ->
+  unit ->
+  unit
+(** Append a record to every active sink; no-op when inactive. Stamps
+    [seq] and [time]. I/O errors on the file sink are swallowed (the
+    ledger must never fail a run). *)
+
+val active : unit -> bool
+
+val open_file : ?truncate:bool -> string -> unit
+(** Start journaling to a file (append mode by default; [~truncate:true]
+    starts fresh). Replaces any previously open file sink. Raises
+    [Sys_error] if the path cannot be opened. *)
+
+val close : unit -> unit
+(** Flush and close the file sink (keeps the memory sink, if enabled). *)
+
+val set_memory : bool -> unit
+(** Enable/disable the in-memory ring (capped at an internal limit;
+    disabling clears it). *)
+
+val recent : ?limit:int -> unit -> record list
+(** Most recent records from the memory ring, oldest first. *)
+
+val reset : unit -> unit
+(** Close the file sink, clear and disable the ring, restart [seq] —
+    tests. *)
+
+val to_json : record -> Json.t
+
+val of_json : Json.t -> (record, string) result
+
+val read_file : string -> (record list, string) result
+(** Parse a JSONL journal back into records; [Error] carries the path,
+    line number and reason of the first malformed line. *)

@@ -43,7 +43,16 @@ val inc : ?by:float -> counter -> unit
 
 val counter_value : counter -> float
 
-(** {1 Gauges} — instantaneous values that can move both ways. *)
+(** {1 Gauges} — instantaneous values that can move both ways.
+
+    Gauges have {e last-write} semantics: a snapshot sees only the most
+    recent [set]. Result-summary gauges written once per solve — the
+    [urs_spectral_dominant_z] / [urs_spectral_residual] /
+    [urs_spectral_eigenvalues] family, labelled by solver strategy —
+    therefore describe the {e last} solve only; under a sweep every
+    earlier point is overwritten. That is the intended reading for a
+    scrape endpoint ("what did the process just do"); the full per-solve
+    history goes to the {!Ledger}, one record per solve. *)
 
 type gauge
 

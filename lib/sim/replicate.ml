@@ -1,9 +1,17 @@
 module Metrics = Urs_obs.Metrics
 module Span = Urs_obs.Span
+module Ledger = Urs_obs.Ledger
+module Json = Urs_obs.Json
 
 let m_replications =
   Metrics.counter ~help:"Simulation replications completed"
     "urs_sim_replications_total"
+
+let m_half_width measure =
+  Metrics.gauge
+    ~labels:[ ("measure", measure) ]
+    ~help:"Confidence-interval half-width of the last Replicate.run (last write)"
+    "urs_sim_ci_halfwidth"
 
 type interval = { estimate : float; half_width : float }
 
@@ -25,33 +33,79 @@ let interval_of ~confidence values =
     { estimate = mean; half_width = t *. s /. sqrt (float_of_int n) }
   end
 
+let ledger_params cfg ~duration ~replications =
+  [
+    ("servers", Json.Int cfg.Server_farm.servers);
+    ("lambda", Json.Float cfg.Server_farm.lambda);
+    ("mu", Json.Float cfg.Server_farm.mu);
+    ("duration", Json.Float duration);
+    ("replications", Json.Int replications);
+  ]
+
 let run ?(seed = 1) ?(replications = 10) ?(confidence = 0.95) ?warmup ~duration
     cfg =
   if replications < 1 then invalid_arg "Replicate.run: replications >= 1";
   let master = Urs_prob.Rng.create seed in
+  let params = ledger_params cfg ~duration ~replications in
   let results =
-    Array.init replications (fun _ ->
+    Array.init replications (fun rep ->
         let rep_seed = Int64.to_int (Urs_prob.Rng.bits64 master) land 0x3FFFFFFF in
         (* one span per replication: urs_sim_replication_seconds is the
            per-replication wall-time histogram *)
-        Span.with_ ~name:"urs_sim_replication" (fun () ->
-            let r =
-              Server_farm.run ~seed:rep_seed ?warmup ~track_responses:false
-                ~duration cfg
-            in
-            Metrics.inc m_replications;
-            r))
+        let t0 = Span.now () in
+        let r =
+          Span.with_ ~name:"urs_sim_replication" (fun () ->
+              let r =
+                Server_farm.run ~seed:rep_seed ?warmup ~track_responses:false
+                  ~duration cfg
+              in
+              Metrics.inc m_replications;
+              r)
+        in
+        Ledger.record ~kind:"sim.replication" ~strategy:"sim" ~params
+          ~wall_seconds:(Span.now () -. t0)
+          ~summary:
+            [
+              ("replication", Json.Int rep);
+              ("seed", Json.Int rep_seed);
+              ("mean_jobs", Json.Float r.Server_farm.mean_jobs);
+              ("mean_response", Json.Float r.Server_farm.mean_response);
+              ("mean_operative", Json.Float r.Server_farm.mean_operative);
+            ]
+          ();
+        r)
   in
+  let t0 = Span.now () in
   let pick f = Array.map f results in
-  {
-    mean_jobs = interval_of ~confidence (pick (fun r -> r.Server_farm.mean_jobs));
-    mean_response =
-      interval_of ~confidence (pick (fun r -> r.Server_farm.mean_response));
-    mean_operative =
-      interval_of ~confidence (pick (fun r -> r.Server_farm.mean_operative));
-    replications;
-    confidence;
-  }
+  let summary =
+    {
+      mean_jobs =
+        interval_of ~confidence (pick (fun r -> r.Server_farm.mean_jobs));
+      mean_response =
+        interval_of ~confidence (pick (fun r -> r.Server_farm.mean_response));
+      mean_operative =
+        interval_of ~confidence (pick (fun r -> r.Server_farm.mean_operative));
+      replications;
+      confidence;
+    }
+  in
+  Metrics.set (m_half_width "mean_jobs") summary.mean_jobs.half_width;
+  Metrics.set (m_half_width "mean_response") summary.mean_response.half_width;
+  Metrics.set (m_half_width "mean_operative") summary.mean_operative.half_width;
+  Ledger.record ~kind:"sim.summary" ~strategy:"sim" ~params
+    ~wall_seconds:(Span.now () -. t0)
+    ~summary:
+      [
+        ("mean_jobs", Json.Float summary.mean_jobs.estimate);
+        ("mean_jobs_hw", Json.Float summary.mean_jobs.half_width);
+        ("mean_response", Json.Float summary.mean_response.estimate);
+        ("mean_response_hw", Json.Float summary.mean_response.half_width);
+        ("mean_operative", Json.Float summary.mean_operative.estimate);
+        ("mean_operative_hw", Json.Float summary.mean_operative.half_width);
+        ("confidence", Json.Float confidence);
+      ]
+    ();
+  summary
 
 let pp_summary ppf s =
   Format.fprintf ppf

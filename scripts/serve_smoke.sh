@@ -1,0 +1,36 @@
+#!/bin/sh
+# Starts `urs serve` on a scratch port, checks that /metrics, /healthz
+# and /runs answer, then shuts the server down.  Used by
+# `make serve-smoke` (and hence `make ci`).
+set -eu
+
+PORT="${URS_SMOKE_PORT:-9109}"
+BIN=./_build/default/bin/urs_cli.exe
+LOG=/tmp/urs_serve_smoke.log
+
+"$BIN" serve --port "$PORT" >"$LOG" 2>&1 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+# serve runs a quick doctor pass before it starts listening
+up=0
+i=0
+while [ $i -lt 100 ]; do
+  if curl -sf "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1; then
+    up=1
+    break
+  fi
+  i=$((i + 1))
+  sleep 0.2
+done
+if [ $up -ne 1 ]; then
+  echo "serve-smoke: server never answered on port $PORT" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+
+curl -sf "http://127.0.0.1:$PORT/metrics" | grep -q '^urs_health_status'
+curl -sf "http://127.0.0.1:$PORT/healthz" | grep -Eq 'ok|degraded'
+curl -sf "http://127.0.0.1:$PORT/runs" >/dev/null
+
+echo "serve-smoke: ok"

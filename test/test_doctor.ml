@@ -1,0 +1,173 @@
+(* Regression tests for the numerical-health diagnostics and the doctor
+   cross-checks: the paper's N=5 configuration must score a clean bill
+   of health, and deliberately broken inputs must be flagged. *)
+
+module Diagnostics = Urs_mmq.Diagnostics
+
+let paper_qbd ~servers ~lambda =
+  match Urs.Model.qbd (Urs.Doctor.paper_model ~servers ~lambda) with
+  | Some q -> q
+  | None -> Alcotest.fail "paper model should be phase-type"
+
+let solved ~servers ~lambda =
+  match Urs_mmq.Spectral.solve (paper_qbd ~servers ~lambda) with
+  | Ok sol -> sol
+  | Error e -> Alcotest.failf "solve failed: %a" Urs_mmq.Spectral.pp_error e
+
+(* the headline regression: the N=5 paper model is numerically pristine *)
+let test_n5_spectral_health () =
+  let rep = Diagnostics.check_spectral (solved ~servers:5 ~lambda:4.0) in
+  (match rep.Diagnostics.verdict with
+  | Diagnostics.Ok -> ()
+  | v ->
+      Alcotest.failf "N=5 paper model should be Ok, got %s"
+        (Format.asprintf "%a" Diagnostics.pp_verdict v));
+  let assert_small name v =
+    if not (v >= 0.0 && v < 1e-10) then
+      Alcotest.failf "%s = %g not in [0, 1e-10)" name v
+  in
+  assert_small "balance residual" rep.Diagnostics.balance_residual;
+  assert_small "eigenpair residual" rep.Diagnostics.eigen_residual;
+  assert_small "mass defect" rep.Diagnostics.mass_defect;
+  if rep.Diagnostics.boundary_condition > 1e6 then
+    Alcotest.failf "boundary condition %g unexpectedly large"
+      rep.Diagnostics.boundary_condition;
+  if rep.Diagnostics.stability_margin <= 0.0 then
+    Alcotest.fail "stability margin should be positive"
+
+let test_eigen_residuals_per_pair () =
+  let sol = solved ~servers:5 ~lambda:4.0 in
+  let rs = Urs_mmq.Spectral.eigen_residuals sol in
+  Alcotest.(check int)
+    "one residual per eigenvalue"
+    (Array.length (Urs_mmq.Spectral.eigenvalues sol))
+    (Array.length rs);
+  Array.iter
+    (fun r ->
+      if not (r >= 0.0 && r < 1e-10) then
+        Alcotest.failf "eigenpair residual %g not in [0, 1e-10)" r)
+    rs
+
+let test_verdict_algebra () =
+  let open Diagnostics in
+  Alcotest.(check int) "ok severity" 0 (severity Ok);
+  Alcotest.(check int) "degraded severity" 1 (severity (Degraded [ "a" ]));
+  Alcotest.(check int) "suspect severity" 2 (severity (Suspect [ "b" ]));
+  (match combine [ Ok; Degraded [ "x" ]; Ok ] with
+  | Degraded [ "x" ] -> ()
+  | v -> Alcotest.failf "combine: %s" (Format.asprintf "%a" pp_verdict v));
+  (match combine [ Degraded [ "x" ]; Suspect [ "y" ] ] with
+  | Suspect issues ->
+      Alcotest.(check (list string)) "issues concatenated" [ "x"; "y" ] issues
+  | v -> Alcotest.failf "combine: %s" (Format.asprintf "%a" pp_verdict v));
+  match combine [] with
+  | Ok -> ()
+  | v -> Alcotest.failf "empty combine: %s" (Format.asprintf "%a" pp_verdict v)
+
+let test_cross_check_scoring () =
+  let open Diagnostics in
+  (* agreeing exact methods *)
+  (match check_exact_pair ~label:"t" 6.2385 (6.2385 +. 1e-12) with
+  | _, Ok -> ()
+  | _, v -> Alcotest.failf "tiny delta: %s" (Format.asprintf "%a" pp_verdict v));
+  (* disagreeing exact methods *)
+  (match check_exact_pair ~label:"t" 6.0 7.0 with
+  | _, Suspect _ -> ()
+  | _, v ->
+      Alcotest.failf "gross delta: %s" (Format.asprintf "%a" pp_verdict v));
+  (* simulation inside its confidence band *)
+  (match
+     check_simulation_agreement ~label:"t" ~exact:6.24 ~estimate:6.20
+       ~half_width:0.1 ()
+   with
+  | _, Ok -> ()
+  | _, v -> Alcotest.failf "in band: %s" (Format.asprintf "%a" pp_verdict v));
+  (* simulation far outside *)
+  (match
+     check_simulation_agreement ~label:"t" ~exact:6.24 ~estimate:60.0
+       ~half_width:0.1 ()
+   with
+  | _, Suspect _ -> ()
+  | _, v -> Alcotest.failf "off by 10x: %s" (Format.asprintf "%a" pp_verdict v));
+  (* tight and hopeless confidence intervals *)
+  (match check_ci ~label:"t" ~estimate:6.24 ~half_width:0.01 () with
+  | _, Ok -> ()
+  | _, v -> Alcotest.failf "tight CI: %s" (Format.asprintf "%a" pp_verdict v));
+  match check_ci ~label:"t" ~estimate:6.24 ~half_width:10.0 () with
+  | _, Suspect _ -> ()
+  | _, v -> Alcotest.failf "useless CI: %s" (Format.asprintf "%a" pp_verdict v)
+
+let test_health_gauges () =
+  let rep = Diagnostics.check_spectral (solved ~servers:5 ~lambda:4.0) in
+  Diagnostics.observe_spectral rep;
+  (match
+     Urs_obs.Metrics.value
+       ~labels:[ ("component", "spectral") ]
+       "urs_health_status"
+   with
+  | Some 0.0 -> ()
+  | v ->
+      Alcotest.failf "health status gauge: %s"
+        (match v with Some x -> string_of_float x | None -> "absent"));
+  match
+    Urs_obs.Metrics.value
+      ~labels:[ ("check", "balance_residual") ]
+      "urs_health_value"
+  with
+  | Some v when v >= 0.0 && v < 1e-10 -> ()
+  | Some v -> Alcotest.failf "balance residual gauge %g" v
+  | None -> Alcotest.fail "missing urs_health_value{check=balance_residual}"
+
+(* analytic-only doctor column: no simulation, so this stays fast while
+   covering the spectral / matrix-geometric / approximation triangle *)
+let test_check_model_analytic () =
+  let checks =
+    Urs.Doctor.check_model (Urs.Doctor.paper_model ~servers:5 ~lambda:4.0)
+  in
+  Alcotest.(check int) "three analytic checks" 3 (List.length checks);
+  List.iter
+    (fun (c : Urs.Doctor.check) ->
+      match c.Urs.Doctor.verdict with
+      | Diagnostics.Ok -> ()
+      | v ->
+          Alcotest.failf "%s should be Ok, got %s" c.Urs.Doctor.name
+            (Format.asprintf "%a" Diagnostics.pp_verdict v))
+    checks
+
+let test_near_saturation_degrades () =
+  (* utilization ~0.9996: stable, but the margin probe must complain *)
+  let q = paper_qbd ~servers:5 ~lambda:4.993 in
+  match Urs_mmq.Spectral.solve q with
+  | Error e ->
+      Alcotest.failf "near-saturation solve failed: %a"
+        Urs_mmq.Spectral.pp_error e
+  | Ok sol -> (
+      let rep = Diagnostics.check_spectral sol in
+      match rep.Diagnostics.verdict with
+      | Diagnostics.Ok ->
+          Alcotest.failf "margin %g should not be Ok"
+            rep.Diagnostics.stability_margin
+      | Diagnostics.Degraded _ | Diagnostics.Suspect _ -> ())
+
+let () =
+  Alcotest.run "urs_doctor"
+    [
+      ( "diagnostics",
+        [
+          Alcotest.test_case "N=5 paper model is Ok" `Quick
+            test_n5_spectral_health;
+          Alcotest.test_case "per-eigenpair residuals" `Quick
+            test_eigen_residuals_per_pair;
+          Alcotest.test_case "verdict algebra" `Quick test_verdict_algebra;
+          Alcotest.test_case "cross-check scoring" `Quick
+            test_cross_check_scoring;
+          Alcotest.test_case "health gauges" `Quick test_health_gauges;
+          Alcotest.test_case "near saturation degrades" `Quick
+            test_near_saturation_degrades;
+        ] );
+      ( "doctor",
+        [
+          Alcotest.test_case "analytic cross-checks" `Quick
+            test_check_model_analytic;
+        ] );
+    ]

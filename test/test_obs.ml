@@ -307,6 +307,278 @@ let test_json_golden () =
     {|"buckets":[{"le":1,"count":1},{"le":2,"count":2},{"le":"+Inf","count":3}]|};
   check_contains "welford summary" j {|"mean":3.6666666666666665|}
 
+(* ---- JSON parser ---- *)
+
+let test_json_parse_roundtrip () =
+  let samples =
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Int (-42);
+      Json.Float 0.1;
+      Json.String "a\"b\\c\nd\001";
+      Json.List [ Json.Int 1; Json.Bool false; Json.Null ];
+      Json.Obj
+        [ ("a", Json.Int 1); ("b", Json.List [ Json.Float 2.5 ]);
+          ("nested", Json.Obj [ ("x", Json.String "y") ]) ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      let s = Json.to_string v in
+      match Json.of_string s with
+      | Ok v' ->
+          Alcotest.(check string)
+            ("round-trip of " ^ s) s (Json.to_string v')
+      | Error e -> Alcotest.failf "parse of %s failed: %s" s e)
+    samples
+
+let test_json_parse_errors () =
+  let bad = [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ] in
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.failf "parse of %S should fail" s
+      | Error _ -> ())
+    bad
+
+let test_json_accessors () =
+  match Json.of_string {|{"a":1,"b":2.5,"c":"x"}|} with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok v ->
+      Alcotest.(check (option (float 1e-12)))
+        "int member" (Some 1.0)
+        (Option.bind (Json.member "a" v) Json.to_float_opt);
+      Alcotest.(check (option (float 1e-12)))
+        "float member" (Some 2.5)
+        (Option.bind (Json.member "b" v) Json.to_float_opt);
+      Alcotest.(check (option string))
+        "string member" (Some "x")
+        (Option.bind (Json.member "c" v) Json.to_string_opt);
+      Alcotest.(check bool)
+        "absent member" true
+        (Json.member "zz" v = None)
+
+(* ---- skip_zero and the degenerate-summary guard ---- *)
+
+let test_skip_zero () =
+  let r = Metrics.create () in
+  let live = Metrics.counter ~registry:r "live_total" in
+  Metrics.inc live;
+  let _idle = Metrics.counter ~registry:r "idle_total" in
+  let _empty = Metrics.histogram ~registry:r ~buckets:[| 1.0 |] "e_seconds" in
+  let _zero_gauge = Metrics.gauge ~registry:r "z_gauge" in
+  let snap = Metrics.snapshot ~registry:r () in
+  let full = Export.prometheus snap in
+  check_contains "full keeps idle counter" full "idle_total 0";
+  let trimmed = Export.prometheus ~skip_zero:true snap in
+  check_contains "skip_zero keeps live series" trimmed "live_total 1";
+  if contains trimmed "idle_total" then
+    Alcotest.fail "skip_zero should drop zero counters";
+  if contains trimmed "e_seconds" then
+    Alcotest.fail "skip_zero should drop empty histograms";
+  if contains trimmed "z_gauge" then
+    Alcotest.fail "skip_zero should drop zero gauges";
+  let j = Export.json ~skip_zero:true snap in
+  check_contains "json skip_zero keeps live" j "live_total";
+  if contains j "idle_total" then
+    Alcotest.fail "json skip_zero should drop zero counters"
+
+(* pin the exported JSON for degenerate Welford summaries: no
+   observations, one observation, and an observed infinity must all
+   yield finite (zero) mean/stddev *)
+let test_degenerate_summary_json () =
+  let histogram_json r =
+    match
+      Json.member "metrics" (Export.json_value (Metrics.snapshot ~registry:r ()))
+    with
+    | Some (Json.List [ entry ]) -> entry
+    | _ -> Alcotest.fail "expected exactly one metric"
+  in
+  let r0 = Metrics.create () in
+  let _ = Metrics.histogram ~registry:r0 ~buckets:[| 1.0 |] "d_seconds" in
+  Alcotest.(check string)
+    "count=0 pins to zeros"
+    {|{"name":"d_seconds","type":"histogram","count":0,"sum":0,"mean":0,"stddev":0,"buckets":[{"le":1,"count":0},{"le":"+Inf","count":0}]}|}
+    (Json.to_string (histogram_json r0));
+  let r1 = Metrics.create () in
+  let h1 = Metrics.histogram ~registry:r1 ~buckets:[| 1.0 |] "d_seconds" in
+  Metrics.observe h1 0.5;
+  Alcotest.(check string)
+    "count=1 has zero stddev"
+    {|{"name":"d_seconds","type":"histogram","count":1,"sum":0.5,"mean":0.5,"stddev":0,"buckets":[{"le":1,"count":1},{"le":"+Inf","count":1}]}|}
+    (Json.to_string (histogram_json r1));
+  let ri = Metrics.create () in
+  let hi = Metrics.histogram ~registry:ri ~buckets:[| 1.0 |] "d_seconds" in
+  Metrics.observe hi infinity;
+  let j = Json.to_string (histogram_json ri) in
+  check_contains "observed inf clamps mean" j {|"mean":0|};
+  check_contains "observed inf clamps stddev" j {|"stddev":0|};
+  if contains j "inf" || contains j "nan" then
+    Alcotest.failf "non-finite value leaked into JSON: %s" j
+
+(* ---- ledger ---- *)
+
+module Ledger = Urs_obs.Ledger
+
+let with_clean_ledger f =
+  Ledger.reset ();
+  Fun.protect ~finally:Ledger.reset f
+
+let sample_record () =
+  Ledger.record ~kind:"spectral.solve" ~strategy:"exact"
+    ~params:[ ("servers", Json.Int 5); ("lambda", Json.Float 4.0) ]
+    ~wall_seconds:0.012
+    ~summary:[ ("residual", Json.Float 6.1e-16) ]
+    ~gauges:[ ("urs_spectral_dominant_z", 0.8009) ]
+    ()
+
+let test_ledger_inactive_noop () =
+  with_clean_ledger @@ fun () ->
+  Alcotest.(check bool) "inactive by default" false (Ledger.active ());
+  sample_record ();
+  Alcotest.(check int) "no records buffered" 0 (List.length (Ledger.recent ()))
+
+let test_ledger_file_roundtrip () =
+  with_clean_ledger @@ fun () ->
+  let path = Filename.temp_file "urs_ledger" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Ledger.open_file ~truncate:true path;
+      sample_record ();
+      Ledger.record ~kind:"sweep.point" ~outcome:"dropped" ~wall_seconds:0.5 ();
+      Ledger.close ();
+      match Ledger.read_file path with
+      | Error e -> Alcotest.failf "read_file: %s" e
+      | Ok [ a; b ] ->
+          Alcotest.(check int) "seq stamps" 1 a.Ledger.seq;
+          Alcotest.(check int) "seq stamps" 2 b.Ledger.seq;
+          Alcotest.(check string) "kind" "spectral.solve" a.Ledger.kind;
+          Alcotest.(check (option string))
+            "strategy" (Some "exact") a.Ledger.strategy;
+          check_float "wall" 0.012 a.Ledger.wall_seconds;
+          Alcotest.(check string) "default outcome" "ok" a.Ledger.outcome;
+          Alcotest.(check string) "explicit outcome" "dropped" b.Ledger.outcome;
+          check_float "gauge snapshot" 0.8009
+            (List.assoc "urs_spectral_dominant_z" a.Ledger.gauges);
+          (* numbers without a fractional part come back as Json.Int;
+             to_float_opt absorbs the difference *)
+          (match Json.to_float_opt (List.assoc "lambda" a.Ledger.params) with
+          | Some l -> check_float "param" 4.0 l
+          | None -> Alcotest.fail "lambda param not numeric")
+      | Ok rs -> Alcotest.failf "expected 2 records, got %d" (List.length rs))
+
+let test_ledger_memory_ring () =
+  with_clean_ledger @@ fun () ->
+  Ledger.set_memory true;
+  sample_record ();
+  sample_record ();
+  sample_record ();
+  let rs = Ledger.recent ~limit:2 () in
+  Alcotest.(check int) "limit respected" 2 (List.length rs);
+  (* oldest-first within the limit window: the two most recent *)
+  Alcotest.(check (list int))
+    "most recent, oldest first" [ 2; 3 ]
+    (List.map (fun r -> r.Ledger.seq) rs);
+  Ledger.set_memory false;
+  Alcotest.(check int) "disabling clears" 0 (List.length (Ledger.recent ()))
+
+let test_ledger_malformed_line () =
+  with_clean_ledger @@ fun () ->
+  let path = Filename.temp_file "urs_ledger" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Ledger.open_file ~truncate:true path;
+      sample_record ();
+      Ledger.close ();
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "not json\n";
+      close_out oc;
+      match Ledger.read_file path with
+      | Ok _ -> Alcotest.fail "malformed journal should not parse"
+      | Error e -> check_contains "error names the line" e ":2:")
+
+(* ---- HTTP server ---- *)
+
+module Http = Urs_obs.Http
+
+let http_get ~port path =
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+  let sock = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock addr;
+      let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+      let _ = Unix.write_substring sock req 0 (String.length req) in
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 1024 in
+      let rec drain () =
+        let n = Unix.read sock chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+        end
+      in
+      drain ();
+      Buffer.contents buf)
+
+let test_http_smoke () =
+  let routes =
+    [
+      ("/ping", fun () -> Http.respond "pong\n");
+      ("/boom", fun () -> failwith "handler exploded");
+      ( "/json",
+        fun () ->
+          Http.respond ~content_type:"application/json" {|{"ok":true}|} );
+    ]
+  in
+  let server = Http.start ~port:0 ~routes () in
+  Fun.protect
+    ~finally:(fun () -> Http.stop server)
+    (fun () ->
+      let port = Http.port server in
+      if port <= 0 then Alcotest.failf "bad ephemeral port %d" port;
+      let ping = http_get ~port "/ping" in
+      check_contains "200 status line" ping "HTTP/1.0 200";
+      check_contains "body" ping "pong";
+      (* query strings are stripped before route matching *)
+      check_contains "query string ignored"
+        (http_get ~port "/ping?x=1")
+        "pong";
+      let missing = http_get ~port "/nope" in
+      check_contains "404 status" missing "HTTP/1.0 404";
+      check_contains "404 lists routes" missing "/ping";
+      let boom = http_get ~port "/boom" in
+      check_contains "handler exception becomes 500" boom "HTTP/1.0 500";
+      check_contains "500 carries message" boom "handler exploded";
+      let json = http_get ~port "/json" in
+      check_contains "content-type honoured" json
+        "Content-Type: application/json";
+      (* sequential requests on the single accept thread keep working *)
+      check_contains "server still alive" (http_get ~port "/ping") "pong")
+
+let test_http_metrics_route () =
+  (* serve a live registry through the same route shape the CLI uses *)
+  let r = Metrics.create () in
+  Metrics.inc ~by:3.0 (Metrics.counter ~registry:r "served_total");
+  let routes =
+    [
+      ( "/metrics",
+        fun () ->
+          Http.respond
+            (Export.prometheus (Metrics.snapshot ~registry:r ())) );
+    ]
+  in
+  let server = Http.start ~port:0 ~routes () in
+  Fun.protect
+    ~finally:(fun () -> Http.stop server)
+    (fun () ->
+      let body = http_get ~port:(Http.port server) "/metrics" in
+      check_contains "prometheus exposition served" body "served_total 3")
+
 (* ---- regression: metrics recorded by a spectral solve ---- *)
 
 let test_spectral_solve_metrics () =
@@ -323,12 +595,15 @@ let test_spectral_solve_metrics () =
   (match Urs_mmq.Spectral.solve q with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "solve failed: %a" Urs_mmq.Spectral.pp_error e);
+  (* the last-solve gauges are labelled by strategy since the geometric
+     and matrix-geometric solvers publish the same families *)
+  let exact = [ ("strategy", "exact") ] in
   (* N=5 servers in a 3-phase environment (2 operative + 1 repair) give
      C(5+2,2) = 21 states, hence 21 eigenvalues inside the unit disk *)
   Alcotest.(check (option (float 1e-12)))
     "eigenvalue-count gauge" (Some 21.0)
-    (Metrics.value "urs_spectral_eigenvalues");
-  (match Metrics.value "urs_spectral_residual" with
+    (Metrics.value ~labels:exact "urs_spectral_eigenvalues");
+  (match Metrics.value ~labels:exact "urs_spectral_residual" with
   | Some resid ->
       if not (resid >= 0.0 && resid < 1e-8) then
         Alcotest.failf "balance residual %g not in [0, 1e-8)" resid
@@ -377,6 +652,29 @@ let () =
           Alcotest.test_case "prometheus label escaping" `Quick
             test_prometheus_label_escaping;
           Alcotest.test_case "json golden" `Quick test_json_golden;
+          Alcotest.test_case "skip_zero" `Quick test_skip_zero;
+          Alcotest.test_case "degenerate summaries" `Quick
+            test_degenerate_summary_json;
+        ] );
+      ( "json-parser",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_parse_roundtrip;
+          Alcotest.test_case "rejects malformed" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "inactive no-op" `Quick test_ledger_inactive_noop;
+          Alcotest.test_case "file round-trip" `Quick
+            test_ledger_file_roundtrip;
+          Alcotest.test_case "memory ring" `Quick test_ledger_memory_ring;
+          Alcotest.test_case "malformed line" `Quick
+            test_ledger_malformed_line;
+        ] );
+      ( "http",
+        [
+          Alcotest.test_case "smoke" `Quick test_http_smoke;
+          Alcotest.test_case "metrics route" `Quick test_http_metrics_route;
         ] );
       ( "integration",
         [
