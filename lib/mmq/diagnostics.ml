@@ -18,6 +18,9 @@ type thresholds = {
   ci_rel_suspect : float;
   delta_exact_degraded : float;
   delta_exact_suspect : float;
+  sim_band_half_widths : float;
+  sim_band_rel_floor : float;
+  sim_suspect_factor : float;
 }
 
 let default_thresholds =
@@ -38,6 +41,12 @@ let default_thresholds =
     (* relative disagreement between two *exact* methods *)
     delta_exact_degraded = 1e-8;
     delta_exact_suspect = 1e-4;
+    (* exact-vs-simulation band: this many CI half-widths, floored at
+       this fraction of the exact value (the CI itself is noisy at few
+       replications); [sim_suspect_factor] times the band -> suspect *)
+    sim_band_half_widths = 3.0;
+    sim_band_rel_floor = 0.05;
+    sim_suspect_factor = 3.0;
   }
 
 (* ---- verdict algebra ---- *)
@@ -167,16 +176,18 @@ let check_exact_pair ?(thresholds = default_thresholds) ~label a b =
 
 let check_simulation_agreement ?(thresholds = default_thresholds) ~label
     ~exact ~estimate ~half_width () =
-  ignore thresholds;
+  let t = thresholds in
   let sc = new_scorer () in
   let delta = abs_float (exact -. estimate) in
   let rel = relative_delta exact estimate in
-  (* accept anything inside a generously widened confidence band; the
-     CI itself is noisy at few replications *)
-  let band = Float.max (3.0 *. half_width) (0.05 *. abs_float exact) in
+  let band =
+    Float.max
+      (t.sim_band_half_widths *. half_width)
+      (t.sim_band_rel_floor *. abs_float exact)
+  in
   if Float.is_nan delta then
     complain sc 2 (Printf.sprintf "%s: non-finite simulation delta" label)
-  else if delta > 3.0 *. band then
+  else if delta > t.sim_suspect_factor *. band then
     complain sc 2
       (Printf.sprintf "%s: simulation off by %.3g (>> CI, suspect)" label delta)
   else if delta > band then

@@ -49,6 +49,15 @@ type thresholds = {
   delta_exact_degraded : float;
       (** Relative disagreement between two exact methods. *)
   delta_exact_suspect : float;
+  sim_band_half_widths : float;
+      (** Exact-vs-simulation acceptance band, in CI half-widths
+          (default [3.]). *)
+  sim_band_rel_floor : float;
+      (** Floor of that band as a fraction of the exact value (default
+          [0.05]) — the CI itself is noisy at few replications. *)
+  sim_suspect_factor : float;
+      (** Deltas beyond this multiple of the band are suspect rather
+          than degraded (default [3.]). *)
 }
 
 val default_thresholds : thresholds
@@ -91,7 +100,10 @@ val check_simulation_agreement :
   unit ->
   float * verdict
 (** Does the simulation estimate sit inside a (generously widened)
-    confidence band around the exact value? Returns the relative delta
+    confidence band around the exact value? The band is
+    [sim_band_half_widths] CI half-widths, floored at
+    [sim_band_rel_floor] of the exact value; [sim_suspect_factor]
+    times the band escalates to suspect. Returns the relative delta
     and its verdict. *)
 
 val check_ci :

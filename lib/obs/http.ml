@@ -5,7 +5,9 @@
 
    Safe against the single-domain runtime: OCaml threads interleave
    within one domain, so route handlers reading the metrics registry
-   never race with the solver thread mutating it. *)
+   (whose updates are single atomic stores) never race with the solver
+   thread mutating it. Multi-step structures need their own locking —
+   the ledger ring guards itself with a mutex (see ledger.ml). *)
 
 type response = { status : int; content_type : string; body : string }
 
@@ -22,11 +24,14 @@ type t = {
 let status_text = function
   | 200 -> "OK"
   | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
   | 500 -> "Internal Server Error"
   | 503 -> "Service Unavailable"
   | _ -> "Status"
 
-let write_response fd { status; content_type; body } =
+(* [omit_body] serves HEAD: same status line and headers (including the
+   Content-Length the GET would have), empty body. *)
+let write_response ?(omit_body = false) fd { status; content_type; body } =
   let head =
     Printf.sprintf
       "HTTP/1.0 %d %s\r\n\
@@ -36,7 +41,7 @@ let write_response fd { status; content_type; body } =
        \r\n"
       status (status_text status) content_type (String.length body)
   in
-  let payload = Bytes.of_string (head ^ body) in
+  let payload = Bytes.of_string (if omit_body then head else head ^ body) in
   let n = Bytes.length payload in
   let sent = ref 0 in
   while !sent < n do
@@ -86,12 +91,14 @@ let parse_request_line raw =
 
 let handle routes fd =
   let raw = read_request fd in
+  let omit_body = ref false in
   let resp =
     match parse_request_line raw with
     | None -> respond ~status:500 "malformed request\n"
     | Some (meth, _) when meth <> "GET" && meth <> "HEAD" ->
-        respond ~status:404 "only GET is supported\n"
-    | Some (_, path) -> (
+        respond ~status:405 "only GET and HEAD are supported\n"
+    | Some (meth, path) -> (
+        if meth = "HEAD" then omit_body := true;
         match List.assoc_opt path routes with
         | None ->
             let known = String.concat " " (List.map fst routes) in
@@ -103,7 +110,8 @@ let handle routes fd =
               respond ~status:500
                 (Printf.sprintf "handler error: %s\n" (Printexc.to_string e))))
   in
-  (try write_response fd resp with Unix.Unix_error _ -> ())
+  (try write_response ~omit_body:!omit_body fd resp
+   with Unix.Unix_error _ -> ())
 
 let accept_loop sock stopping routes =
   let rec go () =
@@ -112,12 +120,28 @@ let accept_loop sock stopping routes =
     | client, _ ->
         Fun.protect
           ~finally:(fun () -> try Unix.close client with Unix.Unix_error _ -> ())
-          (fun () -> try handle routes client with _ -> ());
+          (fun () ->
+            try
+              (* the server is sequential: a client that connects and
+                 then goes silent must not block every later scrape, so
+                 bound both directions. A timed-out read surfaces as a
+                 Unix_error, which read_request treats as end of input
+                 (-> malformed request). *)
+              Unix.setsockopt_float client Unix.SO_RCVTIMEO 5.0;
+              Unix.setsockopt_float client Unix.SO_SNDTIMEO 5.0;
+              handle routes client
+            with _ -> ());
         go ()
   in
   go ()
 
 let start ?(addr = "127.0.0.1") ~port ~routes () =
+  (* A client that disconnects mid-response (aborted curl, scrape
+     timeout) would otherwise deliver SIGPIPE on the next write and
+     kill the whole process — ignoring it turns the write into EPIPE,
+     which the try/with around write_response swallows. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> () (* platform without SIGPIPE *));
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt sock Unix.SO_REUSEADDR true;

@@ -4,14 +4,21 @@
 
     {!start} binds a listening socket and spawns {e one} background
     thread that accepts and serves connections sequentially —
-    HTTP/1.0, [Connection: close], GET only. This is intentionally the
-    smallest thing a Prometheus scraper, a load balancer's health probe
-    or [curl] can talk to; it is not a general web server.
+    HTTP/1.0, [Connection: close], GET and HEAD only (HEAD gets the
+    same headers with an empty body; other methods get 405). Because
+    service is sequential, accepted sockets carry a 5 s receive/send
+    timeout so a silent or half-open client cannot block later
+    scrapes, and SIGPIPE is ignored ({!start} installs the handler) so
+    a client aborting mid-response cannot kill the process. This is
+    intentionally the smallest thing a Prometheus scraper, a load
+    balancer's health probe or [curl] can talk to; it is not a general
+    web server.
 
     Route handlers run on the server thread. Under the OCaml runtime,
     threads of one domain interleave rather than run in parallel, so
-    handlers that read the (non-thread-safe) metrics registry or the
-    ledger ring observe consistent values without extra locking. *)
+    handlers that read the metrics registry (single atomic stores)
+    observe consistent values; multi-step shared structures such as
+    the ledger ring synchronize with their own mutex. *)
 
 type response = { status : int; content_type : string; body : string }
 

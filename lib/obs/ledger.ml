@@ -25,7 +25,17 @@ let memory_enabled = ref false
 
 let max_recent = 512
 
+(* The ring is written by the solver thread and read by the HTTP
+   server thread ([/runs]); stdlib Queue mutations are multi-step and
+   systhreads can preempt between them, so every access goes through
+   this mutex. *)
+let recent_lock = Mutex.create ()
+
 let recent_q : record Queue.t = Queue.create ()
+
+let with_recent_lock f =
+  Mutex.lock recent_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock recent_lock) f
 
 let seq_counter = ref 0
 
@@ -33,7 +43,7 @@ let active () = !channel <> None || !memory_enabled
 
 let set_memory b =
   memory_enabled := b;
-  if not b then Queue.clear recent_q
+  if not b then with_recent_lock (fun () -> Queue.clear recent_q)
 
 let close () =
   (match !channel with
@@ -52,7 +62,9 @@ let open_file ?(truncate = false) path =
   channel := Some (open_out_gen flags 0o644 path)
 
 let recent ?(limit = max_recent) () =
-  let all = List.of_seq (Queue.to_seq recent_q) in
+  (* snapshot to an immutable list inside the critical section; the
+     lazy Queue.to_seq traversal must not outlive the lock *)
+  let all = with_recent_lock (fun () -> List.of_seq (Queue.to_seq recent_q)) in
   let n = List.length all in
   if n <= limit then all else List.filteri (fun i _ -> i >= n - limit) all
 
@@ -130,10 +142,10 @@ let of_json j =
 (* ---- appending ---- *)
 
 let append r =
-  if !memory_enabled then begin
-    Queue.push r recent_q;
-    if Queue.length recent_q > max_recent then ignore (Queue.pop recent_q)
-  end;
+  if !memory_enabled then
+    with_recent_lock (fun () ->
+        Queue.push r recent_q;
+        if Queue.length recent_q > max_recent then ignore (Queue.pop recent_q));
   match !channel with
   | None -> ()
   | Some oc -> (

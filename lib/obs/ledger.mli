@@ -16,8 +16,9 @@
 
     When neither sink is active, {!record} is a no-op, so instrumented
     call sites pay nothing. Timestamps come from {!Span.now} (pluggable
-    clock — deterministic in tests). Not thread-safe; all writers live
-    on the main thread, the HTTP server only reads {!recent}. *)
+    clock — deterministic in tests). All writers live on the main
+    thread; the in-memory ring is additionally guarded by a mutex so
+    the HTTP server thread can read {!recent} while a solve appends. *)
 
 type record = {
   seq : int;  (** Per-process sequence number, 1-based. *)

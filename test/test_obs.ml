@@ -484,6 +484,41 @@ let test_ledger_memory_ring () =
   Ledger.set_memory false;
   Alcotest.(check int) "disabling clears" 0 (List.length (Ledger.recent ()))
 
+let test_ledger_concurrent_reads () =
+  (* regression: the ring is read by the HTTP thread while the solver
+     thread appends; without the internal mutex a preempted Queue.push
+     could tear the traversal in [recent] *)
+  with_clean_ledger @@ fun () ->
+  Ledger.set_memory true;
+  let appends = 2_000 in
+  let writer =
+    Thread.create
+      (fun () ->
+        for _ = 1 to appends do
+          sample_record ();
+          Thread.yield ()
+        done)
+      ()
+  in
+  let reads = ref 0 in
+  while Thread.yield (); !reads < 500 do
+    incr reads;
+    let rs = Ledger.recent () in
+    (* every snapshot must be internally consistent: strictly
+       increasing seq, no duplicates or holes from a torn queue *)
+    ignore
+      (List.fold_left
+         (fun prev r ->
+           if r.Ledger.seq <= prev then
+             Alcotest.failf "torn snapshot: seq %d after %d" r.Ledger.seq prev;
+           r.Ledger.seq)
+         0 rs)
+  done;
+  Thread.join writer;
+  let rs = Ledger.recent () in
+  let last = List.nth rs (List.length rs - 1) in
+  Alcotest.(check int) "all appends arrived" appends last.Ledger.seq
+
 let test_ledger_malformed_line () =
   with_clean_ledger @@ fun () ->
   let path = Filename.temp_file "urs_ledger" ".jsonl" in
@@ -504,14 +539,14 @@ let test_ledger_malformed_line () =
 
 module Http = Urs_obs.Http
 
-let http_get ~port path =
+let http_request ?(meth = "GET") ~port path =
   let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
   let sock = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
     (fun () ->
       Unix.connect sock addr;
-      let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+      let req = Printf.sprintf "%s %s HTTP/1.0\r\n\r\n" meth path in
       let _ = Unix.write_substring sock req 0 (String.length req) in
       let buf = Buffer.create 1024 in
       let chunk = Bytes.create 1024 in
@@ -524,6 +559,8 @@ let http_get ~port path =
       in
       drain ();
       Buffer.contents buf)
+
+let http_get = http_request ~meth:"GET"
 
 let test_http_smoke () =
   let routes =
@@ -557,6 +594,20 @@ let test_http_smoke () =
       let json = http_get ~port "/json" in
       check_contains "content-type honoured" json
         "Content-Type: application/json";
+      (* HEAD: same headers as GET (including the GET body's length),
+         empty body *)
+      let head = http_request ~meth:"HEAD" ~port "/ping" in
+      check_contains "HEAD gets 200" head "HTTP/1.0 200";
+      check_contains "HEAD advertises GET length" head "Content-Length: 5";
+      if
+        let heads_end =
+          String.length head >= 4
+          && String.sub head (String.length head - 4) 4 = "\r\n\r\n"
+        in
+        not heads_end
+      then Alcotest.failf "HEAD response carries a body: %S" head;
+      let post = http_request ~meth:"POST" ~port "/ping" in
+      check_contains "non-GET/HEAD method gets 405" post "HTTP/1.0 405";
       (* sequential requests on the single accept thread keep working *)
       check_contains "server still alive" (http_get ~port "/ping") "pong")
 
@@ -668,6 +719,8 @@ let () =
           Alcotest.test_case "file round-trip" `Quick
             test_ledger_file_roundtrip;
           Alcotest.test_case "memory ring" `Quick test_ledger_memory_ring;
+          Alcotest.test_case "concurrent reads" `Quick
+            test_ledger_concurrent_reads;
           Alcotest.test_case "malformed line" `Quick
             test_ledger_malformed_line;
         ] );
