@@ -1,6 +1,7 @@
 # Convenience targets; `make ci` is what the CI workflow runs.
 
-.PHONY: all build test bench fmt smoke doctor-smoke serve-smoke ci clean
+.PHONY: all build test bench bench-gate bench-baseline fmt smoke \
+	doctor-smoke serve-smoke ci clean
 
 all: build
 
@@ -13,13 +14,28 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# Formatting is checked only when ocamlformat is available (it is not a
-# build dependency of the library itself).
+# Time the N=5 paper model and fail if the spectral solver regressed
+# more than 2x against the committed baseline (BENCH_MAX_RATIO to
+# override). `make bench-baseline` refreshes the baseline.
+bench-gate:
+	dune exec bench/main.exe -- n5
+	dune exec bench/check_baseline.exe
+
+bench-baseline:
+	dune exec bench/main.exe -- n5
+	cp BENCH_solvers.json BENCH_baseline.json
+
+# The pinned ocamlformat (see .ocamlformat) is not a build dependency of
+# the library, so a missing binary only skips the check locally; CI
+# installs it and a divergence fails the build.
 fmt:
 	@if command -v ocamlformat >/dev/null 2>&1; then \
 	  dune build @fmt; \
+	elif [ -n "$$CI" ]; then \
+	  echo "fmt: ocamlformat is required in CI (version pinned in .ocamlformat)"; \
+	  exit 1; \
 	else \
-	  echo "ocamlformat not installed; skipping format check"; \
+	  echo "fmt: ocamlformat not installed; skipping (CI gates on this)"; \
 	fi
 
 # End-to-end observability smoke test: a solve must emit a Prometheus

@@ -1,0 +1,110 @@
+(* Bench-regression gate: compare the "n5" section of a freshly written
+   BENCH_solvers.json against the committed BENCH_baseline.json and exit
+   nonzero when the spectral solve has slowed down by more than the
+   allowed ratio (2x by default, BENCH_MAX_RATIO to override).
+
+   Usage:
+     dune exec bench/check_baseline.exe -- [CURRENT] [BASELINE]
+
+   defaulting to BENCH_solvers.json and BENCH_baseline.json in the
+   current directory. Only the spectral gauge gates; the other solvers
+   are reported for context. A current run much *faster* than the
+   baseline passes but is flagged, as a hint to refresh the baseline. *)
+
+module Json = Urs_obs.Json
+
+let read_json path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Json.of_string s with
+  | Ok v -> v
+  | Error msg ->
+      Format.eprintf "bench-check: %s: parse error: %s@." path msg;
+      exit 2
+
+let n5_gauge doc ~solver =
+  let ( let* ) = Option.bind in
+  let* sections = Json.member "sections" doc in
+  let* sections =
+    match sections with Json.List l -> Some l | _ -> None
+  in
+  let* section =
+    List.find_opt
+      (fun s -> Json.member "name" s = Some (Json.String "n5"))
+      sections
+  in
+  let* metrics = Json.member "metrics" section in
+  let* metrics = Json.member "metrics" metrics in
+  let* metrics = match metrics with Json.List l -> Some l | _ -> None in
+  let* entry =
+    List.find_opt
+      (fun e ->
+        Json.member "name" e = Some (Json.String "urs_bench_n5_seconds")
+        &&
+        match Json.member "labels" e with
+        | Some labels ->
+            Json.member "solver" labels = Some (Json.String solver)
+        | None -> false)
+      metrics
+  in
+  let* v = Json.member "value" entry in
+  Json.to_float_opt v
+
+let () =
+  let current_path, baseline_path =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] -> ("BENCH_solvers.json", "BENCH_baseline.json")
+    | [ c ] -> (c, "BENCH_baseline.json")
+    | c :: b :: _ -> (c, b)
+  in
+  let max_ratio =
+    match Sys.getenv_opt "BENCH_MAX_RATIO" with
+    | None -> 2.0
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some r when r > 1.0 -> r
+        | _ ->
+            Format.eprintf "bench-check: invalid BENCH_MAX_RATIO=%S@." s;
+            exit 2)
+  in
+  let current = read_json current_path in
+  let baseline = read_json baseline_path in
+  let get path doc solver =
+    match n5_gauge doc ~solver with
+    | Some v when v > 0.0 -> Some v
+    | Some _ | None ->
+        Format.eprintf
+          "bench-check: %s: no n5 urs_bench_n5_seconds{solver=%S} gauge@."
+          path solver;
+        None
+  in
+  List.iter
+    (fun solver ->
+      match (get current_path current solver, get baseline_path baseline solver) with
+      | Some c, Some b ->
+          Format.printf "  %-10s  current %.3f ms  baseline %.3f ms  (%.2fx)@."
+            solver (1e3 *. c) (1e3 *. b) (c /. b)
+      | _ -> ())
+    [ "mg"; "approx" ];
+  match (get current_path current "spectral", get baseline_path baseline "spectral") with
+  | Some c, Some b ->
+      let ratio = c /. b in
+      Format.printf "  %-10s  current %.3f ms  baseline %.3f ms  (%.2fx, gate %.1fx)@."
+        "spectral" (1e3 *. c) (1e3 *. b) ratio max_ratio;
+      if ratio > max_ratio then begin
+        Format.printf
+          "bench-check: FAIL — spectral N=5 solve regressed %.2fx (> %.1fx)@."
+          ratio max_ratio;
+        exit 1
+      end
+      else if ratio < 1.0 /. max_ratio then
+        Format.printf
+          "bench-check: OK (current is %.1fx faster than the baseline — \
+           consider refreshing BENCH_baseline.json)@."
+          (1.0 /. ratio)
+      else Format.printf "bench-check: OK@."
+  | _ ->
+      (* a gate that cannot read its inputs must fail loudly, not pass *)
+      exit 2

@@ -400,6 +400,87 @@ let section_extensions () =
           | Error _ -> ())));
   flush ()
 
+(* ---- bench-regression gate: the paper's N=5 model ---- *)
+
+let section_n5 () =
+  header "N=5 paper model — solver wall time (bench-regression gate)";
+  Format.printf "(N=5, λ=4, fitted operative H2, η=25 — the doctor's quick model)@.@.";
+  let m = model ~servers:5 ~lambda:4.0 in
+  let time_solver name strategy iters =
+    (* one warm-up solve so one-off initialization stays out of the gate *)
+    ignore (Urs.Solver.evaluate ~strategy m);
+    let t0 = Span.now () in
+    for _ = 1 to iters do
+      match Urs.Solver.evaluate ~strategy m with
+      | Ok p -> ignore p.Urs.Solver.mean_jobs
+      | Error _ -> ()
+    done;
+    let per = (Span.now () -. t0) /. float_of_int iters in
+    Metrics.set
+      (Metrics.gauge
+         ~labels:[ ("solver", name) ]
+         ~help:"Mean wall seconds per solve of the N=5 paper model"
+         "urs_bench_n5_seconds")
+      per;
+    Format.printf "  %-10s  %10.3f ms/solve  (%d iterations)@." name
+      (1e3 *. per) iters;
+    flush ()
+  in
+  time_solver "spectral" Urs.Solver.Exact 40;
+  time_solver "mg" Urs.Solver.Matrix_geometric 40;
+  time_solver "approx" Urs.Solver.Approximate 400;
+  Format.printf
+    "@.(CI compares the spectral gauge in BENCH_solvers.json against the@.\
+     committed BENCH_baseline.json and fails on a >2x regression)@.";
+  flush ()
+
+(* ---- parallel execution: pool and cache speedups ---- *)
+
+let section_speedup () =
+  header "Parallel execution — Figure-8 load sweep under --jobs and the solve cache";
+  Format.printf "(N=10, fitted operative H2, η=25; 19 loads in [0.05, 0.95])@.@.";
+  let m = model ~servers:10 ~lambda:8.0 in
+  let values = Urs.Sweep.linspace 0.05 0.95 19 in
+  let time f =
+    let t0 = Span.now () in
+    let r = f () in
+    (Span.now () -. t0, r)
+  in
+  let gauge config =
+    Metrics.gauge
+      ~labels:[ ("config", config) ]
+      ~help:"Wall seconds for the Figure-8 load sweep" "urs_bench_sweep_seconds"
+  in
+  let base_t, base = time (fun () -> Urs.Sweep.over_loads m ~values) in
+  Metrics.set (gauge "jobs1") base_t;
+  Format.printf "  %-24s  %10s  %8s  %s@." "configuration" "wall (s)" "speedup"
+    "identical";
+  let report config t points =
+    Metrics.set (gauge config) t;
+    Format.printf "  %-24s  %10.3f  %7.2fx  %s@." config t (base_t /. t)
+      (if points = base then "yes" else "NO");
+    flush ()
+  in
+  report "jobs=1" base_t base;
+  List.iter
+    (fun domains ->
+      let t, pts =
+        Urs_exec.Pool.with_pool ~name:"bench" ~domains (fun pool ->
+            time (fun () -> Urs.Sweep.over_loads ~pool m ~values))
+      in
+      report (Printf.sprintf "jobs=%d" domains) t pts)
+    [ 2; 4 ];
+  let cache = Urs.Solve_cache.create () in
+  let cold_t, cold = time (fun () -> Urs.Sweep.over_loads ~cache m ~values) in
+  report "cache cold" cold_t cold;
+  let warm_t, warm = time (fun () -> Urs.Sweep.over_loads ~cache m ~values) in
+  report "cache warm" warm_t warm;
+  Format.printf
+    "@.(domain speedup tracks the host's core count; the warm cache answers@.\
+     every point from memory and is core-independent. The \"identical\"@.\
+     column checks the point lists are equal to the sequential run.)@.";
+  flush ()
+
 (* ---- bechamel micro-benchmarks ---- *)
 
 let section_timing () =
@@ -482,6 +563,8 @@ let sections : (string * string * (unit -> unit)) list =
     ("fig9", "Figure 9: response time against N", section_fig9);
     ("ablation", "Solver agreement ablation", section_ablation);
     ("extensions", "Extensions beyond the paper", section_extensions);
+    ("n5", "N=5 solver wall time (bench-regression gate)", section_n5);
+    ("speedup", "Pool and solve-cache speedups", section_speedup);
     ("timing", "bechamel micro-benchmarks", section_timing);
   ]
 

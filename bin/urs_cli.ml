@@ -18,6 +18,7 @@ type obs = {
   trace : string option;
   ledger : string option;
   serve : int option;
+  jobs : int;
 }
 
 let setup_logs verbose =
@@ -103,7 +104,9 @@ let standard_routes =
   ]
 
 (* dump on the way out even if the command fails, so a crashed run still
-   leaves its metrics behind *)
+   leaves its metrics behind. [f] receives the work pool ([Some _] only
+   when --jobs/URS_JOBS asked for more than one domain, so --jobs 1 is
+   exactly the sequential code path). *)
 let with_obs obs f =
   if obs.trace <> None then Urs_obs.Span.set_tracing true;
   (match obs.ledger with
@@ -119,12 +122,17 @@ let with_obs obs f =
           (Urs_obs.Http.port s);
         Some s
   in
+  let pool =
+    if obs.jobs > 1 then Some (Urs_exec.Pool.create ~name:"cli" ~domains:obs.jobs ())
+    else None
+  in
   Fun.protect
     ~finally:(fun () ->
+      Option.iter Urs_exec.Pool.shutdown pool;
       dump_obs obs;
       Option.iter Urs_obs.Http.stop server;
       Urs_obs.Ledger.close ())
-    f
+    (fun () -> f pool)
 
 let obs_t =
   let verbose =
@@ -184,11 +192,27 @@ let obs_t =
             "While the command runs, serve live /metrics, /healthz and /runs \
              on 127.0.0.1:$(docv) (0 picks an ephemeral port).")
   in
-  let make verbose metrics format trace ledger serve =
-    setup_logs (List.length verbose);
-    { metrics; format; trace; ledger; serve }
+  let jobs =
+    let env =
+      Cmd.Env.info "URS_JOBS" ~doc:"Default for the $(b,--jobs) option."
+    in
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~env ~docv:"N"
+          ~doc:
+            "Evaluate independent work (sweep points, simulation \
+             replications, doctor grid models) on $(docv) domains. The \
+             default 1 runs everything inline on the calling thread; \
+             results are identical whatever the value.")
   in
-  Term.(const make $ verbose $ metrics $ format $ trace $ ledger $ serve)
+  let make verbose metrics format trace ledger serve jobs =
+    setup_logs (List.length verbose);
+    if jobs < 1 then
+      Format.eprintf "urs: ignoring --jobs %d (must be >= 1)@." jobs;
+    { metrics; format; trace; ledger; serve; jobs = max 1 jobs }
+  in
+  Term.(
+    const make $ verbose $ metrics $ format $ trace $ ledger $ serve $ jobs)
 
 (* ---- shared argument parsing ---- *)
 
@@ -276,7 +300,7 @@ let strategy_conv =
 
 let solve_cmd =
   let run obs servers lambda mu operative inoperative crews meth =
-    with_obs obs @@ fun () ->
+    with_obs obs @@ fun pool ->
     let m = make_model ?repair_crews:crews servers lambda mu operative inoperative in
     let strategy =
       match meth with
@@ -288,7 +312,7 @@ let solve_cmd =
     Format.printf "%a@.@." Urs.Model.pp m;
     Format.printf "stability: %a@.@." Urs_mmq.Stability.pp_verdict
       (Urs.Model.stability m);
-    match Urs.Solver.evaluate ~strategy m with
+    match Urs.Solver.evaluate ?pool ~strategy m with
     | Ok p ->
         Format.printf "%a@." Urs.Solver.pp_performance p;
         `Ok ()
@@ -310,7 +334,7 @@ let solve_cmd =
 
 let stability_cmd =
   let run obs servers lambda mu operative inoperative =
-    with_obs obs @@ fun () ->
+    with_obs obs @@ fun _pool ->
     let m = make_model servers lambda mu operative inoperative in
     Format.printf "%a@." Urs_mmq.Stability.pp_verdict (Urs.Model.stability m)
   in
@@ -322,7 +346,7 @@ let stability_cmd =
 
 let optimize_cmd =
   let run obs servers lambda mu operative inoperative holding server_cost =
-    with_obs obs @@ fun () ->
+    with_obs obs @@ fun _pool ->
     let m = make_model servers lambda mu operative inoperative in
     let params = { Urs.Cost.holding; server = server_cost } in
     match Urs.Cost.optimal_servers m params with
@@ -348,7 +372,7 @@ let optimize_cmd =
 
 let capacity_cmd =
   let run obs lambda mu operative inoperative target =
-    with_obs obs @@ fun () ->
+    with_obs obs @@ fun _pool ->
     let m = make_model 1 lambda mu operative inoperative in
     match Urs.Capacity.min_servers_for_response m ~target with
     | Ok (n, perf) ->
@@ -370,12 +394,12 @@ let capacity_cmd =
 let simulate_cmd =
   let run obs servers lambda mu operative inoperative crews duration
       replications seed =
-    with_obs obs @@ fun () ->
+    with_obs obs @@ fun pool ->
     let cfg =
       { Urs_sim.Server_farm.servers; lambda; mu; operative; inoperative;
         repair_crews = crews }
     in
-    let s = Urs_sim.Replicate.run ~seed ~replications ~duration cfg in
+    let s = Urs_sim.Replicate.run ?pool ~seed ~replications ~duration cfg in
     Format.printf "%a@." Urs_sim.Replicate.pp_summary s
   in
   let duration =
@@ -404,13 +428,13 @@ let metrics_cmd =
       | None -> { obs with metrics = Some "-" }
       | Some _ -> obs
     in
-    with_obs obs @@ fun () ->
+    with_obs obs @@ fun pool ->
     let m =
       make_model ?repair_crews:crews servers lambda mu operative inoperative
     in
     List.iter
       (fun strategy ->
-        match Urs.Solver.evaluate ~strategy m with
+        match Urs.Solver.evaluate ?pool ~strategy m with
         | Ok _ -> ()
         | Error e ->
             Logs.warn (fun f ->
@@ -440,11 +464,137 @@ let metrics_cmd =
       const run $ obs_t $ servers $ lambda $ mu $ operative $ inoperative
       $ repair_crews $ duration $ replications $ seed)
 
+(* ---- sweep ---- *)
+
+let sweep_cmd =
+  let run obs servers lambda mu operative inoperative crews axis meth values
+      range pinned_rate no_cache =
+    with_obs obs @@ fun pool ->
+    let m =
+      make_model ?repair_crews:crews servers lambda mu operative inoperative
+    in
+    let strategy =
+      match meth with
+      | `Exact -> Urs.Solver.Exact
+      | `Approx -> Urs.Solver.Approximate
+      | `Mg -> Urs.Solver.Matrix_geometric
+      | `Sim -> Urs.Solver.Simulation Urs.Solver.default_sim_options
+    in
+    let values =
+      match (values, range) with
+      | Some vs, None -> Ok vs
+      | None, Some (lo, hi, steps) -> Ok (Urs.Sweep.linspace lo hi steps)
+      | None, None -> Error "one of --values or --range is required"
+      | Some _, Some _ -> Error "--values and --range are mutually exclusive"
+    in
+    match values with
+    | Error msg -> `Error (true, msg)
+    | Ok values ->
+        let cache = if no_cache then None else Some (Urs.Solve_cache.create ()) in
+        let axis_name, points =
+          match axis with
+          | `Servers ->
+              let ints =
+                List.map (fun v -> int_of_float (Float.round v)) values
+              in
+              ( "servers",
+                List.map
+                  (fun (n, p) -> (float_of_int n, p))
+                  (Urs.Sweep.over_servers ~strategy ?pool ?cache m ~values:ints)
+              )
+          | `Lambda ->
+              ( "lambda",
+                Urs.Sweep.over_arrival_rates ~strategy ?pool ?cache m ~values )
+          | `Repair ->
+              ( "repair",
+                Urs.Sweep.over_repair_times ~strategy ?pool ?cache m ~values )
+          | `Scv ->
+              ( "scv",
+                Urs.Sweep.over_operative_scv ~strategy ?pool ?cache m
+                  ~pinned_rate ~values )
+          | `Load ->
+              ("load", Urs.Sweep.over_loads ~strategy ?pool ?cache m ~values)
+        in
+        Format.printf "# axis=%s method=%s points=%d@." axis_name
+          (Urs.Solver.strategy_label strategy)
+          (List.length points);
+        Format.printf "# x mean_jobs mean_response utilization@.";
+        List.iter
+          (fun (x, p) ->
+            Format.printf "%.12g %.12g %.12g %.12g@." x p.Urs.Solver.mean_jobs
+              p.Urs.Solver.mean_response p.Urs.Solver.utilization)
+          points;
+        `Ok ()
+  in
+  let axis =
+    let axis_conv =
+      Arg.enum
+        [ ("servers", `Servers); ("lambda", `Lambda); ("repair", `Repair);
+          ("scv", `Scv); ("load", `Load) ]
+    in
+    Arg.(
+      required
+      & pos 0 (some axis_conv) None
+      & info [] ~docv:"AXIS"
+          ~doc:
+            "What to sweep: $(b,servers) (number of servers), $(b,lambda) \
+             (arrival rate), $(b,repair) (mean repair time, Figure 7), \
+             $(b,scv) (operative-period SCV, Figure 6) or $(b,load) \
+             (offered load relative to effective capacity, Figure 8).")
+  in
+  let meth =
+    Arg.(
+      value & opt strategy_conv `Exact
+      & info [ "method" ] ~doc:"Solution method: exact | approx | mg | sim.")
+  in
+  let values =
+    let values_conv = Arg.(list ~sep:',' float) in
+    Arg.(
+      value
+      & opt (some values_conv) None
+      & info [ "values" ] ~docv:"V1,V2,..."
+          ~doc:"Explicit x-axis values (comma-separated).")
+  in
+  let range =
+    let range_conv = Arg.(t3 ~sep:':' float float int) in
+    Arg.(
+      value
+      & opt (some range_conv) None
+      & info [ "range" ] ~docv:"LO:HI:STEPS"
+          ~doc:"Evenly spaced x-axis values, e.g. $(b,0.1:0.9:17).")
+  in
+  let pinned_rate =
+    Arg.(
+      value & opt float 0.1663
+      & info [ "pinned-rate" ]
+          ~doc:
+            "For the $(b,scv) axis: the pinned H2 branch rate of the \
+             moment fit (default: the paper's 0.1663).")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:
+            "Disable the content-addressed solve cache (enabled by default; \
+             repeated (model, method) points are solved once).")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Sweep one model parameter and print one line per point (x, mean \
+          jobs, mean response time, utilization). Points run on --jobs \
+          domains; the output is byte-identical whatever the job count.")
+    Term.(
+      ret
+        (const run $ obs_t $ servers $ lambda $ mu $ operative $ inoperative
+       $ repair_crews $ axis $ meth $ values $ range $ pinned_rate $ no_cache))
+
 (* ---- dataset ---- *)
 
 let dataset_cmd =
   let run obs rows out seed =
-    with_obs obs @@ fun () ->
+    with_obs obs @@ fun _pool ->
     let cfg = { Urs_dataset.Generate.default with Urs_dataset.Generate.rows; seed } in
     let events = Urs_dataset.Generate.generate cfg in
     (match out with
@@ -470,7 +620,7 @@ let dataset_cmd =
 
 let fit_cmd =
   let run obs path significance =
-    with_obs obs @@ fun () ->
+    with_obs obs @@ fun _pool ->
     let events = Urs_dataset.Csv.read path in
     match Urs_dataset.Pipeline.analyze ~significance events with
     | Ok report ->
@@ -495,8 +645,8 @@ let fit_cmd =
 
 let doctor_cmd =
   let run obs quick =
-    with_obs obs @@ fun () ->
-    let report = Urs.Doctor.run ~quick () in
+    with_obs obs @@ fun pool ->
+    let report = Urs.Doctor.run ~quick ?pool () in
     Format.printf "%a@." Urs.Doctor.pp_report report;
     match Urs.Doctor.verdict report with
     | Urs_mmq.Diagnostics.Suspect _ ->
@@ -522,10 +672,10 @@ let doctor_cmd =
 
 let serve_cmd =
   let run obs port =
-    with_obs obs @@ fun () ->
+    with_obs obs @@ fun pool ->
     Urs_obs.Ledger.set_memory true;
     Format.printf "urs: running quick doctor self-check...@.";
-    let report = Urs.Doctor.run ~quick:true () in
+    let report = Urs.Doctor.run ~quick:true ?pool () in
     Format.printf "%a@." Urs.Doctor.pp_report report;
     let server = Urs_obs.Http.start ~port ~routes:standard_routes () in
     Format.printf
@@ -555,6 +705,6 @@ let () =
   let group =
     Cmd.group info
       [ solve_cmd; stability_cmd; optimize_cmd; capacity_cmd; simulate_cmd;
-        metrics_cmd; dataset_cmd; fit_cmd; doctor_cmd; serve_cmd ]
+        sweep_cmd; metrics_cmd; dataset_cmd; fit_cmd; doctor_cmd; serve_cmd ]
   in
   exit (Cmd.eval group)

@@ -42,7 +42,7 @@ let grade_approx ~label ~utilization delta =
       [ Printf.sprintf "%s: approximation off by %.0f%%" label (100. *. delta) ]
   else Diagnostics.Ok
 
-let check_model ?thresholds ?sim model =
+let check_model ?thresholds ?sim ?pool model =
   let name =
     Printf.sprintf "N=%d lambda=%g" model.Model.servers
       model.Model.arrival_rate
@@ -135,7 +135,8 @@ let check_model ?thresholds ?sim model =
             | None -> []
             | Some opts -> (
                 match
-                  Solver.evaluate ~strategy:(Solver.Simulation opts) model
+                  Solver.evaluate ?pool ~strategy:(Solver.Simulation opts)
+                    model
                 with
                 | Error e ->
                     let msg = Format.asprintf "%a" Solver.pp_error e in
@@ -187,16 +188,24 @@ let full_grid = [ (5, 4.0); (10, 8.0); (12, 8.0) ]
 let quick_sim = { Solver.duration = 30_000.0; replications = 5; seed = 7 }
 let full_sim = { Solver.duration = 100_000.0; replications = 5; seed = 7 }
 
-let run ?(quick = false) ?thresholds () =
+let run ?(quick = false) ?thresholds ?pool () =
   let t0 = Span.now () in
   let grid = if quick then quick_grid else full_grid in
   let sim = if quick then quick_sim else full_sim in
+  (* the grid models fan out across the pool, and each model's
+     simulation replications nest on the same pool (the pool supports
+     nested batches); check order is the grid order either way *)
   let checks =
     Span.with_ ~name:"urs_doctor_run" (fun () ->
-        List.concat_map
-          (fun (servers, lambda) ->
-            check_model ?thresholds ~sim (paper_model ~servers ~lambda))
-          grid)
+        let per_model =
+          let eval (servers, lambda) =
+            check_model ?thresholds ~sim ?pool (paper_model ~servers ~lambda)
+          in
+          match pool with
+          | None -> List.map eval grid
+          | Some pool -> Urs_exec.Pool.map pool eval grid
+        in
+        List.concat per_model)
   in
   let verdict =
     Diagnostics.combine (List.map (fun (c : check) -> c.verdict) checks)

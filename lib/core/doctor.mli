@@ -20,11 +20,18 @@ type check = {
 type report = { checks : check list; verdict : Urs_mmq.Diagnostics.verdict }
 
 val run :
-  ?quick:bool -> ?thresholds:Urs_mmq.Diagnostics.thresholds -> unit -> report
+  ?quick:bool ->
+  ?thresholds:Urs_mmq.Diagnostics.thresholds ->
+  ?pool:Urs_exec.Pool.t ->
+  unit ->
+  report
 (** Run the cross-checks. [quick] (default [false]) restricts the grid
     to the single N=5, λ=4 paper model with a short simulation — a few
     seconds, suitable for CI smoke. The full run covers N=5/10/12 with
-    longer simulations.
+    longer simulations. When [pool] is given the grid models are
+    checked on it concurrently (and each model's simulation
+    replications nest on the same pool); the report is identical to a
+    sequential run.
 
     Updates the [urs_health_status{component="doctor"}] gauge and
     appends a ["doctor.run"] record to the active ledger. *)
@@ -34,6 +41,7 @@ val verdict : report -> Urs_mmq.Diagnostics.verdict
 val check_model :
   ?thresholds:Urs_mmq.Diagnostics.thresholds ->
   ?sim:Solver.sim_options ->
+  ?pool:Urs_exec.Pool.t ->
   Model.t ->
   check list
 (** Cross-check one model; [sim] enables the simulation comparison. *)

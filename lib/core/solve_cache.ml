@@ -1,0 +1,80 @@
+module D = Urs_prob.Distribution
+module Cache = Urs_exec.Cache
+
+type t = (Solver.performance, Solver.error) result Cache.t
+
+let create ?(capacity = 1024) () = Cache.create ~capacity ~name:"solve" ()
+
+(* every float in a key is rendered with %h: lossless, so two models
+   differing in the 17th digit still get distinct keys *)
+let fl = Printf.sprintf "%h"
+
+let dist_key d =
+  let arr xs =
+    String.concat "," (Array.to_list (Array.map fl xs))
+  in
+  match d with
+  | D.Exponential e -> Printf.sprintf "exp(%s)" (fl (Urs_prob.Exponential.rate e))
+  | D.Hyperexponential h ->
+      Printf.sprintf "h2(%s;%s)"
+        (arr (Urs_prob.Hyperexponential.weights h))
+        (arr (Urs_prob.Hyperexponential.rates h))
+  | D.Erlang e ->
+      Printf.sprintf "erl(%d;%s)" (Urs_prob.Erlang.stages e)
+        (fl (Urs_prob.Erlang.rate e))
+  | D.Deterministic d ->
+      Printf.sprintf "det(%s)" (fl (Urs_prob.Deterministic.value d))
+  | D.Uniform u ->
+      Printf.sprintf "uni(%s;%s)"
+        (fl (Urs_prob.Uniform_d.lo u))
+        (fl (Urs_prob.Uniform_d.hi u))
+  | D.Weibull w ->
+      Printf.sprintf "wei(%s;%s)"
+        (fl (Urs_prob.Weibull.shape w))
+        (fl (Urs_prob.Weibull.scale w))
+  | D.Lognormal l ->
+      Printf.sprintf "logn(%s;%s)"
+        (fl (Urs_prob.Lognormal.mu l))
+        (fl (Urs_prob.Lognormal.sigma l))
+  | D.Phase_type p ->
+      let m = Urs_prob.Phase_type.t_matrix p in
+      let rows, cols = Urs_linalg.Matrix.dims m in
+      let cells = ref [] in
+      for i = rows - 1 downto 0 do
+        for j = cols - 1 downto 0 do
+          cells := fl (Urs_linalg.Matrix.get m i j) :: !cells
+        done
+      done;
+      Printf.sprintf "ph(%s;%dx%d:%s)"
+        (arr (Urs_prob.Phase_type.alpha p))
+        rows cols
+        (String.concat "," !cells)
+
+let strategy_key = function
+  | Solver.Exact -> "exact"
+  | Solver.Approximate -> "approx"
+  | Solver.Matrix_geometric -> "mg"
+  | Solver.Simulation o ->
+      Printf.sprintf "sim(%s;%d;%d)" (fl o.Solver.duration)
+        o.Solver.replications o.Solver.seed
+
+let key strategy (m : Model.t) =
+  Printf.sprintf "v1|%s|N=%d|lam=%s|mu=%s|crews=%s|op=%s|inop=%s"
+    (strategy_key strategy) m.Model.servers (fl m.Model.arrival_rate)
+    (fl m.Model.service_rate)
+    (match m.Model.repair_crews with
+    | None -> "inf"
+    | Some k -> string_of_int k)
+    (dist_key m.Model.operative)
+    (dist_key m.Model.inoperative)
+
+let evaluate ?pool ?cache ?(strategy = Solver.Exact) model =
+  match cache with
+  | None -> Solver.evaluate ?pool ~strategy model
+  | Some c ->
+      Cache.find_or_compute c (key strategy model) (fun () ->
+          Solver.evaluate ?pool ~strategy model)
+
+let length = Cache.length
+
+let clear = Cache.clear

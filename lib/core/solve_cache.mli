@@ -1,0 +1,39 @@
+(** Content-addressed memoization of {!Solver.evaluate}.
+
+    Every evaluation method in this repository is a deterministic
+    function of the model parameters and the strategy (simulation
+    included — its seed is part of {!Solver.sim_options}), so a solve
+    can be keyed by a canonical, {e exact} rendering of
+    (model, strategy) and reused. Sweeps and cost/capacity searches
+    revisit the same points constantly — Figure 5 alone evaluates each
+    (N, λ) model twice, once for the cost table and once inside the
+    optimal-server search.
+
+    Cache hits return the memoized result without re-recording solver
+    metrics, spans or ledger entries (the original solve already did);
+    the [urs_cache_*_total{cache="solve"}] counters account for the
+    skipped work. The cache is mutex-guarded and shared freely across
+    pool domains. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** LRU-bounded at [capacity] entries (default [1024]). *)
+
+val key : Solver.strategy -> Model.t -> string
+(** The canonical cache key: every float is rendered in lossless hex
+    ([%h]), so distinct parameters never collide and equal parameters
+    always share. *)
+
+val evaluate :
+  ?pool:Urs_exec.Pool.t ->
+  ?cache:t ->
+  ?strategy:Solver.strategy ->
+  Model.t ->
+  (Solver.performance, Solver.error) result
+(** Like {!Solver.evaluate}, consulting [cache] first when given.
+    Errors are memoized too (an unstable model stays unstable). *)
+
+val length : t -> int
+
+val clear : t -> unit

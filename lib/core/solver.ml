@@ -40,7 +40,7 @@ let strategy_label = function
   | Matrix_geometric -> "mg"
   | Simulation _ -> "sim"
 
-let evaluate_inner ?(strategy = Exact) model =
+let evaluate_inner ?pool ?(strategy = Exact) model =
   let verdict = Model.stability model in
   if not verdict.Mq.Stability.stable then Error (Unstable verdict)
   else
@@ -112,8 +112,8 @@ let evaluate_inner ?(strategy = Exact) model =
           }
         in
         let summary =
-          Urs_sim.Replicate.run ~seed:opts.seed ~replications:opts.replications
-            ~duration:opts.duration cfg
+          Urs_sim.Replicate.run ?pool ~seed:opts.seed
+            ~replications:opts.replications ~duration:opts.duration cfg
         in
         Ok
           {
@@ -150,7 +150,7 @@ let ledger_gauges strat =
       "urs_spectral_eigenvalues";
     ]
 
-let evaluate ?(strategy = Exact) model =
+let evaluate ?pool ?(strategy = Exact) model =
   let labels = [ ("strategy", strategy_label strategy) ] in
   Metrics.inc
     (Metrics.counter ~labels ~help:"Solver.evaluate calls"
@@ -158,7 +158,7 @@ let evaluate ?(strategy = Exact) model =
   let t0 = Span.now () in
   let result =
     Span.with_ ~name:"urs_solver_evaluate" ~labels (fun () ->
-        evaluate_inner ~strategy model)
+        evaluate_inner ?pool ~strategy model)
   in
   let wall = Span.now () -. t0 in
   let outcome_counter =
@@ -200,8 +200,8 @@ let evaluate ?(strategy = Exact) model =
         ());
   result
 
-let evaluate_exn ?strategy model =
-  match evaluate ?strategy model with
+let evaluate_exn ?pool ?strategy model =
+  match evaluate ?pool ?strategy model with
   | Ok p -> p
   | Error e -> failwith (render pp_error e)
 

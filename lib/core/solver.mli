@@ -46,8 +46,14 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
-val evaluate : ?strategy:strategy -> Model.t -> (performance, error) result
-(** Evaluate the model (default strategy [Exact]).
+val evaluate :
+  ?pool:Urs_exec.Pool.t ->
+  ?strategy:strategy ->
+  Model.t ->
+  (performance, error) result
+(** Evaluate the model (default strategy [Exact]). [pool] parallelizes
+    the replications of the [Simulation] strategy (the analytic methods
+    ignore it); results are bit-identical with and without it.
 
     Besides the per-strategy call/success/failure counters and the
     [urs_solver_evaluate] span, every call appends a
@@ -55,7 +61,8 @@ val evaluate : ?strategy:strategy -> Model.t -> (performance, error) result
     (strategy, model parameters, wall time, performance summary and a
     snapshot of the strategy's last-solve gauges). *)
 
-val evaluate_exn : ?strategy:strategy -> Model.t -> performance
+val evaluate_exn :
+  ?pool:Urs_exec.Pool.t -> ?strategy:strategy -> Model.t -> performance
 (** Like {!evaluate} but raises [Failure] with a rendered error. *)
 
 val strategy_name : strategy -> string

@@ -3,6 +3,7 @@ module Metrics = Urs_obs.Metrics
 module Span = Urs_obs.Span
 module Ledger = Urs_obs.Ledger
 module Json = Urs_obs.Json
+module Pool = Urs_exec.Pool
 
 let log_src = Logs.Src.create "urs.sweep" ~doc:"parameter sweeps"
 
@@ -29,10 +30,10 @@ let drop ~sweep ~param reason =
       m "%s sweep: dropping point %s: %t" sweep param reason);
   None
 
-let eval_point ?strategy ~sweep ~param model =
+let eval_point ?strategy ?cache ~sweep ~param model =
   Metrics.inc (m_points sweep);
   let t0 = Span.now () in
-  let result = Solver.evaluate ?strategy model in
+  let result = Solve_cache.evaluate ?cache ?strategy model in
   let wall = Span.now () -. t0 in
   let base_summary =
     [ ("sweep", Json.String sweep); ("param", Json.String param) ]
@@ -68,84 +69,132 @@ let eval_point ?strategy ~sweep ~param model =
   | Error e ->
       drop ~sweep ~param (fun ppf -> Solver.pp_error ppf e)
 
-let over_servers ?strategy model ~values =
-  List.filter_map
-    (fun n ->
-      match
-        eval_point ?strategy ~sweep:"servers" ~param:(string_of_int n)
-          (Model.with_servers model n)
-      with
-      | Some perf -> Some (n, perf)
-      | None -> None)
-    values
+(* Every sweep is two phases: prepare each x-axis value into a model
+   (cheap; parameter-validation drops happen here, sequentially, so
+   their log order is stable), then evaluate the prepared points — the
+   expensive, embarrassingly parallel part — on the pool when one is
+   given. Results come back in input order, so the point list is
+   byte-identical whatever the pool width. *)
+let run_points ?strategy ?pool ?cache ~sweep points =
+  let eval (x, param, model) =
+    match eval_point ?strategy ?cache ~sweep ~param model with
+    | Some perf -> Some (x, perf)
+    | None -> None
+  in
+  let results =
+    match pool with
+    | None -> List.map eval points
+    | Some pool -> Pool.map pool eval points
+  in
+  List.filter_map Fun.id results
 
-let over_arrival_rates ?strategy model ~values =
-  List.filter_map
-    (fun lambda ->
-      match
-        eval_point ?strategy ~sweep:"arrival_rates"
-          ~param:(Printf.sprintf "lambda=%g" lambda)
-          (Model.with_arrival_rate model lambda)
-      with
-      | Some perf -> Some (lambda, perf)
-      | None -> None)
-    values
+let over_servers ?strategy ?pool ?cache model ~values =
+  run_points ?strategy ?pool ?cache ~sweep:"servers"
+    (List.map
+       (fun n -> (n, string_of_int n, Model.with_servers model n))
+       values)
 
-let over_repair_times ?strategy model ~values =
-  List.filter_map
-    (fun mean_repair ->
-      let param = Printf.sprintf "mean_repair=%g" mean_repair in
-      if mean_repair <= 0.0 then begin
-        Metrics.inc (m_points "repair_times");
-        drop ~sweep:"repair_times" ~param (fun ppf ->
-            Format.pp_print_string ppf "mean repair time must be positive")
-      end
-      else begin
-        let m =
-          Model.create ~servers:model.Model.servers
-            ~arrival_rate:model.Model.arrival_rate
-            ~service_rate:model.Model.service_rate
-            ~operative:model.Model.operative
-            ~inoperative:(D.exponential ~rate:(1.0 /. mean_repair)) ()
-        in
-        match eval_point ?strategy ~sweep:"repair_times" ~param m with
-        | Some perf -> Some (mean_repair, perf)
-        | None -> None
-      end)
-    values
+let over_arrival_rates ?strategy ?pool ?cache model ~values =
+  run_points ?strategy ?pool ?cache ~sweep:"arrival_rates"
+    (List.map
+       (fun lambda ->
+         ( lambda,
+           Printf.sprintf "lambda=%g" lambda,
+           Model.with_arrival_rate model lambda ))
+       values)
 
-let over_operative_scv ?strategy model ~pinned_rate ~values =
-  let mean = D.mean model.Model.operative in
-  List.filter_map
-    (fun scv ->
-      let param = Printf.sprintf "scv=%g" scv in
-      let operative =
-        if scv <= 0.0 then Ok (D.deterministic mean)
-        else if abs_float (scv -. 1.0) < 1e-12 then
-          Ok (D.exponential ~rate:(1.0 /. mean))
+let over_repair_times ?strategy ?pool ?cache model ~values =
+  let points =
+    List.filter_map
+      (fun mean_repair ->
+        let param = Printf.sprintf "mean_repair=%g" mean_repair in
+        if mean_repair <= 0.0 then begin
+          Metrics.inc (m_points "repair_times");
+          ignore
+            (drop ~sweep:"repair_times" ~param (fun ppf ->
+                 Format.pp_print_string ppf
+                   "mean repair time must be positive"));
+          None
+        end
         else
-          match
-            Urs_prob.Fit.h2_of_mean_scv_pinned_rate ~mean ~scv ~pinned_rate
-          with
-          | Ok h2 -> Ok (D.Hyperexponential h2)
-          | Error e -> Error e
-      in
-      match operative with
-      | Error e ->
-          Metrics.inc (m_points "operative_scv");
-          drop ~sweep:"operative_scv" ~param (fun ppf ->
-              Format.fprintf ppf "H2 fit failed: %a" Urs_prob.Fit.pp_error e)
-      | Ok operative -> (
           let m =
             Model.create ~servers:model.Model.servers
               ~arrival_rate:model.Model.arrival_rate
-              ~service_rate:model.Model.service_rate ~operative
-              ~inoperative:model.Model.inoperative ()
+              ~service_rate:model.Model.service_rate
+              ~operative:model.Model.operative
+              ~inoperative:(D.exponential ~rate:(1.0 /. mean_repair)) ()
           in
-          match eval_point ?strategy ~sweep:"operative_scv" ~param m with
-          | Some perf -> Some (scv, perf)
-          | None -> None))
-    values
+          Some (mean_repair, param, m))
+      values
+  in
+  run_points ?strategy ?pool ?cache ~sweep:"repair_times" points
+
+let over_operative_scv ?strategy ?pool ?cache model ~pinned_rate ~values =
+  let mean = D.mean model.Model.operative in
+  let points =
+    List.filter_map
+      (fun scv ->
+        let param = Printf.sprintf "scv=%g" scv in
+        let operative =
+          if scv <= 0.0 then Ok (D.deterministic mean)
+          else if abs_float (scv -. 1.0) < 1e-12 then
+            Ok (D.exponential ~rate:(1.0 /. mean))
+          else
+            match
+              Urs_prob.Fit.h2_of_mean_scv_pinned_rate ~mean ~scv ~pinned_rate
+            with
+            | Ok h2 -> Ok (D.Hyperexponential h2)
+            | Error e -> Error e
+        in
+        match operative with
+        | Error e ->
+            Metrics.inc (m_points "operative_scv");
+            ignore
+              (drop ~sweep:"operative_scv" ~param (fun ppf ->
+                   Format.fprintf ppf "H2 fit failed: %a" Urs_prob.Fit.pp_error
+                     e));
+            None
+        | Ok operative ->
+            let m =
+              Model.create ~servers:model.Model.servers
+                ~arrival_rate:model.Model.arrival_rate
+                ~service_rate:model.Model.service_rate ~operative
+                ~inoperative:model.Model.inoperative ()
+            in
+            Some (scv, param, m))
+      values
+  in
+  run_points ?strategy ?pool ?cache ~sweep:"operative_scv" points
+
+let over_loads ?strategy ?pool ?cache model ~values =
+  (* Figure 8's x-axis: offered load relative to the effective service
+     capacity (average operative servers x mu) of the breakdown/repair
+     environment *)
+  let capacity =
+    (Model.stability model).Urs_mmq.Stability.effective_capacity
+    *. model.Model.service_rate
+  in
+  let points =
+    List.filter_map
+      (fun load ->
+        let param = Printf.sprintf "load=%g" load in
+        if load <= 0.0 || not (Float.is_finite capacity) || capacity <= 0.0
+        then begin
+          Metrics.inc (m_points "loads");
+          ignore
+            (drop ~sweep:"loads" ~param (fun ppf ->
+                 Format.pp_print_string ppf
+                   "load and effective capacity must be positive"));
+          None
+        end
+        else
+          Some
+            ( load,
+              param,
+              Model.with_arrival_rate model (load *. capacity) ))
+      values
+  in
+  run_points ?strategy ?pool ?cache ~sweep:"loads" points
 
 let linspace lo hi k =
   if k < 2 then [ lo ]

@@ -1,0 +1,100 @@
+module Metrics = Urs_obs.Metrics
+
+type 'v entry = { value : 'v; mutable stamp : int }
+
+type 'v t = {
+  capacity : int;
+  tbl : (string, 'v entry) Hashtbl.t;
+  lock : Mutex.t;
+  mutable tick : int;
+  hits : Metrics.counter;
+  misses : Metrics.counter;
+  evictions : Metrics.counter;
+  size : Metrics.gauge;
+}
+
+let create ?registry ?(capacity = 1024) ~name () =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be positive";
+  let labels = [ ("cache", name) ] in
+  {
+    capacity;
+    tbl = Hashtbl.create (min capacity 64);
+    lock = Mutex.create ();
+    tick = 0;
+    hits =
+      Metrics.counter ?registry ~labels ~help:"Cache lookups that hit"
+        "urs_cache_hits_total";
+    misses =
+      Metrics.counter ?registry ~labels ~help:"Cache lookups that missed"
+        "urs_cache_misses_total";
+    evictions =
+      Metrics.counter ?registry ~labels ~help:"Cache LRU evictions"
+        "urs_cache_evictions_total";
+    size =
+      Metrics.gauge ?registry ~labels ~help:"Cache entries currently held"
+        "urs_cache_size";
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.stamp <- t.tick
+
+(* O(n) scan on eviction: caches here hold at most a few thousand
+   entries and evict rarely, so a doubly-linked LRU list is not worth
+   its bookkeeping *)
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, s) when s <= e.stamp -> ()
+      | _ -> victim := Some (k, e.stamp))
+    t.tbl;
+  match !victim with
+  | None -> ()
+  | Some (k, _) ->
+      Hashtbl.remove t.tbl k;
+      Metrics.inc t.evictions
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some e ->
+          touch t e;
+          Metrics.inc t.hits;
+          Some e.value
+      | None ->
+          Metrics.inc t.misses;
+          None)
+
+let insert_if_absent t key v =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some e ->
+          (* a racing computation got there first: keep its value so
+             every caller observes the same result *)
+          touch t e;
+          e.value
+      | None ->
+          if Hashtbl.length t.tbl >= t.capacity then evict_lru t;
+          let e = { value = v; stamp = 0 } in
+          touch t e;
+          Hashtbl.add t.tbl key e;
+          Metrics.set t.size (float_of_int (Hashtbl.length t.tbl));
+          v)
+
+let find_or_compute t key f =
+  match find t key with
+  | Some v -> v
+  | None -> insert_if_absent t key (f ())
+
+let length t = locked t (fun () -> Hashtbl.length t.tbl)
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.tbl;
+      Metrics.set t.size 0.0)

@@ -1,0 +1,31 @@
+(** Content-addressed memo cache: string keys, LRU-bounded, guarded by a
+    mutex so pool tasks on different domains can share it. Hit, miss and
+    eviction totals are exposed as
+    [urs_cache_{hits,misses,evictions}_total{cache="<name>"}] counters
+    and the current occupancy as [urs_cache_size{cache="<name>"}].
+
+    Values are computed {e outside} the lock, so two domains racing on
+    the same missing key may both compute; the first insert wins and
+    both callers observe the winning value (computations must therefore
+    be deterministic functions of the key — which solver evaluations
+    are). *)
+
+type 'v t
+
+val create :
+  ?registry:Urs_obs.Metrics.t -> ?capacity:int -> name:string -> unit -> 'v t
+(** [capacity] bounds the number of entries (default [1024]; must be
+    positive). [name] labels the cache's metrics. *)
+
+val find : 'v t -> string -> 'v option
+(** Lookup without computing; counts a hit or a miss. *)
+
+val find_or_compute : 'v t -> string -> (unit -> 'v) -> 'v
+(** [find_or_compute c key f] returns the cached value for [key], or
+    computes [f ()], inserts it (evicting the least-recently-used entry
+    when full) and returns it. If [f] raises, nothing is cached. *)
+
+val length : 'v t -> int
+
+val clear : 'v t -> unit
+(** Drop every entry (counters are not reset). *)

@@ -1,0 +1,184 @@
+(* Fixed-size domain pool. One shared FIFO of closures; the submitting
+   thread participates in draining its own batch, so [domains = 1] never
+   spawns anything and nested submissions cannot deadlock (the nested
+   submitter executes queued tasks itself while it waits). *)
+
+module Metrics = Urs_obs.Metrics
+module Span = Urs_obs.Span
+
+type t = {
+  name : string;
+  width : int;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  q : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+  m_tasks : Metrics.counter;
+  m_failures : Metrics.counter;
+}
+
+let domains t = t.width
+
+let try_pop t =
+  Mutex.lock t.lock;
+  let task = if Queue.is_empty t.q then None else Some (Queue.pop t.q) in
+  Mutex.unlock t.lock;
+  task
+
+let rec worker_loop t =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.q && not t.closed do
+    Condition.wait t.nonempty t.lock
+  done;
+  if Queue.is_empty t.q then Mutex.unlock t.lock (* closed and drained *)
+  else begin
+    let task = Queue.pop t.q in
+    Mutex.unlock t.lock;
+    task ();
+    worker_loop t
+  end
+
+let create ?(name = "default") ~domains () =
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  let labels = [ ("pool", name) ] in
+  let t =
+    {
+      name;
+      width = domains;
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      q = Queue.create ();
+      closed = false;
+      workers = [];
+      m_tasks =
+        Metrics.counter ~labels ~help:"Tasks executed by the domain pool"
+          "urs_pool_tasks_total";
+      m_failures =
+        Metrics.counter ~labels ~help:"Pool tasks that raised an exception"
+          "urs_pool_task_failures_total";
+    }
+  in
+  t.workers <-
+    List.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.lock;
+  if t.closed then Mutex.unlock t.lock
+  else begin
+    t.closed <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.lock;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+let with_pool ?name ~domains f =
+  let t = create ?name ~domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let check_open t =
+  let closed =
+    Mutex.lock t.lock;
+    let c = t.closed in
+    Mutex.unlock t.lock;
+    c
+  in
+  if closed then invalid_arg "Pool.map: pool is shut down"
+
+(* Run one batch, returning per-task outcomes in input order. Tasks
+   never let exceptions escape into the worker loop: each outcome is
+   reified into its slot. *)
+let run_batch t f arr =
+  let n = Array.length arr in
+  if t.width = 1 then
+    (* sequential fast path: run inline, in order, with no queueing and
+       no extra metrics — bit-identical to not using a pool at all *)
+    Array.map
+      (fun x ->
+        try Ok (f x)
+        with e -> Error (e, Printexc.get_raw_backtrace ()))
+      arr
+  else begin
+    let out = Array.make n None in
+    let batch_lock = Mutex.create () in
+    let batch_done = Condition.create () in
+    let remaining = ref n in
+    let task i () =
+      let r =
+        try
+          Ok
+            (Span.with_ ~name:"urs_pool_task"
+               ~labels:[ ("pool", t.name) ]
+               (fun () -> f arr.(i)))
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Metrics.inc t.m_failures;
+          Error (e, bt)
+      in
+      Metrics.inc t.m_tasks;
+      out.(i) <- Some r;
+      Mutex.lock batch_lock;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast batch_done;
+      Mutex.unlock batch_lock
+    in
+    Mutex.lock t.lock;
+    if t.closed then begin
+      Mutex.unlock t.lock;
+      invalid_arg "Pool.map: pool is shut down"
+    end;
+    for i = 0 to n - 1 do
+      Queue.push (task i) t.q
+    done;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.lock;
+    (* participate until the queue is empty, then wait for stragglers
+       still running on worker domains *)
+    let rec drain () =
+      match try_pop t with
+      | Some task ->
+          task ();
+          drain ()
+      | None -> ()
+    in
+    drain ();
+    Mutex.lock batch_lock;
+    while !remaining > 0 do
+      Condition.wait batch_done batch_lock
+    done;
+    Mutex.unlock batch_lock;
+    Array.map (function Some r -> r | None -> assert false) out
+  end
+
+let map_result t f xs =
+  check_open t;
+  match xs with
+  | [] -> []
+  | xs ->
+      Array.to_list
+        (Array.map
+           (function Ok v -> Ok v | Error (e, _) -> Error e)
+           (run_batch t f (Array.of_list xs)))
+
+let map t f xs =
+  check_open t;
+  match xs with
+  | [] -> []
+  | xs -> (
+      let results = run_batch t f (Array.of_list xs) in
+      (* re-raise the earliest failing input, with its backtrace *)
+      match
+        Array.fold_left
+          (fun acc r ->
+            match (acc, r) with Some _, _ -> acc | None, Error eb -> Some eb | None, Ok _ -> None)
+          None results
+      with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None ->
+          Array.to_list
+            (Array.map (function Ok v -> v | Error _ -> assert false) results))
+
+let map_reduce t ~map:f ~fold ~init xs =
+  List.fold_left fold init (map t f xs)

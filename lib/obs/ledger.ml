@@ -25,27 +25,23 @@ let memory_enabled = ref false
 
 let max_recent = 512
 
-(* The ring is written by the solver thread and read by the HTTP
-   server thread ([/runs]); stdlib Queue mutations are multi-step and
-   systhreads can preempt between them, so every access goes through
-   this mutex. *)
-let recent_lock = Mutex.create ()
+(* One lock for every piece of ledger state: the sequence counter, the
+   in-memory ring (read by the HTTP server thread, written by solver
+   threads and pool domains) and the file channel (so concurrent
+   appends from pool domains cannot interleave JSONL lines). *)
+let lock = Mutex.create ()
 
 let recent_q : record Queue.t = Queue.create ()
 
-let with_recent_lock f =
-  Mutex.lock recent_lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock recent_lock) f
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
 let seq_counter = ref 0
 
 let active () = !channel <> None || !memory_enabled
 
-let set_memory b =
-  memory_enabled := b;
-  if not b then with_recent_lock (fun () -> Queue.clear recent_q)
-
-let close () =
+let close_unlocked () =
   (match !channel with
   | Some oc ->
       (try flush oc with Sys_error _ -> ());
@@ -53,25 +49,36 @@ let close () =
   | None -> ());
   channel := None
 
+let set_memory b =
+  with_lock (fun () ->
+      memory_enabled := b;
+      if not b then Queue.clear recent_q)
+
+let close () = with_lock close_unlocked
+
 let open_file ?(truncate = false) path =
-  close ();
   let flags =
     Open_wronly :: Open_creat
     :: (if truncate then [ Open_trunc ] else [ Open_append ])
   in
-  channel := Some (open_out_gen flags 0o644 path)
+  let oc = open_out_gen flags 0o644 path in
+  with_lock (fun () ->
+      close_unlocked ();
+      channel := Some oc)
 
 let recent ?(limit = max_recent) () =
   (* snapshot to an immutable list inside the critical section; the
      lazy Queue.to_seq traversal must not outlive the lock *)
-  let all = with_recent_lock (fun () -> List.of_seq (Queue.to_seq recent_q)) in
+  let all = with_lock (fun () -> List.of_seq (Queue.to_seq recent_q)) in
   let n = List.length all in
   if n <= limit then all else List.filteri (fun i _ -> i >= n - limit) all
 
 let reset () =
-  close ();
-  set_memory false;
-  seq_counter := 0
+  with_lock (fun () ->
+      close_unlocked ();
+      memory_enabled := false;
+      Queue.clear recent_q;
+      seq_counter := 0)
 
 (* ---- serialization ---- *)
 
@@ -141,36 +148,41 @@ let of_json j =
 
 (* ---- appending ---- *)
 
-let append r =
-  if !memory_enabled then
-    with_recent_lock (fun () ->
-        Queue.push r recent_q;
-        if Queue.length recent_q > max_recent then ignore (Queue.pop recent_q));
-  match !channel with
-  | None -> ()
-  | Some oc -> (
-      try
-        Json.to_channel oc (to_json r);
-        flush oc
-      with Sys_error _ -> ())
-
+(* stamp seq, push to the ring and write the line inside one critical
+   section: pool domains append concurrently, and each JSONL line must
+   stay contiguous with a unique sequence number *)
 let record ?strategy ?(params = []) ?(outcome = "ok") ?(summary = [])
     ?(gauges = []) ~kind ~wall_seconds () =
-  if active () then begin
-    incr seq_counter;
-    append
-      {
-        seq = !seq_counter;
-        time = Span.now ();
-        kind;
-        strategy;
-        params;
-        wall_seconds;
-        outcome;
-        summary;
-        gauges;
-      }
-  end
+  let time = Span.now () in
+  with_lock (fun () ->
+      if !channel <> None || !memory_enabled then begin
+        incr seq_counter;
+        let r =
+          {
+            seq = !seq_counter;
+            time;
+            kind;
+            strategy;
+            params;
+            wall_seconds;
+            outcome;
+            summary;
+            gauges;
+          }
+        in
+        if !memory_enabled then begin
+          Queue.push r recent_q;
+          if Queue.length recent_q > max_recent then
+            ignore (Queue.pop recent_q)
+        end;
+        match !channel with
+        | None -> ()
+        | Some oc -> (
+            try
+              Json.to_channel oc (to_json r);
+              flush oc
+            with Sys_error _ -> ())
+      end)
 
 (* ---- reading ---- *)
 

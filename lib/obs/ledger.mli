@@ -16,9 +16,11 @@
 
     When neither sink is active, {!record} is a no-op, so instrumented
     call sites pay nothing. Timestamps come from {!Span.now} (pluggable
-    clock — deterministic in tests). All writers live on the main
-    thread; the in-memory ring is additionally guarded by a mutex so
-    the HTTP server thread can read {!recent} while a solve appends. *)
+    clock — deterministic in tests). Sequence numbering, the ring and
+    the file channel share one mutex, so records from concurrent pool
+    domains get unique [seq] values and whole JSONL lines (never
+    interleaved bytes), and the HTTP server thread can read {!recent}
+    while a solve appends. *)
 
 type record = {
   seq : int;  (** Per-process sequence number, 1-based. *)

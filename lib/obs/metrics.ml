@@ -12,11 +12,17 @@ type data =
       mutable stats : W.t;
     }
 
-type metric = { name : string; help : string; labels : labels; data : data }
+type metric = {
+  name : string;
+  help : string;
+  labels : labels;
+  data : data;
+  lock : Mutex.t;  (* guards [data]: metrics are mutated from pool domains *)
+}
 
-type t = { tbl : (string * labels, metric) Hashtbl.t }
+type t = { tbl : (string * labels, metric) Hashtbl.t; lock : Mutex.t }
 
-let create () = { tbl = Hashtbl.create 64 }
+let create () = { tbl = Hashtbl.create 64; lock = Mutex.create () }
 
 let default = create ()
 
@@ -36,22 +42,29 @@ let kind_name = function
   | Gauge _ -> "gauge"
   | Histogram _ -> "histogram"
 
+let locked lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let register registry ~name ~help ~labels ~make ~same_kind =
   if not (is_valid_name name) then
     invalid_arg (Printf.sprintf "Metrics: invalid metric name %S" name);
   let labels = canon labels in
   let key = (name, labels) in
-  match Hashtbl.find_opt registry.tbl key with
-  | Some m ->
-      if not (same_kind m.data) then
-        invalid_arg
-          (Printf.sprintf "Metrics: %s already registered as a %s" name
-             (kind_name m.data));
-      m
-  | None ->
-      let m = { name; help; labels; data = make () } in
-      Hashtbl.add registry.tbl key m;
-      m
+  locked registry.lock (fun () ->
+      match Hashtbl.find_opt registry.tbl key with
+      | Some m ->
+          if not (same_kind m.data) then
+            invalid_arg
+              (Printf.sprintf "Metrics: %s already registered as a %s" name
+                 (kind_name m.data));
+          m
+      | None ->
+          let m =
+            { name; help; labels; data = make (); lock = Mutex.create () }
+          in
+          Hashtbl.add registry.tbl key m;
+          m)
 
 (* ---- counters ---- *)
 
@@ -65,11 +78,13 @@ let counter ?(registry = default) ?(help = "") ?(labels = []) name =
 let inc ?(by = 1.0) (c : counter) =
   if by < 0.0 then invalid_arg "Metrics.inc: counters only go up";
   match c.data with
-  | Counter c -> c.total <- c.total +. by
+  | Counter d -> locked c.lock (fun () -> d.total <- d.total +. by)
   | _ -> assert false
 
 let counter_value (c : counter) =
-  match c.data with Counter c -> c.total | _ -> assert false
+  match c.data with
+  | Counter d -> locked c.lock (fun () -> d.total)
+  | _ -> assert false
 
 (* ---- gauges ---- *)
 
@@ -81,16 +96,24 @@ let gauge ?(registry = default) ?(help = "") ?(labels = []) name =
     ~same_kind:(function Gauge _ -> true | _ -> false)
 
 let set (g : gauge) x =
-  match g.data with Gauge g -> g.v <- x | _ -> assert false
+  match g.data with
+  | Gauge d -> locked g.lock (fun () -> d.v <- x)
+  | _ -> assert false
 
 let add (g : gauge) x =
-  match g.data with Gauge g -> g.v <- g.v +. x | _ -> assert false
+  match g.data with
+  | Gauge d -> locked g.lock (fun () -> d.v <- d.v +. x)
+  | _ -> assert false
 
 let set_max (g : gauge) x =
-  match g.data with Gauge g -> if x > g.v then g.v <- x | _ -> assert false
+  match g.data with
+  | Gauge d -> locked g.lock (fun () -> if x > d.v then d.v <- x)
+  | _ -> assert false
 
 let gauge_value (g : gauge) =
-  match g.data with Gauge g -> g.v | _ -> assert false
+  match g.data with
+  | Gauge d -> locked g.lock (fun () -> d.v)
+  | _ -> assert false
 
 (* ---- histograms ---- *)
 
@@ -123,31 +146,34 @@ let histogram ?(registry = default) ?(help = "") ?(labels = [])
 
 let observe (h : histogram) x =
   match h.data with
-  | Histogram h ->
-      let nb = Array.length h.bounds in
-      let i = ref 0 in
-      (* Prometheus buckets are inclusive upper bounds: x <= le *)
-      while !i < nb && x > h.bounds.(!i) do
-        incr i
-      done;
-      h.counts.(!i) <- h.counts.(!i) + 1;
-      h.sum <- h.sum +. x;
-      W.add h.stats x
+  | Histogram d ->
+      locked h.lock (fun () ->
+          let nb = Array.length d.bounds in
+          let i = ref 0 in
+          (* Prometheus buckets are inclusive upper bounds: x <= le *)
+          while !i < nb && x > d.bounds.(!i) do
+            incr i
+          done;
+          d.counts.(!i) <- d.counts.(!i) + 1;
+          d.sum <- d.sum +. x;
+          W.add d.stats x)
   | _ -> assert false
 
 (* ---- registry-wide operations ---- *)
 
 let reset ?(registry = default) () =
-  Hashtbl.iter
-    (fun _ m ->
-      match m.data with
-      | Counter c -> c.total <- 0.0
-      | Gauge g -> g.v <- 0.0
-      | Histogram h ->
-          Array.fill h.counts 0 (Array.length h.counts) 0;
-          h.sum <- 0.0;
-          h.stats <- W.create ())
-    registry.tbl
+  locked registry.lock (fun () ->
+      Hashtbl.iter
+        (fun _ (m : metric) ->
+          locked m.lock (fun () ->
+              match m.data with
+              | Counter c -> c.total <- 0.0
+              | Gauge g -> g.v <- 0.0
+              | Histogram h ->
+                  Array.fill h.counts 0 (Array.length h.counts) 0;
+                  h.sum <- 0.0;
+                  h.stats <- W.create ()))
+        registry.tbl)
 
 type snapshot_data =
   | Counter_value of float
@@ -170,25 +196,27 @@ type entry = {
 
 let snapshot ?(registry = default) () =
   let entries =
-    Hashtbl.fold
-      (fun _ (m : metric) acc ->
-        let data =
-          match m.data with
-          | Counter c -> Counter_value c.total
-          | Gauge g -> Gauge_value g.v
-          | Histogram h ->
-              Histogram_value
-                {
-                  bounds = Array.copy h.bounds;
-                  counts = Array.copy h.counts;
-                  sum = h.sum;
-                  count = W.count h.stats;
-                  mean = W.mean h.stats;
-                  stddev = W.std_dev h.stats;
-                }
-        in
-        { name = m.name; help = m.help; labels = m.labels; data } :: acc)
-      registry.tbl []
+    locked registry.lock (fun () ->
+        Hashtbl.fold
+          (fun _ (m : metric) acc ->
+            let data =
+              locked m.lock (fun () ->
+                  match m.data with
+                  | Counter c -> Counter_value c.total
+                  | Gauge g -> Gauge_value g.v
+                  | Histogram h ->
+                      Histogram_value
+                        {
+                          bounds = Array.copy h.bounds;
+                          counts = Array.copy h.counts;
+                          sum = h.sum;
+                          count = W.count h.stats;
+                          mean = W.mean h.stats;
+                          stddev = W.std_dev h.stats;
+                        })
+            in
+            { name = m.name; help = m.help; labels = m.labels; data } :: acc)
+          registry.tbl [])
   in
   List.sort
     (fun a b ->
@@ -196,7 +224,11 @@ let snapshot ?(registry = default) () =
     entries
 
 let value ?(registry = default) ?(labels = []) name =
-  match Hashtbl.find_opt registry.tbl (name, canon labels) with
-  | Some { data = Counter c; _ } -> Some c.total
-  | Some { data = Gauge g; _ } -> Some g.v
+  match
+    locked registry.lock (fun () ->
+        Hashtbl.find_opt registry.tbl (name, canon labels))
+  with
+  | Some ({ data = Counter c; _ } as m) ->
+      Some (locked m.lock (fun () -> c.total))
+  | Some ({ data = Gauge g; _ } as m) -> Some (locked m.lock (fun () -> g.v))
   | Some { data = Histogram _; _ } | None -> None

@@ -7,9 +7,11 @@
     Handles are cheap records; creation functions are idempotent — the
     same (name, labels) pair always returns the same underlying metric,
     so instrumented modules can create their handles at load time and
-    mutate them from hot paths without hashtable lookups. The registry
-    is not thread-safe; the solvers and the simulator are
-    single-threaded.
+    mutate them from hot paths without hashtable lookups. Registration
+    and every update are mutex-guarded, so metrics can be shared freely
+    across the domains of a work pool ([Urs_exec.Pool]): concurrent
+    increments and observations never lose updates, and {!snapshot} sees
+    a consistent copy.
 
     Render a {!snapshot} with {!Export.prometheus} or {!Export.json}. *)
 

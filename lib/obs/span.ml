@@ -12,13 +12,20 @@ type node = {
   name : string;
   labels : Metrics.labels;
   start : float;
+  domain : int;  (* id of the domain that ran the span *)
   mutable duration : float;
   mutable children : node list; (* reverse completion order *)
 }
 
-let tracing = ref false
+let tracing = Atomic.make false
 
-let stack : node list ref = ref []
+(* The open-span stack is domain-local: a pool task's spans nest under
+   whatever is open on that task's domain, never under another domain's
+   spans. Completed roots are shared, behind a mutex. *)
+let stack_key : node list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let trace_lock = Mutex.create ()
 
 let roots : node list ref = ref [] (* reverse completion order *)
 
@@ -29,16 +36,27 @@ let dropped = ref 0
 let max_roots = 16_384
 
 let reset_trace () =
-  stack := [];
+  Domain.DLS.get stack_key := [];
+  Mutex.lock trace_lock;
   roots := [];
   root_count := 0;
-  dropped := 0
+  dropped := 0;
+  Mutex.unlock trace_lock
 
 let set_tracing b =
-  tracing := b;
+  Atomic.set tracing b;
   if b then reset_trace ()
 
-let tracing_enabled () = !tracing
+let tracing_enabled () = Atomic.get tracing
+
+let add_root n =
+  Mutex.lock trace_lock;
+  if !root_count >= max_roots then incr dropped
+  else begin
+    roots := n :: !roots;
+    incr root_count
+  end;
+  Mutex.unlock trace_lock
 
 let with_ ?registry ?(labels = []) ~name f =
   let hist =
@@ -47,8 +65,18 @@ let with_ ?registry ?(labels = []) ~name f =
   in
   let t0 = now () in
   let node =
-    if !tracing then begin
-      let n = { name; labels; start = t0; duration = 0.0; children = [] } in
+    if Atomic.get tracing then begin
+      let stack = Domain.DLS.get stack_key in
+      let n =
+        {
+          name;
+          labels;
+          start = t0;
+          domain = (Domain.self () :> int);
+          duration = 0.0;
+          children = [];
+        }
+      in
       stack := n :: !stack;
       Some n
     end
@@ -62,17 +90,13 @@ let with_ ?registry ?(labels = []) ~name f =
       | None -> ()
       | Some n -> (
           n.duration <- dt;
+          let stack = Domain.DLS.get stack_key in
           match !stack with
           | top :: rest when top == n -> (
               stack := rest;
               match rest with
               | parent :: _ -> parent.children <- n :: parent.children
-              | [] ->
-                  if !root_count >= max_roots then incr dropped
-                  else begin
-                    roots := n :: !roots;
-                    incr root_count
-                  end)
+              | [] -> add_root n)
           | _ ->
               (* unbalanced (tracing toggled mid-span): drop the node *)
               ()))
@@ -84,6 +108,7 @@ let rec node_json n =
       ("name", Json.String n.name);
       ("start_s", Json.Float n.start);
       ("duration_s", Json.Float n.duration);
+      ("domain", Json.Int n.domain);
     ]
   in
   let labels =
@@ -101,9 +126,15 @@ let rec node_json n =
   Json.Obj (base @ labels @ children)
 
 let trace_json () =
+  let roots, dropped =
+    Mutex.lock trace_lock;
+    let r = !roots and d = !dropped in
+    Mutex.unlock trace_lock;
+    (r, d)
+  in
   Json.to_string
     (Json.Obj
        [
-         ("spans", Json.List (List.rev_map node_json !roots));
-         ("dropped", Json.Int !dropped);
+         ("spans", Json.List (List.rev_map node_json roots));
+         ("dropped", Json.Int dropped);
        ])

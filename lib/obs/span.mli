@@ -7,6 +7,11 @@
     become children — which {!trace_json} renders as a flame-style JSON
     document.
 
+    The span stack is domain-local, so pool tasks on different domains
+    time their own trees without interleaving; each node records the
+    integer id of the domain that ran it (the ["domain"] field of the
+    trace JSON), and completed roots are collected under a mutex.
+
     The clock is pluggable ({!set_clock}) so tests can drive
     deterministic durations. The default clock is
     [Unix.gettimeofday]. *)

@@ -18,6 +18,8 @@ let bits64 g =
 
 let split g = { state = mix (bits64 g) }
 
+let split_seed g = Int64.to_int (bits64 g) land max_int
+
 let copy g = { state = g.state }
 
 let float g =

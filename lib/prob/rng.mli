@@ -15,6 +15,14 @@ val split : t -> t
 (** A new generator whose stream is independent of (and does not
     perturb) the parent beyond consuming one value. *)
 
+val split_seed : t -> int
+(** A full-width (62-bit, nonnegative) seed drawn from the stream, for
+    handing to an API that takes [create]-style integer seeds. Like
+    {!split}, consecutive calls yield statistically independent,
+    non-overlapping child streams (splitmix initialization — the child
+    state is the mix of a parent draw), unlike consecutive small
+    integers whose mixed states are one increment apart. *)
+
 val copy : t -> t
 (** Duplicate the current state. *)
 

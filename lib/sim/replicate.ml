@@ -42,38 +42,51 @@ let ledger_params cfg ~duration ~replications =
     ("replications", Json.Int replications);
   ]
 
-let run ?(seed = 1) ?(replications = 10) ?(confidence = 0.95) ?warmup ~duration
-    cfg =
+let run ?(seed = 1) ?(replications = 10) ?(confidence = 0.95) ?warmup ?pool
+    ~duration cfg =
   if replications < 1 then invalid_arg "Replicate.run: replications >= 1";
   let master = Urs_prob.Rng.create seed in
+  (* Split-stream seeding: every replication's seed is drawn from the
+     master stream up front, sequentially, so the per-replication
+     streams are independent and non-overlapping AND identical whether
+     the replications then run sequentially or on a pool. *)
+  let seeds =
+    Array.init replications (fun _ -> Urs_prob.Rng.split_seed master)
+  in
   let params = ledger_params cfg ~duration ~replications in
+  let run_one rep =
+    let rep_seed = seeds.(rep) in
+    (* one span per replication: urs_sim_replication_seconds is the
+       per-replication wall-time histogram *)
+    let t0 = Span.now () in
+    let r =
+      Span.with_ ~name:"urs_sim_replication" (fun () ->
+          let r =
+            Server_farm.run ~seed:rep_seed ?warmup ~track_responses:false
+              ~duration cfg
+          in
+          Metrics.inc m_replications;
+          r)
+    in
+    Ledger.record ~kind:"sim.replication" ~strategy:"sim" ~params
+      ~wall_seconds:(Span.now () -. t0)
+      ~summary:
+        [
+          ("replication", Json.Int rep);
+          ("seed", Json.Int rep_seed);
+          ("mean_jobs", Json.Float r.Server_farm.mean_jobs);
+          ("mean_response", Json.Float r.Server_farm.mean_response);
+          ("mean_operative", Json.Float r.Server_farm.mean_operative);
+        ]
+      ();
+    r
+  in
   let results =
-    Array.init replications (fun rep ->
-        let rep_seed = Int64.to_int (Urs_prob.Rng.bits64 master) land 0x3FFFFFFF in
-        (* one span per replication: urs_sim_replication_seconds is the
-           per-replication wall-time histogram *)
-        let t0 = Span.now () in
-        let r =
-          Span.with_ ~name:"urs_sim_replication" (fun () ->
-              let r =
-                Server_farm.run ~seed:rep_seed ?warmup ~track_responses:false
-                  ~duration cfg
-              in
-              Metrics.inc m_replications;
-              r)
-        in
-        Ledger.record ~kind:"sim.replication" ~strategy:"sim" ~params
-          ~wall_seconds:(Span.now () -. t0)
-          ~summary:
-            [
-              ("replication", Json.Int rep);
-              ("seed", Json.Int rep_seed);
-              ("mean_jobs", Json.Float r.Server_farm.mean_jobs);
-              ("mean_response", Json.Float r.Server_farm.mean_response);
-              ("mean_operative", Json.Float r.Server_farm.mean_operative);
-            ]
-          ();
-        r)
+    match pool with
+    | None -> Array.init replications run_one
+    | Some pool ->
+        Array.of_list
+          (Urs_exec.Pool.map pool run_one (List.init replications Fun.id))
   in
   let t0 = Span.now () in
   let pick f = Array.map f results in

@@ -16,11 +16,16 @@ val run :
   ?replications:int ->
   ?confidence:float ->
   ?warmup:float ->
+  ?pool:Urs_exec.Pool.t ->
   duration:float ->
   Server_farm.config ->
   summary
-(** Defaults: [replications = 10], [confidence = 0.95], [seed = 1]
-    (replication [i] uses an independent stream derived from the seed).
-    Other arguments are passed to {!Server_farm.run}. *)
+(** Defaults: [replications = 10], [confidence = 0.95], [seed = 1].
+    Replication [i] uses an independent split stream
+    ({!Urs_prob.Rng.split_seed}) derived from the master seed; all
+    per-replication seeds are drawn up front, so running on a [pool]
+    ([--jobs N]) produces a summary bit-identical to the sequential
+    run for the same seed. Other arguments are passed to
+    {!Server_farm.run}. *)
 
 val pp_summary : Format.formatter -> summary -> unit

@@ -395,6 +395,31 @@ let test_replicate_ci_narrows () =
     (long.Replicate.mean_jobs.Replicate.half_width
     < short.Replicate.mean_jobs.Replicate.half_width)
 
+let test_replicate_pinned_summary () =
+  (* regression pin for the split-stream per-replication seeding: every
+     replication seed is a full 62-bit draw from a master splitmix64
+     stream keyed by ~seed. These values change only if the seeding
+     scheme or the simulator's event handling changes — update them
+     deliberately, never to make the test pass. *)
+  let cfg =
+    {
+      Server_farm.servers = 2;
+      lambda = 1.0;
+      mu = 1.0;
+      operative = Urs_prob.Distribution.exponential ~rate:0.05;
+      inoperative = Urs_prob.Distribution.exponential ~rate:10.0;
+      repair_crews = None;
+    }
+  in
+  let s = Replicate.run ~seed:123 ~replications:3 ~duration:2_000.0 cfg in
+  let check name expected got = Alcotest.(check (float 1e-6)) name expected got in
+  check "mean jobs" 1.31889419973 s.Replicate.mean_jobs.Replicate.estimate;
+  check "mean jobs CI" 0.202372681298 s.Replicate.mean_jobs.Replicate.half_width;
+  check "mean response" 1.34942631329
+    s.Replicate.mean_response.Replicate.estimate;
+  check "mean response CI" 0.224916623202
+    s.Replicate.mean_response.Replicate.half_width
+
 let () =
   Alcotest.run "urs_sim"
     [
@@ -450,5 +475,10 @@ let () =
             test_sim_crews_slow_down_repairs;
         ] );
       ( "replicate",
-        [ Alcotest.test_case "ci narrows with duration" `Slow test_replicate_ci_narrows ] );
+        [
+          Alcotest.test_case "ci narrows with duration" `Slow
+            test_replicate_ci_narrows;
+          Alcotest.test_case "pinned summary (split-stream seeds)" `Slow
+            test_replicate_pinned_summary;
+        ] );
     ]
