@@ -1,7 +1,7 @@
 # Convenience targets; `make ci` is what the CI workflow runs.
 
 .PHONY: all build test bench bench-gate bench-baseline fmt smoke \
-	doctor-smoke serve-smoke ci clean
+	doctor-smoke serve-smoke trace-smoke ci clean
 
 all: build
 
@@ -53,11 +53,20 @@ smoke:
 doctor-smoke:
 	dune exec bin/urs_cli.exe -- doctor --quick
 
-# The HTTP exporter must answer /metrics, /healthz and /runs.
+# The HTTP exporter must answer /metrics, /healthz, /runs, /timeline
+# and /progress.
 serve-smoke: build
 	sh scripts/serve_smoke.sh
 
-ci: fmt build test smoke doctor-smoke serve-smoke
+# A Perfetto trace exported from a real run must parse (with the
+# in-repo JSON parser) and carry complete events.
+trace-smoke: build
+	dune exec bin/urs_cli.exe -- solve \
+	  --trace /tmp/urs_trace_perfetto.json --trace-format perfetto \
+	  > /dev/null
+	dune exec scripts/validate_trace.exe /tmp/urs_trace_perfetto.json
+
+ci: fmt build test smoke doctor-smoke serve-smoke trace-smoke
 
 clean:
 	dune clean

@@ -16,6 +16,7 @@ type obs = {
   metrics : string option;
   format : [ `Prometheus | `Json ];
   trace : string option;
+  trace_format : [ `Flame | `Perfetto ];
   ledger : string option;
   serve : int option;
   jobs : int;
@@ -65,7 +66,13 @@ let dump_obs obs =
       write path body);
   match obs.trace with
   | None -> ()
-  | Some path -> write path (Urs_obs.Span.trace_json () ^ "\n")
+  | Some path ->
+      let body =
+        match obs.trace_format with
+        | `Flame -> Urs_obs.Span.trace_json ()
+        | `Perfetto -> Urs_obs.Span.trace_perfetto ()
+      in
+      write path (body ^ "\n")
 
 (* ---- HTTP routes shared by `urs serve` and --serve-metrics ---- *)
 
@@ -86,21 +93,52 @@ let health_response () =
         ~status:(if v < 2.0 then 200 else 503)
         (label ^ "\n")
 
-let runs_response () =
-  let records = Urs_obs.Ledger.recent ~limit:100 () in
+let json_response j =
   Urs_obs.Http.respond ~content_type:"application/json"
-    (Urs_obs.Json.to_string
-       (Urs_obs.Json.List (List.map Urs_obs.Ledger.to_json records))
-    ^ "\n")
+    (Urs_obs.Json.to_string j ^ "\n")
+
+let runs_response q =
+  (* /runs?n=N limits the records returned; see http.mli *)
+  let limit =
+    match Urs_obs.Http.query_int q "n" with
+    | Some n when n >= 0 -> n
+    | _ -> 100
+  in
+  let records = Urs_obs.Ledger.recent ~limit () in
+  json_response (Urs_obs.Json.List (List.map Urs_obs.Ledger.to_json records))
+
+let timeline_response q =
+  (* /timeline?series=NAME restricts to one series name;
+     /timeline?coarsen=K merges K adjacent buckets per series *)
+  let name = Urs_obs.Http.query_get q "series" in
+  let factor =
+    match Urs_obs.Http.query_int q "coarsen" with
+    | Some k when k >= 1 -> k
+    | _ -> 1
+  in
+  let snaps = Urs_obs.Timeline.snapshot ?name () in
+  let snaps =
+    if factor = 1 then snaps
+    else List.map (Urs_obs.Timeline.coarsen ~factor) snaps
+  in
+  json_response
+    (Urs_obs.Json.Obj
+       [
+         ( "series",
+           Urs_obs.Json.List
+             (List.map Urs_obs.Timeline.snapshot_json snaps) );
+       ])
 
 let standard_routes =
   [
     ( "/metrics",
-      fun () ->
+      fun _q ->
         Urs_obs.Http.respond ~content_type:"text/plain; version=0.0.4"
           (Urs_obs.Export.prometheus (Urs_obs.Metrics.snapshot ())) );
-    ("/healthz", health_response);
+    ("/healthz", fun _q -> health_response ());
     ("/runs", runs_response);
+    ("/timeline", timeline_response);
+    ("/progress", fun _q -> json_response (Urs_obs.Progress.to_json ()));
   ]
 
 (* dump on the way out even if the command fails, so a crashed run still
@@ -171,7 +209,18 @@ let obs_t =
       & info [ "trace" ] ~docv:"FILE"
           ~doc:
             "Collect a hierarchical span trace during the run and write it \
-             as flame-style JSON to $(docv) ('-' for stdout).")
+             to $(docv) ('-' for stdout) in the --trace-format.")
+  in
+  let trace_format =
+    Arg.(
+      value
+      & opt (enum [ ("flame", `Flame); ("perfetto", `Perfetto) ]) `Flame
+      & info [ "trace-format" ]
+          ~doc:
+            "Trace output format: $(b,flame) (hierarchical span JSON) or \
+             $(b,perfetto) (Chrome trace_events JSON — open in \
+             ui.perfetto.dev or chrome://tracing; domains appear as \
+             separate tracks).")
   in
   let ledger =
     Arg.(
@@ -189,8 +238,10 @@ let obs_t =
       & opt (some int) None
       & info [ "serve-metrics" ] ~docv:"PORT"
           ~doc:
-            "While the command runs, serve live /metrics, /healthz and /runs \
-             on 127.0.0.1:$(docv) (0 picks an ephemeral port).")
+            "While the command runs, serve live /metrics, /healthz, /runs, \
+             /timeline and /progress on 127.0.0.1:$(docv) (0 picks an \
+             ephemeral port). Point $(b,urs watch) at the port for a \
+             terminal progress view.")
   in
   let jobs =
     let env =
@@ -205,14 +256,15 @@ let obs_t =
              default 1 runs everything inline on the calling thread; \
              results are identical whatever the value.")
   in
-  let make verbose metrics format trace ledger serve jobs =
+  let make verbose metrics format trace trace_format ledger serve jobs =
     setup_logs (List.length verbose);
     if jobs < 1 then
       Format.eprintf "urs: ignoring --jobs %d (must be >= 1)@." jobs;
-    { metrics; format; trace; ledger; serve; jobs = max 1 jobs }
+    { metrics; format; trace; trace_format; ledger; serve; jobs = max 1 jobs }
   in
   Term.(
-    const make $ verbose $ metrics $ format $ trace $ ledger $ serve $ jobs)
+    const make $ verbose $ metrics $ format $ trace $ trace_format $ ledger
+    $ serve $ jobs)
 
 (* ---- shared argument parsing ---- *)
 
@@ -619,12 +671,28 @@ let dataset_cmd =
 (* ---- fit ---- *)
 
 let fit_cmd =
-  let run obs path significance =
+  let run obs path significance hist_out =
     with_obs obs @@ fun _pool ->
     let events = Urs_dataset.Csv.read path in
     match Urs_dataset.Pipeline.analyze ~significance events with
     | Ok report ->
         Format.printf "%a@." Urs_dataset.Pipeline.pp_report report;
+        (match hist_out with
+        | None -> ()
+        | Some out ->
+            let body =
+              Urs_obs.Export.stats_histogram
+                ~help:"Binned operative-period sample from the fit pipeline"
+                ~name:"urs_fit_operative_period"
+                report.Urs_dataset.Pipeline.operative
+                  .Urs_dataset.Pipeline.histogram
+              ^ Urs_obs.Export.stats_histogram
+                  ~help:"Binned inoperative-period sample from the fit pipeline"
+                  ~name:"urs_fit_inoperative_period"
+                  report.Urs_dataset.Pipeline.inoperative
+                    .Urs_dataset.Pipeline.histogram
+            in
+            write_output out body);
         `Ok ()
     | Error e -> `Error (false, Format.asprintf "%a" Urs_prob.Fit.pp_error e)
   in
@@ -636,10 +704,20 @@ let fit_cmd =
   let significance =
     Arg.(value & opt float 0.05 & info [ "significance" ] ~doc:"KS significance level.")
   in
+  let hist_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "histogram-metrics" ] ~docv:"FILE"
+          ~doc:
+            "Also write the operative/inoperative period histograms as \
+             Prometheus histogram exposition (_bucket/_sum/_count) to \
+             $(docv) ('-' for stdout).")
+  in
   Cmd.v
     (Cmd.info "fit"
        ~doc:"Run the Section-2 pipeline on an event log: clean, fit, KS-test.")
-    Term.(ret (const run $ obs_t $ path $ significance))
+    Term.(ret (const run $ obs_t $ path $ significance $ hist_out))
 
 (* ---- doctor ---- *)
 
@@ -679,8 +757,8 @@ let serve_cmd =
     Format.printf "%a@." Urs.Doctor.pp_report report;
     let server = Urs_obs.Http.start ~port ~routes:standard_routes () in
     Format.printf
-      "urs: serving http://127.0.0.1:%d (/metrics /healthz /runs) — Ctrl-C \
-       to stop@."
+      "urs: serving http://127.0.0.1:%d (/metrics /healthz /runs /timeline \
+       /progress) — Ctrl-C to stop@."
       (Urs_obs.Http.port server);
     Urs_obs.Http.wait server
   in
@@ -693,18 +771,134 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run a quick doctor self-check, then serve /metrics (Prometheus), \
-          /healthz (doctor verdict; 503 when suspect) and /runs (recent \
-          ledger records, JSON) over HTTP until interrupted.")
+          /healthz (doctor verdict; 503 when suspect), /runs (recent \
+          ledger records, JSON), /timeline (bounded time-series \
+          recorders, JSON) and /progress (task completion and ETA, JSON) \
+          over HTTP until interrupted.")
     Term.(const run $ obs_t $ port)
 
+(* ---- watch ---- *)
+
+let watch_cmd =
+  let run port interval once =
+    let open Urs_obs in
+    (* one fetch-and-render pass; returns [Some true] when every listed
+       task is finished (and at least one exists), [None] on a fetch or
+       parse failure *)
+    let render () =
+      match Http.get ~port "/progress" with
+      | Error msg ->
+          Format.printf "urs watch: 127.0.0.1:%d unreachable (%s)@." port msg;
+          None
+      | Ok (status, _) when status <> 200 ->
+          Format.printf "urs watch: /progress returned %d@." status;
+          None
+      | Ok (_, body) -> (
+          match Json.of_string (String.trim body) with
+          | Error msg ->
+              Format.printf "urs watch: bad /progress JSON (%s)@." msg;
+              None
+          | Ok j -> (
+              match Json.member "tasks" j with
+              | Some (Json.List tasks) ->
+                  if tasks = [] then
+                    Format.printf "  (no tasks reported yet)@."
+                  else
+                    List.iter
+                      (fun t ->
+                        let str k = Option.bind (Json.member k t) Json.to_string_opt in
+                        let num k = Option.bind (Json.member k t) Json.to_float_opt in
+                        let name = Option.value (str "task") ~default:"?" in
+                        let completed =
+                          Option.value (num "completed") ~default:0.0
+                        in
+                        let progress =
+                          match num "total" with
+                          | Some total ->
+                              Printf.sprintf "%.0f/%.0f" completed total
+                          | None -> Printf.sprintf "%.0f" completed
+                        in
+                        let rate = Option.value (num "rate_per_s") ~default:0.0 in
+                        let eta =
+                          match num "eta_s" with
+                          | Some e -> Printf.sprintf ", ETA %.1fs" e
+                          | None -> ""
+                        in
+                        let finished =
+                          match Json.member "finished" t with
+                          | Some (Json.Bool true) -> "  [done]"
+                          | _ -> ""
+                        in
+                        Format.printf "  %-24s %s (%.1f/s%s)%s@." name
+                          progress rate eta finished)
+                      tasks;
+                  let all_done =
+                    tasks <> []
+                    && List.for_all
+                         (fun t ->
+                           match Json.member "finished" t with
+                           | Some (Json.Bool b) -> b
+                           | _ -> false)
+                         tasks
+                  in
+                  Some all_done
+              | _ ->
+                  Format.printf "urs watch: /progress JSON missing tasks@.";
+                  None))
+    in
+    let rec loop () =
+      let finished = render () in
+      if once then ()
+      else
+        match finished with
+        | Some true -> Format.printf "urs watch: all tasks finished@."
+        | _ ->
+            Unix.sleepf interval;
+            loop ()
+    in
+    loop ()
+  in
+  let port =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:
+            "Port of a running $(b,urs serve) or $(b,--serve-metrics) \
+             server on 127.0.0.1.")
+  in
+  let interval =
+    Arg.(
+      value & opt float 1.0
+      & info [ "n"; "interval" ] ~docv:"SECONDS"
+          ~doc:"Seconds between polls (default 1).")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ] ~doc:"Print a single snapshot and exit (scripts).")
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Poll another urs process's /progress endpoint and render task \
+          completion, rate and ETA in the terminal, until every task \
+          reports finished (or forever for open-ended servers; Ctrl-C to \
+          stop).")
+    Term.(const run $ port $ interval $ once)
+
+let version = "1.0.0"
+
 let () =
+  Urs_obs.Export.set_build_info ~version ();
   let info =
-    Cmd.info "urs" ~version:"1.0.0"
+    Cmd.info "urs" ~version
       ~doc:"Performance evaluation of multi-server systems with unreliable servers"
   in
   let group =
     Cmd.group info
       [ solve_cmd; stability_cmd; optimize_cmd; capacity_cmd; simulate_cmd;
-        sweep_cmd; metrics_cmd; dataset_cmd; fit_cmd; doctor_cmd; serve_cmd ]
+        sweep_cmd; metrics_cmd; dataset_cmd; fit_cmd; doctor_cmd; serve_cmd;
+        watch_cmd ]
   in
   exit (Cmd.eval group)

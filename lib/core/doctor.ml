@@ -182,6 +182,144 @@ let check_model ?thresholds ?sim ?pool model =
           in
           spectral_check :: mg_check :: approx_check :: sim_checks)
 
+(* ---- warm-up (initial transient) analysis ----
+
+   A dedicated short batch of warmup-less replications of the N=5 paper
+   model records mean-jobs trajectories into a private timeline registry
+   (private so a concurrent doctor grid on the same pool cannot
+   interleave same-keyed series). The replication-averaged trajectory
+   feeds Welch's truncation rule — is the warmup the sim checks actually
+   use long enough? — and is cross-checked against the uniformization
+   transient expectation at a handful of time points. *)
+
+let warmup_horizon = 2_000.0
+let warmup_replications = 16
+let warmup_capacity = 200
+let warmup_seed = 11
+
+(* Welch band: replication-averaged trajectories over a handful of short
+   runs carry a few percent of noise even once settled; 5% would trip on
+   noise, 10% detects the real ramp reliably *)
+let warmup_tolerance = 0.1
+
+let avg_trajectories trajs =
+  let len = List.fold_left (fun m a -> max m (Array.length a)) 0 trajs in
+  Array.init len (fun i ->
+      let sum = ref 0.0 and cnt = ref 0 in
+      List.iter
+        (fun a ->
+          if i < Array.length a && Float.is_finite a.(i) then begin
+            sum := !sum +. a.(i);
+            incr cnt
+          end)
+        trajs;
+      if !cnt > 0 then !sum /. float_of_int !cnt else nan)
+
+let check_warmup ?thresholds ?pool ~sim model =
+  let name =
+    Printf.sprintf "N=%d lambda=%g" model.Model.servers
+      model.Model.arrival_rate
+  in
+  let registry = Urs_obs.Timeline.create () in
+  let cfg =
+    {
+      Urs_sim.Server_farm.servers = model.Model.servers;
+      lambda = model.Model.arrival_rate;
+      mu = model.Model.service_rate;
+      operative = model.Model.operative;
+      inoperative = model.Model.inoperative;
+      repair_crews = model.Model.repair_crews;
+    }
+  in
+  let (_ : Urs_sim.Replicate.summary) =
+    Span.with_ ~name:"urs_doctor_warmup" (fun () ->
+        Urs_sim.Replicate.run ?pool ~seed:warmup_seed
+          ~replications:warmup_replications ~warmup:0.0
+          ~timeline_registry:registry ~timeline_capacity:warmup_capacity
+          ~duration:warmup_horizon cfg)
+  in
+  let snaps =
+    Urs_obs.Timeline.snapshot ~registry ~name:"urs_sim_jobs" ()
+  in
+  let width =
+    match snaps with
+    | s :: _ -> s.Urs_obs.Timeline.width
+    | [] -> warmup_horizon /. float_of_int warmup_capacity
+  in
+  let avg = avg_trajectories (List.map Urs_obs.Timeline.mean_array snaps) in
+  let truncation =
+    Option.map
+      (fun i -> float_of_int i *. width)
+      (Urs_stats.Welch.truncation_index ~tolerance:warmup_tolerance avg)
+  in
+  (* warmup the actual sim checks use: Server_farm's 0.1 * duration *)
+  let sim_warmup = 0.1 *. sim.Solver.duration in
+  let warmup_check =
+    {
+      name = name ^ " warmup";
+      value = (match truncation with Some t -> t | None -> nan);
+      detail =
+        (match truncation with
+        | Some t ->
+            Printf.sprintf
+              "Welch truncation at t=%.0f (sim warmup %.0f, horizon %.0f)" t
+              sim_warmup warmup_horizon
+        | None ->
+            Printf.sprintf "no settling within the %.0f-unit horizon"
+              warmup_horizon);
+      verdict =
+        Diagnostics.check_warmup ?thresholds ~label:(name ^ ": warm-up")
+          ~warmup:sim_warmup ~horizon:warmup_horizon truncation;
+    }
+  in
+  let transient_check =
+    let fail detail verdict = { name = name ^ " sim-vs-transient"; value = nan; detail; verdict } in
+    match Model.qbd model with
+    | None ->
+        fail "not phase-type"
+          (Diagnostics.Degraded [ name ^ ": transient check needs phase-type" ])
+    | Some q -> (
+        match Mq.Transient.create q with
+        | Error e ->
+            let msg = Format.asprintf "%a" Mq.Transient.pp_error e in
+            fail msg (Diagnostics.Degraded [ name ^ " transient: " ^ msg ])
+        | Ok tr ->
+            let initial = Mq.Transient.empty_all_operative tr in
+            (* uniformization cost grows linearly with t (the Poisson
+               series needs ~q·t terms), so the cross-check covers the
+               initial ramp — the regime where the transient solution
+               actually differs from steady state; late-time agreement
+               is already covered by the exact-vs-sim check *)
+            let pairs =
+              List.filter_map
+                (fun i ->
+                  if i < Array.length avg && Float.is_finite avg.(i) then begin
+                    let time = (float_of_int i +. 0.5) *. width in
+                    Some
+                      ( time,
+                        avg.(i),
+                        Mq.Transient.mean_jobs_at tr ~initial ~time )
+                  end
+                  else None)
+                [ 0; 1; 2; 3; 4 ]
+            in
+            let worst, verdict =
+              Diagnostics.check_transient_trajectory ?thresholds
+                ~label:(name ^ ": L(t) vs uniformization")
+                pairs
+            in
+            {
+              name = name ^ " sim-vs-transient";
+              value = worst;
+              detail =
+                Printf.sprintf
+                  "worst relative delta %.2g over %d trajectory points" worst
+                  (List.length pairs);
+              verdict;
+            })
+  in
+  [ warmup_check; transient_check ]
+
 let quick_grid = [ (5, 4.0) ]
 let full_grid = [ (5, 4.0); (10, 8.0); (12, 8.0) ]
 
@@ -195,18 +333,30 @@ let run ?(quick = false) ?thresholds ?pool () =
   (* the grid models fan out across the pool, and each model's
      simulation replications nest on the same pool (the pool supports
      nested batches); check order is the grid order either way *)
+  Urs_obs.Progress.start ~total:(List.length grid + 1) "doctor:models";
   let checks =
     Span.with_ ~name:"urs_doctor_run" (fun () ->
         let per_model =
           let eval (servers, lambda) =
-            check_model ?thresholds ~sim ?pool (paper_model ~servers ~lambda)
+            let cs =
+              check_model ?thresholds ~sim ?pool (paper_model ~servers ~lambda)
+            in
+            Urs_obs.Progress.tick "doctor:models";
+            cs
           in
           match pool with
           | None -> List.map eval grid
           | Some pool -> Urs_exec.Pool.map pool eval grid
         in
-        List.concat per_model)
+        (* warm-up analysis runs after the grid: the N=5 paper model is
+           the transient cross-check target in both quick and full mode *)
+        let warmup =
+          check_warmup ?thresholds ?pool ~sim (paper_model ~servers:5 ~lambda:4.0)
+        in
+        Urs_obs.Progress.tick "doctor:models";
+        List.concat per_model @ warmup)
   in
+  Urs_obs.Progress.finish "doctor:models";
   let verdict =
     Diagnostics.combine (List.map (fun (c : check) -> c.verdict) checks)
   in

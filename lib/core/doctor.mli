@@ -46,6 +46,22 @@ val check_model :
   check list
 (** Cross-check one model; [sim] enables the simulation comparison. *)
 
+val check_warmup :
+  ?thresholds:Urs_mmq.Diagnostics.thresholds ->
+  ?pool:Urs_exec.Pool.t ->
+  sim:Solver.sim_options ->
+  Model.t ->
+  check list
+(** Warm-up (initial transient) analysis of one model: a short batch of
+    warmup-less replications records mean-jobs trajectories into a
+    private timeline registry; the replication-averaged trajectory is
+    fed to Welch's truncation rule — checked against the warmup the
+    [sim] options imply (0.1 × duration) — and cross-checked against
+    the uniformization transient expectation
+    ({!Urs_mmq.Transient.mean_jobs_at}) at several time points. Returns
+    the ["... warmup"] and ["... sim-vs-transient"] checks; {!run}
+    includes them for the N=5 paper model. *)
+
 val paper_model : servers:int -> lambda:float -> Model.t
 (** The §4 paper model: service rate 1, fitted H2 operative periods,
     exponential (η = 25) inoperative periods. *)

@@ -76,16 +76,23 @@ let eval_point ?strategy ?cache ~sweep ~param model =
    given. Results come back in input order, so the point list is
    byte-identical whatever the pool width. *)
 let run_points ?strategy ?pool ?cache ~sweep points =
+  let task = "sweep:" ^ sweep in
   let eval (x, param, model) =
-    match eval_point ?strategy ?cache ~sweep ~param model with
-    | Some perf -> Some (x, perf)
-    | None -> None
+    let r =
+      match eval_point ?strategy ?cache ~sweep ~param model with
+      | Some perf -> Some (x, perf)
+      | None -> None
+    in
+    Urs_obs.Progress.tick task;
+    r
   in
+  Urs_obs.Progress.start ~total:(List.length points) task;
   let results =
     match pool with
     | None -> List.map eval points
     | Some pool -> Pool.map pool eval points
   in
+  Urs_obs.Progress.finish task;
   List.filter_map Fun.id results
 
 let over_servers ?strategy ?pool ?cache model ~values =

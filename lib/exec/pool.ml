@@ -5,6 +5,7 @@
 
 module Metrics = Urs_obs.Metrics
 module Span = Urs_obs.Span
+module Timeline = Urs_obs.Timeline
 
 type t = {
   name : string;
@@ -16,14 +17,34 @@ type t = {
   mutable workers : unit Domain.t list;
   m_tasks : Metrics.counter;
   m_failures : Metrics.counter;
+  (* wall-clock timelines (parallel pools only): pending-task queue depth
+     and domains currently inside a task. Recorded on the shared-queue
+     paths, so the width = 1 inline fast path stays untouched. *)
+  s_queue : Timeline.series option;
+  s_busy : Timeline.series option;
+  busy : int Atomic.t;
 }
 
 let domains t = t.width
 
+let record_queue t depth =
+  match t.s_queue with
+  | Some s -> Timeline.record s ~t:(Span.now ()) (float_of_int depth)
+  | None -> ()
+
+let record_busy t delta =
+  match t.s_busy with
+  | Some s ->
+      let b = Atomic.fetch_and_add t.busy delta + delta in
+      Timeline.record s ~t:(Span.now ()) (float_of_int b)
+  | None -> ()
+
 let try_pop t =
   Mutex.lock t.lock;
   let task = if Queue.is_empty t.q then None else Some (Queue.pop t.q) in
+  let depth = Queue.length t.q in
   Mutex.unlock t.lock;
+  (match task with Some _ -> record_queue t depth | None -> ());
   task
 
 let rec worker_loop t =
@@ -34,7 +55,9 @@ let rec worker_loop t =
   if Queue.is_empty t.q then Mutex.unlock t.lock (* closed and drained *)
   else begin
     let task = Queue.pop t.q in
+    let depth = Queue.length t.q in
     Mutex.unlock t.lock;
+    record_queue t depth;
     task ();
     worker_loop t
   end
@@ -57,6 +80,15 @@ let create ?(name = "default") ~domains () =
       m_failures =
         Metrics.counter ~labels ~help:"Pool tasks that raised an exception"
           "urs_pool_task_failures_total";
+      s_queue =
+        (if domains > 1 then
+           Some (Timeline.series ~horizon:16.0 ~labels "urs_pool_queue_depth")
+         else None);
+      s_busy =
+        (if domains > 1 then
+           Some (Timeline.series ~horizon:16.0 ~labels "urs_pool_busy_domains")
+         else None);
+      busy = Atomic.make 0;
     }
   in
   t.workers <-
@@ -106,6 +138,7 @@ let run_batch t f arr =
     let batch_done = Condition.create () in
     let remaining = ref n in
     let task i () =
+      record_busy t 1;
       let r =
         try
           Ok
@@ -117,6 +150,7 @@ let run_batch t f arr =
           Metrics.inc t.m_failures;
           Error (e, bt)
       in
+      record_busy t (-1);
       Metrics.inc t.m_tasks;
       out.(i) <- Some r;
       Mutex.lock batch_lock;
@@ -132,8 +166,10 @@ let run_batch t f arr =
     for i = 0 to n - 1 do
       Queue.push (task i) t.q
     done;
+    let depth = Queue.length t.q in
     Condition.broadcast t.nonempty;
     Mutex.unlock t.lock;
+    record_queue t depth;
     (* participate until the queue is empty, then wait for stragglers
        still running on worker domains *)
     let rec drain () =

@@ -19,7 +19,14 @@ val create : ?name:string -> domains:int -> unit -> t
 (** [create ~domains ()] spawns [domains - 1] worker domains ([domains
     >= 1], raises [Invalid_argument] otherwise). [name] labels the
     pool's metrics ([urs_pool_tasks_total{pool="name"}] etc.; default
-    ["default"]). *)
+    ["default"]).
+
+    Parallel pools ([domains > 1]) additionally record two wall-clock
+    {!Urs_obs.Timeline} series labelled [pool=<name>]:
+    [urs_pool_queue_depth] (pending tasks after each enqueue/dequeue)
+    and [urs_pool_busy_domains] (execution slots currently inside a
+    task). The [domains = 1] inline path records neither — it stays
+    byte-for-byte the sequential execution. *)
 
 val domains : t -> int
 (** The execution width the pool was created with (including the

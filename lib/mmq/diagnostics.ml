@@ -21,6 +21,9 @@ type thresholds = {
   sim_band_half_widths : float;
   sim_band_rel_floor : float;
   sim_suspect_factor : float;
+  warmup_slack_frac : float;
+  transient_rel_degraded : float;
+  transient_rel_suspect : float;
 }
 
 let default_thresholds =
@@ -47,6 +50,16 @@ let default_thresholds =
     sim_band_half_widths = 3.0;
     sim_band_rel_floor = 0.05;
     sim_suspect_factor = 3.0;
+    (* Welch truncation may exceed the configured warmup by this
+       fraction of the run horizon before the summary window is
+       declared transient-contaminated *)
+    warmup_slack_frac = 0.05;
+    (* measured trajectory vs uniformization transient expectation:
+       replication averages over a handful of runs are noisy, and the
+       simulator's initial phase mix differs slightly from the
+       most-likely-mode start of Transient.solve *)
+    transient_rel_degraded = 0.35;
+    transient_rel_suspect = 1.0;
   }
 
 (* ---- verdict algebra ---- *)
@@ -195,6 +208,63 @@ let check_simulation_agreement ?(thresholds = default_thresholds) ~label
       (Printf.sprintf "%s: simulation off by %.3g (outside CI, degraded)" label
          delta);
   (rel, close sc)
+
+(* ---- warm-up (initial transient) ---- *)
+
+let check_warmup ?(thresholds = default_thresholds) ~label ~warmup ~horizon
+    truncation =
+  let t = thresholds in
+  let sc = new_scorer () in
+  let slack = t.warmup_slack_frac *. horizon in
+  (match truncation with
+  | None ->
+      complain sc 1
+        (Printf.sprintf
+           "%s: trajectory never settles within the %.3g-unit horizon" label
+           horizon)
+  | Some tr ->
+      if tr > warmup +. slack then
+        complain sc 1
+          (Printf.sprintf
+            "%s: measured warm-up %.3g exceeds configured warmup %.3g — \
+             summary window overlaps the transient"
+            label tr warmup));
+  close sc
+
+let check_transient_trajectory ?(thresholds = default_thresholds) ~label pairs
+    =
+  let t = thresholds in
+  let sc = new_scorer () in
+  match pairs with
+  | [] ->
+      complain sc 1 (Printf.sprintf "%s: no trajectory points to compare" label);
+      (nan, close sc)
+  | _ ->
+      let worst =
+        List.fold_left
+          (fun acc (_, measured, expected) ->
+            (* denominator floored at one job: relative error on a
+               near-empty system would otherwise be meaningless *)
+            let rel =
+              abs_float (measured -. expected)
+              /. Float.max (abs_float expected) 1.0
+            in
+            if Float.is_nan acc || rel > acc then rel else acc)
+          nan pairs
+      in
+      if Float.is_nan worst then
+        complain sc 2 (Printf.sprintf "%s: non-finite trajectory delta" label)
+      else if worst >= t.transient_rel_suspect then
+        complain sc 2
+          (Printf.sprintf
+             "%s: trajectory off the transient expectation by %.2g (suspect)"
+             label worst)
+      else if worst >= t.transient_rel_degraded then
+        complain sc 1
+          (Printf.sprintf
+             "%s: trajectory off the transient expectation by %.2g (degraded)"
+             label worst);
+      (worst, close sc)
 
 let check_ci ?(thresholds = default_thresholds) ~label ~estimate ~half_width ()
     =

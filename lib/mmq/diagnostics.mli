@@ -58,6 +58,17 @@ type thresholds = {
   sim_suspect_factor : float;
       (** Deltas beyond this multiple of the band are suspect rather
           than degraded (default [3.]). *)
+  warmup_slack_frac : float;
+      (** A Welch-measured warm-up may exceed the configured warmup by
+          this fraction of the run horizon before {!check_warmup}
+          degrades (default [0.05]). *)
+  transient_rel_degraded : float;
+      (** Measured-vs-[Transient.solve] trajectory disagreement,
+          relative to the expectation floored at one job (default
+          [0.35] — replication averages over a handful of runs are
+          noisy, and the simulator's initial phase mix differs slightly
+          from the most-likely-mode start of the uniformization). *)
+  transient_rel_suspect : float;  (** ... and above this, suspect. *)
 }
 
 val default_thresholds : thresholds
@@ -105,6 +116,32 @@ val check_simulation_agreement :
     [sim_band_rel_floor] of the exact value; [sim_suspect_factor]
     times the band escalates to suspect. Returns the relative delta
     and its verdict. *)
+
+val check_warmup :
+  ?thresholds:thresholds ->
+  label:string ->
+  warmup:float ->
+  horizon:float ->
+  float option ->
+  verdict
+(** Does the simulation's measurement window clear the initial
+    transient? The argument is the Welch-estimated truncation time
+    ({!Urs_stats.Welch.truncation_index} mapped back to simulated time);
+    [None] means the trajectory never settled within [horizon].
+    Degraded when the truncation time exceeds [warmup] by more than
+    [warmup_slack_frac] of the horizon, or on [None]. *)
+
+val check_transient_trajectory :
+  ?thresholds:thresholds ->
+  label:string ->
+  (float * float * float) list ->
+  float * verdict
+(** Cross-check a measured mean-jobs trajectory against the
+    uniformization transient solution: each element is
+    [(time, measured, expected)]. Returns the worst relative
+    disagreement (relative to the expectation, floored at one job) and
+    its verdict, graded against [transient_rel_degraded] / [_suspect].
+    Degraded when called with no points. *)
 
 val check_ci :
   ?thresholds:thresholds ->

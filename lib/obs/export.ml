@@ -47,9 +47,32 @@ let is_zero (e : Metrics.entry) =
 let filter_zero skip entries =
   if skip then List.filter (fun e -> not (is_zero e)) entries else entries
 
+(* ---- build info ----
+
+   One constant gauge identifying the process, in the style of
+   node_exporter's node_exporter_build_info: the value is always 1 and
+   the information lives in the labels. Set once at startup (the CLI
+   does); exporters emit it only when set, so library users and tests
+   that never call set_build_info see unchanged output. *)
+
+let build_info = ref None
+
+let set_build_info ~version () =
+  build_info := Some [ ("version", version); ("ocaml", Sys.ocaml_version) ]
+
+let clear_build_info () = build_info := None
+
 let prometheus ?(skip_zero = false) entries =
   let entries = filter_zero skip_zero entries in
   let buf = Buffer.create 1024 in
+  (match !build_info with
+  | None -> ()
+  | Some labels ->
+      Buffer.add_string buf
+        "# HELP urs_build_info Build information; the value is constant 1.\n\
+         # TYPE urs_build_info gauge\n";
+      Buffer.add_string buf
+        (Printf.sprintf "urs_build_info%s 1\n" (label_str labels)));
   let last_header = ref "" in
   List.iter
     (fun (e : Metrics.entry) ->
@@ -139,10 +162,67 @@ let entry_json (e : Metrics.entry) =
     @ help @ labels @ payload)
 
 let json_value ?(skip_zero = false) entries =
+  let info =
+    match !build_info with
+    | None -> []
+    | Some labels ->
+        [
+          Json.Obj
+            [
+              ("name", Json.String "urs_build_info");
+              ("type", Json.String "gauge");
+              ( "labels",
+                Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) labels)
+              );
+              ("value", Json.Float 1.0);
+            ];
+        ]
+  in
   Json.Obj
     [
       ( "metrics",
-        Json.List (List.map entry_json (filter_zero skip_zero entries)) );
+        Json.List (info @ List.map entry_json (filter_zero skip_zero entries))
+      );
     ]
 
 let json ?skip_zero entries = Json.to_string (json_value ?skip_zero entries)
+
+(* ---- static Urs_stats histograms as Prometheus histograms ----
+
+   The fit pipeline's binned sample histograms (equal-width bins over
+   [lo, hi]) map directly onto cumulative le-buckets: the upper edge of
+   bin i is the bound, the final +Inf bucket repeats the total (build
+   clamps outliers into the edge bins, so nothing lies beyond). _sum is
+   the midpoint approximation sum(midpoint_i * count_i) — the same
+   estimator the pipeline's histogram moments use (eq. 1). *)
+let stats_histogram ?(labels = []) ?(help = "") ~name h =
+  if not (Metrics.is_valid_name name) then
+    invalid_arg (Printf.sprintf "Export.stats_histogram: invalid name %S" name);
+  let mids = Urs_stats.Histogram.midpoints h in
+  let counts = Urs_stats.Histogram.counts h in
+  let half = Urs_stats.Histogram.width h /. 2.0 in
+  let buf = Buffer.create 512 in
+  if help <> "" then
+    Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
+  let cum = ref 0 in
+  let sum = ref 0.0 in
+  Array.iteri
+    (fun i c ->
+      cum := !cum + c;
+      sum := !sum +. (float_of_int c *. mids.(i));
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket%s %d\n" name
+           (label_str ~le:(fmt_float (mids.(i) +. half)) labels)
+           !cum))
+    counts;
+  Buffer.add_string buf
+    (Printf.sprintf "%s_bucket%s %d\n" name
+       (label_str ~le:"+Inf" labels)
+       (Urs_stats.Histogram.total h));
+  Buffer.add_string buf
+    (Printf.sprintf "%s_sum%s %s\n" name (label_str labels) (fmt_float !sum));
+  Buffer.add_string buf
+    (Printf.sprintf "%s_count%s %d\n" name (label_str labels)
+       (Urs_stats.Histogram.total h));
+  Buffer.contents buf

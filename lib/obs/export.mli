@@ -24,3 +24,26 @@ val json_value : ?skip_zero:bool -> Metrics.entry list -> Json.t
     [mean]/[stddev] summary. *)
 
 val json : ?skip_zero:bool -> Metrics.entry list -> string
+
+val set_build_info : version:string -> unit -> unit
+(** Declare the process's build information. Once set, {!prometheus} and
+    {!json_value} include a constant [urs_build_info] gauge (value [1])
+    carrying [version] and the compiling OCaml version as labels —
+    node_exporter style. The CLI calls this at startup; library users
+    that never do see unchanged exporter output. *)
+
+val clear_build_info : unit -> unit
+(** Stop emitting [urs_build_info] (tests). *)
+
+val stats_histogram :
+  ?labels:Metrics.labels ->
+  ?help:string ->
+  name:string ->
+  Urs_stats.Histogram.t ->
+  string
+(** Render a static {!Urs_stats.Histogram.t} (a binned sample from the
+    fit pipeline) as one Prometheus histogram family: cumulative
+    [_bucket{le="..."}] samples at each bin's upper edge, a [+Inf]
+    bucket, [_sum] (midpoint approximation, matching the pipeline's
+    histogram-moment estimator) and [_count]. Raises [Invalid_argument]
+    on an invalid metric name. *)

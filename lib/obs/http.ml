@@ -14,6 +14,55 @@ type response = { status : int; content_type : string; body : string }
 let respond ?(status = 200) ?(content_type = "text/plain; charset=utf-8") body =
   { status; content_type; body }
 
+type query = (string * string) list
+
+let query_get q key = List.assoc_opt key q
+
+let query_int q key =
+  match List.assoc_opt key q with
+  | None -> None
+  | Some v -> int_of_string_opt (String.trim v)
+
+(* %XX and '+' decoding; malformed escapes pass through verbatim *)
+let percent_decode s =
+  let buf = Buffer.create (String.length s) in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+    | _ -> None
+  in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '+' -> Buffer.add_char buf ' '
+    | '%' when !i + 2 < n -> (
+        match (hex s.[!i + 1], hex s.[!i + 2]) with
+        | Some h, Some l ->
+            Buffer.add_char buf (Char.chr ((h * 16) + l));
+            i := !i + 2
+        | _ -> Buffer.add_char buf '%')
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  Buffer.contents buf
+
+let parse_query qs =
+  List.filter_map
+    (fun kv ->
+      if kv = "" then None
+      else
+        match String.index_opt kv '=' with
+        | None -> Some (percent_decode kv, "")
+        | Some eq ->
+            Some
+              ( percent_decode (String.sub kv 0 eq),
+                percent_decode
+                  (String.sub kv (eq + 1) (String.length kv - eq - 1)) ))
+    (String.split_on_char '&' qs)
+
 type t = {
   sock : Unix.file_descr;
   port : int;
@@ -80,13 +129,18 @@ let parse_request_line raw =
       let line = String.sub raw 0 eol in
       match String.split_on_char ' ' line with
       | meth :: target :: _ ->
-          (* strip the query string: routes match on the path only *)
-          let path =
+          (* routes match on the path; the query string is parsed and
+             handed to the handler *)
+          let path, query =
             match String.index_opt target '?' with
-            | Some q -> String.sub target 0 q
-            | None -> target
+            | Some q ->
+                ( String.sub target 0 q,
+                  parse_query
+                    (String.sub target (q + 1) (String.length target - q - 1))
+                )
+            | None -> (target, [])
           in
-          Some (meth, path)
+          Some (meth, path, query)
       | _ -> None)
 
 let handle routes fd =
@@ -95,9 +149,9 @@ let handle routes fd =
   let resp =
     match parse_request_line raw with
     | None -> respond ~status:500 "malformed request\n"
-    | Some (meth, _) when meth <> "GET" && meth <> "HEAD" ->
+    | Some (meth, _, _) when meth <> "GET" && meth <> "HEAD" ->
         respond ~status:405 "only GET and HEAD are supported\n"
-    | Some (meth, path) -> (
+    | Some (meth, path, query) -> (
         if meth = "HEAD" then omit_body := true;
         match List.assoc_opt path routes with
         | None ->
@@ -105,7 +159,7 @@ let handle routes fd =
             respond ~status:404
               (Printf.sprintf "no route %s (try: %s)\n" path known)
         | Some handler -> (
-            try handler ()
+            try handler query
             with e ->
               respond ~status:500
                 (Printf.sprintf "handler error: %s\n" (Printexc.to_string e))))
@@ -170,3 +224,55 @@ let stop t =
   Thread.join t.thread
 
 let wait t = Thread.join t.thread
+
+(* ---- a matching tiny client (for `urs watch` and smoke tests) ---- *)
+
+let get ?(addr = "127.0.0.1") ?(timeout = 5.0) ~port target =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      try
+        Unix.setsockopt_float sock Unix.SO_RCVTIMEO timeout;
+        Unix.setsockopt_float sock Unix.SO_SNDTIMEO timeout;
+        Unix.connect sock
+          (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port));
+        let req =
+          Printf.sprintf "GET %s HTTP/1.0\r\nHost: %s\r\n\r\n" target addr
+        in
+        let payload = Bytes.of_string req in
+        let n = Bytes.length payload in
+        let sent = ref 0 in
+        while !sent < n do
+          sent := !sent + Unix.write sock payload !sent (n - !sent)
+        done;
+        let buf = Buffer.create 1024 in
+        let chunk = Bytes.create 4096 in
+        let rec read_all () =
+          let n = Unix.read sock chunk 0 (Bytes.length chunk) in
+          if n > 0 then begin
+            Buffer.add_subbytes buf chunk 0 n;
+            read_all ()
+          end
+        in
+        (try read_all () with Unix.Unix_error _ -> ());
+        let raw = Buffer.contents buf in
+        let status =
+          match String.split_on_char ' ' raw with
+          | _ :: code :: _ -> Option.value (int_of_string_opt code) ~default:0
+          | _ -> 0
+        in
+        let body =
+          let rec find i =
+            if i + 3 >= String.length raw then None
+            else if String.sub raw i 4 = "\r\n\r\n" then Some (i + 4)
+            else find (i + 1)
+          in
+          match find 0 with
+          | Some start -> String.sub raw start (String.length raw - start)
+          | None -> ""
+        in
+        if status = 0 then Error "malformed response" else Ok (status, body)
+      with
+      | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+      | e -> Error (Printexc.to_string e))

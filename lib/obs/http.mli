@@ -25,22 +25,36 @@ type response = { status : int; content_type : string; body : string }
 val respond : ?status:int -> ?content_type:string -> string -> response
 (** [respond body] with status [200] and [text/plain] by default. *)
 
+type query = (string * string) list
+(** Decoded query-string parameters, in request order. Keys and values
+    are percent-decoded ([+] means space); a key without [=] maps to
+    [""]. The standard endpoints accept: [/runs?n=N] (limit the number
+    of ledger records returned), [/timeline?series=NAME] (restrict to
+    series of that name) with [/timeline?coarsen=K] (merge K adjacent
+    buckets). *)
+
+val query_get : query -> string -> string option
+(** First value of the named parameter. *)
+
+val query_int : query -> string -> int option
+(** Same, parsed as an integer; [None] when absent or non-numeric. *)
+
 type t
 (** A running server. *)
 
 val start :
   ?addr:string ->
   port:int ->
-  routes:(string * (unit -> response)) list ->
+  routes:(string * (query -> response)) list ->
   unit ->
   t
 (** [start ~port ~routes ()] binds [addr:port] (default
     [127.0.0.1]; port [0] picks an ephemeral port — see {!port}) and
-    serves [routes] until {!stop}. Routes match the exact request path,
-    query strings stripped; unknown paths get a 404 listing the known
-    routes, and a handler that raises turns into a 500 carrying the
-    exception text. Raises [Unix.Unix_error] if the address cannot be
-    bound. *)
+    serves [routes] until {!stop}. Routes match the exact request path;
+    the query string is parsed and handed to the handler. Unknown paths
+    get a 404 listing the known routes, and a handler that raises turns
+    into a 500 carrying the exception text. Raises [Unix.Unix_error] if
+    the address cannot be bound. *)
 
 val port : t -> int
 (** The actual bound port (useful with [~port:0]). *)
@@ -53,3 +67,15 @@ val wait : t -> unit
 (** Block until the server thread exits ([urs serve] foreground mode —
     effectively forever unless {!stop} is called from a signal
     handler). *)
+
+val get :
+  ?addr:string ->
+  ?timeout:float ->
+  port:int ->
+  string ->
+  (int * string, string) result
+(** Minimal matching client: [get ~port "/progress?x=1"] performs one
+    blocking HTTP/1.0 GET against [addr:port] (default [127.0.0.1],
+    [timeout] 5 s per socket operation) and returns the status code and
+    body, or a connection/protocol error message. Backs [urs watch] and
+    the smoke tests; not a general HTTP client. *)

@@ -29,6 +29,11 @@ val create : unit -> t
 val default : t
 (** The process-global registry used when [?registry] is omitted. *)
 
+val is_valid_name : string -> bool
+(** Whether [s] is a legal metric/series name
+    ([[a-zA-Z_:][a-zA-Z0-9_:]*]). Shared by {!Timeline} so timeline
+    series obey the same naming rules as metrics. *)
+
 val reset : ?registry:t -> unit -> unit
 (** Zero every metric in place: counters and gauges to [0.], histogram
     buckets emptied. Existing handles remain valid (and registered) —

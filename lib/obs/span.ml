@@ -138,3 +138,47 @@ let trace_json () =
          ("spans", Json.List (List.rev_map node_json roots));
          ("dropped", Json.Int dropped);
        ])
+
+(* Chrome/Perfetto "trace_events": the span tree flattened into complete
+   ("ph":"X") events with microsecond timestamps. The domain id becomes
+   the tid, so each domain renders as its own track and pool parallelism
+   is visible at a glance; nesting within a track is reconstructed by
+   the viewer from the ts/dur containment. *)
+let trace_perfetto () =
+  let events = ref [] in
+  let rec emit n =
+    let args =
+      if n.labels = [] then []
+      else
+        [
+          ( "args",
+            Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) n.labels) );
+        ]
+    in
+    events :=
+      Json.Obj
+        ([
+           ("name", Json.String n.name);
+           ("ph", Json.String "X");
+           ("ts", Json.Float (n.start *. 1e6));
+           ("dur", Json.Float (n.duration *. 1e6));
+           ("pid", Json.Int 1);
+           ("tid", Json.Int n.domain);
+         ]
+        @ args)
+      :: !events;
+    List.iter emit (List.rev n.children)
+  in
+  let roots =
+    Mutex.lock trace_lock;
+    let r = !roots in
+    Mutex.unlock trace_lock;
+    r
+  in
+  List.iter emit (List.rev roots);
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.List (List.rev !events));
+         ("displayTimeUnit", Json.String "ms");
+       ])

@@ -44,6 +44,16 @@ val trace_json : unit -> string
     "children": [...]}, ...], "dropped": n}]. Roots are capped at an
     internal limit; [dropped] counts the excess. *)
 
+val trace_perfetto : unit -> string
+(** The same trace as {!trace_json}, flattened into Chrome/Perfetto
+    "trace_events" JSON: [{"traceEvents": [{"name", "ph": "X", "ts",
+    "dur", "pid", "tid", "args"?}, ...], "displayTimeUnit": "ms"}].
+    Every span is one complete event; [ts]/[dur] are microseconds, the
+    span's labels become [args], and the domain id becomes the [tid] so
+    each domain renders as its own track (pool parallelism is visible
+    directly). Open the file in [ui.perfetto.dev] or
+    [chrome://tracing]. *)
+
 val reset_trace : unit -> unit
 (** Drop all completed spans (the open-span stack survives only within
     [with_], so this is safe at any quiescent point). *)

@@ -1,0 +1,385 @@
+(* Bounded per-series time-series recorders. A series integrates a
+   piecewise-constant signal (queue length, operative servers, pool
+   queue depth) into a fixed number of equal-width buckets; when a
+   sample lands past the covered range, adjacent buckets merge pairwise
+   and the bucket width doubles, so memory stays O(capacity) however
+   long the run is. Aggregation keeps enough per bucket (covered time,
+   integral, sample count/sum, min, max) that merging is exact: the
+   downsampled series is what direct recording at the coarser width
+   would have produced, which makes re-downsampling idempotent and the
+   contents deterministic for a given sample sequence — identical at
+   any pool width. *)
+
+type labels = (string * string) list
+
+type series = {
+  name : string;
+  labels : labels;
+  capacity : int;
+  lock : Mutex.t; (* guards everything below: single writer in the hot
+                     paths, but snapshots come from the HTTP thread *)
+  mutable meta : labels; (* informational only, not part of the key *)
+  mutable t0 : float; (* nan until the first sample fixes the origin *)
+  mutable initial_width : float; (* horizon-derived; nan = 1.0 default *)
+  mutable width : float;
+  mutable used : int; (* highest touched bucket index + 1 *)
+  time_cov : float array; (* covered duration per bucket *)
+  area : float array; (* integral of the signal over the bucket *)
+  count : int array; (* raw samples that landed in the bucket *)
+  sum_v : float array; (* their sum: mean fallback for zero measure *)
+  vmin : float array;
+  vmax : float array;
+  mutable last : (float * float) option; (* most recent (t, v) *)
+}
+
+type t = { tbl : (string * labels, series) Hashtbl.t; lock : Mutex.t }
+
+let create () = { tbl = Hashtbl.create 32; lock = Mutex.create () }
+
+let default = create ()
+
+let canon labels = List.sort (fun (a, _) (b, _) -> compare a b) labels
+
+let locked lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let default_capacity = 256
+
+let clear_unlocked s =
+  s.t0 <- nan;
+  s.width <- s.initial_width;
+  s.used <- 0;
+  s.last <- None;
+  Array.fill s.time_cov 0 s.capacity 0.0;
+  Array.fill s.area 0 s.capacity 0.0;
+  Array.fill s.count 0 s.capacity 0;
+  Array.fill s.sum_v 0 s.capacity 0.0;
+  Array.fill s.vmin 0 s.capacity infinity;
+  Array.fill s.vmax 0 s.capacity neg_infinity
+
+let clear (s : series) = locked s.lock (fun () -> clear_unlocked s)
+
+let series ?(registry = default) ?(capacity = default_capacity) ?horizon
+    ?(meta = []) ?(labels = []) name =
+  if capacity < 2 then invalid_arg "Timeline.series: capacity must be >= 2";
+  if not (Metrics.is_valid_name name) then
+    invalid_arg (Printf.sprintf "Timeline.series: invalid name %S" name);
+  let labels = canon labels in
+  let key = (name, labels) in
+  locked registry.lock (fun () ->
+      let initial_width =
+        match horizon with
+        | Some h when h > 0.0 -> h /. float_of_int capacity
+        | _ -> nan
+      in
+      match Hashtbl.find_opt registry.tbl key with
+      | Some s ->
+          locked s.lock (fun () ->
+              if meta <> [] then s.meta <- canon meta;
+              (* a new horizon takes effect at the next [clear] — the
+                 buckets already recorded keep their layout *)
+              if not (Float.is_nan initial_width) then
+                s.initial_width <- initial_width);
+          s
+      | None ->
+          let s =
+            {
+              name;
+              labels;
+              capacity;
+              lock = Mutex.create ();
+              meta = canon meta;
+              t0 = nan;
+              initial_width;
+              width = nan;
+              used = 0;
+              time_cov = Array.make capacity 0.0;
+              area = Array.make capacity 0.0;
+              count = Array.make capacity 0;
+              sum_v = Array.make capacity 0.0;
+              vmin = Array.make capacity infinity;
+              vmax = Array.make capacity neg_infinity;
+              last = None;
+            }
+          in
+          (* the horizon hint fixes the initial bucket width so that
+             runs of the expected length never merge — and, more
+             importantly, so every replication of a batch shares one
+             bucket layout; [clear] restores it *)
+          clear_unlocked s;
+          Hashtbl.add registry.tbl key s;
+          s)
+
+let set_meta (s : series) meta = locked s.lock (fun () -> s.meta <- canon meta)
+
+(* merge bucket pairs in place: (2i, 2i+1) -> i; the width doubles *)
+let grow s =
+  let half = (s.used + 1) / 2 in
+  for i = 0 to half - 1 do
+    let a = 2 * i and b = (2 * i) + 1 in
+    let merge_from j =
+      if j < s.capacity && j <> i then begin
+        s.time_cov.(i) <- s.time_cov.(i) +. s.time_cov.(j);
+        s.area.(i) <- s.area.(i) +. s.area.(j);
+        s.count.(i) <- s.count.(i) + s.count.(j);
+        s.sum_v.(i) <- s.sum_v.(i) +. s.sum_v.(j);
+        s.vmin.(i) <- Float.min s.vmin.(i) s.vmin.(j);
+        s.vmax.(i) <- Float.max s.vmax.(i) s.vmax.(j)
+      end
+    in
+    if a <> i then begin
+      s.time_cov.(i) <- s.time_cov.(a);
+      s.area.(i) <- s.area.(a);
+      s.count.(i) <- s.count.(a);
+      s.sum_v.(i) <- s.sum_v.(a);
+      s.vmin.(i) <- s.vmin.(a);
+      s.vmax.(i) <- s.vmax.(a)
+    end;
+    merge_from b
+  done;
+  for i = half to s.used - 1 do
+    s.time_cov.(i) <- 0.0;
+    s.area.(i) <- 0.0;
+    s.count.(i) <- 0;
+    s.sum_v.(i) <- 0.0;
+    s.vmin.(i) <- infinity;
+    s.vmax.(i) <- neg_infinity
+  done;
+  s.used <- half;
+  s.width <- s.width *. 2.0
+
+let touch s i v =
+  if v < s.vmin.(i) then s.vmin.(i) <- v;
+  if v > s.vmax.(i) then s.vmax.(i) <- v;
+  if i + 1 > s.used then s.used <- i + 1
+
+(* bucket index of time t, growing until it fits. Buckets are
+   half-open, except that a time exactly on the final boundary (a run
+   that ends exactly at the horizon hint) closes into the last bucket
+   instead of forcing a merge of everything into the lower half. *)
+let index_for s t =
+  let rec fit () =
+    let i = int_of_float ((t -. s.t0) /. s.width) in
+    if i >= s.capacity then
+      if t -. s.t0 <= float_of_int s.capacity *. s.width then s.capacity - 1
+      else begin
+        grow s;
+        fit ()
+      end
+    else max 0 i
+  in
+  fit ()
+
+(* integrate the held value [v] over [lo, hi] into the buckets. [hi]
+   must be indexed first: it can trigger a merge, which would leave an
+   index computed from the old width pointing at the wrong bucket. *)
+let integrate s ~lo ~hi v =
+  if hi > lo then begin
+    let i1 = index_for s hi in
+    let i0 = index_for s lo in
+    for i = i0 to i1 do
+      let b_lo = s.t0 +. (float_of_int i *. s.width) in
+      let b_hi = b_lo +. s.width in
+      let ov = Float.min hi b_hi -. Float.max lo b_lo in
+      if ov > 0.0 then begin
+        s.time_cov.(i) <- s.time_cov.(i) +. ov;
+        s.area.(i) <- s.area.(i) +. (ov *. v);
+        touch s i v
+      end
+    done
+  end
+
+let record (s : series) ~t v =
+  if Float.is_finite t && Float.is_finite v then
+    locked s.lock (fun () ->
+        if Float.is_nan s.t0 then s.t0 <- t;
+        if Float.is_nan s.width then s.width <- 1.0;
+        (* time is expected to be monotone per series; a stale clock is
+           clamped forward rather than corrupting earlier buckets *)
+        let t = Float.max t s.t0 in
+        (match s.last with
+        | Some (lt, lv) when t > lt -> integrate s ~lo:lt ~hi:t lv
+        | _ -> ());
+        let t =
+          match s.last with Some (lt, _) -> Float.max t lt | None -> t
+        in
+        let i = index_for s t in
+        s.count.(i) <- s.count.(i) + 1;
+        s.sum_v.(i) <- s.sum_v.(i) +. v;
+        touch s i v;
+        s.last <- Some (t, v))
+
+let finish (s : series) ~t =
+  locked s.lock (fun () ->
+      match s.last with
+      | Some (lt, lv) when Float.is_finite t && t > lt ->
+          integrate s ~lo:lt ~hi:t lv;
+          s.last <- Some (t, lv)
+      | _ -> ())
+
+(* ---- snapshots ---- *)
+
+type point = {
+  index : int;
+  t_lo : float;
+  t_hi : float;
+  count : int;
+  time_cov : float;
+  area : float;
+  sum_v : float;
+  vmin : float;
+  vmax : float;
+}
+
+type snapshot = {
+  s_name : string;
+  s_labels : labels;
+  s_meta : labels;
+  t0 : float;
+  width : float;
+  points : point list;
+}
+
+let point_mean p =
+  if p.time_cov > 0.0 then p.area /. p.time_cov
+  else if p.count > 0 then p.sum_v /. float_of_int p.count
+  else nan
+
+let snapshot_series (s : series) =
+  locked s.lock (fun () ->
+      let points = ref [] in
+      for i = s.used - 1 downto 0 do
+        if s.count.(i) > 0 || s.time_cov.(i) > 0.0 then
+          points :=
+            {
+              index = i;
+              t_lo = s.t0 +. (float_of_int i *. s.width);
+              t_hi = s.t0 +. (float_of_int (i + 1) *. s.width);
+              count = s.count.(i);
+              time_cov = s.time_cov.(i);
+              area = s.area.(i);
+              sum_v = s.sum_v.(i);
+              vmin = s.vmin.(i);
+              vmax = s.vmax.(i);
+            }
+            :: !points
+      done;
+      {
+        s_name = s.name;
+        s_labels = s.labels;
+        s_meta = s.meta;
+        t0 = s.t0;
+        width = s.width;
+        points = !points;
+      })
+
+let snapshot ?(registry = default) ?name () =
+  let all =
+    locked registry.lock (fun () ->
+        Hashtbl.fold (fun _ s acc -> s :: acc) registry.tbl [])
+  in
+  let all =
+    match name with
+    | None -> all
+    | Some n -> List.filter (fun s -> s.name = n) all
+  in
+  List.sort
+    (fun a b ->
+      match compare a.s_name b.s_name with
+      | 0 -> compare a.s_labels b.s_labels
+      | c -> c)
+    (List.map snapshot_series all)
+
+let reset ?(registry = default) () =
+  let all =
+    locked registry.lock (fun () ->
+        Hashtbl.fold (fun _ s acc -> s :: acc) registry.tbl [])
+  in
+  List.iter clear all
+
+(* merging [factor] adjacent buckets is the same algebra [grow] uses, so
+   coarsening a snapshot commutes with recording at the coarser width:
+   [coarsen ~factor:a] then [~factor:b] equals [coarsen ~factor:(a*b)] *)
+let coarsen ~factor snap =
+  if factor < 1 then invalid_arg "Timeline.coarsen: factor must be >= 1";
+  if factor = 1 || Float.is_nan snap.t0 then snap
+  else begin
+    let tbl = Hashtbl.create 32 in
+    let order = ref [] in
+    List.iter
+      (fun p ->
+        let i = p.index / factor in
+        match Hashtbl.find_opt tbl i with
+        | None ->
+            order := i :: !order;
+            Hashtbl.add tbl i
+              {
+                p with
+                index = i;
+                t_lo = snap.t0 +. (float_of_int i *. snap.width *. float_of_int factor);
+                t_hi =
+                  snap.t0
+                  +. (float_of_int (i + 1) *. snap.width *. float_of_int factor);
+              }
+        | Some q ->
+            Hashtbl.replace tbl i
+              {
+                q with
+                count = q.count + p.count;
+                time_cov = q.time_cov +. p.time_cov;
+                area = q.area +. p.area;
+                sum_v = q.sum_v +. p.sum_v;
+                vmin = Float.min q.vmin p.vmin;
+                vmax = Float.max q.vmax p.vmax;
+              })
+      snap.points;
+    let points =
+      List.sort
+        (fun a b -> compare a.index b.index)
+        (List.map (Hashtbl.find tbl) (List.rev !order))
+    in
+    { snap with width = snap.width *. float_of_int factor; points }
+  end
+
+(* dense mean trajectory on the bucket grid (nan where nothing was
+   recorded) — what the Welch warm-up analysis averages across
+   replications, index-aligned because the replications share a horizon *)
+let mean_array snap =
+  match List.rev snap.points with
+  | [] -> [||]
+  | last :: _ ->
+      let arr = Array.make (last.index + 1) nan in
+      List.iter (fun p -> arr.(p.index) <- point_mean p) snap.points;
+      arr
+
+(* ---- JSON ---- *)
+
+let point_json p =
+  Json.Obj
+    [
+      ("t_lo", Json.Float p.t_lo);
+      ("t_hi", Json.Float p.t_hi);
+      ("count", Json.Int p.count);
+      ("covered_s", Json.Float p.time_cov);
+      ("mean", Json.Float (point_mean p));
+      ("min", Json.Float p.vmin);
+      ("max", Json.Float p.vmax);
+    ]
+
+let snapshot_json snap =
+  let labels_obj l = Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) l) in
+  Json.Obj
+    ([ ("name", Json.String snap.s_name) ]
+    @ (if snap.s_labels = [] then []
+       else [ ("labels", labels_obj snap.s_labels) ])
+    @ (if snap.s_meta = [] then [] else [ ("meta", labels_obj snap.s_meta) ])
+    @ [
+        ("t0", Json.Float snap.t0);
+        ("bucket_width", Json.Float snap.width);
+        ("points", Json.List (List.map point_json snap.points));
+      ])
+
+let to_json ?registry ?name () =
+  Json.Obj
+    [ ("series", Json.List (List.map snapshot_json (snapshot ?registry ?name ()))) ]

@@ -1,0 +1,56 @@
+(* Trajectory probe for a single simulation run: records queue length
+   (jobs in system), jobs in service and operative-server count into
+   bounded Urs_obs.Timeline series, tagged with the replication id. The
+   probe hooks the state-change sites of Server_farm — it consumes no
+   randomness and schedules no events, so enabling it cannot perturb the
+   simulated trajectory. Jobs in service is min(jobs, operative): an
+   operative server never idles while work queues in this model. *)
+
+module Timeline = Urs_obs.Timeline
+
+type t = {
+  s_jobs : Timeline.series;
+  s_service : Timeline.series;
+  s_ops : Timeline.series;
+  mutable jobs : int;
+  mutable ops : int;
+}
+
+let create ?registry ?capacity ?horizon ?(meta = []) ?(labels = []) ~servers ()
+    =
+  let mk name = Timeline.series ?registry ?capacity ?horizon ~meta ~labels name in
+  let p =
+    {
+      s_jobs = mk "urs_sim_jobs";
+      s_service = mk "urs_sim_in_service";
+      s_ops = mk "urs_sim_operative";
+      jobs = 0;
+      ops = servers;
+    }
+  in
+  (* re-registering an existing (name, labels) returns the previous
+     run's series: clear so live views are last-run-wins *)
+  Timeline.clear p.s_jobs;
+  Timeline.clear p.s_service;
+  Timeline.clear p.s_ops;
+  Timeline.record p.s_jobs ~t:0.0 0.0;
+  Timeline.record p.s_service ~t:0.0 0.0;
+  Timeline.record p.s_ops ~t:0.0 (float_of_int servers);
+  p
+
+let in_service p = float_of_int (min p.jobs p.ops)
+
+let set_jobs p ~now n =
+  p.jobs <- n;
+  Timeline.record p.s_jobs ~t:now (float_of_int n);
+  Timeline.record p.s_service ~t:now (in_service p)
+
+let set_operative p ~now n =
+  p.ops <- n;
+  Timeline.record p.s_ops ~t:now (float_of_int n);
+  Timeline.record p.s_service ~t:now (in_service p)
+
+let finish p ~now =
+  Timeline.finish p.s_jobs ~t:now;
+  Timeline.finish p.s_service ~t:now;
+  Timeline.finish p.s_ops ~t:now

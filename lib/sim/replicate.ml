@@ -42,10 +42,17 @@ let ledger_params cfg ~duration ~replications =
     ("replications", Json.Int replications);
   ]
 
+let progress_task = "sim:replications"
+
 let run ?(seed = 1) ?(replications = 10) ?(confidence = 0.95) ?warmup ?pool
-    ~duration cfg =
+    ?(timelines = true) ?timeline_registry ?timeline_capacity ~duration cfg =
   if replications < 1 then invalid_arg "Replicate.run: replications >= 1";
   let master = Urs_prob.Rng.create seed in
+  (* all replications share one bucket layout (same horizon), so their
+     trajectories can be averaged bucket-by-bucket *)
+  let horizon =
+    (match warmup with Some w -> w | None -> 0.1 *. duration) +. duration
+  in
   (* Split-stream seeding: every replication's seed is drawn from the
      master stream up front, sequentially, so the per-replication
      streams are independent and non-overlapping AND identical whether
@@ -58,16 +65,27 @@ let run ?(seed = 1) ?(replications = 10) ?(confidence = 0.95) ?warmup ?pool
     let rep_seed = seeds.(rep) in
     (* one span per replication: urs_sim_replication_seconds is the
        per-replication wall-time histogram *)
+    let probe =
+      if timelines then
+        Some
+          (Probe.create ?registry:timeline_registry ?capacity:timeline_capacity
+             ~horizon
+             ~labels:[ ("rep", string_of_int rep) ]
+             ~meta:[ ("domain", string_of_int (Domain.self () :> int)) ]
+             ~servers:cfg.Server_farm.servers ())
+      else None
+    in
     let t0 = Span.now () in
     let r =
       Span.with_ ~name:"urs_sim_replication" (fun () ->
           let r =
             Server_farm.run ~seed:rep_seed ?warmup ~track_responses:false
-              ~duration cfg
+              ?probe ~duration cfg
           in
           Metrics.inc m_replications;
           r)
     in
+    Urs_obs.Progress.tick progress_task;
     Ledger.record ~kind:"sim.replication" ~strategy:"sim" ~params
       ~wall_seconds:(Span.now () -. t0)
       ~summary:
@@ -81,6 +99,7 @@ let run ?(seed = 1) ?(replications = 10) ?(confidence = 0.95) ?warmup ?pool
       ();
     r
   in
+  Urs_obs.Progress.start ~total:replications progress_task;
   let results =
     match pool with
     | None -> Array.init replications run_one
@@ -88,6 +107,7 @@ let run ?(seed = 1) ?(replications = 10) ?(confidence = 0.95) ?warmup ?pool
         Array.of_list
           (Urs_exec.Pool.map pool run_one (List.init replications Fun.id))
   in
+  Urs_obs.Progress.finish progress_task;
   let t0 = Span.now () in
   let pick f = Array.map f results in
   let summary =

@@ -68,8 +68,17 @@ type state = {
   repair_queue : server Deque.t; (* broken servers waiting for a crew *)
   mutable idle_crews : int;
   coll : Collector.t;
+  probe : Probe.t option;
   mutable in_system : int;
 }
+
+let probe_jobs st ~now =
+  match st.probe with
+  | Some p -> Probe.set_jobs p ~now st.in_system
+  | None -> ()
+
+let probe_ops st ~now n =
+  match st.probe with Some p -> Probe.set_operative p ~now n | None -> ()
 
 let operative_count st =
   Array.fold_left (fun acc s -> if s.operative then acc + 1 else acc) 0 st.servers_arr
@@ -115,6 +124,7 @@ and completion st eng srv epoch =
         srv.epoch <- srv.epoch + 1;
         st.in_system <- st.in_system - 1;
         Collector.set_jobs st.coll ~now:(Engine.now eng) st.in_system;
+        probe_jobs st ~now:(Engine.now eng);
         Collector.record_response st.coll (Engine.now eng -. job.arrived);
         dispatch st eng
     | None -> ()
@@ -133,7 +143,9 @@ let rec breakdown st eng srv =
       srv.current <- None;
       Deque.push_front st.queue job
   | None -> ());
-  Collector.record_operative st.coll ~now (operative_count st);
+  let ops = operative_count st in
+  Collector.record_operative st.coll ~now ops;
+  probe_ops st ~now ops;
   if st.idle_crews > 0 then begin
     st.idle_crews <- st.idle_crews - 1;
     start_repair st eng srv
@@ -149,7 +161,9 @@ and start_repair st eng srv =
 and repair st eng srv =
   Metrics.inc m_repairs;
   srv.operative <- true;
-  Collector.record_operative st.coll ~now:(Engine.now eng) (operative_count st);
+  let ops = operative_count st in
+  Collector.record_operative st.coll ~now:(Engine.now eng) ops;
+  probe_ops st ~now:(Engine.now eng) ops;
   Engine.schedule eng ~delay:(sample_positive st.rng st.cfg.operative)
     (fun eng -> breakdown st eng srv);
   (* hand the freed crew to the next broken server, if any *)
@@ -164,12 +178,13 @@ let rec arrival st eng =
   let job = { arrived = now; remaining = Rng.exponential st.rng st.cfg.mu } in
   st.in_system <- st.in_system + 1;
   Collector.set_jobs st.coll ~now st.in_system;
+  probe_jobs st ~now;
   Deque.push_back st.queue job;
   dispatch st eng;
   Engine.schedule eng ~delay:(Rng.exponential st.rng st.cfg.lambda) (fun eng ->
       arrival st eng)
 
-let run ?(seed = 1) ?warmup ?(track_responses = true) ~duration cfg =
+let run ?(seed = 1) ?warmup ?(track_responses = true) ?probe ~duration cfg =
   validate cfg;
   if duration <= 0.0 then invalid_arg "Server_farm.run: duration must be positive";
   let warmup = match warmup with Some w -> w | None -> 0.1 *. duration in
@@ -189,6 +204,7 @@ let run ?(seed = 1) ?warmup ?(track_responses = true) ~duration cfg =
         | None -> cfg.servers
         | Some c -> min c cfg.servers);
       coll = Collector.create ~track_responses ();
+      probe;
       in_system = 0;
     }
   in
@@ -205,6 +221,7 @@ let run ?(seed = 1) ?warmup ?(track_responses = true) ~duration cfg =
   Collector.reset st.coll ~now:warmup;
   let stop = warmup +. duration in
   Engine.run_until eng stop;
+  (match probe with Some p -> Probe.finish p ~now:stop | None -> ());
   {
     mean_jobs = Collector.mean_jobs st.coll ~now:stop;
     mean_response = Collector.mean_response st.coll;

@@ -41,9 +41,12 @@ val run :
   ?seed:int ->
   ?warmup:float ->
   ?track_responses:bool ->
+  ?probe:Probe.t ->
   duration:float ->
   config ->
   result
 (** [run ~duration cfg] simulates [warmup + duration] time units
     (default [warmup = 0.1 * duration]) and reports statistics for the
-    post-warmup window. Deterministic for a fixed [seed] (default 1). *)
+    post-warmup window. Deterministic for a fixed [seed] (default 1);
+    [probe], when given, records the full trajectory (warmup included)
+    into its timeline series without perturbing the run. *)

@@ -1,0 +1,71 @@
+(* Welch's graphical warm-up (initial-transient) procedure, automated.
+
+   Input: a trajectory averaged across replications (one value per time
+   bucket). The trajectory is smoothed with a centered moving average —
+   shrinking symmetric windows near the edges, as in Welch's original
+   procedure — and the truncation point is the first index from which
+   the smoothed curve stays inside a tolerance band around the
+   steady-state level, estimated from the tail of the smoothed curve.
+   Everything is deterministic; NaN buckets (gaps) are skipped by the
+   averaging windows. *)
+
+let finite x = Float.is_finite x
+
+let moving_average ~window xs =
+  if window < 1 then invalid_arg "Welch.moving_average: window must be >= 1";
+  let n = Array.length xs in
+  Array.init n (fun i ->
+      (* symmetric window, shrunk so it fits inside [0, n) *)
+      let w = min window (min i (n - 1 - i)) in
+      let sum = ref 0.0 and cnt = ref 0 in
+      for j = i - w to i + w do
+        if finite xs.(j) then begin
+          sum := !sum +. xs.(j);
+          incr cnt
+        end
+      done;
+      if !cnt > 0 then !sum /. float_of_int !cnt else nan)
+
+let tail_mean ?(fraction = 0.5) xs =
+  let n = Array.length xs in
+  let from = n - max 1 (int_of_float (fraction *. float_of_int n)) in
+  let sum = ref 0.0 and cnt = ref 0 in
+  for i = max 0 from to n - 1 do
+    if finite xs.(i) then begin
+      sum := !sum +. xs.(i);
+      incr cnt
+    end
+  done;
+  if !cnt > 0 then !sum /. float_of_int !cnt else nan
+
+let truncation_index ?window ?(tolerance = 0.05) xs =
+  let n = Array.length xs in
+  if n = 0 then None
+  else begin
+    let window =
+      match window with Some w -> w | None -> max 1 (n / 10)
+    in
+    let smooth = moving_average ~window xs in
+    let level = tail_mean smooth in
+    if not (finite level) then None
+    else begin
+      (* the band is relative to the steady-state level, with an
+         absolute floor so a level near zero doesn't demand exactness *)
+      let band = Float.max (tolerance *. Float.abs level) 1e-9 in
+      let inside i =
+        (not (finite smooth.(i))) || Float.abs (smooth.(i) -. level) <= band
+      in
+      (* first index from which the smoothed curve never leaves the
+         band. The last [window] positions are excluded: their shrunken
+         windows barely smooth, so raw noise there would veto any
+         truncation point (Welch's plots likewise stop at m − w) *)
+      let last = max 0 (n - 1 - window) in
+      let cut = ref (last + 1) in
+      (try
+         for i = last downto 0 do
+           if inside i then cut := i else raise Exit
+         done
+       with Exit -> ());
+      if !cut > last then None else Some !cut
+    end
+  end

@@ -1,0 +1,33 @@
+(** Welch's warm-up (initial-transient) detection, automated.
+
+    The classical graphical procedure: average the trajectory of an
+    output process across replications, smooth it with a centered moving
+    average, and truncate where the smoothed curve has flattened at its
+    steady-state level. Used by the doctor to check that a simulation's
+    measurement window does not overlap the transient the paper's
+    steady-state comparisons assume away. All functions are pure and
+    deterministic; [nan] entries (empty buckets) are skipped. *)
+
+val moving_average : window:int -> float array -> float array
+(** Centered moving average of half-width [window] ([>= 1], raises
+    [Invalid_argument] otherwise); the window shrinks symmetrically near
+    the edges, as in Welch's procedure, so the output has the input's
+    length. Positions whose window holds only [nan] stay [nan]. *)
+
+val tail_mean : ?fraction:float -> float array -> float
+(** Mean of the last [fraction] (default 0.5) of the array — the
+    steady-state level estimate; [nan] when that slice holds no finite
+    value. *)
+
+val truncation_index :
+  ?window:int -> ?tolerance:float -> float array -> int option
+(** [truncation_index xs] estimates Welch's truncation point: the first
+    index from which the smoothed trajectory stays within
+    [tolerance] (default 0.05, relative) of the steady-state level
+    estimated from the tail of the smoothed curve. [window] defaults to
+    a tenth of the length. The last [window] positions are excluded
+    from the test (their shrunken windows barely smooth — Welch's plots
+    likewise stop at [m − w]). [None] when the trajectory never settles
+    (the band is never entered for good) or holds no finite data —
+    callers should treat [None] as "warm-up longer than the run". [Some
+    0] means no detectable transient. *)

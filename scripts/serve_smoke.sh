@@ -1,7 +1,7 @@
 #!/bin/sh
-# Starts `urs serve` on a scratch port, checks that /metrics, /healthz
-# and /runs answer, then shuts the server down.  Used by
-# `make serve-smoke` (and hence `make ci`).
+# Starts `urs serve` on a scratch port, checks that /metrics, /healthz,
+# /runs, /timeline and /progress answer, then shuts the server down.
+# Used by `make serve-smoke` (and hence `make ci`).
 set -eu
 
 PORT="${URS_SMOKE_PORT:-9109}"
@@ -30,7 +30,27 @@ if [ $up -ne 1 ]; then
 fi
 
 curl -sf "http://127.0.0.1:$PORT/metrics" | grep -q '^urs_health_status'
+curl -sf "http://127.0.0.1:$PORT/metrics" | grep -q '^urs_build_info{version='
 curl -sf "http://127.0.0.1:$PORT/healthz" | grep -Eq 'ok|degraded'
 curl -sf "http://127.0.0.1:$PORT/runs" >/dev/null
+curl -sf "http://127.0.0.1:$PORT/runs?n=1" >/dev/null
+
+# the doctor pass `urs serve` ran on startup leaves simulation
+# timelines and finished progress tasks behind
+curl -sf "http://127.0.0.1:$PORT/timeline" | grep -q '"series"'
+curl -sf "http://127.0.0.1:$PORT/timeline?series=urs_sim_jobs&coarsen=4" |
+  grep -q '"urs_sim_jobs"'
+curl -sf "http://127.0.0.1:$PORT/progress" | grep -q '"task":"doctor:models"'
+
+# the JSON endpoints must say so
+curl -sfI "http://127.0.0.1:$PORT/runs" |
+  grep -qi '^content-type: application/json'
+curl -sfI "http://127.0.0.1:$PORT/timeline" |
+  grep -qi '^content-type: application/json'
+curl -sfI "http://127.0.0.1:$PORT/progress" |
+  grep -qi '^content-type: application/json'
+
+# the bundled client sees the same progress state
+"$BIN" watch --port "$PORT" --once | grep -q 'doctor:models'
 
 echo "serve-smoke: ok"

@@ -1,0 +1,49 @@
+(* Validate a Chrome/Perfetto trace exported with --trace-format
+   perfetto: the file must parse as JSON (with the in-repo parser — no
+   external dependency), hold a non-empty traceEvents array, and every
+   event must carry the complete-event fields the exporter promises.
+   Used by `make trace-smoke` (and hence `make ci`). *)
+
+module Json = Urs_obs.Json
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let check_event i ev =
+  let field k = Json.member k ev in
+  (match field "ph" with
+  | Some (Json.String "X") -> ()
+  | _ -> fail "validate_trace: event %d is not a complete (ph=X) event" i);
+  (match Option.bind (field "name") Json.to_string_opt with
+  | Some "" | None -> fail "validate_trace: event %d has no name" i
+  | Some _ -> ());
+  List.iter
+    (fun k ->
+      match Option.bind (field k) Json.to_float_opt with
+      | Some v when Float.is_finite v && v >= 0.0 -> ()
+      | _ -> fail "validate_trace: event %d: bad %s" i k)
+    [ "ts"; "dur"; "pid"; "tid" ]
+
+let () =
+  let path =
+    if Array.length Sys.argv = 2 then Sys.argv.(1)
+    else begin
+      prerr_endline "usage: validate_trace TRACE.json";
+      exit 2
+    end
+  in
+  let raw =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Json.of_string (String.trim raw) with
+  | Error e -> fail "validate_trace: %s does not parse: %s" path e
+  | Ok j -> (
+      match Json.member "traceEvents" j with
+      | Some (Json.List []) -> fail "validate_trace: %s: empty traceEvents" path
+      | Some (Json.List events) ->
+          List.iteri check_event events;
+          Printf.printf "validate_trace: %s ok (%d events)\n" path
+            (List.length events)
+      | _ -> fail "validate_trace: %s: missing traceEvents array" path)

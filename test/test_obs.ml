@@ -565,11 +565,16 @@ let http_get = http_request ~meth:"GET"
 let test_http_smoke () =
   let routes =
     [
-      ("/ping", fun () -> Http.respond "pong\n");
-      ("/boom", fun () -> failwith "handler exploded");
+      ("/ping", fun _q -> Http.respond "pong\n");
+      ("/boom", fun _q -> failwith "handler exploded");
       ( "/json",
-        fun () ->
+        fun _q ->
           Http.respond ~content_type:"application/json" {|{"ok":true}|} );
+      ( "/echo",
+        fun q ->
+          Http.respond
+            (String.concat ";"
+               (List.map (fun (k, v) -> k ^ "=" ^ v) q)) );
     ]
   in
   let server = Http.start ~port:0 ~routes () in
@@ -581,10 +586,14 @@ let test_http_smoke () =
       let ping = http_get ~port "/ping" in
       check_contains "200 status line" ping "HTTP/1.0 200";
       check_contains "body" ping "pong";
-      (* query strings are stripped before route matching *)
-      check_contains "query string ignored"
+      (* query strings are stripped before route matching and handed to
+         the handler, percent-decoded *)
+      check_contains "query string stripped for routing"
         (http_get ~port "/ping?x=1")
         "pong";
+      check_contains "query parsed and decoded"
+        (http_get ~port "/echo?a=1&b=hello%20world&flag&c=x+y")
+        "a=1;b=hello world;flag=;c=x y";
       let missing = http_get ~port "/nope" in
       check_contains "404 status" missing "HTTP/1.0 404";
       check_contains "404 lists routes" missing "/ping";
@@ -618,7 +627,7 @@ let test_http_metrics_route () =
   let routes =
     [
       ( "/metrics",
-        fun () ->
+        fun _q ->
           Http.respond
             (Export.prometheus (Metrics.snapshot ~registry:r ())) );
     ]
@@ -629,6 +638,294 @@ let test_http_metrics_route () =
     (fun () ->
       let body = http_get ~port:(Http.port server) "/metrics" in
       check_contains "prometheus exposition served" body "served_total 3")
+
+(* ---- timelines ---- *)
+
+module Timeline = Urs_obs.Timeline
+module Progress = Urs_obs.Progress
+
+(* sample times step by 0.75 so no sample ever lands exactly on a
+   power-of-two coverage boundary (0.75 * k = 2^m * capacity has no
+   integer solution): boundary-exact times are reserved for a final
+   [finish] at the horizon, which closes into the last bucket instead
+   of merging *)
+let record_sawtooth s n =
+  for i = 0 to n - 1 do
+    Timeline.record s ~t:(0.75 *. float_of_int i) (float_of_int (i mod 7))
+  done;
+  Timeline.finish s ~t:(0.75 *. float_of_int n)
+
+let test_timeline_bounded () =
+  let r = Timeline.create () in
+  let s = Timeline.series ~registry:r ~capacity:8 "urs_t_signal" in
+  record_sawtooth s 1000;
+  let snap = Timeline.snapshot_series s in
+  let points = snap.Timeline.points in
+  if List.length points > 8 then
+    Alcotest.failf "capacity exceeded: %d points" (List.length points);
+  let covered =
+    List.fold_left (fun acc p -> acc +. p.Timeline.time_cov) 0.0 points
+  in
+  check_float ~tol:1e-9 "whole run covered" 750.0 covered;
+  List.iter
+    (fun p ->
+      let mean = Timeline.point_mean p in
+      if not (p.Timeline.vmin <= mean && mean <= p.Timeline.vmax) then
+        Alcotest.failf "bucket %d: min %g <= mean %g <= max %g violated"
+          p.Timeline.index p.Timeline.vmin mean p.Timeline.vmax;
+      if p.Timeline.time_cov > snap.Timeline.width +. 1e-9 then
+        Alcotest.failf "bucket %d covers more than its width" p.Timeline.index)
+    points
+
+let check_snapshots_equal msg (a : Timeline.snapshot) (b : Timeline.snapshot) =
+  check_float (msg ^ ": t0") a.Timeline.t0 b.Timeline.t0;
+  check_float (msg ^ ": width") a.Timeline.width b.Timeline.width;
+  Alcotest.(check int)
+    (msg ^ ": point count")
+    (List.length a.Timeline.points)
+    (List.length b.Timeline.points);
+  List.iter2
+    (fun (p : Timeline.point) (q : Timeline.point) ->
+      Alcotest.(check int) (msg ^ ": index") p.Timeline.index q.Timeline.index;
+      Alcotest.(check int) (msg ^ ": count") p.Timeline.count q.Timeline.count;
+      check_float ~tol:1e-9 (msg ^ ": time_cov") p.Timeline.time_cov
+        q.Timeline.time_cov;
+      check_float ~tol:1e-9 (msg ^ ": area") p.Timeline.area q.Timeline.area;
+      check_float ~tol:1e-9 (msg ^ ": sum_v") p.Timeline.sum_v q.Timeline.sum_v;
+      check_float (msg ^ ": vmin") p.Timeline.vmin q.Timeline.vmin;
+      check_float (msg ^ ": vmax") p.Timeline.vmax q.Timeline.vmax)
+    a.Timeline.points b.Timeline.points
+
+let test_timeline_growth_matches_coarsen () =
+  (* the recorder's pairwise width-doubling and the snapshot-level
+     coarsen use the same algebra: a capacity-4 recording of a signal
+     equals the capacity-8 recording coarsened by 2 *)
+  let r = Timeline.create () in
+  let wide = Timeline.series ~registry:r ~capacity:8 "urs_t_wide" in
+  let narrow = Timeline.series ~registry:r ~capacity:4 "urs_t_narrow" in
+  record_sawtooth wide 16;
+  record_sawtooth narrow 16;
+  let wide2 = Timeline.coarsen ~factor:2 (Timeline.snapshot_series wide) in
+  let narrow_snap = Timeline.snapshot_series narrow in
+  check_snapshots_equal "doubling = coarsen" narrow_snap
+    { wide2 with Timeline.s_name = narrow_snap.Timeline.s_name }
+
+let test_timeline_coarsen_idempotent () =
+  let r = Timeline.create () in
+  let s = Timeline.series ~registry:r ~capacity:64 "urs_t_coarse" in
+  record_sawtooth s 64;
+  let snap = Timeline.snapshot_series s in
+  let a = Timeline.coarsen ~factor:3 (Timeline.coarsen ~factor:2 snap) in
+  let b = Timeline.coarsen ~factor:6 snap in
+  check_snapshots_equal "coarsen composes" a b;
+  check_snapshots_equal "factor 1 is the identity" snap
+    (Timeline.coarsen ~factor:1 snap);
+  Alcotest.check_raises "factor must be >= 1"
+    (Invalid_argument "Timeline.coarsen: factor must be >= 1") (fun () ->
+      ignore (Timeline.coarsen ~factor:0 snap))
+
+let test_timeline_horizon_layout () =
+  let r = Timeline.create () in
+  let s =
+    Timeline.series ~registry:r ~capacity:10 ~horizon:100.0 "urs_t_horizon"
+  in
+  Timeline.record s ~t:0.0 1.0;
+  Timeline.record s ~t:50.0 3.0;
+  Timeline.finish s ~t:100.0;
+  let snap = Timeline.snapshot_series s in
+  (* a run no longer than the horizon never merges: width stays fixed,
+     including the boundary-exact final sample *)
+  check_float "width = horizon / capacity" 10.0 snap.Timeline.width;
+  let means = Timeline.mean_array snap in
+  Alcotest.(check int) "dense grid to last bucket" 10 (Array.length means);
+  check_float "held value integrated" 1.0 means.(0);
+  check_float "level change lands mid-grid" 3.0 means.(7);
+  (* clearing preserves the horizon-derived layout for the next rep *)
+  Timeline.clear s;
+  Timeline.record s ~t:0.0 2.0;
+  Timeline.finish s ~t:100.0;
+  check_float "width survives clear" 10.0
+    (Timeline.snapshot_series s).Timeline.width
+
+let test_timeline_pool_determinism () =
+  (* the /timeline contents must not depend on --jobs: same seed, same
+     buckets, whatever the pool width *)
+  let cfg =
+    {
+      Urs_sim.Server_farm.servers = 3;
+      lambda = 2.0;
+      mu = 1.0;
+      operative = Urs_prob.Distribution.exponential ~rate:0.1;
+      inoperative = Urs_prob.Distribution.exponential ~rate:1.0;
+      repair_crews = None;
+    }
+  in
+  let run pool registry =
+    ignore
+      (Urs_sim.Replicate.run ?pool ~seed:5 ~replications:4 ~duration:500.0
+         ~timeline_registry:registry cfg)
+  in
+  let r_seq = Timeline.create () in
+  run None r_seq;
+  let pool = Urs_exec.Pool.create ~name:"tl-test" ~domains:4 () in
+  let r_par = Timeline.create () in
+  Fun.protect
+    ~finally:(fun () -> Urs_exec.Pool.shutdown pool)
+    (fun () -> run (Some pool) r_par);
+  let seq = Timeline.snapshot ~registry:r_seq () in
+  let par = Timeline.snapshot ~registry:r_par () in
+  Alcotest.(check int)
+    "series count" (List.length seq) (List.length par);
+  List.iter2
+    (fun (a : Timeline.snapshot) (b : Timeline.snapshot) ->
+      Alcotest.(check string) "name" a.Timeline.s_name b.Timeline.s_name;
+      Alcotest.(check (list (pair string string)))
+        "labels" a.Timeline.s_labels b.Timeline.s_labels;
+      (* meta carries the owning domain id and may legitimately differ *)
+      check_snapshots_equal a.Timeline.s_name a b)
+    seq par;
+  if seq = [] then Alcotest.fail "expected recorded timelines"
+
+(* ---- progress ---- *)
+
+let with_fake_clock f =
+  let t = ref 0.0 in
+  Span.set_clock (fun () -> !t);
+  Fun.protect ~finally:Span.use_default_clock (fun () -> f t)
+
+let test_progress_rate_and_eta () =
+  with_fake_clock @@ fun clock ->
+  Progress.reset ();
+  Progress.start ~total:10 "batch";
+  clock := 4.0;
+  Progress.tick ~by:2 "batch";
+  (match Progress.snapshot () with
+  | [ st ] ->
+      Alcotest.(check string) "name" "batch" st.Progress.p_name;
+      Alcotest.(check (option int)) "total" (Some 10) st.Progress.p_total;
+      Alcotest.(check int) "completed" 2 st.Progress.p_completed;
+      check_float "elapsed" 4.0 st.Progress.p_elapsed_s;
+      check_float "rate" 0.5 st.Progress.p_rate;
+      (match st.Progress.p_eta_s with
+      | Some eta -> check_float "eta = remaining / rate" 16.0 eta
+      | None -> Alcotest.fail "eta should be known");
+      Alcotest.(check bool) "not finished" false st.Progress.p_finished
+  | l -> Alcotest.failf "expected one task, got %d" (List.length l));
+  Progress.finish "batch";
+  clock := 100.0;
+  (match Progress.snapshot () with
+  | [ st ] ->
+      Alcotest.(check bool) "finished" true st.Progress.p_finished;
+      check_float "clock frozen at finish" 4.0 st.Progress.p_elapsed_s
+  | _ -> Alcotest.fail "task should remain listed");
+  (* ticking an unknown task must not create one *)
+  Progress.tick "never-started";
+  Alcotest.(check int) "no ghost tasks" 1 (List.length (Progress.snapshot ()));
+  let json = Json.to_string (Progress.to_json ()) in
+  check_contains "json lists the task" json {|"task":"batch"|};
+  check_contains "json marks finished" json {|"finished":true|};
+  Progress.reset ();
+  Alcotest.(check int) "reset clears" 0 (List.length (Progress.snapshot ()))
+
+(* ---- perfetto export ---- *)
+
+let test_perfetto_export () =
+  with_fake_clock @@ fun clock ->
+  let r = Metrics.create () in
+  Span.set_tracing true;
+  Fun.protect
+    ~finally:(fun () ->
+      Span.set_tracing false;
+      Span.reset_trace ())
+    (fun () ->
+      Span.with_ ~registry:r ~name:"urs_outer" (fun () ->
+          clock := 1.0;
+          Span.with_ ~registry:r ~labels:[ ("k", "v") ] ~name:"urs_inner"
+            (fun () -> clock := 2.0);
+          clock := 3.0);
+      let trace = Span.trace_perfetto () in
+      match Json.of_string trace with
+      | Error e -> Alcotest.failf "perfetto output does not parse: %s" e
+      | Ok j -> (
+          match Json.member "traceEvents" j with
+          | Some (Json.List (outer :: inner :: _)) ->
+              let str k o = Option.bind (Json.member k o) Json.to_string_opt in
+              let num k o = Option.bind (Json.member k o) Json.to_float_opt in
+              Alcotest.(check (option string))
+                "outer name" (Some "urs_outer") (str "name" outer);
+              Alcotest.(check (option string))
+                "complete event" (Some "X") (str "ph" outer);
+              check_float "outer ts (us)" 0.0
+                (Option.get (num "ts" outer));
+              check_float "outer dur (us)" 3e6
+                (Option.get (num "dur" outer));
+              check_float "inner ts (us)" 1e6 (Option.get (num "ts" inner));
+              check_float "inner dur (us)" 1e6 (Option.get (num "dur" inner));
+              check_float "tid is the domain id" 0.0
+                (Option.get (num "tid" inner));
+              (match Json.member "args" inner with
+              | Some (Json.Obj [ ("k", Json.String "v") ]) -> ()
+              | _ -> Alcotest.fail "labels should become args")
+          | _ -> Alcotest.fail "traceEvents should hold both spans"))
+
+(* ---- build info ---- *)
+
+let test_build_info () =
+  Fun.protect ~finally:Export.clear_build_info (fun () ->
+      Alcotest.(check string)
+        "absent until set" "" (Export.prometheus []);
+      Export.set_build_info ~version:"9.9.9" ();
+      let prom = Export.prometheus [] in
+      check_contains "prometheus gauge" prom "# TYPE urs_build_info gauge";
+      check_contains "version label" prom
+        (Printf.sprintf "urs_build_info{version=\"9.9.9\",ocaml=\"%s\"} 1"
+           Sys.ocaml_version);
+      let json = Export.json [] in
+      check_contains "json entry" json {|"name":"urs_build_info"|};
+      check_contains "json version" json {|"version":"9.9.9"|});
+  Alcotest.(check string)
+    "cleared again" "" (Export.prometheus [])
+
+(* ---- stats histogram exposition ---- *)
+
+let test_stats_histogram_golden () =
+  let h =
+    Urs_stats.Histogram.build ~bins:3 ~range:(0.0, 3.0)
+      [| 0.5; 1.5; 1.5; 2.5 |]
+  in
+  let got =
+    Export.stats_histogram ~help:"test histogram" ~name:"urs_test_hist" h
+  in
+  let expected =
+    "# HELP urs_test_hist test histogram\n\
+     # TYPE urs_test_hist histogram\n\
+     urs_test_hist_bucket{le=\"1\"} 1\n\
+     urs_test_hist_bucket{le=\"2\"} 3\n\
+     urs_test_hist_bucket{le=\"3\"} 4\n\
+     urs_test_hist_bucket{le=\"+Inf\"} 4\n\
+     urs_test_hist_sum 6\n\
+     urs_test_hist_count 4\n"
+  in
+  Alcotest.(check string) "golden exposition" expected got;
+  let labelled =
+    Export.stats_histogram
+      ~labels:[ ("side", "operative") ]
+      ~name:"urs_test_hist" h
+  in
+  check_contains "labels merge with le" labelled
+    "urs_test_hist_bucket{side=\"operative\",le=\"1\"} 1";
+  Alcotest.check_raises "invalid name"
+    (Invalid_argument "Export.stats_histogram: invalid name \"bad name\"")
+    (fun () -> ignore (Export.stats_histogram ~name:"bad name" h))
+
+(* ---- query helpers ---- *)
+
+let test_query_helpers () =
+  let q = [ ("a", "1"); ("b", "x"); ("a", "2") ] in
+  Alcotest.(check (option string)) "first wins" (Some "1") (Http.query_get q "a");
+  Alcotest.(check (option string)) "missing" None (Http.query_get q "z");
+  Alcotest.(check (option int)) "int" (Some 1) (Http.query_int q "a");
+  Alcotest.(check (option int)) "non-numeric" None (Http.query_int q "b")
 
 (* ---- regression: metrics recorded by a spectral solve ---- *)
 
@@ -728,7 +1025,30 @@ let () =
         [
           Alcotest.test_case "smoke" `Quick test_http_smoke;
           Alcotest.test_case "metrics route" `Quick test_http_metrics_route;
+          Alcotest.test_case "query helpers" `Quick test_query_helpers;
         ] );
+      ( "timeline",
+        [
+          Alcotest.test_case "bounded and ordered" `Quick test_timeline_bounded;
+          Alcotest.test_case "growth matches coarsen" `Quick
+            test_timeline_growth_matches_coarsen;
+          Alcotest.test_case "coarsen idempotent" `Quick
+            test_timeline_coarsen_idempotent;
+          Alcotest.test_case "horizon layout" `Quick
+            test_timeline_horizon_layout;
+          Alcotest.test_case "pool determinism" `Quick
+            test_timeline_pool_determinism;
+        ] );
+      ( "progress",
+        [
+          Alcotest.test_case "rate and eta" `Quick test_progress_rate_and_eta;
+        ] );
+      ( "perfetto",
+        [ Alcotest.test_case "export" `Quick test_perfetto_export ] );
+      ( "build-info",
+        [ Alcotest.test_case "gauge" `Quick test_build_info ] );
+      ( "stats-histogram",
+        [ Alcotest.test_case "golden" `Quick test_stats_histogram_golden ] );
       ( "integration",
         [
           Alcotest.test_case "spectral solve metrics" `Quick

@@ -152,6 +152,72 @@ let test_batch_means_too_short () =
     (Invalid_argument "Batch_means.analyze: series too short for the batch count")
     (fun () -> ignore (Batch_means.analyze (Array.make 10 1.0)))
 
+(* ---- Welch warm-up detection ---- *)
+
+let test_welch_moving_average () =
+  (* a constant signal is a fixed point of the smoother *)
+  let flat = Welch.moving_average ~window:3 (Array.make 20 5.0) in
+  Array.iter (fun v -> check_float "constant preserved" 5.0 v) flat;
+  (* edge windows shrink symmetrically: position 0 is the raw value *)
+  let xs = [| 0.0; 2.0; 4.0; 6.0; 8.0 |] in
+  let sm = Welch.moving_average ~window:2 xs in
+  check_float "edge keeps raw value" 0.0 sm.(0);
+  check_float "half-width 1 at position 1" 2.0 sm.(1);
+  check_float "full window in the middle" 4.0 sm.(2);
+  (* nan entries are skipped, not propagated *)
+  let with_gap = [| 1.0; Float.nan; 1.0; 1.0; 1.0 |] in
+  let sm = Welch.moving_average ~window:1 with_gap in
+  check_float "gap bridged" 1.0 sm.(2);
+  Alcotest.check_raises "window must be >= 1"
+    (Invalid_argument "Welch.moving_average: window must be >= 1") (fun () ->
+      ignore (Welch.moving_average ~window:0 xs))
+
+let test_welch_truncation_known_warmup () =
+  (* deterministic stream with a transient of known length: an
+     exponential decay on top of a constant steady state, plus a small
+     deterministic wiggle so the trajectory is not trivially flat *)
+  let n = 200 in
+  let steady = 10.0 in
+  let xs =
+    Array.init n (fun i ->
+        let t = float_of_int i in
+        steady
+        +. (8.0 *. exp (-.t /. 15.0))
+        +. (0.05 *. sin (t /. 3.0)))
+  in
+  (match Welch.truncation_index ~window:5 ~tolerance:0.02 xs with
+  | None -> Alcotest.fail "should settle"
+  | Some k ->
+      (* 8*exp(-t/15) falls below 2% of 10 around t = 15*ln(40) ~ 55 *)
+      if k < 30 || k > 80 then
+        Alcotest.failf "truncation %d outside the expected 30..80" k);
+  (* no transient at all: truncation at index 0 *)
+  (match Welch.truncation_index ~window:5 (Array.make n steady) with
+  | Some 0 -> ()
+  | other ->
+      Alcotest.failf "flat stream should truncate at 0, got %s"
+        (match other with None -> "None" | Some k -> string_of_int k));
+  (* a drifting stream never settles *)
+  (match
+     Welch.truncation_index ~window:5
+       (Array.init n (fun i -> float_of_int i))
+   with
+  | None -> ()
+  | Some k -> Alcotest.failf "drift should never settle, got %d" k);
+  (* all-nan input holds no information *)
+  match Welch.truncation_index (Array.make 10 Float.nan) with
+  | None -> ()
+  | Some k -> Alcotest.failf "nan-only input should be None, got %d" k
+
+let test_welch_tail_mean () =
+  let xs = Array.init 10 float_of_int in
+  (* last half of 0..9 is 5..9 *)
+  check_float "default fraction" 7.0 (Welch.tail_mean xs);
+  check_float "custom fraction" 8.0 (Welch.tail_mean ~fraction:0.3 xs);
+  Alcotest.(check bool)
+    "empty tail is nan" true
+    (Float.is_nan (Welch.tail_mean (Array.make 5 Float.nan)))
+
 (* ---- qcheck ---- *)
 
 let prop_histogram_total =
@@ -224,6 +290,13 @@ let () =
         [
           Alcotest.test_case "iid coverage" `Quick test_batch_means_iid;
           Alcotest.test_case "too-short series" `Quick test_batch_means_too_short;
+        ] );
+      ( "welch",
+        [
+          Alcotest.test_case "moving average" `Quick test_welch_moving_average;
+          Alcotest.test_case "known warm-up" `Quick
+            test_welch_truncation_known_warmup;
+          Alcotest.test_case "tail mean" `Quick test_welch_tail_mean;
         ] );
       ( "properties",
         qc [ prop_histogram_total; prop_quantile_monotone; prop_welford_mean_bounds ] );
