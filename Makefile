@@ -1,7 +1,7 @@
 # Convenience targets; `make ci` is what the CI workflow runs.
 
 .PHONY: all build test bench bench-gate bench-baseline fmt smoke \
-	doctor-smoke serve-smoke trace-smoke ci clean
+	doctor-smoke serve-smoke trace-smoke report-smoke ci clean
 
 all: build
 
@@ -58,15 +58,31 @@ doctor-smoke:
 serve-smoke: build
 	sh scripts/serve_smoke.sh
 
-# A Perfetto trace exported from a real run must parse (with the
-# in-repo JSON parser) and carry complete events.
+# A Perfetto trace exported from a real profiled run must parse (with
+# the in-repo JSON parser), carry complete events and include at least
+# one GC counter track (ph=C) merged in by --profile-gc.
 trace-smoke: build
-	dune exec bin/urs_cli.exe -- solve \
+	dune exec bin/urs_cli.exe -- solve --profile-gc \
 	  --trace /tmp/urs_trace_perfetto.json --trace-format perfetto \
 	  > /dev/null
-	dune exec scripts/validate_trace.exe /tmp/urs_trace_perfetto.json
+	dune exec scripts/validate_trace.exe -- --require-counter \
+	  /tmp/urs_trace_perfetto.json
 
-ci: fmt build test smoke doctor-smoke serve-smoke trace-smoke
+# Perf-history round trip: two quick bench runs append to a scratch
+# history (URS_BENCH_HISTORY keeps the committed BENCH_history.jsonl
+# out of it), then `urs report` must render the trend and exit 0 —
+# both entries come from this machine, so the regression gate holds.
+report-smoke: build
+	rm -f /tmp/urs_report_history.jsonl
+	URS_BENCH_HISTORY=/tmp/urs_report_history.jsonl \
+	  dune exec bench/main.exe -- n5 > /dev/null
+	URS_BENCH_HISTORY=/tmp/urs_report_history.jsonl \
+	  dune exec bench/main.exe -- n5 > /dev/null
+	dune exec bin/urs_cli.exe -- report \
+	  --history /tmp/urs_report_history.jsonl --last 2
+	@echo "report-smoke: ok"
+
+ci: fmt build test smoke doctor-smoke serve-smoke trace-smoke report-smoke
 
 clean:
 	dune clean

@@ -402,13 +402,20 @@ let section_extensions () =
 
 (* ---- bench-regression gate: the paper's N=5 model ---- *)
 
+(* per-solver wall + GC stats from the last n5 run, consumed by the
+   perf-history append in the driver (survives the per-section
+   Metrics.reset) *)
+let n5_stats : (string * Urs_obs.Perf.solver_stat) list ref = ref []
+
 let section_n5 () =
   header "N=5 paper model — solver wall time (bench-regression gate)";
   Format.printf "(N=5, λ=4, fitted operative H2, η=25 — the doctor's quick model)@.@.";
+  n5_stats := [];
   let m = model ~servers:5 ~lambda:4.0 in
   let time_solver name strategy iters =
     (* one warm-up solve so one-off initialization stays out of the gate *)
     ignore (Urs.Solver.evaluate ~strategy m);
+    let g0 = Urs_obs.Runtime.sample () in
     let t0 = Span.now () in
     for _ = 1 to iters do
       match Urs.Solver.evaluate ~strategy m with
@@ -416,14 +423,33 @@ let section_n5 () =
       | Error _ -> ()
     done;
     let per = (Span.now () -. t0) /. float_of_int iters in
+    let d = Urs_obs.Runtime.delta ~before:g0 ~after:(Urs_obs.Runtime.sample ()) in
+    let per_iter w = w /. float_of_int iters in
+    let stat =
+      {
+        Urs_obs.Perf.seconds = per;
+        minor_words = per_iter d.Urs_obs.Runtime.d_minor_words;
+        promoted_words = per_iter d.Urs_obs.Runtime.d_promoted_words;
+        major_words = per_iter d.Urs_obs.Runtime.d_major_words;
+      }
+    in
+    n5_stats := (name, stat) :: !n5_stats;
     Metrics.set
       (Metrics.gauge
          ~labels:[ ("solver", name) ]
          ~help:"Mean wall seconds per solve of the N=5 paper model"
          "urs_bench_n5_seconds")
       per;
-    Format.printf "  %-10s  %10.3f ms/solve  (%d iterations)@." name
-      (1e3 *. per) iters;
+    Metrics.set
+      (Metrics.gauge
+         ~labels:[ ("solver", name) ]
+         ~help:"Minor-heap words allocated per solve of the N=5 paper model"
+         "urs_bench_n5_minor_words")
+      stat.Urs_obs.Perf.minor_words;
+    Format.printf "  %-10s  %10.3f ms/solve  %10.0f kw/solve  (%d iterations)@."
+      name (1e3 *. per)
+      (stat.Urs_obs.Perf.minor_words /. 1e3)
+      iters;
     flush ()
   in
   time_solver "spectral" Urs.Solver.Exact 40;
@@ -612,6 +638,41 @@ let write_bench_json path =
   close_out oc;
   Format.printf "@.wrote %s (%d sections)@." path (List.length sections)
 
+(* Whenever the n5 gate section ran, append one urs-perf/1 line (see
+   Perf.schema in perf.mli) to the committed BENCH_history.jsonl —
+   never truncate; `urs report` consumes the trend. URS_BENCH_HISTORY
+   overrides the path (CI's report-smoke uses a scratch file so its
+   gate only compares same-machine runs). *)
+let append_history () =
+  match !n5_stats with
+  | [] -> ()
+  | stats ->
+      let path =
+        match Sys.getenv_opt "URS_BENCH_HISTORY" with
+        | Some p when p <> "" -> p
+        | _ -> "BENCH_history.jsonl"
+      in
+      let jobs =
+        match Option.bind (Sys.getenv_opt "URS_JOBS") int_of_string_opt with
+        | Some j when j >= 1 -> j
+        | _ -> 1
+      in
+      let entry =
+        {
+          Urs_obs.Perf.time = Unix.gettimeofday ();
+          git_rev = Urs_obs.Perf.git_rev ();
+          ocaml = Sys.ocaml_version;
+          jobs;
+          sections =
+            List.rev_map (fun (name, seconds, _) -> (name, seconds)) !bench_records;
+          solvers = List.rev stats;
+        }
+      in
+      (try Urs_obs.Perf.append path entry
+       with Sys_error msg ->
+         Format.eprintf "bench: cannot append %s: %s@." path msg);
+      Format.printf "appended perf-history entry to %s@." path
+
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level
@@ -639,4 +700,5 @@ let () =
               exit 1)
         names);
   Urs_obs.Ledger.close ();
-  if !bench_records <> [] then write_bench_json "BENCH_solvers.json"
+  if !bench_records <> [] then write_bench_json "BENCH_solvers.json";
+  append_history ()

@@ -20,6 +20,7 @@ type obs = {
   ledger : string option;
   serve : int option;
   jobs : int;
+  profile_gc : bool;
 }
 
 let setup_logs verbose =
@@ -70,7 +71,12 @@ let dump_obs obs =
       let body =
         match obs.trace_format with
         | `Flame -> Urs_obs.Span.trace_json ()
-        | `Perfetto -> Urs_obs.Span.trace_perfetto ()
+        | `Perfetto ->
+            (* GC slices and allocation counter tracks captured by the
+               Runtime_events consumer (empty without --profile-gc) *)
+            Urs_obs.Span.trace_perfetto
+              ~extra:(Urs_obs.Runtime.perfetto_events ())
+              ()
       in
       write path (body ^ "\n")
 
@@ -139,6 +145,7 @@ let standard_routes =
     ("/runs", runs_response);
     ("/timeline", timeline_response);
     ("/progress", fun _q -> json_response (Urs_obs.Progress.to_json ()));
+    ("/runtime", fun _q -> json_response (Urs_obs.Runtime.status_json ()));
   ]
 
 (* dump on the way out even if the command fails, so a crashed run still
@@ -147,6 +154,8 @@ let standard_routes =
    exactly the sequential code path). *)
 let with_obs obs f =
   if obs.trace <> None then Urs_obs.Span.set_tracing true;
+  if obs.profile_gc then Urs_obs.Runtime.set_profiling true;
+  let started_events = obs.profile_gc && Urs_obs.Runtime.start_events () in
   (match obs.ledger with
   | Some path -> Urs_obs.Ledger.open_file path
   | None -> ());
@@ -167,6 +176,9 @@ let with_obs obs f =
   Fun.protect
     ~finally:(fun () ->
       Option.iter Urs_exec.Pool.shutdown pool;
+      (* stop the consumer before dumping so the trace includes every
+         drained GC slice; only stop what this run started *)
+      if started_events then Urs_obs.Runtime.stop_events ();
       dump_obs obs;
       Option.iter Urs_obs.Http.stop server;
       Urs_obs.Ledger.close ())
@@ -239,9 +251,9 @@ let obs_t =
       & info [ "serve-metrics" ] ~docv:"PORT"
           ~doc:
             "While the command runs, serve live /metrics, /healthz, /runs, \
-             /timeline and /progress on 127.0.0.1:$(docv) (0 picks an \
-             ephemeral port). Point $(b,urs watch) at the port for a \
-             terminal progress view.")
+             /timeline, /progress and /runtime on 127.0.0.1:$(docv) (0 \
+             picks an ephemeral port). Point $(b,urs watch) at the port \
+             for a terminal progress view.")
   in
   let jobs =
     let env =
@@ -256,15 +268,30 @@ let obs_t =
              default 1 runs everything inline on the calling thread; \
              results are identical whatever the value.")
   in
-  let make verbose metrics format trace trace_format ledger serve jobs =
+  let profile_gc =
+    Arg.(
+      value & flag
+      & info [ "profile-gc" ]
+          ~doc:
+            "Arm the runtime (GC/allocation) probes: spans and pool tasks \
+             record their Gc.quick_stat deltas, urs_runtime_* metrics and a \
+             ledger 'runtime' record are emitted, and — on runtimes with \
+             eventring support — GC pauses and allocation counters are \
+             captured and merged into $(b,--trace-format perfetto) traces \
+             as GC slices and counter tracks. Off by default (zero \
+             overhead).")
+  in
+  let make verbose metrics format trace trace_format ledger serve jobs
+      profile_gc =
     setup_logs (List.length verbose);
     if jobs < 1 then
       Format.eprintf "urs: ignoring --jobs %d (must be >= 1)@." jobs;
-    { metrics; format; trace; trace_format; ledger; serve; jobs = max 1 jobs }
+    { metrics; format; trace; trace_format; ledger; serve; jobs = max 1 jobs;
+      profile_gc }
   in
   Term.(
     const make $ verbose $ metrics $ format $ trace $ trace_format $ ledger
-    $ serve $ jobs)
+    $ serve $ jobs $ profile_gc)
 
 (* ---- shared argument parsing ---- *)
 
@@ -758,7 +785,7 @@ let serve_cmd =
     let server = Urs_obs.Http.start ~port ~routes:standard_routes () in
     Format.printf
       "urs: serving http://127.0.0.1:%d (/metrics /healthz /runs /timeline \
-       /progress) — Ctrl-C to stop@."
+       /progress /runtime) — Ctrl-C to stop@."
       (Urs_obs.Http.port server);
     Urs_obs.Http.wait server
   in
@@ -773,8 +800,8 @@ let serve_cmd =
          "Run a quick doctor self-check, then serve /metrics (Prometheus), \
           /healthz (doctor verdict; 503 when suspect), /runs (recent \
           ledger records, JSON), /timeline (bounded time-series \
-          recorders, JSON) and /progress (task completion and ETA, JSON) \
-          over HTTP until interrupted.")
+          recorders, JSON), /progress (task completion and ETA, JSON) and \
+          /runtime (GC probe status, JSON) over HTTP until interrupted.")
     Term.(const run $ obs_t $ port)
 
 (* ---- watch ---- *)
@@ -887,6 +914,105 @@ let watch_cmd =
           stop).")
     Term.(const run $ port $ interval $ once)
 
+(* ---- report ---- *)
+
+let report_cmd =
+  let run history last format max_ratio ledger_path =
+    match Urs_obs.Perf.read_file history with
+    | Error msg -> `Error (false, "cannot read history: " ^ msg)
+    | Ok [] -> `Error (false, Printf.sprintf "%s: no history entries" history)
+    | Ok entries ->
+        let entries =
+          match last with
+          | Some n when n >= 1 ->
+              let len = List.length entries in
+              if len <= n then entries
+              else List.filteri (fun i _ -> i >= len - n) entries
+          | _ -> entries
+        in
+        let r = Urs_obs.Perf.analyze ~max_ratio entries in
+        let body =
+          match format with
+          | `Table -> Urs_obs.Perf.render_table r
+          | `Markdown -> Urs_obs.Perf.render_markdown r
+          | `Json -> Urs_obs.Perf.render_json r ^ "\n"
+          | `Data -> Urs_obs.Perf.render_data r
+        in
+        print_string body;
+        (match ledger_path with
+        | None -> ()
+        | Some path -> (
+            match Urs_obs.Ledger.read_file path with
+            | Error msg ->
+                Format.eprintf "urs report: cannot read ledger: %s@." msg
+            | Ok records -> (
+                match format with
+                | `Table | `Markdown ->
+                    print_string
+                      ("\n"
+                      ^ Urs_obs.Perf.render_ledger_digest
+                          (Urs_obs.Perf.ledger_digest records))
+                | `Json | `Data -> ())));
+        (* the CI gate greps the exit status, not the output *)
+        if r.Urs_obs.Perf.breaches <> [] then exit 1;
+        `Ok ()
+  in
+  let history =
+    Arg.(
+      value
+      & opt string "BENCH_history.jsonl"
+      & info [ "history" ] ~docv:"FILE"
+          ~doc:
+            "Perf-history journal to analyze (urs-perf/1 JSONL, appended by \
+             $(b,make bench)).")
+  in
+  let last =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "last" ] ~docv:"N"
+          ~doc:"Only consider the last $(docv) history entries.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("table", `Table); ("markdown", `Markdown); ("json", `Json);
+               ("data", `Data) ])
+          `Table
+      & info [ "format" ]
+          ~doc:
+            "Output format: $(b,table) (fixed-width text), $(b,markdown), \
+             $(b,json), or $(b,data) (gnuplot-ready per-solver columns).")
+  in
+  let max_ratio =
+    Arg.(
+      value & opt float 2.0
+      & info [ "max-ratio" ] ~docv:"R"
+          ~doc:
+            "Breach threshold: exit 1 when a gated solver's latest run \
+             exceeds $(docv) times its best-known run.")
+  in
+  let ledger_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ledger" ] ~docv:"FILE"
+          ~doc:
+            "Also digest a run-ledger JSONL (records and wall time by kind) \
+             into table/markdown output.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Aggregate the bench perf history (and optionally a run ledger) \
+          into a regression report: per-solver wall-time and \
+          alloc-per-solve trends, ratio vs. best-known. Exits 1 when the \
+          latest gated (spectral) entry regresses beyond --max-ratio, so \
+          CI can gate on trends.")
+    Term.(ret (const run $ history $ last $ format $ max_ratio $ ledger_path))
+
 let version = "1.0.0"
 
 let () =
@@ -899,6 +1025,6 @@ let () =
     Cmd.group info
       [ solve_cmd; stability_cmd; optimize_cmd; capacity_cmd; simulate_cmd;
         sweep_cmd; metrics_cmd; dataset_cmd; fit_cmd; doctor_cmd; serve_cmd;
-        watch_cmd ]
+        watch_cmd; report_cmd ]
   in
   exit (Cmd.eval group)

@@ -320,6 +320,107 @@ let check_warmup ?thresholds ?pool ~sim model =
   in
   [ warmup_check; transient_check ]
 
+(* ---- memory stage ----
+
+   The N=5 λ=4 spectral solve re-runs under the runtime probe: the
+   quick-stat delta yields the top-heap high-water mark, and — when the
+   runtime has eventring support — the Runtime_events consumer yields
+   GC slices, from which we take the longest major-collection pause
+   overlapping the probed solve window. Both are graded by
+   [Diagnostics.check_memory]. The stage starts the consumer only if
+   nobody else did (e.g. the CLI's [--profile-gc]) and stops only what
+   it started. *)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let major_pause_phase phase =
+  (* runtime_phase_name: "major", "major_slice", "major_gc_stw",
+     "explicit_gc_full_major", ... — anything touching the major heap
+     or an explicit-GC entry point counts as a pause candidate *)
+  starts_with ~prefix:"major" phase || starts_with ~prefix:"explicit" phase
+
+let check_memory_stage ?thresholds model =
+  let name =
+    Printf.sprintf "N=%d lambda=%g" model.Model.servers
+      model.Model.arrival_rate
+  in
+  match Model.qbd model with
+  | None ->
+      [
+        {
+          name = name ^ " memory";
+          value = nan;
+          detail = "not phase-type";
+          verdict = Diagnostics.Degraded [ name ^ ": memory stage needs phase-type" ];
+        };
+      ]
+  | Some q ->
+      let started = Urs_obs.Runtime.start_events () in
+      Fun.protect
+        ~finally:(fun () -> if started then Urs_obs.Runtime.stop_events ())
+        (fun () ->
+          let t0 = Span.now () in
+          let res, delta =
+            Urs_obs.Runtime.probe ~label:"doctor.memory" (fun () ->
+                Span.with_ ~name:"urs_doctor_memory" (fun () ->
+                    Mq.Spectral.solve q))
+          in
+          let t1 = Span.now () in
+          let worst_pause =
+            List.fold_left
+              (fun acc (s : Urs_obs.Runtime.slice) ->
+                let s0 = s.Urs_obs.Runtime.start_s in
+                let s1 = s0 +. s.Urs_obs.Runtime.duration_s in
+                if
+                  major_pause_phase s.Urs_obs.Runtime.phase
+                  && s1 > t0 && s0 < t1
+                then
+                  match acc with
+                  | Some w when w >= s.Urs_obs.Runtime.duration_s -> acc
+                  | _ -> Some s.Urs_obs.Runtime.duration_s
+                else acc)
+              None
+              (Urs_obs.Runtime.gc_slices ())
+          in
+          match res with
+          | Error e ->
+              let msg = Format.asprintf "%a" Mq.Spectral.pp_error e in
+              [
+                {
+                  name = name ^ " memory";
+                  value = nan;
+                  detail = msg;
+                  verdict = Diagnostics.Suspect [ name ^ " memory: " ^ msg ];
+                };
+              ]
+          | Ok _ ->
+              let top =
+                float_of_int delta.Urs_obs.Runtime.top_heap_words_after
+              in
+              [
+                {
+                  name = name ^ " memory";
+                  value = top;
+                  detail =
+                    Printf.sprintf
+                      "top heap %.3g words, %.3g minor words allocated, \
+                       worst major pause %s (events %s)"
+                      top delta.Urs_obs.Runtime.d_minor_words
+                      (match worst_pause with
+                      | Some p -> Printf.sprintf "%.3g s" p
+                      | None -> "none observed")
+                      (if started || Urs_obs.Runtime.events_running () then
+                         "on"
+                       else "unavailable");
+                  verdict =
+                    Diagnostics.check_memory ?thresholds
+                      ~label:(name ^ ": memory") ~top_heap_words:top
+                      ~worst_pause ();
+                };
+              ])
+
 let quick_grid = [ (5, 4.0) ]
 let full_grid = [ (5, 4.0); (10, 8.0); (12, 8.0) ]
 
@@ -333,7 +434,7 @@ let run ?(quick = false) ?thresholds ?pool () =
   (* the grid models fan out across the pool, and each model's
      simulation replications nest on the same pool (the pool supports
      nested batches); check order is the grid order either way *)
-  Urs_obs.Progress.start ~total:(List.length grid + 1) "doctor:models";
+  Urs_obs.Progress.start ~total:(List.length grid + 2) "doctor:models";
   let checks =
     Span.with_ ~name:"urs_doctor_run" (fun () ->
         let per_model =
@@ -354,7 +455,13 @@ let run ?(quick = false) ?thresholds ?pool () =
           check_warmup ?thresholds ?pool ~sim (paper_model ~servers:5 ~lambda:4.0)
         in
         Urs_obs.Progress.tick "doctor:models";
-        List.concat per_model @ warmup)
+        (* memory stage: the same paper model, solved once more under
+           the runtime probe *)
+        let memory =
+          check_memory_stage ?thresholds (paper_model ~servers:5 ~lambda:4.0)
+        in
+        Urs_obs.Progress.tick "doctor:models";
+        List.concat per_model @ warmup @ memory)
   in
   Urs_obs.Progress.finish "doctor:models";
   let verdict =

@@ -17,6 +17,14 @@ type t = {
   mutable workers : unit Domain.t list;
   m_tasks : Metrics.counter;
   m_failures : Metrics.counter;
+  (* per-task GC deltas, recorded only while [Span.gc_profiling_enabled]
+     (armed by [Urs_obs.Runtime.set_profiling]; off by default, so the
+     width = 1 fast path keeps its no-extra-metrics promise unless the
+     user explicitly profiles). [Gc.quick_stat] minor words are
+     domain-local, so each task measures its own domain's allocation. *)
+  m_gc_minor : Metrics.counter;
+  m_gc_promoted : Metrics.counter;
+  m_gc_major : Metrics.counter;
   (* wall-clock timelines (parallel pools only): pending-task queue depth
      and domains currently inside a task. Recorded on the shared-queue
      paths, so the width = 1 inline fast path stays untouched. *)
@@ -80,6 +88,18 @@ let create ?(name = "default") ~domains () =
       m_failures =
         Metrics.counter ~labels ~help:"Pool tasks that raised an exception"
           "urs_pool_task_failures_total";
+      m_gc_minor =
+        Metrics.counter ~labels
+          ~help:"Minor-heap words allocated inside pool tasks (GC profiling)"
+          "urs_pool_gc_minor_words_total";
+      m_gc_promoted =
+        Metrics.counter ~labels
+          ~help:"Words promoted minor->major inside pool tasks (GC profiling)"
+          "urs_pool_gc_promoted_words_total";
+      m_gc_major =
+        Metrics.counter ~labels
+          ~help:"Major-heap words allocated inside pool tasks (GC profiling)"
+          "urs_pool_gc_major_words_total";
       s_queue =
         (if domains > 1 then
            Some (Timeline.series ~horizon:16.0 ~labels "urs_pool_queue_depth")
@@ -110,6 +130,25 @@ let with_pool ?name ~domains f =
   let t = create ?name ~domains () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
+(* Wrap one task with a [Gc.quick_stat] delta when profiling is armed;
+   raises pass through (the words allocated up to the raise still
+   count). One atomic load when profiling is off. *)
+let with_gc_delta t f =
+  if not (Span.gc_profiling_enabled ()) then f ()
+  else begin
+    (* Gc.counters is domain-local (quick_stat aggregates the whole
+       process): tasks running concurrently on sibling domains must not
+       leak into each other's delta *)
+    let minor0, promoted0, major0 = Gc.counters () in
+    Fun.protect
+      ~finally:(fun () ->
+        let minor1, promoted1, major1 = Gc.counters () in
+        Metrics.inc ~by:(minor1 -. minor0) t.m_gc_minor;
+        Metrics.inc ~by:(promoted1 -. promoted0) t.m_gc_promoted;
+        Metrics.inc ~by:(major1 -. major0) t.m_gc_major)
+      f
+  end
+
 let check_open t =
   let closed =
     Mutex.lock t.lock;
@@ -129,7 +168,7 @@ let run_batch t f arr =
        no extra metrics — bit-identical to not using a pool at all *)
     Array.map
       (fun x ->
-        try Ok (f x)
+        try Ok (with_gc_delta t (fun () -> f x))
         with e -> Error (e, Printexc.get_raw_backtrace ()))
       arr
   else begin
@@ -142,9 +181,10 @@ let run_batch t f arr =
       let r =
         try
           Ok
-            (Span.with_ ~name:"urs_pool_task"
-               ~labels:[ ("pool", t.name) ]
-               (fun () -> f arr.(i)))
+            (with_gc_delta t (fun () ->
+                 Span.with_ ~name:"urs_pool_task"
+                   ~labels:[ ("pool", t.name) ]
+                   (fun () -> f arr.(i))))
         with e ->
           let bt = Printexc.get_raw_backtrace () in
           Metrics.inc t.m_failures;

@@ -26,7 +26,15 @@ val create : ?name:string -> domains:int -> unit -> t
     [urs_pool_queue_depth] (pending tasks after each enqueue/dequeue)
     and [urs_pool_busy_domains] (execution slots currently inside a
     task). The [domains = 1] inline path records neither — it stays
-    byte-for-byte the sequential execution. *)
+    byte-for-byte the sequential execution.
+
+    When GC profiling is armed ([Urs_obs.Runtime.set_profiling], off by
+    default), every task — inline or on a worker domain — additionally
+    folds its [Gc.counters] delta into
+    [urs_pool_gc_minor_words_total] / [urs_pool_gc_promoted_words_total]
+    / [urs_pool_gc_major_words_total] (labelled [pool=<name>]); minor
+    words are domain-local, so the totals account per-task allocation
+    exactly regardless of which domain ran the task. *)
 
 val domains : t -> int
 (** The execution width the pool was created with (including the

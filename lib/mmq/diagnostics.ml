@@ -24,6 +24,8 @@ type thresholds = {
   warmup_slack_frac : float;
   transient_rel_degraded : float;
   transient_rel_suspect : float;
+  memory_top_heap_words : float;
+  memory_gc_pause_seconds : float;
 }
 
 let default_thresholds =
@@ -60,6 +62,12 @@ let default_thresholds =
        most-likely-mode start of Transient.solve *)
     transient_rel_degraded = 0.35;
     transient_rel_suspect = 1.0;
+    (* memory stage: the N=5 paper solve tops out around a few tens of
+       megawords even with the probe machinery on — a quarter-gigaword
+       top-heap or a >1 s major-GC pause inside a solve span means the
+       allocation profile changed fundamentally *)
+    memory_top_heap_words = 2.5e8;
+    memory_gc_pause_seconds = 1.0;
   }
 
 (* ---- verdict algebra ---- *)
@@ -229,6 +237,26 @@ let check_warmup ?(thresholds = default_thresholds) ~label ~warmup ~horizon
             "%s: measured warm-up %.3g exceeds configured warmup %.3g — \
              summary window overlaps the transient"
             label tr warmup));
+  close sc
+
+let check_memory ?(thresholds = default_thresholds) ~label ~top_heap_words
+    ~worst_pause () =
+  let t = thresholds in
+  let sc = new_scorer () in
+  if top_heap_words > t.memory_top_heap_words then
+    complain sc 2
+      (Printf.sprintf
+         "%s: top heap %.3g words exceeds the %.3g-word budget — allocation \
+          profile changed fundamentally"
+         label top_heap_words t.memory_top_heap_words);
+  (match worst_pause with
+  | Some p when p > t.memory_gc_pause_seconds ->
+      complain sc 2
+        (Printf.sprintf
+           "%s: a %.3g s major-GC pause landed inside the solve (threshold \
+            %.3g s)"
+           label p t.memory_gc_pause_seconds)
+  | Some _ | None -> ());
   close sc
 
 let check_transient_trajectory ?(thresholds = default_thresholds) ~label pairs

@@ -69,6 +69,14 @@ type thresholds = {
           noisy, and the simulator's initial phase mix differs slightly
           from the most-likely-mode start of the uniformization). *)
   transient_rel_suspect : float;  (** ... and above this, suspect. *)
+  memory_top_heap_words : float;
+      (** {!check_memory}: top-heap words above this budget are suspect
+          (default [2.5e8] — far above the few tens of megawords the
+          N=5 paper solve needs, so only a fundamental allocation
+          regression trips it). *)
+  memory_gc_pause_seconds : float;
+      (** {!check_memory}: a major-GC pause longer than this inside the
+          probed solve is suspect (default [1.]). *)
 }
 
 val default_thresholds : thresholds
@@ -130,6 +138,20 @@ val check_warmup :
     [None] means the trajectory never settled within [horizon].
     Degraded when the truncation time exceeds [warmup] by more than
     [warmup_slack_frac] of the horizon, or on [None]. *)
+
+val check_memory :
+  ?thresholds:thresholds ->
+  label:string ->
+  top_heap_words:float ->
+  worst_pause:float option ->
+  unit ->
+  verdict
+(** Memory health of a probed solve ([urs doctor]'s [memory] stage):
+    suspect when [top_heap_words] exceeds [memory_top_heap_words], or
+    when [worst_pause] (the longest major-GC pause overlapping the
+    solve span, from the Runtime_events consumer; [None] when no pause
+    was observed or the runtime lacks eventring support) exceeds
+    [memory_gc_pause_seconds]. *)
 
 val check_transient_trajectory :
   ?thresholds:thresholds ->

@@ -73,12 +73,16 @@ let prometheus ?(skip_zero = false) entries =
          # TYPE urs_build_info gauge\n";
       Buffer.add_string buf
         (Printf.sprintf "urs_build_info%s 1\n" (label_str labels)));
-  let last_header = ref "" in
+  (* HELP/TYPE must appear exactly once per family. Adjacency (entries
+     sorted by name) is not enough: callers can legally pass a
+     concatenation of snapshots — e.g. `--metrics` dumping while
+     `--serve-metrics` scrapes assembled the same registry twice — so
+     track families actually emitted. *)
+  let seen = Hashtbl.create 16 in
   List.iter
     (fun (e : Metrics.entry) ->
-      (* entries are sorted by name: emit HELP/TYPE once per family *)
-      if e.Metrics.name <> !last_header then begin
-        last_header := e.Metrics.name;
+      if not (Hashtbl.mem seen e.Metrics.name) then begin
+        Hashtbl.add seen e.Metrics.name ();
         if e.Metrics.help <> "" then
           Buffer.add_string buf
             (Printf.sprintf "# HELP %s %s\n" e.Metrics.name e.Metrics.help);

@@ -28,7 +28,10 @@ type record = {
   kind : string;
       (** Call-site family: ["solver.evaluate"], ["spectral.solve"],
           ["sweep.point"], ["sim.replication"], ["bench.section"],
-          ["doctor"]. *)
+          ["doctor"], ["runtime"] (a GC/allocation probe around a code
+          region — [Urs_obs.Runtime.probe]: the probed label in
+          [params], word/collection deltas and heap high-water in
+          [summary]). *)
   strategy : string option;  (** Solver strategy label, when relevant. *)
   params : (string * Json.t) list;  (** Model / run parameters. *)
   wall_seconds : float;

@@ -8,12 +8,30 @@ let set_clock f = clock := f
 
 let use_default_clock () = clock := default_clock
 
+(* GC profiling is a process-wide switch shared with [Runtime] (which
+   owns the aggregate counters) and [Urs_exec.Pool] (per-task deltas).
+   The atomic lives here — the lowest layer that needs it — so neither
+   module depends on the other. Off by default: a disabled probe costs
+   one atomic load per span. *)
+let gc_profiling = Atomic.make false
+
+let set_gc_profiling b = Atomic.set gc_profiling b
+
+let gc_profiling_enabled () = Atomic.get gc_profiling
+
+type gc_words = {
+  gc_minor : float;  (* words allocated in the minor heap during the span *)
+  gc_promoted : float;
+  gc_major : float;  (* words allocated directly in the major heap *)
+}
+
 type node = {
   name : string;
   labels : Metrics.labels;
   start : float;
   domain : int;  (* id of the domain that ran the span *)
   mutable duration : float;
+  mutable gc : gc_words option;  (* only when GC profiling was enabled *)
   mutable children : node list; (* reverse completion order *)
 }
 
@@ -74,6 +92,7 @@ let with_ ?registry ?(labels = []) ~name f =
           start = t0;
           domain = (Domain.self () :> int);
           duration = 0.0;
+          gc = None;
           children = [];
         }
       in
@@ -81,6 +100,16 @@ let with_ ?registry ?(labels = []) ~name f =
       Some n
     end
     else None
+  in
+  (* sampled only when both tracing and GC profiling are on: the words
+     are attached to the trace node (flame JSON fields, perfetto args),
+     while aggregate counters belong to [Runtime] probes *)
+  (* Gc.counters is domain-local, so a span on a pool domain measures
+     only its own allocation, not its concurrently-running siblings' *)
+  let gc0 =
+    match node with
+    | Some _ when Atomic.get gc_profiling -> Some (Gc.counters ())
+    | _ -> None
   in
   Fun.protect
     ~finally:(fun () ->
@@ -90,6 +119,17 @@ let with_ ?registry ?(labels = []) ~name f =
       | None -> ()
       | Some n -> (
           n.duration <- dt;
+          (match gc0 with
+          | None -> ()
+          | Some (minor0, promoted0, major0) ->
+              let minor1, promoted1, major1 = Gc.counters () in
+              n.gc <-
+                Some
+                  {
+                    gc_minor = minor1 -. minor0;
+                    gc_promoted = promoted1 -. promoted0;
+                    gc_major = major1 -. major0;
+                  });
           let stack = Domain.DLS.get stack_key in
           match !stack with
           | top :: rest when top == n -> (
@@ -119,11 +159,21 @@ let rec node_json n =
           Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) n.labels) );
       ]
   in
+  let gc =
+    match n.gc with
+    | None -> []
+    | Some g ->
+        [
+          ("gc_minor_words", Json.Float g.gc_minor);
+          ("gc_promoted_words", Json.Float g.gc_promoted);
+          ("gc_major_words", Json.Float g.gc_major);
+        ]
+  in
   let children =
     if n.children = [] then []
     else [ ("children", Json.List (List.rev_map node_json n.children)) ]
   in
-  Json.Obj (base @ labels @ children)
+  Json.Obj (base @ labels @ gc @ children)
 
 let trace_json () =
   let roots, dropped =
@@ -143,17 +193,25 @@ let trace_json () =
    ("ph":"X") events with microsecond timestamps. The domain id becomes
    the tid, so each domain renders as its own track and pool parallelism
    is visible at a glance; nesting within a track is reconstructed by
-   the viewer from the ts/dur containment. *)
-let trace_perfetto () =
+   the viewer from the ts/dur containment. [extra] events (e.g. GC
+   slices and counter samples from [Runtime]) are appended verbatim. *)
+let trace_perfetto ?(extra = []) () =
   let events = ref [] in
   let rec emit n =
     let args =
-      if n.labels = [] then []
-      else
-        [
-          ( "args",
-            Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) n.labels) );
-        ]
+      let gc =
+        match n.gc with
+        | None -> []
+        | Some g ->
+            [
+              ("gc_minor_words", Json.Float g.gc_minor);
+              ("gc_promoted_words", Json.Float g.gc_promoted);
+              ("gc_major_words", Json.Float g.gc_major);
+            ]
+      in
+      let labels = List.map (fun (k, v) -> (k, Json.String v)) n.labels in
+      if labels = [] && gc = [] then []
+      else [ ("args", Json.Obj (labels @ gc)) ]
     in
     events :=
       Json.Obj
@@ -179,6 +237,6 @@ let trace_perfetto () =
   Json.to_string
     (Json.Obj
        [
-         ("traceEvents", Json.List (List.rev !events));
+         ("traceEvents", Json.List (List.rev !events @ extra));
          ("displayTimeUnit", Json.String "ms");
        ])

@@ -31,6 +31,18 @@ val set_tracing : bool -> unit
 
 val tracing_enabled : unit -> bool
 
+val set_gc_profiling : bool -> unit
+(** Enable/disable GC profiling (default: disabled). When on (and
+    tracing is also on), every span samples [Gc.quick_stat] at entry and
+    exit and attaches the minor/promoted/major word deltas to its trace
+    node (["gc_minor_words"] etc. in {!trace_json}, [args] in
+    {!trace_perfetto}). The same switch gates the per-task GC deltas in
+    [Urs_exec.Pool] and is what [Urs_obs.Runtime.set_profiling]
+    toggles; it lives here so neither module depends on the other. A
+    disabled probe costs one atomic load per span. *)
+
+val gc_profiling_enabled : unit -> bool
+
 val with_ :
   ?registry:Metrics.t -> ?labels:Metrics.labels -> name:string ->
   (unit -> 'a) -> 'a
@@ -44,14 +56,17 @@ val trace_json : unit -> string
     "children": [...]}, ...], "dropped": n}]. Roots are capped at an
     internal limit; [dropped] counts the excess. *)
 
-val trace_perfetto : unit -> string
+val trace_perfetto : ?extra:Json.t list -> unit -> string
 (** The same trace as {!trace_json}, flattened into Chrome/Perfetto
     "trace_events" JSON: [{"traceEvents": [{"name", "ph": "X", "ts",
     "dur", "pid", "tid", "args"?}, ...], "displayTimeUnit": "ms"}].
     Every span is one complete event; [ts]/[dur] are microseconds, the
-    span's labels become [args], and the domain id becomes the [tid] so
-    each domain renders as its own track (pool parallelism is visible
-    directly). Open the file in [ui.perfetto.dev] or
+    span's labels (and GC word deltas when profiling was on) become
+    [args], and the domain id becomes the [tid] so each domain renders
+    as its own track (pool parallelism is visible directly). [extra]
+    events — e.g. GC slices and counter samples from
+    [Urs_obs.Runtime.perfetto_events] — are appended to [traceEvents]
+    verbatim. Open the file in [ui.perfetto.dev] or
     [chrome://tracing]. *)
 
 val reset_trace : unit -> unit

@@ -1,7 +1,7 @@
 #!/bin/sh
 # Starts `urs serve` on a scratch port, checks that /metrics, /healthz,
-# /runs, /timeline and /progress answer, then shuts the server down.
-# Used by `make serve-smoke` (and hence `make ci`).
+# /runs, /timeline, /progress and /runtime answer, then shuts the
+# server down. Used by `make serve-smoke` (and hence `make ci`).
 set -eu
 
 PORT="${URS_SMOKE_PORT:-9109}"
@@ -41,6 +41,10 @@ curl -sf "http://127.0.0.1:$PORT/timeline" | grep -q '"series"'
 curl -sf "http://127.0.0.1:$PORT/timeline?series=urs_sim_jobs&coarsen=4" |
   grep -q '"urs_sim_jobs"'
 curl -sf "http://127.0.0.1:$PORT/progress" | grep -q '"task":"doctor:models"'
+
+# runtime probe status: always answers, even with profiling off
+curl -sf "http://127.0.0.1:$PORT/runtime" | grep -q '"profiling"'
+curl -sf "http://127.0.0.1:$PORT/runtime" | grep -q '"ocaml_version"'
 
 # the JSON endpoints must say so
 curl -sfI "http://127.0.0.1:$PORT/runs" |

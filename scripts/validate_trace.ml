@@ -1,35 +1,64 @@
 (* Validate a Chrome/Perfetto trace exported with --trace-format
    perfetto: the file must parse as JSON (with the in-repo parser — no
    external dependency), hold a non-empty traceEvents array, and every
-   event must carry the complete-event fields the exporter promises.
-   Used by `make trace-smoke` (and hence `make ci`). *)
+   event must carry the fields the exporter promises — complete span
+   events (ph=X with ts/dur/pid/tid) or counter samples (ph=C with
+   ts/pid and a numeric args value, the GC counter tracks emitted
+   under --profile-gc). With --require-counter the trace must contain
+   at least one counter event, which is how `make trace-smoke` asserts
+   a profiled run really merged its GC tracks. Used by `make
+   trace-smoke` (and hence `make ci`). *)
 
 module Json = Urs_obs.Json
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
 
-let check_event i ev =
-  let field k = Json.member k ev in
-  (match field "ph" with
-  | Some (Json.String "X") -> ()
-  | _ -> fail "validate_trace: event %d is not a complete (ph=X) event" i);
-  (match Option.bind (field "name") Json.to_string_opt with
+let check_named i ev =
+  match Option.bind (Json.member "name" ev) Json.to_string_opt with
   | Some "" | None -> fail "validate_trace: event %d has no name" i
-  | Some _ -> ());
+  | Some _ -> ()
+
+let check_num_fields i ev keys =
   List.iter
     (fun k ->
-      match Option.bind (field k) Json.to_float_opt with
+      match Option.bind (Json.member k ev) Json.to_float_opt with
       | Some v when Float.is_finite v && v >= 0.0 -> ()
       | _ -> fail "validate_trace: event %d: bad %s" i k)
-    [ "ts"; "dur"; "pid"; "tid" ]
+    keys
+
+(* returns true when the event is a counter sample *)
+let check_event i ev =
+  match Json.member "ph" ev with
+  | Some (Json.String "X") ->
+      check_named i ev;
+      check_num_fields i ev [ "ts"; "dur"; "pid"; "tid" ];
+      false
+  | Some (Json.String "C") ->
+      check_named i ev;
+      check_num_fields i ev [ "ts"; "pid" ];
+      (match Json.member "args" ev with
+      | Some (Json.Obj kvs)
+        when List.exists
+               (fun (_, v) ->
+                 match Json.to_float_opt v with
+                 | Some f -> Float.is_finite f
+                 | None -> false)
+               kvs ->
+          ()
+      | _ ->
+          fail "validate_trace: counter event %d has no numeric args value" i);
+      true
+  | _ -> fail "validate_trace: event %d is neither ph=X nor ph=C" i
 
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let require_counter = List.mem "--require-counter" args in
   let path =
-    if Array.length Sys.argv = 2 then Sys.argv.(1)
-    else begin
-      prerr_endline "usage: validate_trace TRACE.json";
-      exit 2
-    end
+    match List.filter (fun a -> a <> "--require-counter") args with
+    | [ p ] -> p
+    | _ ->
+        prerr_endline "usage: validate_trace [--require-counter] TRACE.json";
+        exit 2
   in
   let raw =
     let ic = open_in_bin path in
@@ -43,7 +72,15 @@ let () =
       match Json.member "traceEvents" j with
       | Some (Json.List []) -> fail "validate_trace: %s: empty traceEvents" path
       | Some (Json.List events) ->
-          List.iteri check_event events;
-          Printf.printf "validate_trace: %s ok (%d events)\n" path
-            (List.length events)
+          let counters = ref 0 in
+          List.iteri
+            (fun i ev -> if check_event i ev then incr counters)
+            events;
+          if require_counter && !counters = 0 then
+            fail
+              "validate_trace: %s: no counter (ph=C) events — GC tracks \
+               missing from the profiled trace"
+              path;
+          Printf.printf "validate_trace: %s ok (%d events, %d counters)\n"
+            path (List.length events) !counters
       | _ -> fail "validate_trace: %s: missing traceEvents array" path)

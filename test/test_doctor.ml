@@ -118,6 +118,44 @@ let test_health_gauges () =
   | Some v -> Alcotest.failf "balance residual gauge %g" v
   | None -> Alcotest.fail "missing urs_health_value{check=balance_residual}"
 
+let test_check_memory () =
+  let open Diagnostics in
+  (* comfortably inside the default budget, no observed pause *)
+  (match
+     check_memory ~label:"t" ~top_heap_words:1e6 ~worst_pause:None ()
+   with
+  | Ok -> ()
+  | v -> Alcotest.failf "small heap: %s" (Format.asprintf "%a" pp_verdict v));
+  (* a short pause is fine too *)
+  (match
+     check_memory ~label:"t" ~top_heap_words:1e6 ~worst_pause:(Some 0.005) ()
+   with
+  | Ok -> ()
+  | v -> Alcotest.failf "short pause: %s" (Format.asprintf "%a" pp_verdict v));
+  (* blowing the top-heap budget is SUSPECT *)
+  (match
+     check_memory ~label:"t" ~top_heap_words:1e12 ~worst_pause:None ()
+   with
+  | Suspect _ -> ()
+  | v -> Alcotest.failf "huge heap: %s" (Format.asprintf "%a" pp_verdict v));
+  (* so is a pathological major-GC pause *)
+  (match
+     check_memory ~label:"t" ~top_heap_words:1e6 ~worst_pause:(Some 30.0) ()
+   with
+  | Suspect _ -> ()
+  | v -> Alcotest.failf "long pause: %s" (Format.asprintf "%a" pp_verdict v));
+  (* thresholds are tunable *)
+  let tight =
+    { default_thresholds with memory_top_heap_words = 10.0 }
+  in
+  match
+    check_memory ~thresholds:tight ~label:"t" ~top_heap_words:1e3
+      ~worst_pause:None ()
+  with
+  | Suspect _ -> ()
+  | v ->
+      Alcotest.failf "tight budget: %s" (Format.asprintf "%a" pp_verdict v)
+
 (* analytic-only doctor column: no simulation, so this stays fast while
    covering the spectral / matrix-geometric / approximation triangle *)
 let test_check_model_analytic () =
@@ -164,6 +202,7 @@ let () =
           Alcotest.test_case "health gauges" `Quick test_health_gauges;
           Alcotest.test_case "near saturation degrades" `Quick
             test_near_saturation_degrades;
+          Alcotest.test_case "memory budget scoring" `Quick test_check_memory;
         ] );
       ( "doctor",
         [

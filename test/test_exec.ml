@@ -109,6 +109,54 @@ let test_pool_domains () =
   Pool.with_pool ~domains:1 (fun pool ->
       Alcotest.(check int) "sequential width" 1 (Pool.domains pool))
 
+(* ---- per-task GC accounting ---- *)
+
+(* With profiling armed, every task folds its Gc.quick_stat delta into
+   the pool's gc counters; minor words are domain-local, so a 4-domain
+   pool must account the same per-task allocation as the sequential
+   inline path. With profiling off the counters must never move — the
+   zero-overhead default. *)
+let test_pool_gc_accounting () =
+  let work x =
+    ignore
+      (Sys.opaque_identity (List.init 20_000 (fun i -> float_of_int (i + x))));
+    x
+  in
+  let xs = List.init 40 Fun.id in
+  let minor name =
+    Option.value ~default:0.0
+      (Metrics.value ~labels:[ ("pool", name) ] "urs_pool_gc_minor_words_total")
+  in
+  Pool.with_pool ~name:"gcoff" ~domains:2 (fun pool ->
+      ignore (Pool.map pool work xs));
+  Alcotest.(check (float 0.0)) "profiling off: zero" 0.0 (minor "gcoff");
+  Urs_obs.Runtime.set_profiling true;
+  Fun.protect
+    ~finally:(fun () -> Urs_obs.Runtime.set_profiling false)
+    (fun () ->
+      Pool.with_pool ~name:"gcseq" ~domains:1 (fun pool ->
+          ignore (Pool.map pool work xs));
+      Pool.with_pool ~name:"gcpar" ~domains:4 (fun pool ->
+          ignore (Pool.map pool work xs));
+      let seq = minor "gcseq" and par = minor "gcpar" in
+      (* 40 tasks x 20k list elements is at least a few million words *)
+      if seq < 1e6 then
+        Alcotest.failf "sequential path under-accounts: %g minor words" seq;
+      let rel = Float.abs (par -. seq) /. seq in
+      if rel > 0.10 then
+        Alcotest.failf
+          "gc accounting diverges across widths: seq %g par %g (%.1f%%)" seq
+          par (100.0 *. rel);
+      (* the parallel path also promotes some of it; the counter must
+         exist and stay non-negative *)
+      match
+        Metrics.value
+          ~labels:[ ("pool", "gcpar") ]
+          "urs_pool_gc_promoted_words_total"
+      with
+      | Some p when p >= 0.0 -> ()
+      | _ -> Alcotest.fail "promoted-words counter missing")
+
 (* ---- obs layer under concurrent load ---- *)
 
 (* Hammer one counter, one gauge and one histogram from several domains;
@@ -343,6 +391,8 @@ let () =
           Alcotest.test_case "map_reduce fold order" `Quick test_pool_map_reduce;
           Alcotest.test_case "shutdown under load" `Quick test_pool_shutdown;
           Alcotest.test_case "width accessor" `Quick test_pool_domains;
+          Alcotest.test_case "gc accounting across widths" `Quick
+            test_pool_gc_accounting;
         ] );
       ( "obs concurrency",
         [

@@ -927,6 +927,443 @@ let test_query_helpers () =
   Alcotest.(check (option int)) "int" (Some 1) (Http.query_int q "a");
   Alcotest.(check (option int)) "non-numeric" None (Http.query_int q "b")
 
+(* ---- runtime probes ---- *)
+
+module Runtime = Urs_obs.Runtime
+
+let test_runtime_measure () =
+  let r, d =
+    Runtime.measure (fun () ->
+        Array.length (Sys.opaque_identity (Array.make 100_000 0.0)))
+  in
+  Alcotest.(check int) "result threaded" 100_000 r;
+  (* a 100k-element float array costs at least that many words,
+     wherever the allocator put it *)
+  if d.Runtime.d_minor_words +. d.Runtime.d_major_words < 100_000.0 then
+    Alcotest.failf "allocation not observed: minor %g major %g"
+      d.Runtime.d_minor_words d.Runtime.d_major_words;
+  if d.Runtime.heap_words_after <= 0 then
+    Alcotest.fail "heap_words_after should be positive";
+  if d.Runtime.top_heap_words_after < d.Runtime.heap_words_after then
+    Alcotest.fail "top heap below current heap"
+
+let test_runtime_probe () =
+  with_clean_ledger @@ fun () ->
+  Ledger.set_memory true;
+  let r = Metrics.create () in
+  let x, d =
+    Runtime.probe ~registry:r ~label:"test.region" (fun () ->
+        List.length (Sys.opaque_identity (List.init 10_000 Float.of_int)))
+  in
+  Alcotest.(check int) "result threaded" 10_000 x;
+  (match Metrics.value ~registry:r "urs_runtime_minor_words_total" with
+  | Some v -> check_float ~tol:1e-6 "counter = delta" d.Runtime.d_minor_words v
+  | None -> Alcotest.fail "missing urs_runtime_minor_words_total");
+  (match Metrics.value ~registry:r "urs_runtime_top_heap_words" with
+  | Some v when v > 0.0 -> ()
+  | _ -> Alcotest.fail "missing urs_runtime_top_heap_words gauge");
+  match Ledger.recent () with
+  | [ rc ] ->
+      Alcotest.(check string) "kind" "runtime" rc.Ledger.kind;
+      Alcotest.(check string) "outcome" "ok" rc.Ledger.outcome;
+      (match List.assoc_opt "label" rc.Ledger.params with
+      | Some (Json.String "test.region") -> ()
+      | _ -> Alcotest.fail "label param missing");
+      (match
+         Option.bind
+           (List.assoc_opt "minor_words" rc.Ledger.summary)
+           Json.to_float_opt
+       with
+      | Some mw -> check_float ~tol:1e-6 "summary delta" d.Runtime.d_minor_words mw
+      | None -> Alcotest.fail "minor_words summary missing")
+  | rs -> Alcotest.failf "expected 1 ledger record, got %d" (List.length rs)
+
+let test_runtime_probe_exception () =
+  with_clean_ledger @@ fun () ->
+  Ledger.set_memory true;
+  let r = Metrics.create () in
+  (match Runtime.probe ~registry:r ~label:"boom" (fun () -> failwith "bang") with
+  | _ -> Alcotest.fail "probe should re-raise"
+  | exception Failure msg -> Alcotest.(check string) "message kept" "bang" msg);
+  match Ledger.recent () with
+  | [ rc ] ->
+      Alcotest.(check string) "kind" "runtime" rc.Ledger.kind;
+      Alcotest.(check string) "error outcome" "error" rc.Ledger.outcome
+  | rs -> Alcotest.failf "expected 1 ledger record, got %d" (List.length rs)
+
+let test_runtime_profiling_switch () =
+  Alcotest.(check bool) "off by default" false (Runtime.profiling_enabled ());
+  Runtime.set_profiling true;
+  Alcotest.(check bool) "armed" true (Runtime.profiling_enabled ());
+  Alcotest.(check bool)
+    "same switch as Span" true
+    (Span.gc_profiling_enabled ());
+  Runtime.set_profiling false;
+  Alcotest.(check bool) "disarmed" false (Runtime.profiling_enabled ())
+
+let test_runtime_events_killswitch () =
+  (* with the kill-switch set, the whole consumer degrades to a no-op *)
+  Unix.putenv "URS_NO_RUNTIME_EVENTS" "1";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "URS_NO_RUNTIME_EVENTS" "")
+    (fun () ->
+      Alcotest.(check bool) "start refused" false (Runtime.start_events ());
+      Alcotest.(check bool) "not running" false (Runtime.events_running ());
+      (* stop without start is a harmless no-op *)
+      Runtime.stop_events ();
+      Alcotest.(check int) "no slices" 0 (List.length (Runtime.gc_slices ())))
+
+let test_runtime_events_capture () =
+  (* run one full start -> GC activity -> stop cycle and check the
+     consumer turned phase pairs into slices on the Span clock *)
+  Unix.putenv "URS_NO_RUNTIME_EVENTS" "";
+  Runtime.clear_events ();
+  let started = Runtime.start_events () in
+  if not started then
+    Alcotest.fail "runtime should support Runtime_events on OCaml >= 5.1";
+  Alcotest.(check bool) "running" true (Runtime.events_running ());
+  Alcotest.(check bool)
+    "second start refused while running" false (Runtime.start_events ());
+  (* allocate through the minor heap and force a full major so the ring
+     sees both collectors *)
+  let junk = ref [] in
+  for i = 0 to 50_000 do
+    junk := (i, float_of_int i) :: !junk;
+    if i mod 10_000 = 0 then junk := []
+  done;
+  Gc.full_major ();
+  Thread.delay 0.05;
+  Runtime.stop_events ();
+  Alcotest.(check bool) "stopped" false (Runtime.events_running ());
+  let slices = Runtime.gc_slices () in
+  if slices = [] then Alcotest.fail "no GC slices captured";
+  List.iter
+    (fun s ->
+      if s.Runtime.duration_s < 0.0 then
+        Alcotest.failf "negative slice duration for %s" s.Runtime.phase;
+      if not (Float.is_finite s.Runtime.start_s) then
+        Alcotest.failf "non-finite slice start for %s" s.Runtime.phase)
+    slices;
+  (* every slice and counter sample renders as a well-formed Chrome
+     trace event *)
+  List.iter
+    (fun evt ->
+      (match Option.bind (Json.member "ph" evt) Json.to_string_opt with
+      | Some ("X" | "C") -> ()
+      | _ -> Alcotest.fail "perfetto event must be ph=X or ph=C");
+      match Option.bind (Json.member "ts" evt) Json.to_float_opt with
+      | Some ts when Float.is_finite ts -> ()
+      | _ -> Alcotest.fail "perfetto event needs a finite ts")
+    (Runtime.perfetto_events ());
+  (* the pause histogram saw at least one phase *)
+  let saw_pause =
+    List.exists
+      (fun e ->
+        e.Metrics.name = "urs_runtime_gc_events_total"
+        &&
+        match e.Metrics.data with
+        | Metrics.Counter_value v -> v > 0.0
+        | _ -> false)
+      (Metrics.snapshot ())
+  in
+  if not saw_pause then Alcotest.fail "urs_runtime_gc_events_total never moved";
+  let status = Json.to_string (Runtime.status_json ()) in
+  check_contains "status reports stopped" status {|"events_running":false|};
+  check_contains "status carries version" status {|"ocaml_version"|};
+  Runtime.clear_events ();
+  Alcotest.(check int) "clear drops slices" 0
+    (List.length (Runtime.gc_slices ()));
+  (* the ring-buffer file is unlinked as soon as the cursor maps it, so
+     even a killed process leaves no <pid>.events litter in the CWD *)
+  let ring =
+    Filename.concat (Sys.getcwd ())
+      (string_of_int (Unix.getpid ()) ^ ".events")
+  in
+  Alcotest.(check bool) "ring file unlinked" false (Sys.file_exists ring)
+
+let test_runtime_events_restart () =
+  (* stop_events keeps the cursor (the unlinked ring cannot be reopened),
+     so a second capture cycle in the same process must still work *)
+  Unix.putenv "URS_NO_RUNTIME_EVENTS" "";
+  Runtime.clear_events ();
+  if not (Runtime.start_events ()) then
+    Alcotest.fail "first restart-cycle start refused";
+  Runtime.stop_events ();
+  Runtime.clear_events ();
+  if not (Runtime.start_events ()) then
+    Alcotest.fail "second start after stop refused";
+  Alcotest.(check bool) "running again" true (Runtime.events_running ());
+  let junk = ref [] in
+  for i = 0 to 50_000 do
+    junk := float_of_int i :: !junk;
+    if i mod 10_000 = 0 then junk := []
+  done;
+  ignore (Sys.opaque_identity !junk);
+  Gc.full_major ();
+  Thread.delay 0.05;
+  Runtime.stop_events ();
+  Alcotest.(check bool) "stopped again" false (Runtime.events_running ());
+  if Runtime.gc_slices () = [] then
+    Alcotest.fail "no GC slices captured after restart";
+  Runtime.clear_events ()
+
+(* ---- span GC profiling and extra-event merge ---- *)
+
+let test_span_gc_profiling () =
+  let r = Metrics.create () in
+  Span.set_tracing true;
+  Span.set_gc_profiling true;
+  Fun.protect
+    ~finally:(fun () ->
+      Span.set_gc_profiling false;
+      Span.set_tracing false;
+      Span.reset_trace ())
+    (fun () ->
+      Span.with_ ~registry:r ~name:"urs_alloc_span" (fun () ->
+          ignore (Sys.opaque_identity (List.init 10_000 Float.of_int)));
+      let t = Span.trace_json () in
+      check_contains "minor words attached" t {|"gc_minor_words":|};
+      check_contains "major words attached" t {|"gc_major_words":|};
+      (* profiling off again: fresh spans carry no gc fields *)
+      Span.set_gc_profiling false;
+      Span.set_tracing false;
+      Span.set_tracing true;
+      Span.with_ ~registry:r ~name:"urs_quiet_span" (fun () -> ());
+      let t' = Span.trace_json () in
+      if contains t' "gc_minor_words" then
+        Alcotest.fail "gc fields leaked into unprofiled span")
+
+let test_perfetto_extra_merge () =
+  with_fake_clock @@ fun clock ->
+  let r = Metrics.create () in
+  Span.set_tracing true;
+  Fun.protect
+    ~finally:(fun () ->
+      Span.set_tracing false;
+      Span.reset_trace ())
+    (fun () ->
+      Span.with_ ~registry:r ~name:"urs_span" (fun () -> clock := 1.0);
+      let extra =
+        [
+          Json.Obj
+            [
+              ("name", Json.String "gc:test_counter");
+              ("cat", Json.String "gc");
+              ("ph", Json.String "C");
+              ("ts", Json.Float 0.0);
+              ("pid", Json.Int 1);
+              ("tid", Json.Int 0);
+              ("args", Json.Obj [ ("value", Json.Float 42.0) ]);
+            ];
+        ]
+      in
+      let trace = Span.trace_perfetto ~extra () in
+      match Json.of_string trace with
+      | Error e -> Alcotest.failf "merged trace does not parse: %s" e
+      | Ok j -> (
+          match Json.member "traceEvents" j with
+          | Some (Json.List evs) ->
+              Alcotest.(check int) "span + extra" 2 (List.length evs);
+              let last = List.nth evs 1 in
+              Alcotest.(check (option string))
+                "extra appended last" (Some "gc:test_counter")
+                (Option.bind (Json.member "name" last) Json.to_string_opt)
+          | _ -> Alcotest.fail "traceEvents missing"))
+
+(* ---- exporter emits each header family once ---- *)
+
+let count_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i acc =
+    if i + nn > nh then acc
+    else if String.sub hay i nn = needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  if nn = 0 then 0 else go 0 0
+
+let test_prometheus_type_once () =
+  let r = Metrics.create () in
+  Metrics.inc (Metrics.counter ~registry:r ~labels:[ ("k", "a") ] "dup_total");
+  Metrics.inc (Metrics.counter ~registry:r ~labels:[ ("k", "b") ] "dup_total");
+  Metrics.set (Metrics.gauge ~registry:r "dup_gauge") 1.0;
+  let snap = Metrics.snapshot ~registry:r () in
+  (* regression: concatenated snapshots interleave families, which an
+     adjacency-based header check double-emitted *)
+  let out = Export.prometheus (snap @ snap) in
+  Alcotest.(check int)
+    "counter TYPE once" 1
+    (count_sub out "# TYPE dup_total counter");
+  Alcotest.(check int)
+    "gauge TYPE once" 1
+    (count_sub out "# TYPE dup_gauge gauge");
+  (* the samples themselves still all render *)
+  Alcotest.(check int) "samples kept" 2 (count_sub out "dup_total{k=\"a\"} 1")
+
+(* ---- perf history ---- *)
+
+module Perf = Urs_obs.Perf
+
+let perf_stat ?(seconds = 0.01) ?(minor = 1e5) () =
+  {
+    Perf.seconds;
+    minor_words = minor;
+    promoted_words = 1e3;
+    major_words = 2e4;
+  }
+
+let perf_entry ?(time = 1000.0) ?(spectral = 0.01) () =
+  {
+    Perf.time;
+    git_rev = "abc1234";
+    ocaml = "5.1.1";
+    jobs = 1;
+    sections = [ ("n5", 1.5) ];
+    solvers =
+      [
+        ("spectral", perf_stat ~seconds:spectral ());
+        ("geometric", perf_stat ~seconds:1e-4 ~minor:1e3 ());
+      ];
+  }
+
+let test_perf_json_roundtrip () =
+  let e = perf_entry () in
+  (match Perf.entry_of_json (Perf.entry_to_json e) with
+  | Error err -> Alcotest.failf "round-trip failed: %s" err
+  | Ok e' ->
+      check_float "time" e.Perf.time e'.Perf.time;
+      Alcotest.(check string) "rev" "abc1234" e'.Perf.git_rev;
+      Alcotest.(check int) "jobs" 1 e'.Perf.jobs;
+      check_float "section" 1.5 (List.assoc "n5" e'.Perf.sections);
+      let s = List.assoc "spectral" e'.Perf.solvers in
+      check_float "seconds" 0.01 s.Perf.seconds;
+      check_float "minor words" 1e5 s.Perf.minor_words);
+  (* a bumped schema tag must be rejected, unknown extra fields ignored *)
+  (match
+     Perf.entry_of_json (Json.Obj [ ("schema", Json.String "urs-perf/99") ])
+   with
+  | Ok _ -> Alcotest.fail "unknown schema should be rejected"
+  | Error e -> check_contains "names the schema" e "urs-perf/99");
+  match Perf.entry_to_json (perf_entry ()) with
+  | Json.Obj fields -> (
+      match
+        Perf.entry_of_json (Json.Obj (("future_field", Json.Int 9) :: fields))
+      with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "extra field should be ignored: %s" e)
+  | _ -> Alcotest.fail "entry_to_json should be an object"
+
+let test_perf_append_read () =
+  let path = Filename.temp_file "urs_perf" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Perf.append path (perf_entry ~time:1.0 ());
+      Perf.append path (perf_entry ~time:2.0 ~spectral:0.02 ());
+      (match Perf.read_file path with
+      | Error e -> Alcotest.failf "read_file: %s" e
+      | Ok [ a; b ] ->
+          check_float "first entry" 1.0 a.Perf.time;
+          check_float "second entry" 2.0 b.Perf.time
+      | Ok es -> Alcotest.failf "expected 2 entries, got %d" (List.length es));
+      (* append never truncates *)
+      Perf.append path (perf_entry ~time:3.0 ());
+      (match Perf.read_file path with
+      | Ok es -> Alcotest.(check int) "third appended" 3 (List.length es)
+      | Error e -> Alcotest.failf "re-read: %s" e);
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "{\"schema\":\"nope\"}\n";
+      close_out oc;
+      match Perf.read_file path with
+      | Ok _ -> Alcotest.fail "malformed history should not parse"
+      | Error e -> check_contains "error names the line" e ":4:")
+
+let test_perf_analyze_breach () =
+  let history =
+    [ perf_entry ~time:1.0 ~spectral:0.01 ();
+      perf_entry ~time:2.0 ~spectral:0.025 () ]
+  in
+  let r = Perf.analyze history in
+  Alcotest.(check int) "entries" 2 r.Perf.entries;
+  Alcotest.(check (list string)) "spectral breaches" [ "spectral" ]
+    r.Perf.breaches;
+  let spectral =
+    List.find (fun t -> t.Perf.solver = "spectral") r.Perf.trends
+  in
+  check_float "best is the minimum" 0.01 spectral.Perf.best_seconds;
+  check_float "latest" 0.025 spectral.Perf.latest_seconds;
+  check_float "ratio" 2.5 spectral.Perf.ratio;
+  Alcotest.(check bool) "gated" true spectral.Perf.gated;
+  Alcotest.(check bool) "breach" true spectral.Perf.breach;
+  (* ungated solvers never breach, whatever their ratio *)
+  let geometric =
+    List.find (fun t -> t.Perf.solver = "geometric") r.Perf.trends
+  in
+  Alcotest.(check bool) "geometric not gated" false geometric.Perf.gated;
+  Alcotest.(check bool) "geometric no breach" false geometric.Perf.breach;
+  (* a looser gate clears it *)
+  let loose = Perf.analyze ~max_ratio:3.0 history in
+  Alcotest.(check (list string)) "no breach at 3x" [] loose.Perf.breaches;
+  (* a single entry is its own best: ratio 1, no breach *)
+  let single = Perf.analyze [ perf_entry () ] in
+  Alcotest.(check (list string)) "single entry" [] single.Perf.breaches
+
+let test_perf_renderings () =
+  let r =
+    Perf.analyze
+      [ perf_entry ~time:1.0 ~spectral:0.01 ();
+        perf_entry ~time:2.0 ~spectral:0.025 () ]
+  in
+  let table = Perf.render_table r in
+  check_contains "table header" table "solver";
+  check_contains "table trend" table "spectral";
+  check_contains "table flags breach" table "BREACH";
+  check_contains "table sections" table "n5";
+  check_contains "table summary line" table "perf report: 2 entries";
+  let md = Perf.render_markdown r in
+  check_contains "markdown table" md "| spectral |";
+  check_contains "markdown breach" md "**BREACH**";
+  (match Json.of_string (Perf.render_json r) with
+  | Error e -> Alcotest.failf "report json does not parse: %s" e
+  | Ok j ->
+      (match Option.bind (Json.member "schema" j) Json.to_string_opt with
+      | Some "urs-report/1" -> ()
+      | _ -> Alcotest.fail "report schema tag missing");
+      (match Json.member "breaches" j with
+      | Some (Json.List [ Json.String "spectral" ]) -> ()
+      | _ -> Alcotest.fail "json breaches should list spectral"));
+  let data = Perf.render_data r in
+  check_contains "gnuplot block header" data "# solver: spectral";
+  check_contains "gnuplot columns" data "# run time seconds minor_words";
+  check_contains "gnuplot row" data "0 1 0.01 100000";
+  (* two solvers -> two index blocks separated by a double blank line *)
+  Alcotest.(check int) "block separator" 1 (count_sub data "\n\n\n")
+
+let test_perf_ledger_digest () =
+  let mk kind wall =
+    {
+      Ledger.seq = 0;
+      time = 0.0;
+      kind;
+      strategy = None;
+      params = [];
+      wall_seconds = wall;
+      outcome = "ok";
+      summary = [];
+      gauges = [];
+    }
+  in
+  let digest =
+    Perf.ledger_digest [ mk "b.kind" 2.0; mk "a.kind" 1.0; mk "a.kind" 0.5 ]
+  in
+  (match digest with
+  | [ ("a.kind", 2, wa); ("b.kind", 1, wb) ] ->
+      check_float "a wall" 1.5 wa;
+      check_float "b wall" 2.0 wb
+  | _ -> Alcotest.failf "unexpected digest shape (%d rows)" (List.length digest));
+  let rendered = Perf.render_ledger_digest digest in
+  check_contains "digest lists kinds" rendered "a.kind";
+  check_contains "digest header" rendered "by kind"
+
 (* ---- regression: metrics recorded by a spectral solve ---- *)
 
 let test_spectral_solve_metrics () =
@@ -1003,6 +1440,8 @@ let () =
           Alcotest.test_case "skip_zero" `Quick test_skip_zero;
           Alcotest.test_case "degenerate summaries" `Quick
             test_degenerate_summary_json;
+          Alcotest.test_case "TYPE header once per family" `Quick
+            test_prometheus_type_once;
         ] );
       ( "json-parser",
         [
@@ -1044,7 +1483,38 @@ let () =
           Alcotest.test_case "rate and eta" `Quick test_progress_rate_and_eta;
         ] );
       ( "perfetto",
-        [ Alcotest.test_case "export" `Quick test_perfetto_export ] );
+        [
+          Alcotest.test_case "export" `Quick test_perfetto_export;
+          Alcotest.test_case "extra events merge" `Quick
+            test_perfetto_extra_merge;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "measure" `Quick test_runtime_measure;
+          Alcotest.test_case "probe metrics and ledger" `Quick
+            test_runtime_probe;
+          Alcotest.test_case "probe exception safe" `Quick
+            test_runtime_probe_exception;
+          Alcotest.test_case "profiling switch" `Quick
+            test_runtime_profiling_switch;
+          Alcotest.test_case "events kill-switch" `Quick
+            test_runtime_events_killswitch;
+          Alcotest.test_case "events capture" `Quick
+            test_runtime_events_capture;
+          Alcotest.test_case "events restart" `Quick
+            test_runtime_events_restart;
+          Alcotest.test_case "span gc profiling" `Quick test_span_gc_profiling;
+        ] );
+      ( "perf-history",
+        [
+          Alcotest.test_case "entry json round-trip" `Quick
+            test_perf_json_roundtrip;
+          Alcotest.test_case "append and read" `Quick test_perf_append_read;
+          Alcotest.test_case "analyze and breach" `Quick
+            test_perf_analyze_breach;
+          Alcotest.test_case "renderings" `Quick test_perf_renderings;
+          Alcotest.test_case "ledger digest" `Quick test_perf_ledger_digest;
+        ] );
       ( "build-info",
         [ Alcotest.test_case "gauge" `Quick test_build_info ] );
       ( "stats-histogram",
