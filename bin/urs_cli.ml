@@ -104,36 +104,34 @@ let json_response j =
     (Urs_obs.Json.to_string j ^ "\n")
 
 let runs_response q =
-  (* /runs?n=N limits the records returned; see http.mli *)
-  let limit =
-    match Urs_obs.Http.query_int q "n" with
-    | Some n when n >= 0 -> n
-    | _ -> 100
-  in
-  let records = Urs_obs.Ledger.recent ~limit () in
-  json_response (Urs_obs.Json.List (List.map Urs_obs.Ledger.to_json records))
+  (* /runs?n=N limits the records returned; a non-positive or
+     non-numeric N is the client's error, not a value to clamp *)
+  match Urs_obs.Http.query_pos_int q "n" ~default:100 with
+  | Error msg -> Urs_obs.Http.respond ~status:400 (msg ^ "\n")
+  | Ok limit ->
+      let records = Urs_obs.Ledger.recent ~limit () in
+      json_response
+        (Urs_obs.Json.List (List.map Urs_obs.Ledger.to_json records))
 
 let timeline_response q =
   (* /timeline?series=NAME restricts to one series name;
      /timeline?coarsen=K merges K adjacent buckets per series *)
   let name = Urs_obs.Http.query_get q "series" in
-  let factor =
-    match Urs_obs.Http.query_int q "coarsen" with
-    | Some k when k >= 1 -> k
-    | _ -> 1
-  in
-  let snaps = Urs_obs.Timeline.snapshot ?name () in
-  let snaps =
-    if factor = 1 then snaps
-    else List.map (Urs_obs.Timeline.coarsen ~factor) snaps
-  in
-  json_response
-    (Urs_obs.Json.Obj
-       [
-         ( "series",
-           Urs_obs.Json.List
-             (List.map Urs_obs.Timeline.snapshot_json snaps) );
-       ])
+  match Urs_obs.Http.query_pos_int q "coarsen" ~default:1 with
+  | Error msg -> Urs_obs.Http.respond ~status:400 (msg ^ "\n")
+  | Ok factor ->
+      let snaps = Urs_obs.Timeline.snapshot ?name () in
+      let snaps =
+        if factor = 1 then snaps
+        else List.map (Urs_obs.Timeline.coarsen ~factor) snaps
+      in
+      json_response
+        (Urs_obs.Json.Obj
+           [
+             ( "series",
+               Urs_obs.Json.List
+                 (List.map Urs_obs.Timeline.snapshot_json snaps) );
+           ])
 
 let standard_routes =
   [
@@ -153,6 +151,31 @@ let standard_routes =
    when --jobs/URS_JOBS asked for more than one domain, so --jobs 1 is
    exactly the sequential code path). *)
 let with_obs obs f =
+  (* every CLI run is one trace: URS_TRACEPARENT continues a caller's
+     trace (CI step, parent script), URS_TRACE_SEED makes the ids
+     deterministic, and otherwise the run starts a fresh trace. The
+     root context is installed ambiently on the main domain, so spans,
+     ledger records and outbound Http.request calls all correlate. *)
+  (match Sys.getenv_opt "URS_TRACE_SEED" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some seed -> Urs_obs.Context.set_seed seed
+      | None -> Format.eprintf "urs: ignoring non-integer URS_TRACE_SEED@.")
+  | None -> ());
+  let root_ctx =
+    match Sys.getenv_opt "URS_TRACEPARENT" with
+    | Some tp -> (
+        match Urs_obs.Context.of_traceparent tp with
+        | Ok inbound -> Urs_obs.Context.child inbound
+        | Error msg ->
+            Format.eprintf "urs: ignoring URS_TRACEPARENT (%s)@." msg;
+            Urs_obs.Context.new_trace ()
+        )
+    | None -> Urs_obs.Context.new_trace ()
+  in
+  if obs.trace <> None || obs.ledger <> None then
+    Format.eprintf "urs: trace id %s@."
+      (Urs_obs.Context.trace_id_hex root_ctx);
   if obs.trace <> None then Urs_obs.Span.set_tracing true;
   if obs.profile_gc then Urs_obs.Runtime.set_profiling true;
   let started_events = obs.profile_gc && Urs_obs.Runtime.start_events () in
@@ -182,7 +205,11 @@ let with_obs obs f =
       dump_obs obs;
       Option.iter Urs_obs.Http.stop server;
       Urs_obs.Ledger.close ())
-    (fun () -> f pool)
+    (fun () ->
+      (* the urs_cli span closes before ~finally dumps the trace, so it
+         is always part of its own output *)
+      Urs_obs.Context.with_current root_ctx (fun () ->
+          Urs_obs.Span.with_ ~name:"urs_cli" (fun () -> f pool)))
 
 let obs_t =
   let verbose =
@@ -875,7 +902,13 @@ let watch_cmd =
     in
     let rec loop () =
       let finished = render () in
-      if once then ()
+      if once then begin
+        (* fail fast for scripts: a fetch/parse failure in one-shot mode
+           is an error exit, while the polling loop (above) just warns
+           and retries on the next interval — transient ECONNREFUSED
+           while the server boots must not kill a watch *)
+        match finished with None -> exit 1 | Some _ -> ()
+      end
       else
         match finished with
         | Some true -> Format.printf "urs watch: all tasks finished@."
@@ -1013,6 +1046,203 @@ let report_cmd =
           CI can gate on trends.")
     Term.(ret (const run $ history $ last $ format $ max_ratio $ ledger_path))
 
+(* ---- trace ---- *)
+
+let trace_grep_cmd =
+  let run trace_id ledger_path trace_path =
+    let id = String.lowercase_ascii (String.trim trace_id) in
+    let is_hex =
+      String.for_all
+        (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+        id
+    in
+    if String.length id <> 32 || not is_hex then
+      `Error (true, "TRACE_ID must be 32 hex digits (a trace id)")
+    else begin
+      let open Urs_obs in
+      let matches = ref 0 in
+      let str_field kvs k =
+        match List.assoc_opt k kvs with
+        | Some (Json.String s) -> s
+        | Some j -> Json.to_string j
+        | None -> "-"
+      in
+      (match ledger_path with
+      | None -> ()
+      | Some path -> (
+          match Ledger.read_file path with
+          | Error msg ->
+              Format.eprintf "urs trace: cannot read ledger: %s@." msg
+          | Ok records ->
+              let hits =
+                List.filter
+                  (fun r -> r.Ledger.trace_id = Some id)
+                  records
+              in
+              if hits <> [] then begin
+                matches := !matches + List.length hits;
+                Format.printf "ledger %s: %d record(s)@." path
+                  (List.length hits);
+                List.iter
+                  (fun r ->
+                    if r.Ledger.kind = "http.access" then
+                      (* the access log reading of the record *)
+                      Format.printf
+                        "  [seq %d] %s %s -> %s (%s bytes, %.3fms) \
+                         request=%s@."
+                        r.Ledger.seq
+                        (str_field r.Ledger.params "method")
+                        (str_field r.Ledger.params "path")
+                        (str_field r.Ledger.summary "status")
+                        (str_field r.Ledger.summary "bytes")
+                        (r.Ledger.wall_seconds *. 1e3)
+                        (str_field r.Ledger.summary "request_id")
+                    else
+                      Format.printf
+                        "  [seq %d] %s%s %s %.3fms span=%s@." r.Ledger.seq
+                        r.Ledger.kind
+                        (match r.Ledger.strategy with
+                        | Some s -> "/" ^ s
+                        | None -> "")
+                        r.Ledger.outcome
+                        (r.Ledger.wall_seconds *. 1e3)
+                        (Option.value r.Ledger.span_id ~default:"-"))
+                  hits
+              end));
+      (match trace_path with
+      | None -> ()
+      | Some path -> (
+          let contents =
+            try Ok (In_channel.with_open_text path In_channel.input_all)
+            with Sys_error msg -> Error msg
+          in
+          match Result.bind contents Json.of_string with
+          | Error msg ->
+              Format.eprintf "urs trace: cannot read trace file: %s@." msg
+          | Ok j ->
+              (* flatten the flame-JSON forest, keep this trace's spans,
+                 then reknit the logical tree by parent span id — this
+                 is where per-domain physical forests become one tree *)
+              let spans = ref [] in
+              let rec go node =
+                let str k =
+                  Option.bind (Json.member k node) Json.to_string_opt
+                in
+                let num k =
+                  Option.bind (Json.member k node) Json.to_float_opt
+                in
+                (match (str "trace_id", str "span_id") with
+                | Some t, Some s when t = id ->
+                    spans :=
+                      ( s,
+                        str "parent_span_id",
+                        Option.value (str "name") ~default:"?",
+                        Option.value (num "domain") ~default:0.0,
+                        Option.value (num "duration_s") ~default:0.0 )
+                      :: !spans
+                | _ -> ());
+                match Json.member "children" node with
+                | Some (Json.List cs) -> List.iter go cs
+                | _ -> ()
+              in
+              (match Json.member "spans" j with
+              | Some (Json.List roots) -> List.iter go roots
+              | _ ->
+                  Format.eprintf
+                    "urs trace: %s is not a flame-format trace (no \
+                     \"spans\"; use --trace-format flame)@."
+                    path);
+              let spans = List.rev !spans in
+              if spans <> [] then begin
+                matches := !matches + List.length spans;
+                let known = Hashtbl.create 16 in
+                List.iter
+                  (fun (s, _, _, _, _) -> Hashtbl.replace known s ())
+                  spans;
+                let children = Hashtbl.create 16 in
+                List.iter
+                  (fun ((_, parent, _, _, _) as sp) ->
+                    match parent with
+                    | Some p when Hashtbl.mem known p ->
+                        Hashtbl.replace children p
+                          (sp :: Option.value ~default:[]
+                                   (Hashtbl.find_opt children p))
+                    | _ -> ())
+                  spans;
+                let roots =
+                  List.filter
+                    (fun (_, parent, _, _, _) ->
+                      match parent with
+                      | Some p -> not (Hashtbl.mem known p)
+                      | None -> true)
+                    spans
+                in
+                Format.printf "trace %s: %d span(s), %d root(s)@." path
+                  (List.length spans) (List.length roots);
+                let rec print_span indent (s, _, name, domain, dur) =
+                  Format.printf "  %s%s %.3fms (domain %.0f, span %s)@."
+                    indent name (dur *. 1e3) domain s;
+                  List.iter
+                    (print_span (indent ^ "  "))
+                    (List.rev
+                       (Option.value ~default:[]
+                          (Hashtbl.find_opt children s)))
+                in
+                List.iter (print_span "") roots
+              end));
+      if ledger_path = None && trace_path = None then
+        `Error
+          (true, "nothing to search: pass --ledger FILE and/or --trace FILE")
+      else if !matches = 0 then begin
+        Format.printf "no records for trace %s@." id;
+        exit 1
+      end
+      else `Ok ()
+    end
+  in
+  let trace_id =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE_ID"
+          ~doc:
+            "The 32-hex-digit trace id to search for (printed by traced \
+             runs, returned in the $(b,traceparent) response header of \
+             $(b,urs serve)).")
+  in
+  let ledger_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ledger" ] ~docv:"FILE"
+          ~doc:"Run-ledger JSONL to search (urs-ledger/1 or /2).")
+  in
+  let trace_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Span-trace JSON to search ($(b,--trace-format flame) \
+             output); matching spans are reassembled into their logical \
+             tree across domains.")
+  in
+  Cmd.v
+    (Cmd.info "grep"
+       ~doc:
+         "Pull every observation of one trace — access-log lines, ledger \
+          records, spans — out of a ledger and/or trace file. Exits 1 \
+          when the trace id appears in neither.")
+    Term.(ret (const run $ trace_id $ ledger_path $ trace_path))
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:
+         "Inspect trace correlation output (see the README's 'Tracing & \
+          request correlation').")
+    [ trace_grep_cmd ]
+
 let version = "1.0.0"
 
 let () =
@@ -1025,6 +1255,6 @@ let () =
     Cmd.group info
       [ solve_cmd; stability_cmd; optimize_cmd; capacity_cmd; simulate_cmd;
         sweep_cmd; metrics_cmd; dataset_cmd; fit_cmd; doctor_cmd; serve_cmd;
-        watch_cmd; report_cmd ]
+        watch_cmd; report_cmd; trace_cmd ]
   in
   exit (Cmd.eval group)

@@ -47,6 +47,8 @@ let check_model ?thresholds ?sim ?pool model =
     Printf.sprintf "N=%d lambda=%g" model.Model.servers
       model.Model.arrival_rate
   in
+  Span.with_ ~name:"urs_doctor_model" ~labels:[ ("model", name) ]
+  @@ fun () ->
   match Model.qbd model with
   | None ->
       [

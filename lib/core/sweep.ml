@@ -87,10 +87,16 @@ let run_points ?strategy ?pool ?cache ~sweep points =
     r
   in
   Urs_obs.Progress.start ~total:(List.length points) task;
+  (* one span over the whole evaluate phase: pool tasks parent onto it
+     (via the captured context), so a jobs=N sweep traces as a single
+     tree rooted here rather than N disconnected per-domain forests *)
   let results =
-    match pool with
-    | None -> List.map eval points
-    | Some pool -> Pool.map pool eval points
+    Urs_obs.Span.with_ ~name:"urs_sweep"
+      ~labels:[ ("sweep", sweep) ]
+      (fun () ->
+        match pool with
+        | None -> List.map eval points
+        | Some pool -> Pool.map pool eval points)
   in
   Urs_obs.Progress.finish task;
   List.filter_map Fun.id results

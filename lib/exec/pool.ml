@@ -6,6 +6,7 @@
 module Metrics = Urs_obs.Metrics
 module Span = Urs_obs.Span
 module Timeline = Urs_obs.Timeline
+module Context = Urs_obs.Context
 
 type t = {
   name : string;
@@ -176,15 +177,21 @@ let run_batch t f arr =
     let batch_lock = Mutex.create () in
     let batch_done = Condition.create () in
     let remaining = ref n in
+    (* capture the submitter's trace context once per batch and restore
+       it inside each task: the ambient cell is domain-local, so a task
+       running on a worker domain would otherwise start an unrelated
+       trace and its spans could not parent onto the submitting span *)
+    let ctx = Context.capture () in
     let task i () =
       record_busy t 1;
       let r =
         try
           Ok
             (with_gc_delta t (fun () ->
-                 Span.with_ ~name:"urs_pool_task"
-                   ~labels:[ ("pool", t.name) ]
-                   (fun () -> f arr.(i))))
+                 Context.restore ctx (fun () ->
+                     Span.with_ ~name:"urs_pool_task"
+                       ~labels:[ ("pool", t.name) ]
+                       (fun () -> f arr.(i)))))
         with e ->
           let bt = Printexc.get_raw_backtrace () in
           Metrics.inc t.m_failures;

@@ -11,7 +11,16 @@
     deadlock); this is how a parallel doctor grid nests parallel
     simulation replications. Results always come back in input order,
     and a task raising captures the exception without disturbing the
-    other tasks of the batch. *)
+    other tasks of the batch.
+
+    Parallel batches propagate the submitter's trace context
+    ({!Urs_obs.Context}): it is captured once at submission and
+    restored around every task, and each task runs inside an
+    [urs_pool_task] span, so a task's spans and ledger records carry
+    the submitting trace's ids and parent correctly across the domain
+    boundary (rendered as flow arrows in the Perfetto export). The
+    [domains = 1] inline path inherits the ambient context by simply
+    running on the caller — and opens no extra span. *)
 
 type t
 

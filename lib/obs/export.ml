@@ -18,6 +18,20 @@ let escape_label_value s =
     s;
   Buffer.contents buf
 
+(* HELP text shares the escaping rules minus the quote (it is not
+   quoted in the exposition format); an unescaped newline would split
+   the comment and corrupt the whole scrape *)
+let escape_help s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 (* render a label set, optionally with an extra le="..." pair appended *)
 let label_str ?le labels =
   let pairs =
@@ -85,7 +99,8 @@ let prometheus ?(skip_zero = false) entries =
         Hashtbl.add seen e.Metrics.name ();
         if e.Metrics.help <> "" then
           Buffer.add_string buf
-            (Printf.sprintf "# HELP %s %s\n" e.Metrics.name e.Metrics.help);
+            (Printf.sprintf "# HELP %s %s\n" e.Metrics.name
+               (escape_help e.Metrics.help));
         Buffer.add_string buf
           (Printf.sprintf "# TYPE %s %s\n" e.Metrics.name (type_name e))
       end;
@@ -207,7 +222,8 @@ let stats_histogram ?(labels = []) ?(help = "") ~name h =
   let half = Urs_stats.Histogram.width h /. 2.0 in
   let buf = Buffer.create 512 in
   if help <> "" then
-    Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string buf
+      (Printf.sprintf "# HELP %s %s\n" name (escape_help help));
   Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
   let cum = ref 0 in
   let sum = ref 0.0 in

@@ -15,7 +15,9 @@
 val prometheus : ?skip_zero:bool -> Metrics.entry list -> string
 (** Text exposition format (version 0.0.4): [# HELP] / [# TYPE] comment
     lines followed by samples; histograms expand to cumulative
-    [_bucket{le="..."}] samples plus [_sum] and [_count]. *)
+    [_bucket{le="..."}] samples plus [_sum] and [_count]. Label values
+    are escaped per the format (backslash, double-quote and newline);
+    HELP text likewise (backslash and newline). *)
 
 val json_value : ?skip_zero:bool -> Metrics.entry list -> Json.t
 (** The snapshot as a JSON value — [{"metrics": [...]}] — for embedding

@@ -23,6 +23,19 @@ let query_int q key =
   | None -> None
   | Some v -> int_of_string_opt (String.trim v)
 
+(* absent -> the default; present but non-numeric or < 1 -> an error the
+   route turns into a 400 (never a silent clamp) *)
+let query_pos_int q key ~default =
+  match List.assoc_opt key q with
+  | None -> Ok default
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some n when n >= 1 -> Ok n
+      | Some _ ->
+          Error (Printf.sprintf "query parameter %s must be positive" key)
+      | None ->
+          Error (Printf.sprintf "query parameter %s must be an integer" key))
+
 (* %XX and '+' decoding; malformed escapes pass through verbatim *)
 let percent_decode s =
   let buf = Buffer.create (String.length s) in
@@ -72,6 +85,7 @@ type t = {
 
 let status_text = function
   | 200 -> "OK"
+  | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
   | 500 -> "Internal Server Error"
@@ -80,15 +94,20 @@ let status_text = function
 
 (* [omit_body] serves HEAD: same status line and headers (including the
    Content-Length the GET would have), empty body. *)
-let write_response ?(omit_body = false) fd { status; content_type; body } =
+let write_response ?(omit_body = false) ?(extra_headers = []) fd
+    { status; content_type; body } =
+  let extras =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) extra_headers)
+  in
   let head =
     Printf.sprintf
       "HTTP/1.0 %d %s\r\n\
        Content-Type: %s\r\n\
        Content-Length: %d\r\n\
        Connection: close\r\n\
-       \r\n"
-      status (status_text status) content_type (String.length body)
+       %s\r\n"
+      status (status_text status) content_type (String.length body) extras
   in
   let payload = Bytes.of_string (if omit_body then head else head ^ body) in
   let n = Bytes.length payload in
@@ -122,6 +141,37 @@ let read_request fd =
   (try go () with Unix.Unix_error _ -> ());
   Buffer.contents buf
 
+(* header names are case-insensitive: lowercase them once here so
+   lookups are plain assoc. Values are trimmed; parsing stops at the
+   blank line (we never read a body). *)
+let parse_headers raw =
+  let lines = String.split_on_char '\n' raw in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | line :: rest -> (
+        let line =
+          if String.length line > 0 && line.[String.length line - 1] = '\r'
+          then String.sub line 0 (String.length line - 1)
+          else line
+        in
+        if line = "" then List.rev acc
+        else
+          match String.index_opt line ':' with
+          | None -> go acc rest
+          | Some i ->
+              let name = String.lowercase_ascii (String.sub line 0 i) in
+              let value =
+                String.trim
+                  (String.sub line (i + 1) (String.length line - i - 1))
+              in
+              go ((name, value) :: acc) rest)
+  in
+  match lines with
+  | [] -> []
+  | _request_line :: rest -> go [] rest
+
+let header headers name = List.assoc_opt (String.lowercase_ascii name) headers
+
 let parse_request_line raw =
   match String.index_opt raw '\r' with
   | None -> None
@@ -143,12 +193,52 @@ let parse_request_line raw =
           Some (meth, path, query)
       | _ -> None)
 
+(* ---- request middleware ----
+
+   Every request gets RED telemetry (request counter by route and code,
+   latency histogram by route, in-flight gauge), a trace context (a
+   child of the inbound [traceparent], or a fresh trace) echoed back as
+   [traceparent] / [x-request-id] response headers, and one
+   ["http.access"] ledger record — the JSONL access log.
+
+   The context is passed explicitly everywhere ([Ledger.record
+   ?context]): the server thread shares domain 0 with the main thread,
+   so installing it ambiently (or opening a span here) would clobber
+   the main thread's trace state mid-solve. *)
+
+let in_flight =
+  Metrics.gauge ~help:"HTTP requests currently being served"
+    "urs_http_in_flight_requests"
+
+(* the route label is the matched route (bounded set), never the raw
+   path: unmatched paths collapse into "unknown" so a scanner cannot
+   explode the label cardinality *)
+let route_of meth path routes =
+  match path with
+  | None -> "malformed"
+  | Some p ->
+      if meth <> Some "GET" && meth <> Some "HEAD" then "unsupported"
+      else if List.mem_assoc p routes then p
+      else "unknown"
+
 let handle routes fd =
+  Metrics.add in_flight 1.0;
+  Fun.protect ~finally:(fun () -> Metrics.add in_flight (-1.0))
+  @@ fun () ->
+  let t0 = Span.now () in
   let raw = read_request fd in
+  let parsed = parse_request_line raw in
+  let headers = parse_headers raw in
+  let ctx =
+    match Option.bind (header headers "traceparent") (fun v ->
+        Result.to_option (Context.of_traceparent v)) with
+    | Some inbound -> Context.child inbound
+    | None -> Context.new_trace ()
+  in
   let omit_body = ref false in
   let resp =
-    match parse_request_line raw with
-    | None -> respond ~status:500 "malformed request\n"
+    match parsed with
+    | None -> respond ~status:400 "malformed request\n"
     | Some (meth, _, _) when meth <> "GET" && meth <> "HEAD" ->
         respond ~status:405 "only GET and HEAD are supported\n"
     | Some (meth, path, query) -> (
@@ -164,7 +254,42 @@ let handle routes fd =
               respond ~status:500
                 (Printf.sprintf "handler error: %s\n" (Printexc.to_string e))))
   in
-  (try write_response ~omit_body:!omit_body fd resp
+  let wall = Span.now () -. t0 in
+  let meth = Option.map (fun (m, _, _) -> m) parsed in
+  let path = Option.map (fun (_, p, _) -> p) parsed in
+  let route = route_of meth path routes in
+  Metrics.inc
+    (Metrics.counter ~help:"HTTP requests served"
+       ~labels:[ ("route", route); ("code", string_of_int resp.status) ]
+       "urs_http_requests_total");
+  Metrics.observe
+    (Metrics.histogram ~help:"HTTP request latency"
+       ~labels:[ ("route", route) ]
+       "urs_http_request_seconds")
+    wall;
+  Ledger.record ~context:ctx ~kind:"http.access"
+    ~params:
+      [
+        ("method", Json.String (Option.value meth ~default:"-"));
+        ("route", Json.String route);
+        ("path", Json.String (Option.value path ~default:"-"));
+      ]
+    ~outcome:(if resp.status < 400 then "ok" else "error")
+    ~summary:
+      [
+        ("status", Json.Int resp.status);
+        ("bytes", Json.Int (String.length resp.body));
+        ("request_id", Json.String (Context.span_id_hex ctx));
+        ("sampled", Json.Bool ctx.Context.sampled);
+      ]
+    ~wall_seconds:wall ();
+  let extra_headers =
+    [
+      ("traceparent", Context.to_traceparent ctx);
+      ("x-request-id", Context.span_id_hex ctx);
+    ]
+  in
+  (try write_response ~omit_body:!omit_body ~extra_headers fd resp
    with Unix.Unix_error _ -> ())
 
 let accept_loop sock stopping routes =
@@ -227,7 +352,8 @@ let wait t = Thread.join t.thread
 
 (* ---- a matching tiny client (for `urs watch` and smoke tests) ---- *)
 
-let get ?(addr = "127.0.0.1") ?(timeout = 5.0) ~port target =
+let request ?(addr = "127.0.0.1") ?(timeout = 5.0) ?(headers = []) ~port
+    target =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
@@ -237,8 +363,24 @@ let get ?(addr = "127.0.0.1") ?(timeout = 5.0) ~port target =
         Unix.setsockopt_float sock Unix.SO_SNDTIMEO timeout;
         Unix.connect sock
           (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port));
+        (* propagate the caller's ambient context unless a traceparent
+           was passed explicitly, so CLI-side requests (urs watch, the
+           smoke tests) correlate with the server's access log *)
+        let headers =
+          if List.exists (fun (k, _) ->
+              String.lowercase_ascii k = "traceparent") headers
+          then headers
+          else
+            match Context.current () with
+            | Some c -> ("traceparent", Context.to_traceparent c) :: headers
+            | None -> headers
+        in
         let req =
-          Printf.sprintf "GET %s HTTP/1.0\r\nHost: %s\r\n\r\n" target addr
+          Printf.sprintf "GET %s HTTP/1.0\r\nHost: %s\r\n%s\r\n" target addr
+            (String.concat ""
+               (List.map
+                  (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v)
+                  headers))
         in
         let payload = Bytes.of_string req in
         let n = Bytes.length payload in
@@ -262,6 +404,7 @@ let get ?(addr = "127.0.0.1") ?(timeout = 5.0) ~port target =
           | _ :: code :: _ -> Option.value (int_of_string_opt code) ~default:0
           | _ -> 0
         in
+        let resp_headers = parse_headers raw in
         let body =
           let rec find i =
             if i + 3 >= String.length raw then None
@@ -272,7 +415,13 @@ let get ?(addr = "127.0.0.1") ?(timeout = 5.0) ~port target =
           | Some start -> String.sub raw start (String.length raw - start)
           | None -> ""
         in
-        if status = 0 then Error "malformed response" else Ok (status, body)
+        if status = 0 then Error "malformed response"
+        else Ok (status, resp_headers, body)
       with
       | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
       | e -> Error (Printexc.to_string e))
+
+let get ?addr ?timeout ~port target =
+  Result.map
+    (fun (status, _headers, body) -> (status, body))
+    (request ?addr ?timeout ~port target)

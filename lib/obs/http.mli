@@ -18,7 +18,21 @@
     threads of one domain interleave rather than run in parallel, so
     handlers that read the metrics registry (single atomic stores)
     observe consistent values; multi-step shared structures such as
-    the ledger ring synchronize with their own mutex. *)
+    the ledger ring synchronize with their own mutex.
+
+    Every request passes through an observability middleware: a trace
+    context derived from the inbound [traceparent] header (or a fresh
+    trace), echoed back as [traceparent] and [x-request-id] response
+    headers; RED metrics ([urs_http_requests_total{route,code}],
+    [urs_http_request_seconds{route}], [urs_http_in_flight_requests]);
+    and one ["http.access"] ledger record per request — the JSONL
+    access log, stamped with the request's trace/span ids so
+    [urs trace grep] can join it to solver-side records. The [route]
+    label is the matched route, with unmatched paths collapsed to
+    ["unknown"] (and ["unsupported"]/["malformed"] for 405/400), so
+    label cardinality stays bounded. The request context is never
+    installed ambiently — the server thread shares domain 0's
+    domain-local state with the main thread. *)
 
 type response = { status : int; content_type : string; body : string }
 
@@ -38,6 +52,11 @@ val query_get : query -> string -> string option
 
 val query_int : query -> string -> int option
 (** Same, parsed as an integer; [None] when absent or non-numeric. *)
+
+val query_pos_int : query -> string -> default:int -> (int, string) result
+(** Positive-integer parameter with strict validation: absent means
+    [Ok default]; present but non-numeric or [< 1] is an [Error]
+    message the route should return as a 400 (never a silent clamp). *)
 
 type t
 (** A running server. *)
@@ -68,14 +87,26 @@ val wait : t -> unit
     effectively forever unless {!stop} is called from a signal
     handler). *)
 
+val request :
+  ?addr:string ->
+  ?timeout:float ->
+  ?headers:(string * string) list ->
+  port:int ->
+  string ->
+  (int * (string * string) list * string, string) result
+(** Minimal matching client: one blocking HTTP/1.0 GET against
+    [addr:port] (default [127.0.0.1], [timeout] 5 s per socket
+    operation) returning status, response headers (names lowercased,
+    values trimmed) and body, or a connection/protocol error message.
+    [headers] are sent verbatim; unless one of them is a
+    [traceparent], the caller's ambient {!Context.current} (if any) is
+    propagated as one automatically. Backs [urs watch] and the smoke
+    tests; not a general HTTP client. *)
+
 val get :
   ?addr:string ->
   ?timeout:float ->
   port:int ->
   string ->
   (int * string, string) result
-(** Minimal matching client: [get ~port "/progress?x=1"] performs one
-    blocking HTTP/1.0 GET against [addr:port] (default [127.0.0.1],
-    [timeout] 5 s per socket operation) and returns the status code and
-    body, or a connection/protocol error message. Backs [urs watch] and
-    the smoke tests; not a general HTTP client. *)
+(** {!request} without the response headers. *)

@@ -13,9 +13,14 @@ type record = {
   outcome : string;
   summary : (string * Json.t) list;
   gauges : (string * float) list;
+  trace_id : string option;
+  span_id : string option;
 }
 
-let schema = "urs-ledger/1"
+(* v2 added trace_id/span_id stamps; v1 lines (no stamps) still parse *)
+let schema = "urs-ledger/2"
+
+let accepted_schemas = [ "urs-ledger/1"; "urs-ledger/2" ]
 
 (* ---- sinks ---- *)
 
@@ -97,6 +102,8 @@ let to_json r =
        ("kind", Json.String r.kind);
      ]
     @ opt_str "strategy" r.strategy
+    @ opt_str "trace_id" r.trace_id
+    @ opt_str "span_id" r.span_id
     @ [
         ("params", kv_obj r.params);
         ("wall_seconds", Json.Float r.wall_seconds);
@@ -124,6 +131,16 @@ let of_json j =
     | Some _ -> Error (Printf.sprintf "ledger record: field %S not an object" key)
   in
   let ( let* ) = Result.bind in
+  let* () =
+    (* lenient on absent schema (hand-written fixtures), strict on an
+       unknown one: a future-versioned journal should fail loudly *)
+    match Json.member "schema" j with
+    | None -> Ok ()
+    | Some (Json.String s) when List.mem s accepted_schemas -> Ok ()
+    | Some (Json.String s) ->
+        Error (Printf.sprintf "ledger record: unsupported schema %S" s)
+    | Some _ -> Error "ledger record: field \"schema\" not a string"
+  in
   let* kind = str "kind" in
   let* time = num "time" in
   let* wall_seconds = num "wall_seconds" in
@@ -139,12 +156,27 @@ let of_json j =
   let strategy =
     Option.bind (Json.member "strategy" j) Json.to_string_opt
   in
+  let trace_id = Option.bind (Json.member "trace_id" j) Json.to_string_opt in
+  let span_id = Option.bind (Json.member "span_id" j) Json.to_string_opt in
   let gauges =
     List.filter_map
       (fun (k, v) -> Option.map (fun f -> (k, f)) (Json.to_float_opt v))
       gauge_kvs
   in
-  Ok { seq; time; kind; strategy; params; wall_seconds; outcome; summary; gauges }
+  Ok
+    {
+      seq;
+      time;
+      kind;
+      strategy;
+      params;
+      wall_seconds;
+      outcome;
+      summary;
+      gauges;
+      trace_id;
+      span_id;
+    }
 
 (* ---- appending ---- *)
 
@@ -152,8 +184,14 @@ let of_json j =
    section: pool domains append concurrently, and each JSONL line must
    stay contiguous with a unique sequence number *)
 let record ?strategy ?(params = []) ?(outcome = "ok") ?(summary = [])
-    ?(gauges = []) ~kind ~wall_seconds () =
+    ?(gauges = []) ?context ~kind ~wall_seconds () =
   let time = Span.now () in
+  (* the ambient read happens on the caller's domain, outside the lock;
+     HTTP handlers pass [?context] explicitly instead (their thread
+     shares domain 0's ambient cell with the main thread) *)
+  let ctx = match context with Some _ as c -> c | None -> Context.current () in
+  let trace_id = Option.map Context.trace_id_hex ctx in
+  let span_id = Option.map Context.span_id_hex ctx in
   with_lock (fun () ->
       if !channel <> None || !memory_enabled then begin
         incr seq_counter;
@@ -168,6 +206,8 @@ let record ?strategy ?(params = []) ?(outcome = "ok") ?(summary = [])
             outcome;
             summary;
             gauges;
+            trace_id;
+            span_id;
           }
         in
         if !memory_enabled then begin

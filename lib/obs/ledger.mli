@@ -39,10 +39,17 @@ type record = {
   summary : (string * Json.t) list;  (** Result fields. *)
   gauges : (string * float) list;
       (** Snapshot of relevant registry gauges at append time. *)
+  trace_id : string option;
+      (** 32-hex-digit id of the trace that produced this record
+          (absent on v1 journals and untraced appends). *)
+  span_id : string option;
+      (** 16-hex-digit id of the innermost span at append time. *)
 }
 
 val schema : string
-(** The schema tag embedded in every record (["urs-ledger/1"]). *)
+(** The schema tag embedded in every written record (["urs-ledger/2"]).
+    {!of_json} also accepts ["urs-ledger/1"] lines (they simply lack
+    the trace stamps) and rejects unknown schema tags. *)
 
 val record :
   ?strategy:string ->
@@ -50,13 +57,18 @@ val record :
   ?outcome:string ->
   ?summary:(string * Json.t) list ->
   ?gauges:(string * float) list ->
+  ?context:Context.t ->
   kind:string ->
   wall_seconds:float ->
   unit ->
   unit
 (** Append a record to every active sink; no-op when inactive. Stamps
-    [seq] and [time]. I/O errors on the file sink are swallowed (the
-    ledger must never fail a run). *)
+    [seq], [time] and the trace/span ids of [?context] (defaulting to
+    the caller's ambient {!Context.current}, so records emitted inside
+    a traced span correlate automatically — HTTP handlers, whose
+    thread shares the main thread's ambient cell, pass their request
+    context explicitly). I/O errors on the file sink are swallowed
+    (the ledger must never fail a run). *)
 
 val active : unit -> bool
 

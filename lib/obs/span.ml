@@ -30,6 +30,14 @@ type node = {
   labels : Metrics.labels;
   start : float;
   domain : int;  (* id of the domain that ran the span *)
+  trace_hi : int64;  (* the trace this span belongs to *)
+  trace_lo : int64;
+  span_id : int64;
+  parent_span : int64 option;
+      (* the ambient context's span id at entry. For physically nested
+         spans this is the enclosing node's id; for a pool task it is
+         the id captured on the submitting domain, which is how the
+         per-domain forests knit back into one logical tree. *)
   mutable duration : float;
   mutable gc : gc_words option;  (* only when GC profiling was enabled *)
   mutable children : node list; (* reverse completion order *)
@@ -82,24 +90,38 @@ let with_ ?registry ?(labels = []) ~name f =
       (name ^ "_seconds")
   in
   let t0 = now () in
-  let node =
+  let node, ctx =
     if Atomic.get tracing then begin
       let stack = Domain.DLS.get stack_key in
+      (* the span's own context is a child of the ambient one (a fresh
+         trace when there is none), so span ids form a tree that spans
+         domain boundaries: a pool task restores the submitter's
+         context before calling us *)
+      let parent = Context.current () in
+      let ctx =
+        match parent with
+        | Some c -> Context.child c
+        | None -> Context.new_trace ()
+      in
       let n =
         {
           name;
           labels;
           start = t0;
           domain = (Domain.self () :> int);
+          trace_hi = ctx.Context.trace_hi;
+          trace_lo = ctx.Context.trace_lo;
+          span_id = ctx.Context.span_id;
+          parent_span = Option.map (fun c -> c.Context.span_id) parent;
           duration = 0.0;
           gc = None;
           children = [];
         }
       in
       stack := n :: !stack;
-      Some n
+      (Some n, Some ctx)
     end
-    else None
+    else (None, None)
   in
   (* sampled only when both tracing and GC profiling are on: the words
      are attached to the trace node (flame JSON fields, perfetto args),
@@ -140,7 +162,11 @@ let with_ ?registry ?(labels = []) ~name f =
           | _ ->
               (* unbalanced (tracing toggled mid-span): drop the node *)
               ()))
-    f
+    (fun () ->
+      match ctx with None -> f () | Some c -> Context.with_current c f)
+
+let node_trace_id n =
+  Printf.sprintf "%016Lx%016Lx" n.trace_hi n.trace_lo
 
 let rec node_json n =
   let base =
@@ -149,7 +175,13 @@ let rec node_json n =
       ("start_s", Json.Float n.start);
       ("duration_s", Json.Float n.duration);
       ("domain", Json.Int n.domain);
+      ("trace_id", Json.String (node_trace_id n));
+      ("span_id", Json.String (Context.id_hex n.span_id));
     ]
+    @
+    match n.parent_span with
+    | None -> []
+    | Some p -> [ ("parent_span_id", Json.String (Context.id_hex p)) ]
   in
   let labels =
     if n.labels = [] then []
@@ -199,6 +231,16 @@ let trace_perfetto ?(extra = []) () =
   let events = ref [] in
   let rec emit n =
     let args =
+      let ids =
+        [
+          ("trace_id", Json.String (node_trace_id n));
+          ("span_id", Json.String (Context.id_hex n.span_id));
+        ]
+        @
+        match n.parent_span with
+        | None -> []
+        | Some p -> [ ("parent_span_id", Json.String (Context.id_hex p)) ]
+      in
       let gc =
         match n.gc with
         | None -> []
@@ -210,8 +252,7 @@ let trace_perfetto ?(extra = []) () =
             ]
       in
       let labels = List.map (fun (k, v) -> (k, Json.String v)) n.labels in
-      if labels = [] && gc = [] then []
-      else [ ("args", Json.Obj (labels @ gc)) ]
+      [ ("args", Json.Obj (labels @ ids @ gc)) ]
     in
     events :=
       Json.Obj
@@ -234,9 +275,48 @@ let trace_perfetto ?(extra = []) () =
     r
   in
   List.iter emit (List.rev roots);
+  (* Cross-domain parent/child edges become flow-event pairs so Perfetto
+     draws an arrow from the submitting domain's slice to the worker's:
+     "s" sits on the parent's track, "f" (bp:"e" — bind to enclosing
+     slice) on the child's, both stamped with the child's start time and
+     keyed by the child's span id. Same-domain edges need no flows — the
+     viewer already nests those by ts/dur containment. *)
+  let index : (int64, node) Hashtbl.t = Hashtbl.create 64 in
+  let rec index_node n =
+    Hashtbl.replace index n.span_id n;
+    List.iter index_node n.children
+  in
+  List.iter index_node roots;
+  let flows = ref [] in
+  let flow_event ph n tid =
+    let base =
+      [
+        ("name", Json.String "urs_task");
+        ("cat", Json.String "pool");
+        ("ph", Json.String ph);
+        ("id", Json.String (Context.id_hex n.span_id));
+        ("ts", Json.Float (n.start *. 1e6));
+        ("pid", Json.Int 1);
+        ("tid", Json.Int tid);
+      ]
+    in
+    Json.Obj (if ph = "f" then base @ [ ("bp", Json.String "e") ] else base)
+  in
+  Hashtbl.iter
+    (fun _ n ->
+      match n.parent_span with
+      | Some p -> (
+          match Hashtbl.find_opt index p with
+          | Some parent when parent.domain <> n.domain ->
+              flows :=
+                flow_event "s" n parent.domain :: flow_event "f" n n.domain
+                :: !flows
+          | _ -> ())
+      | None -> ())
+    index;
   Json.to_string
     (Json.Obj
        [
-         ("traceEvents", Json.List (List.rev !events @ extra));
+         ("traceEvents", Json.List (List.rev !events @ !flows @ extra));
          ("displayTimeUnit", Json.String "ms");
        ])

@@ -12,6 +12,17 @@
     integer id of the domain that ran it (the ["domain"] field of the
     trace JSON), and completed roots are collected under a mutex.
 
+    Every traced span also carries correlation ids from {!Context}: it
+    derives a child of the ambient context (or starts a fresh trace)
+    and installs it for the duration of [f], so the trace id, its own
+    span id, and its parent's span id land in the trace JSON
+    (["trace_id"], ["span_id"], ["parent_span_id"]). Because
+    [Urs_exec.Pool] captures the submitter's context and restores it on
+    the worker domain, a pool task's root span parents onto the
+    submitting span even though it lives in another domain's physical
+    forest — the per-domain trees knit into one logical tree keyed by
+    span ids.
+
     The clock is pluggable ({!set_clock}) so tests can drive
     deterministic durations. The default clock is
     [Unix.gettimeofday]. *)
@@ -52,7 +63,8 @@ val with_ :
 
 val trace_json : unit -> string
 (** The completed root spans (chronological), as JSON:
-    [{"spans": [{"name", "labels", "start_s", "duration_s",
+    [{"spans": [{"name", "labels", "start_s", "duration_s", "domain",
+    "trace_id", "span_id", "parent_span_id"?,
     "children": [...]}, ...], "dropped": n}]. Roots are capped at an
     internal limit; [dropped] counts the excess. *)
 
@@ -63,11 +75,16 @@ val trace_perfetto : ?extra:Json.t list -> unit -> string
     Every span is one complete event; [ts]/[dur] are microseconds, the
     span's labels (and GC word deltas when profiling was on) become
     [args], and the domain id becomes the [tid] so each domain renders
-    as its own track (pool parallelism is visible directly). [extra]
-    events — e.g. GC slices and counter samples from
-    [Urs_obs.Runtime.perfetto_events] — are appended to [traceEvents]
-    verbatim. Open the file in [ui.perfetto.dev] or
-    [chrome://tracing]. *)
+    as its own track (pool parallelism is visible directly). [args]
+    always carries the correlation ids ([trace_id], [span_id],
+    [parent_span_id] when present). Cross-domain parent/child edges
+    additionally emit a flow-event pair ([ph:"s"] on the parent's
+    track, [ph:"f", bp:"e"] on the child's, keyed by the child's span
+    id) so Perfetto draws the hand-off arrow and the per-domain tracks
+    read as one connected tree. [extra] events — e.g. GC slices and
+    counter samples from [Urs_obs.Runtime.perfetto_events] — are
+    appended to [traceEvents] verbatim. Open the file in
+    [ui.perfetto.dev] or [chrome://tracing]. *)
 
 val reset_trace : unit -> unit
 (** Drop all completed spans (the open-span stack survives only within

@@ -100,12 +100,15 @@ let run ?(seed = 1) ?(replications = 10) ?(confidence = 0.95) ?warmup ?pool
     r
   in
   Urs_obs.Progress.start ~total:replications progress_task;
+  (* one span over the fan-out, so pooled replications trace as one
+     tree (their contexts are captured from this span's) *)
   let results =
-    match pool with
-    | None -> Array.init replications run_one
-    | Some pool ->
-        Array.of_list
-          (Urs_exec.Pool.map pool run_one (List.init replications Fun.id))
+    Span.with_ ~name:"urs_replicate" (fun () ->
+        match pool with
+        | None -> Array.init replications run_one
+        | Some pool ->
+            Array.of_list
+              (Urs_exec.Pool.map pool run_one (List.init replications Fun.id)))
   in
   Urs_obs.Progress.finish progress_task;
   let t0 = Span.now () in

@@ -1,14 +1,20 @@
 #!/bin/sh
 # Starts `urs serve` on a scratch port, checks that /metrics, /healthz,
-# /runs, /timeline, /progress and /runtime answer, then shuts the
-# server down. Used by `make serve-smoke` (and hence `make ci`).
+# /runs, /timeline, /progress and /runtime answer, that bad query
+# parameters get 400s, and that every request is traced: traceparent /
+# x-request-id response headers, per-route RED metrics, one
+# "http.access" ledger record per request, and `urs trace grep`
+# finding a request again by its trace id. Used by `make serve-smoke`
+# (and hence `make ci`).
 set -eu
 
 PORT="${URS_SMOKE_PORT:-9109}"
 BIN=./_build/default/bin/urs_cli.exe
 LOG=/tmp/urs_serve_smoke.log
+LEDGER=/tmp/urs_serve_smoke_ledger.jsonl
 
-"$BIN" serve --port "$PORT" >"$LOG" 2>&1 &
+rm -f "$LEDGER"
+"$BIN" serve --port "$PORT" --ledger "$LEDGER" >"$LOG" 2>&1 &
 PID=$!
 trap 'kill "$PID" 2>/dev/null || true' EXIT
 
@@ -35,6 +41,16 @@ curl -sf "http://127.0.0.1:$PORT/healthz" | grep -Eq 'ok|degraded'
 curl -sf "http://127.0.0.1:$PORT/runs" >/dev/null
 curl -sf "http://127.0.0.1:$PORT/runs?n=1" >/dev/null
 
+# non-positive or non-numeric limits are the client's error: 400, not a
+# silent clamp (and not a 500)
+for bad in "/runs?n=0" "/runs?n=abc" "/timeline?coarsen=0" "/timeline?coarsen=abc"; do
+  code=$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$PORT$bad")
+  if [ "$code" != "400" ]; then
+    echo "serve-smoke: $bad returned $code (want 400)" >&2
+    exit 1
+  fi
+done
+
 # the doctor pass `urs serve` ran on startup leaves simulation
 # timelines and finished progress tasks behind
 curl -sf "http://127.0.0.1:$PORT/timeline" | grep -q '"series"'
@@ -54,7 +70,50 @@ curl -sfI "http://127.0.0.1:$PORT/timeline" |
 curl -sfI "http://127.0.0.1:$PORT/progress" |
   grep -qi '^content-type: application/json'
 
+# every response names its trace: a traceparent the client can adopt
+# and an x-request-id equal to the request's span id
+curl -sfI "http://127.0.0.1:$PORT/healthz" | grep -qi '^traceparent: 00-'
+curl -sfI "http://127.0.0.1:$PORT/healthz" | grep -qi '^x-request-id: '
+
+# an inbound traceparent is continued, not replaced: the response joins
+# the caller's trace, and the access-log ledger record carries it
+TP='00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01'
+TRACE='0af7651916cd43dd8448eb211c80319c'
+curl -sf -H "traceparent: $TP" -D /tmp/urs_serve_smoke_headers \
+  "http://127.0.0.1:$PORT/metrics" >/dev/null
+grep -qi "^traceparent: 00-$TRACE-" /tmp/urs_serve_smoke_headers
+
+# one access-log record per request for that trace (file writes are
+# flushed per record, so it is already on disk)
+n=$(grep -c "\"trace_id\":\"$TRACE\"" "$LEDGER")
+if [ "$n" != "1" ]; then
+  echo "serve-smoke: want exactly 1 ledger record for trace $TRACE, got $n" >&2
+  exit 1
+fi
+grep "\"trace_id\":\"$TRACE\"" "$LEDGER" | grep -q '"kind":"http.access"'
+
+# and `urs trace grep` reassembles it from the ledger
+"$BIN" trace grep "$TRACE" --ledger "$LEDGER" | grep -q 'GET /metrics'
+
+# per-route RED metrics with escaped labels (labels are sorted by key,
+# so code comes before route)
+curl -sf "http://127.0.0.1:$PORT/metrics" |
+  grep -q '^urs_http_requests_total{code="200",route="/metrics"}'
+curl -sf "http://127.0.0.1:$PORT/metrics" |
+  grep -q '^urs_http_requests_total{code="400",route="/runs"}'
+curl -sf "http://127.0.0.1:$PORT/metrics" |
+  grep -q '^urs_http_request_seconds_count{route="/metrics"}'
+curl -sf "http://127.0.0.1:$PORT/metrics" |
+  grep -q '^urs_http_in_flight_requests'
+
 # the bundled client sees the same progress state
 "$BIN" watch --port "$PORT" --once | grep -q 'doctor:models'
+
+# --once fails fast (exit 1) when nothing answers; pick a port that is
+# almost certainly closed
+if "$BIN" watch --port 1 --once >/dev/null 2>&1; then
+  echo "serve-smoke: watch --once against a dead port should exit 1" >&2
+  exit 1
+fi
 
 echo "serve-smoke: ok"

@@ -2,12 +2,19 @@
    perfetto: the file must parse as JSON (with the in-repo parser — no
    external dependency), hold a non-empty traceEvents array, and every
    event must carry the fields the exporter promises — complete span
-   events (ph=X with ts/dur/pid/tid) or counter samples (ph=C with
+   events (ph=X with ts/dur/pid/tid), counter samples (ph=C with
    ts/pid and a numeric args value, the GC counter tracks emitted
-   under --profile-gc). With --require-counter the trace must contain
-   at least one counter event, which is how `make trace-smoke` asserts
-   a profiled run really merged its GC tracks. Used by `make
-   trace-smoke` (and hence `make ci`). *)
+   under --profile-gc), or flow events (ph=s/f with name/id/ts/pid/tid,
+   the cross-domain hand-off arrows). With --require-counter the trace
+   must contain at least one counter event, which is how `make
+   trace-smoke` asserts a profiled run really merged its GC tracks.
+   With --require-flows the trace must contain flow events that pair
+   up (every s id matches exactly one f id and vice versa), at least
+   one pair crossing distinct tids, and the span events must form one
+   connected tree: all under a single trace id with exactly one root
+   whose parent_span_id is absent or unresolvable — how `make
+   trace-smoke` asserts a --jobs 4 sweep traces as one tree. Used by
+   `make trace-smoke` (and hence `make ci`). *)
 
 module Json = Urs_obs.Json
 
@@ -26,13 +33,14 @@ let check_num_fields i ev keys =
       | _ -> fail "validate_trace: event %d: bad %s" i k)
     keys
 
-(* returns true when the event is a counter sample *)
+type kind = Complete | Counter | Flow_start | Flow_finish
+
 let check_event i ev =
   match Json.member "ph" ev with
   | Some (Json.String "X") ->
       check_named i ev;
       check_num_fields i ev [ "ts"; "dur"; "pid"; "tid" ];
-      false
+      Complete
   | Some (Json.String "C") ->
       check_named i ev;
       check_num_fields i ev [ "ts"; "pid" ];
@@ -47,17 +55,127 @@ let check_event i ev =
           ()
       | _ ->
           fail "validate_trace: counter event %d has no numeric args value" i);
-      true
-  | _ -> fail "validate_trace: event %d is neither ph=X nor ph=C" i
+      Counter
+  | Some (Json.String (("s" | "f") as ph)) ->
+      check_named i ev;
+      check_num_fields i ev [ "ts"; "pid"; "tid" ];
+      (match Json.member "id" ev with
+      | Some (Json.String id) when id <> "" -> ()
+      | _ -> fail "validate_trace: flow event %d has no id" i);
+      if ph = "s" then Flow_start else Flow_finish
+  | _ -> fail "validate_trace: event %d is not ph=X/C/s/f" i
+
+(* flow ids must pair exactly: every start with one finish, every
+   finish with one start; at least one pair must span distinct tids
+   (the whole point — a cross-domain hand-off) *)
+let check_flows events =
+  let tid ev =
+    Option.bind (Json.member "tid" ev) Json.to_float_opt
+    |> Option.value ~default:(-1.0)
+  in
+  let id ev =
+    match Json.member "id" ev with Some (Json.String s) -> s | _ -> ""
+  in
+  let starts = Hashtbl.create 16 and finishes = Hashtbl.create 16 in
+  List.iter
+    (fun (kind, ev) ->
+      match kind with
+      | Flow_start ->
+          if Hashtbl.mem starts (id ev) then
+            fail "validate_trace: duplicate flow-start id %s" (id ev);
+          Hashtbl.replace starts (id ev) (tid ev)
+      | Flow_finish ->
+          if Hashtbl.mem finishes (id ev) then
+            fail "validate_trace: duplicate flow-finish id %s" (id ev);
+          Hashtbl.replace finishes (id ev) (tid ev)
+      | _ -> ())
+    events;
+  if Hashtbl.length starts = 0 then
+    fail "validate_trace: no flow (ph=s) events";
+  Hashtbl.iter
+    (fun i _ ->
+      if not (Hashtbl.mem finishes i) then
+        fail "validate_trace: flow-start id %s has no matching finish" i)
+    starts;
+  Hashtbl.iter
+    (fun i _ ->
+      if not (Hashtbl.mem starts i) then
+        fail "validate_trace: flow-finish id %s has no matching start" i)
+    finishes;
+  let crossing =
+    Hashtbl.fold
+      (fun i s_tid acc ->
+        acc + if Hashtbl.find finishes i <> s_tid then 1 else 0)
+      starts 0
+  in
+  if crossing = 0 then
+    fail "validate_trace: no flow pair crosses distinct tids";
+  (Hashtbl.length starts, crossing)
+
+(* connectivity over the span events' correlation ids: every span must
+   carry the same trace id, and exactly one span may have an absent or
+   unresolvable parent (the root — the CLI's own parent id points at
+   the ambient root context, which owns no span event) *)
+let check_connected events =
+  let arg ev key =
+    match Json.member "args" ev with
+    | Some args -> (
+        match Json.member key args with
+        | Some (Json.String s) -> Some s
+        | _ -> None)
+    | None -> None
+  in
+  let spans =
+    List.filter_map
+      (fun (kind, ev) -> if kind = Complete then Some ev else None)
+      events
+  in
+  let traced = List.filter (fun ev -> arg ev "span_id" <> None) spans in
+  if traced = [] then
+    fail "validate_trace: no span events carry correlation ids";
+  (match
+     List.sort_uniq compare (List.filter_map (fun ev -> arg ev "trace_id") traced)
+   with
+  | [ _ ] -> ()
+  | ids ->
+      fail "validate_trace: spans carry %d distinct trace ids (want 1)"
+        (List.length ids));
+  let known = Hashtbl.create 64 in
+  List.iter
+    (fun ev ->
+      match arg ev "span_id" with
+      | Some s -> Hashtbl.replace known s ()
+      | None -> ())
+    traced;
+  let roots =
+    List.filter
+      (fun ev ->
+        match arg ev "parent_span_id" with
+        | Some p -> not (Hashtbl.mem known p)
+        | None -> true)
+      traced
+  in
+  match roots with
+  | [ _ ] -> List.length traced
+  | rs ->
+      fail "validate_trace: %d root spans (want exactly 1 connected tree)"
+        (List.length rs)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let require_counter = List.mem "--require-counter" args in
+  let require_flows = List.mem "--require-flows" args in
   let path =
-    match List.filter (fun a -> a <> "--require-counter") args with
+    match
+      List.filter
+        (fun a -> a <> "--require-counter" && a <> "--require-flows")
+        args
+    with
     | [ p ] -> p
     | _ ->
-        prerr_endline "usage: validate_trace [--require-counter] TRACE.json";
+        prerr_endline
+          "usage: validate_trace [--require-counter] [--require-flows] \
+           TRACE.json";
         exit 2
   in
   let raw =
@@ -72,15 +190,23 @@ let () =
       match Json.member "traceEvents" j with
       | Some (Json.List []) -> fail "validate_trace: %s: empty traceEvents" path
       | Some (Json.List events) ->
-          let counters = ref 0 in
-          List.iteri
-            (fun i ev -> if check_event i ev then incr counters)
-            events;
-          if require_counter && !counters = 0 then
+          let events = List.mapi (fun i ev -> (check_event i ev, ev)) events in
+          let counters =
+            List.length (List.filter (fun (k, _) -> k = Counter) events)
+          in
+          if require_counter && counters = 0 then
             fail
               "validate_trace: %s: no counter (ph=C) events — GC tracks \
                missing from the profiled trace"
               path;
+          if require_flows then begin
+            let pairs, crossing = check_flows events in
+            let spans = check_connected events in
+            Printf.printf
+              "validate_trace: %s flows ok (%d pairs, %d cross-tid, %d \
+               spans in one tree)\n"
+              path pairs crossing spans
+          end;
           Printf.printf "validate_trace: %s ok (%d events, %d counters)\n"
-            path (List.length events) !counters
+            path (List.length events) counters
       | _ -> fail "validate_trace: %s: missing traceEvents array" path)

@@ -376,6 +376,140 @@ let test_solve_cache_key_distinguishes_models () =
     "servers in key" true
     (k paper_model <> k (Urs.Model.with_servers paper_model 4))
 
+(* ---- cross-domain trace correlation ---- *)
+
+module Span = Urs_obs.Span
+module Context = Urs_obs.Context
+module Json = Urs_obs.Json
+
+(* logical span shape: name + children, stripped of ids and timings *)
+type shape = { sname : string; kids : shape list }
+
+let rec canon s =
+  { s with kids = List.sort compare (List.map canon s.kids) }
+
+(* flatten the physical per-domain forest of trace_json into
+   (span_id, parent_span_id, name, trace_id) tuples *)
+let flatten_trace json =
+  let rec walk acc node =
+    let str k =
+      match Json.member k node with
+      | Some (Json.String s) -> Some s
+      | _ -> None
+    in
+    let entry =
+      ( Option.value ~default:"" (str "span_id"),
+        str "parent_span_id",
+        Option.value ~default:"" (str "name"),
+        Option.value ~default:"" (str "trace_id") )
+    in
+    let kids =
+      match Json.member "children" node with
+      | Some (Json.List l) -> l
+      | _ -> []
+    in
+    List.fold_left walk (entry :: acc) kids
+  in
+  match Json.of_string json with
+  | Error e -> Alcotest.fail ("trace_json does not parse: " ^ e)
+  | Ok j -> (
+      match Json.member "spans" j with
+      | Some (Json.List roots) -> List.fold_left walk [] roots
+      | _ -> Alcotest.fail "trace_json has no spans array")
+
+(* reknit the logical tree by span ids and splice out the pool's
+   "urs_pool_task" wrapper nodes, so jobs=1 (no wrapper) and jobs=4
+   (one wrapper per task) compare shape-for-shape *)
+let logical_roots nodes =
+  let known = Hashtbl.create 64 in
+  List.iter (fun (id, _, _, _) -> Hashtbl.replace known id ()) nodes;
+  let children = Hashtbl.create 64 in
+  let roots =
+    List.filter
+      (fun ((_, parent, _, _) as n) ->
+        match parent with
+        | Some p when Hashtbl.mem known p ->
+            Hashtbl.add children p n;
+            false
+        | _ -> true)
+      nodes
+  in
+  let rec build (id, _, name, _) =
+    let kids = List.concat_map build (Hashtbl.find_all children id) in
+    if name = "urs_pool_task" then kids else [ { sname = name; kids } ]
+  in
+  List.concat_map build roots
+
+let test_pool_one_span_tree () =
+  let inputs = List.init 8 Fun.id in
+  let run ~domains =
+    Context.set_seed 7;
+    Span.set_tracing true;
+    (* set_tracing clears any previous trace *)
+    let root = Context.new_trace () in
+    ignore
+      (Context.with_current root (fun () ->
+           Span.with_ ~name:"urs_cli" (fun () ->
+               Pool.with_pool ~domains (fun pool ->
+                   Pool.map pool
+                     (fun x ->
+                       Span.with_ ~name:"urs_point" (fun () ->
+                           Ledger.record ~kind:"pool.task" ~wall_seconds:0.0 ();
+                           x * x))
+                     inputs))));
+    let json = Span.trace_json () in
+    Span.set_tracing false;
+    Context.clear_seed ();
+    (Context.trace_id_hex root, json)
+  in
+  Ledger.reset ();
+  Ledger.set_memory true;
+  Fun.protect ~finally:(fun () ->
+      Span.set_tracing false;
+      Context.clear_seed ();
+      Ledger.reset ())
+  @@ fun () ->
+  let _, json1 = run ~domains:1 in
+  Ledger.reset ();
+  Ledger.set_memory true;
+  let trace4, json4 = run ~domains:4 in
+  let nodes4 = flatten_trace json4 in
+  (* every span of the jobs=4 run — across all four domains — carries
+     the one trace id minted by the submitter *)
+  let trace_ids =
+    List.sort_uniq compare (List.map (fun (_, _, _, t) -> t) nodes4)
+  in
+  Alcotest.(check (list string)) "single trace id" [ trace4 ] trace_ids;
+  (* exactly one logical root: the urs_cli span, whose parent id points
+     at the ambient root context (which owns no span) *)
+  let roots4 = logical_roots nodes4 in
+  Alcotest.(check int) "one connected tree" 1 (List.length roots4);
+  (* structurally identical to the sequential run once the pool's
+     wrapper spans are spliced out *)
+  let shape1 = List.map canon (logical_roots (flatten_trace json1)) in
+  let shape4 = List.map canon roots4 in
+  Alcotest.(check bool) "same shape as jobs=1" true (shape1 = shape4);
+  (match shape4 with
+  | [ { sname = "urs_cli"; kids } ] ->
+      Alcotest.(check int) "eight points" 8 (List.length kids);
+      List.iter
+        (fun k -> Alcotest.(check string) "point span" "urs_point" k.sname)
+        kids
+  | _ -> Alcotest.fail "expected a single urs_cli root");
+  (* ledger records written on worker domains are stamped with the
+     submitter's trace id *)
+  let records =
+    List.filter
+      (fun r -> r.Ledger.kind = "pool.task")
+      (Ledger.recent ~limit:100 ())
+  in
+  Alcotest.(check int) "eight task records" 8 (List.length records);
+  List.iter
+    (fun r ->
+      Alcotest.(check (option string))
+        "record carries submitter trace" (Some trace4) r.Ledger.trace_id)
+    records
+
 let () =
   Alcotest.run "urs_exec"
     [
@@ -421,5 +555,10 @@ let () =
             test_solve_cache_reuses_result;
           Alcotest.test_case "cache key exactness" `Quick
             test_solve_cache_key_distinguishes_models;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "one span tree across widths" `Quick
+            test_pool_one_span_tree;
         ] );
     ]

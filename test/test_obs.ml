@@ -639,6 +639,306 @@ let test_http_metrics_route () =
       let body = http_get ~port:(Http.port server) "/metrics" in
       check_contains "prometheus exposition served" body "served_total 3")
 
+(* ---- trace contexts ---- *)
+
+module Context = Urs_obs.Context
+
+let with_seeded seed f =
+  Context.set_seed seed;
+  Fun.protect ~finally:Context.clear_seed f
+
+let test_context_determinism () =
+  let draw () =
+    with_seeded 42 @@ fun () ->
+    let a = Context.new_trace () in
+    let b = Context.child a in
+    (Context.trace_id_hex a, Context.span_id_hex a, Context.span_id_hex b)
+  in
+  let first = draw () and second = draw () in
+  if first <> second then
+    Alcotest.fail "equal seeds should give equal id sequences";
+  let ta, sa, sb = first in
+  Alcotest.(check int) "trace id width" 32 (String.length ta);
+  Alcotest.(check int) "span id width" 16 (String.length sa);
+  if sa = sb then Alcotest.fail "child must get a fresh span id";
+  (* different seeds diverge *)
+  Context.set_seed 43;
+  let other = Context.new_trace () in
+  Context.clear_seed ();
+  if Context.trace_id_hex other = ta then
+    Alcotest.fail "different seeds should give different traces"
+
+let test_traceparent_golden () =
+  (* the W3C spec's own example value *)
+  let tp = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01" in
+  (match Context.of_traceparent tp with
+  | Error e -> Alcotest.failf "spec example rejected: %s" e
+  | Ok c ->
+      Alcotest.(check string)
+        "trace id" "0af7651916cd43dd8448eb211c80319c"
+        (Context.trace_id_hex c);
+      Alcotest.(check string)
+        "span id" "b7ad6b7169203331" (Context.span_id_hex c);
+      Alcotest.(check bool) "sampled" true c.Context.sampled;
+      Alcotest.(check string) "round-trip" tp (Context.to_traceparent c));
+  match Context.of_traceparent "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-00" with
+  | Ok c -> Alcotest.(check bool) "not sampled" false c.Context.sampled
+  | Error e -> Alcotest.failf "flags 00 rejected: %s" e
+
+let test_traceparent_rejections () =
+  List.iter
+    (fun (label, tp) ->
+      match Context.of_traceparent tp with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s should be rejected: %S" label tp)
+    [
+      ("empty", "");
+      ("too few fields", "00-abc");
+      ("uppercase trace",
+       "00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01");
+      ("short trace", "00-0af7651916cd43dd8448eb211c8031-b7ad6b7169203331-01");
+      ("short span", "00-0af7651916cd43dd8448eb211c80319c-b7ad6b71692033-01");
+      ("non-hex", "00-0af7651916cd43dd8448eb211c80319z-b7ad6b7169203331-01");
+      ("version ff", "ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01");
+      ("zero trace", "00-00000000000000000000000000000000-b7ad6b7169203331-01");
+      ("zero span", "00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01");
+      ("version 00 extra field",
+       "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra");
+    ];
+  (* a future version may carry extra fields *)
+  match
+    Context.of_traceparent
+      "01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-future"
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "future version with extras rejected: %s" e
+
+let traceparent_roundtrip_prop =
+  QCheck2.Test.make ~name:"traceparent round-trip" ~count:200
+    QCheck2.Gen.(triple (pair int64 int64) int64 bool)
+    (fun ((hi, lo), span, sampled) ->
+      (* all-zero ids are invalid by construction in new_trace; mirror
+         that here rather than testing the invalid encodings *)
+      let hi = if hi = 0L && lo = 0L then 1L else hi in
+      let span = if span = 0L then 1L else span in
+      let c = { Context.trace_hi = hi; trace_lo = lo; span_id = span; sampled } in
+      match Context.of_traceparent (Context.to_traceparent c) with
+      | Ok c' -> c = c'
+      | Error _ -> false)
+
+let test_context_ambient () =
+  Alcotest.(check bool) "empty by default" true (Context.current () = None);
+  let a = Context.new_trace () in
+  let b = Context.child a in
+  Context.with_current a (fun () ->
+      (match Context.current () with
+      | Some c when c = a -> ()
+      | _ -> Alcotest.fail "with_current should install");
+      Context.with_current b (fun () ->
+          match Context.current () with
+          | Some c when c = b -> ()
+          | _ -> Alcotest.fail "nested install");
+      (match Context.current () with
+      | Some c when c = a -> ()
+      | _ -> Alcotest.fail "nested exit should restore");
+      (* capture/restore round-trips, including None *)
+      let saved = Context.capture () in
+      Context.restore None (fun () ->
+          Alcotest.(check bool) "restored to None" true
+            (Context.current () = None));
+      Context.restore saved (fun () ->
+          match Context.current () with
+          | Some c when c = a -> ()
+          | _ -> Alcotest.fail "restore saved"));
+  Alcotest.(check bool) "clean after" true (Context.current () = None);
+  (* the previous value comes back even on raise *)
+  (try
+     Context.with_current a (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check bool) "restored on raise" true (Context.current () = None)
+
+let test_span_trace_ids () =
+  let r = Metrics.create () in
+  let clock = ref 0.0 in
+  Span.set_clock (fun () -> !clock);
+  Span.set_tracing true;
+  Fun.protect
+    ~finally:(fun () ->
+      Span.use_default_clock ();
+      Span.set_tracing false;
+      Span.reset_trace ())
+    (fun () ->
+      with_seeded 7 @@ fun () ->
+      Span.with_ ~registry:r ~name:"urs_outer" (fun () ->
+          Span.with_ ~registry:r ~name:"urs_inner" (fun () -> clock := 1.0));
+      match Json.of_string (Span.trace_json ()) with
+      | Error e -> Alcotest.failf "trace does not parse: %s" e
+      | Ok j -> (
+          match Json.member "spans" j with
+          | Some (Json.List [ outer ]) -> (
+              let str k n =
+                Option.bind (Json.member k n) Json.to_string_opt
+              in
+              let outer_trace = str "trace_id" outer in
+              let outer_span = str "span_id" outer in
+              Alcotest.(check bool) "trace id present" true (outer_trace <> None);
+              (* no ambient context: the root span has no parent *)
+              Alcotest.(check (option string))
+                "root has no parent" None (str "parent_span_id" outer);
+              match Json.member "children" outer with
+              | Some (Json.List [ inner ]) ->
+                  Alcotest.(check (option string))
+                    "same trace" outer_trace (str "trace_id" inner);
+                  Alcotest.(check (option string))
+                    "inner parents onto outer" outer_span
+                    (str "parent_span_id" inner)
+              | _ -> Alcotest.fail "inner span missing")
+          | _ -> Alcotest.fail "expected one root span"))
+
+(* ---- ledger trace stamps (urs-ledger/2) ---- *)
+
+let test_ledger_trace_stamps () =
+  with_clean_ledger @@ fun () ->
+  Ledger.set_memory true;
+  let ctx = Context.new_trace () in
+  (* explicit context *)
+  Ledger.record ~context:ctx ~kind:"http.access" ~wall_seconds:0.001 ();
+  (* ambient context *)
+  Context.with_current ctx (fun () ->
+      Ledger.record ~kind:"solver.evaluate" ~wall_seconds:0.002 ());
+  (* no context at all *)
+  Ledger.record ~kind:"bench.section" ~wall_seconds:0.003 ();
+  match Ledger.recent () with
+  | [ a; b; c ] ->
+      Alcotest.(check (option string))
+        "explicit trace id"
+        (Some (Context.trace_id_hex ctx))
+        a.Ledger.trace_id;
+      Alcotest.(check (option string))
+        "explicit span id"
+        (Some (Context.span_id_hex ctx))
+        a.Ledger.span_id;
+      Alcotest.(check (option string))
+        "ambient trace id"
+        (Some (Context.trace_id_hex ctx))
+        b.Ledger.trace_id;
+      Alcotest.(check (option string)) "no context" None c.Ledger.trace_id;
+      (* round-trip keeps the stamps and the v2 schema tag *)
+      let j = Ledger.to_json a in
+      check_contains "schema tag" (Json.to_string j) "urs-ledger/2";
+      (match Ledger.of_json j with
+      | Ok a' ->
+          Alcotest.(check (option string))
+            "stamps survive round-trip" a.Ledger.trace_id a'.Ledger.trace_id
+      | Error e -> Alcotest.failf "v2 round-trip: %s" e)
+  | rs -> Alcotest.failf "expected 3 records, got %d" (List.length rs)
+
+let test_ledger_schema_compat () =
+  (* v1 lines (no stamps) still parse; unknown schemas fail loudly *)
+  let v1 =
+    {|{"schema":"urs-ledger/1","seq":1,"time":0,"kind":"sweep.point","params":{},"wall_seconds":0.5,"outcome":"ok","summary":{},"gauges":{}}|}
+  in
+  (match Result.bind (Json.of_string v1) Ledger.of_json with
+  | Ok r ->
+      Alcotest.(check string) "v1 kind" "sweep.point" r.Ledger.kind;
+      Alcotest.(check (option string)) "v1 has no stamps" None r.Ledger.trace_id
+  | Error e -> Alcotest.failf "v1 line rejected: %s" e);
+  let unknown =
+    {|{"schema":"urs-ledger/9","seq":1,"time":0,"kind":"x","wall_seconds":0,"outcome":"ok"}|}
+  in
+  match Result.bind (Json.of_string unknown) Ledger.of_json with
+  | Ok _ -> Alcotest.fail "unknown schema should be rejected"
+  | Error e -> check_contains "error names the schema" e "urs-ledger/9"
+
+(* ---- exporter escaping ---- *)
+
+let test_export_escaping () =
+  let r = Metrics.create () in
+  Metrics.inc
+    (Metrics.counter ~registry:r
+       ~labels:[ ("route", "/timeline?series=\"x\\y\"\nz") ]
+       ~help:"line one\nline two \\ backslash" "urs_esc_total");
+  let out = Export.prometheus (Metrics.snapshot ~registry:r ()) in
+  (* golden: backslash, double-quote and newline escaped in the label
+     value; backslash and newline escaped in HELP text *)
+  check_contains "label escaping" out
+    {|urs_esc_total{route="/timeline?series=\"x\\y\"\nz"} 1|};
+  check_contains "help escaping" out
+    {|# HELP urs_esc_total line one\nline two \\ backslash|};
+  (* the output must still be line-wise well formed: every line is a
+     comment or a sample, no line split mid-value *)
+  List.iter
+    (fun line ->
+      if line <> "" && line.[0] <> '#' && not (contains line " ") then
+        Alcotest.failf "malformed exposition line: %S" line)
+    (String.split_on_char '\n' out)
+
+(* ---- HTTP request middleware ---- *)
+
+let test_http_middleware () =
+  with_clean_ledger @@ fun () ->
+  Ledger.set_memory true;
+  let routes = [ ("/ping", fun _q -> Http.respond "pong\n") ] in
+  let server = Http.start ~port:0 ~routes () in
+  Fun.protect
+    ~finally:(fun () -> Http.stop server)
+    (fun () ->
+      let port = Http.port server in
+      let requests_before route code =
+        Option.value ~default:0.0
+          (Metrics.value
+             ~labels:[ ("route", route); ("code", code) ]
+             "urs_http_requests_total")
+      in
+      let ok0 = requests_before "/ping" "200" in
+      let missing0 = requests_before "unknown" "404" in
+      let tp = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01" in
+      (match Http.request ~headers:[ ("traceparent", tp) ] ~port "/ping" with
+      | Error e -> Alcotest.failf "request failed: %s" e
+      | Ok (status, headers, body) ->
+          Alcotest.(check int) "status" 200 status;
+          Alcotest.(check string) "body" "pong\n" body;
+          (match List.assoc_opt "traceparent" headers with
+          | Some t ->
+              (* the response continues the inbound trace with a fresh
+                 span id *)
+              check_contains "same trace continued" t
+                "00-0af7651916cd43dd8448eb211c80319c-";
+              if contains t "b7ad6b7169203331" then
+                Alcotest.fail "span id should be fresh, not the parent's"
+          | None -> Alcotest.fail "traceparent response header missing");
+          (match List.assoc_opt "x-request-id" headers with
+          | Some id -> Alcotest.(check int) "request id width" 16 (String.length id)
+          | None -> Alcotest.fail "x-request-id response header missing"));
+      ignore (Http.request ~port "/nope");
+      check_float "route counter incremented" (ok0 +. 1.0)
+        (requests_before "/ping" "200");
+      check_float "unknown route collapses" (missing0 +. 1.0)
+        (requests_before "unknown" "404");
+      (match
+         Metrics.value ~labels:[] "urs_http_in_flight_requests"
+       with
+      | Some v -> check_float "in-flight settles to zero" 0.0 v
+      | None -> Alcotest.fail "in-flight gauge missing");
+      (* one access-log record per request, stamped with the trace *)
+      let access =
+        List.filter
+          (fun r -> r.Ledger.kind = "http.access")
+          (Ledger.recent ())
+      in
+      Alcotest.(check int) "two access records" 2 (List.length access);
+      match access with
+      | [ ping; nope ] ->
+          Alcotest.(check (option string))
+            "inbound trace id stamped"
+            (Some "0af7651916cd43dd8448eb211c80319c")
+            ping.Ledger.trace_id;
+          Alcotest.(check string) "error outcome" "error" nope.Ledger.outcome;
+          (match List.assoc_opt "status" nope.Ledger.summary with
+          | Some (Json.Int 404) -> ()
+          | _ -> Alcotest.fail "status in summary")
+      | _ -> assert false)
+
 (* ---- timelines ---- *)
 
 module Timeline = Urs_obs.Timeline
@@ -864,7 +1164,28 @@ let test_perfetto_export () =
               check_float "tid is the domain id" 0.0
                 (Option.get (num "tid" inner));
               (match Json.member "args" inner with
-              | Some (Json.Obj [ ("k", Json.String "v") ]) -> ()
+              | Some (Json.Obj kvs) -> (
+                  (match List.assoc_opt "k" kvs with
+                  | Some (Json.String "v") -> ()
+                  | _ -> Alcotest.fail "labels should become args");
+                  (* args also carry the correlation ids: the inner
+                     span's parent is the outer span *)
+                  let arg_str key =
+                    match List.assoc_opt key kvs with
+                    | Some (Json.String s) -> Some s
+                    | _ -> None
+                  in
+                  (match arg_str "trace_id" with
+                  | Some t -> Alcotest.(check int) "trace id width" 32 (String.length t)
+                  | None -> Alcotest.fail "args should carry trace_id");
+                  (match (arg_str "parent_span_id", Json.member "args" outer) with
+                  | Some p, Some (Json.Obj outer_kvs) ->
+                      (match List.assoc_opt "span_id" outer_kvs with
+                      | Some (Json.String outer_span) ->
+                          Alcotest.(check string)
+                            "inner parents onto outer" outer_span p
+                      | _ -> Alcotest.fail "outer args should carry span_id")
+                  | _ -> Alcotest.fail "inner args should carry parent_span_id"))
               | _ -> Alcotest.fail "labels should become args")
           | _ -> Alcotest.fail "traceEvents should hold both spans"))
 
@@ -925,7 +1246,21 @@ let test_query_helpers () =
   Alcotest.(check (option string)) "first wins" (Some "1") (Http.query_get q "a");
   Alcotest.(check (option string)) "missing" None (Http.query_get q "z");
   Alcotest.(check (option int)) "int" (Some 1) (Http.query_int q "a");
-  Alcotest.(check (option int)) "non-numeric" None (Http.query_int q "b")
+  Alcotest.(check (option int)) "non-numeric" None (Http.query_int q "b");
+  (* strict positive-int validation: absent defaults, junk errors *)
+  let q = [ ("n", "3"); ("zero", "0"); ("neg", "-2"); ("junk", "abc") ] in
+  (match Http.query_pos_int q "n" ~default:100 with
+  | Ok 3 -> ()
+  | _ -> Alcotest.fail "present positive should parse");
+  (match Http.query_pos_int q "missing" ~default:100 with
+  | Ok 100 -> ()
+  | _ -> Alcotest.fail "absent should take the default");
+  List.iter
+    (fun key ->
+      match Http.query_pos_int q key ~default:100 with
+      | Error _ -> ()
+      | Ok v -> Alcotest.failf "%s should be rejected, got %d" key v)
+    [ "zero"; "neg"; "junk" ]
 
 (* ---- runtime probes ---- *)
 
@@ -1350,6 +1685,8 @@ let test_perf_ledger_digest () =
       outcome = "ok";
       summary = [];
       gauges = [];
+      trace_id = None;
+      span_id = None;
     }
   in
   let digest =
@@ -1442,6 +1779,8 @@ let () =
             test_degenerate_summary_json;
           Alcotest.test_case "TYPE header once per family" `Quick
             test_prometheus_type_once;
+          Alcotest.test_case "label and help escaping" `Quick
+            test_export_escaping;
         ] );
       ( "json-parser",
         [
@@ -1459,12 +1798,28 @@ let () =
             test_ledger_concurrent_reads;
           Alcotest.test_case "malformed line" `Quick
             test_ledger_malformed_line;
+          Alcotest.test_case "trace stamps" `Quick test_ledger_trace_stamps;
+          Alcotest.test_case "schema compat" `Quick test_ledger_schema_compat;
+        ] );
+      ( "context",
+        [
+          Alcotest.test_case "seeded determinism" `Quick
+            test_context_determinism;
+          Alcotest.test_case "traceparent golden" `Quick
+            test_traceparent_golden;
+          Alcotest.test_case "traceparent rejections" `Quick
+            test_traceparent_rejections;
+          QCheck_alcotest.to_alcotest traceparent_roundtrip_prop;
+          Alcotest.test_case "ambient install/restore" `Quick
+            test_context_ambient;
+          Alcotest.test_case "span ids in trace" `Quick test_span_trace_ids;
         ] );
       ( "http",
         [
           Alcotest.test_case "smoke" `Quick test_http_smoke;
           Alcotest.test_case "metrics route" `Quick test_http_metrics_route;
           Alcotest.test_case "query helpers" `Quick test_query_helpers;
+          Alcotest.test_case "request middleware" `Quick test_http_middleware;
         ] );
       ( "timeline",
         [
