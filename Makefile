@@ -60,15 +60,17 @@ serve-smoke: build
 
 # A Perfetto trace exported from a real profiled run must parse (with
 # the in-repo JSON parser), carry complete events and include at least
-# one GC counter track (ph=C) merged in by --profile-gc; and a --jobs 4
-# sweep must export one connected span tree with cross-domain flow
-# (ph=s/f) arrows between the submitting and worker domains.
+# one GC counter track (ph=C) merged in by --profile-gc plus the
+# conv:* convergence residual tracks (finite, non-increasing after the
+# last deflation, ending converged); and a --jobs 4 sweep must export
+# one connected span tree with cross-domain flow (ph=s/f) arrows
+# between the submitting and worker domains.
 trace-smoke: build
 	dune exec bin/urs_cli.exe -- solve --profile-gc \
 	  --trace /tmp/urs_trace_perfetto.json --trace-format perfetto \
 	  > /dev/null
 	dune exec scripts/validate_trace.exe -- --require-counter \
-	  /tmp/urs_trace_perfetto.json
+	  --require-convergence /tmp/urs_trace_perfetto.json
 	dune exec bin/urs_cli.exe -- sweep load --range 0.05:0.9:24 \
 	  -N 5 --lambda 4 --jobs 4 --no-cache \
 	  --trace /tmp/urs_trace_flows.json --trace-format perfetto \

@@ -460,6 +460,90 @@ let section_n5 () =
      committed BENCH_baseline.json and fails on a >2x regression)@.";
   flush ()
 
+(* ---- convergence: iterations to tolerance and recorder overhead ---- *)
+
+let section_conv () =
+  header "Convergence — iterations to tolerance per solver (paper models)";
+  Format.printf "(fitted operative H2, η=25, λ=0.8N; default tolerances)@.@.";
+  Format.printf "  %3s  %5s  %10s  %11s  %9s  %11s@." "N" "s" "qr sweeps"
+    "sweeps/eig" "mg iters" "brent iters";
+  List.iter
+    (fun servers ->
+      let lambda = 0.8 *. float_of_int servers in
+      let m = model ~servers ~lambda in
+      match Urs.Model.qbd m with
+      | None -> Format.printf "  %3d  (no phase-type model)@." servers
+      | Some q ->
+          let (), traces =
+            Urs_obs.Convergence.with_recording (fun () ->
+                (match Urs_mmq.Spectral.solve q with Ok _ | Error _ -> ());
+                (match Urs_mmq.Matrix_geometric.solve q with
+                | Ok _ | Error _ -> ());
+                match Urs_mmq.Geometric.solve q with Ok _ | Error _ -> ())
+          in
+          let iters solver =
+            List.fold_left
+              (fun acc (tr : Urs_obs.Convergence.trace) ->
+                if tr.Urs_obs.Convergence.solver = solver then
+                  acc + tr.Urs_obs.Convergence.iterations
+                else acc)
+              0 traces
+          in
+          let s = Urs_mmq.Qbd.s q in
+          let qr = iters "qr" in
+          List.iter
+            (fun (solver, n) ->
+              Metrics.set
+                (Metrics.gauge
+                   ~labels:
+                     [ ("solver", solver); ("n", string_of_int servers) ]
+                   ~help:
+                     "Iterations to tolerance on the λ=0.8N paper model"
+                   "urs_bench_conv_iterations")
+                (float_of_int n))
+            [ ("qr", qr); ("mg_r", iters "mg_r"); ("brent", iters "brent") ];
+          Format.printf "  %3d  %5d  %10d  %11.2f  %9d  %11d@." servers s qr
+            (float_of_int qr /. float_of_int s)
+            (iters "mg_r") (iters "brent");
+          flush ())
+    [ 5; 10; 20 ];
+  (* recorder overhead: the N=5 spectral solve with the global recording
+     flag off vs on — the callbacks only read already-computed values,
+     so this should be noise-level *)
+  let m = model ~servers:5 ~lambda:4.0 in
+  (match Urs.Model.qbd m with
+  | None -> ()
+  | Some q ->
+      let time_solves recording =
+        Urs_obs.Convergence.set_recording recording;
+        ignore (Urs_mmq.Spectral.solve q);
+        let iters = 30 in
+        let t0 = Span.now () in
+        for _ = 1 to iters do
+          ignore (Urs_mmq.Spectral.solve q)
+        done;
+        let per = (Span.now () -. t0) /. float_of_int iters in
+        Urs_obs.Convergence.set_recording false;
+        Metrics.set
+          (Metrics.gauge
+             ~labels:[ ("recording", if recording then "on" else "off") ]
+             ~help:
+               "Mean wall seconds per N=5 spectral solve with convergence \
+                recording off/on"
+             "urs_bench_conv_solve_seconds")
+          per;
+        per
+      in
+      let off = time_solves false in
+      let on = time_solves true in
+      Urs_obs.Convergence.reset ();
+      Format.printf
+        "@.recorder overhead (N=5 spectral): %.3f ms/solve off, %.3f \
+         ms/solve on (%+.1f%%)@."
+        (1e3 *. off) (1e3 *. on)
+        (100.0 *. ((on /. off) -. 1.0)));
+  flush ()
+
 (* ---- parallel execution: pool and cache speedups ---- *)
 
 let section_speedup () =
@@ -590,6 +674,7 @@ let sections : (string * string * (unit -> unit)) list =
     ("ablation", "Solver agreement ablation", section_ablation);
     ("extensions", "Extensions beyond the paper", section_extensions);
     ("n5", "N=5 solver wall time (bench-regression gate)", section_n5);
+    ("conv", "Convergence: iterations to tolerance per solver", section_conv);
     ("speedup", "Pool and solve-cache speedups", section_speedup);
     ("timing", "bechamel micro-benchmarks", section_timing);
   ]

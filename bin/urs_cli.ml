@@ -73,9 +73,12 @@ let dump_obs obs =
         | `Flame -> Urs_obs.Span.trace_json ()
         | `Perfetto ->
             (* GC slices and allocation counter tracks captured by the
-               Runtime_events consumer (empty without --profile-gc) *)
+               Runtime_events consumer (empty without --profile-gc), plus
+               per-solve convergence residual counter tracks *)
             Urs_obs.Span.trace_perfetto
-              ~extra:(Urs_obs.Runtime.perfetto_events ())
+              ~extra:
+                (Urs_obs.Runtime.perfetto_events ()
+                @ Urs_obs.Convergence.perfetto_events ())
               ()
       in
       write path (body ^ "\n")
@@ -133,6 +136,12 @@ let timeline_response q =
                  (List.map Urs_obs.Timeline.snapshot_json snaps) );
            ])
 
+let convergence_response q =
+  (* /convergence?n=N limits the traces returned (newest last) *)
+  match Urs_obs.Http.query_pos_int q "n" ~default:100 with
+  | Error msg -> Urs_obs.Http.respond ~status:400 (msg ^ "\n")
+  | Ok limit -> json_response (Urs_obs.Convergence.to_json ~limit ())
+
 let standard_routes =
   [
     ( "/metrics",
@@ -144,6 +153,7 @@ let standard_routes =
     ("/timeline", timeline_response);
     ("/progress", fun _q -> json_response (Urs_obs.Progress.to_json ()));
     ("/runtime", fun _q -> json_response (Urs_obs.Runtime.status_json ()));
+    ("/convergence", convergence_response);
   ]
 
 (* dump on the way out even if the command fails, so a crashed run still
@@ -177,6 +187,10 @@ let with_obs obs f =
     Format.eprintf "urs: trace id %s@."
       (Urs_obs.Context.trace_id_hex root_ctx);
   if obs.trace <> None then Urs_obs.Span.set_tracing true;
+  (* iteration-level convergence telemetry rides along whenever the run
+     is being observed anyway; results are bit-identical either way *)
+  if obs.trace <> None || obs.ledger <> None then
+    Urs_obs.Convergence.set_recording true;
   if obs.profile_gc then Urs_obs.Runtime.set_profiling true;
   let started_events = obs.profile_gc && Urs_obs.Runtime.start_events () in
   (match obs.ledger with
@@ -278,9 +292,9 @@ let obs_t =
       & info [ "serve-metrics" ] ~docv:"PORT"
           ~doc:
             "While the command runs, serve live /metrics, /healthz, /runs, \
-             /timeline, /progress and /runtime on 127.0.0.1:$(docv) (0 \
-             picks an ephemeral port). Point $(b,urs watch) at the port \
-             for a terminal progress view.")
+             /timeline, /progress, /runtime and /convergence on \
+             127.0.0.1:$(docv) (0 picks an ephemeral port). Point \
+             $(b,urs watch) at the port for a terminal progress view.")
   in
   let jobs =
     let env =
@@ -800,19 +814,212 @@ let doctor_cmd =
           only on a SUSPECT verdict.")
     Term.(ret (const run $ obs_t $ quick))
 
+(* ---- inspect ---- *)
+
+let inspect_cmd =
+  let str_field kvs k =
+    match List.assoc_opt k kvs with
+    | Some (Urs_obs.Json.String s) -> s
+    | Some j -> Urs_obs.Json.to_string j
+    | None -> "-"
+  in
+  let render_traces format (traces : Urs_obs.Convergence.trace list) =
+    match format with
+    | `Json ->
+        print_string
+          (Urs_obs.Json.to_string
+             (Urs_obs.Json.Obj
+                [
+                  ( "traces",
+                    Urs_obs.Json.List
+                      (List.map Urs_obs.Convergence.trace_to_json traces) );
+                ]));
+        print_newline ()
+    | `Table ->
+        List.iter
+          (fun (tr : Urs_obs.Convergence.trace) ->
+            Format.printf "%a@." Urs_obs.Convergence.pp_trace tr;
+            if tr.Urs_obs.Convergence.dropped > 0 then
+              Format.printf "  (first %d iterations dropped by the ring)@."
+                tr.Urs_obs.Convergence.dropped;
+            Format.printf "  %6s  %12s  %12s  %7s@." "iter" "residual"
+              "shift" "active";
+            Array.iter
+              (fun (s : Urs_obs.Convergence.sample) ->
+                Format.printf "  %6d  %12.5e  %12.5e  %7d%s@."
+                  s.Urs_obs.Convergence.iteration s.Urs_obs.Convergence.residual
+                  s.Urs_obs.Convergence.shift s.Urs_obs.Convergence.active
+                  (if s.Urs_obs.Convergence.deflation then "  deflate" else ""))
+              tr.Urs_obs.Convergence.samples;
+            Format.printf "@.")
+          traces
+    | `Data ->
+        (* gnuplot-ready: one dataset per trace, two blank lines between
+           (plot 'f' index 0 using 1:2 with lines) *)
+        List.iteri
+          (fun i (tr : Urs_obs.Convergence.trace) ->
+            if i > 0 then Format.printf "@.@.";
+            Format.printf "# trace %d solver=%s label=%S iterations=%d converged=%b@."
+              tr.Urs_obs.Convergence.seq tr.Urs_obs.Convergence.solver
+              tr.Urs_obs.Convergence.label tr.Urs_obs.Convergence.iterations
+              tr.Urs_obs.Convergence.converged;
+            Format.printf "# iter residual shift active deflation@.";
+            Array.iter
+              (fun (s : Urs_obs.Convergence.sample) ->
+                Format.printf "%d %.12g %.12g %d %d@."
+                  s.Urs_obs.Convergence.iteration s.Urs_obs.Convergence.residual
+                  s.Urs_obs.Convergence.shift s.Urs_obs.Convergence.active
+                  (if s.Urs_obs.Convergence.deflation then 1 else 0))
+              tr.Urs_obs.Convergence.samples)
+          traces
+  in
+  let run obs servers lambda mu operative inoperative crews solver_filter
+      max_iter ledger_path format =
+    with_obs obs @@ fun _pool ->
+    match ledger_path with
+    | Some path -> (
+        (* summaries only: the ledger carries the per-trace digest, not
+           the per-iteration samples *)
+        match Urs_obs.Ledger.read_file path with
+        | Error msg -> `Error (false, "cannot read ledger: " ^ msg)
+        | Ok records ->
+            let records =
+              List.filter
+                (fun (r : Urs_obs.Ledger.record) ->
+                  r.Urs_obs.Ledger.kind = "convergence"
+                  && match solver_filter with
+                     | None -> true
+                     | Some s -> str_field r.Urs_obs.Ledger.params "solver" = s)
+                records
+            in
+            if records = [] then
+              `Error (false, path ^ ": no convergence records")
+            else begin
+              (match format with
+              | `Json ->
+                  print_string
+                    (Urs_obs.Json.to_string
+                       (Urs_obs.Json.List
+                          (List.map Urs_obs.Ledger.to_json records)));
+                  print_newline ()
+              | `Table | `Data ->
+                  Format.printf "# seq solver label outcome iterations \
+                                 residual_first residual_last wall_ms@.";
+                  List.iter
+                    (fun (r : Urs_obs.Ledger.record) ->
+                      Format.printf "%d %s %S %s %s %s %s %.3f@."
+                        r.Urs_obs.Ledger.seq
+                        (str_field r.Urs_obs.Ledger.params "solver")
+                        (str_field r.Urs_obs.Ledger.params "label")
+                        r.Urs_obs.Ledger.outcome
+                        (str_field r.Urs_obs.Ledger.summary "iterations")
+                        (str_field r.Urs_obs.Ledger.summary "residual_first")
+                        (str_field r.Urs_obs.Ledger.summary "residual_last")
+                        (r.Urs_obs.Ledger.wall_seconds *. 1e3))
+                    records);
+              `Ok ()
+            end)
+    | None -> (
+        let m =
+          make_model ?repair_crews:crews servers lambda mu operative
+            inoperative
+        in
+        match Urs.Model.qbd m with
+        | None ->
+            `Error
+              (false, "model is not phase-type; no iterative solve to inspect")
+        | Some q ->
+            let (), traces =
+              Urs_obs.Convergence.with_recording (fun () ->
+                  (match Urs_mmq.Spectral.solve ?max_iter q with
+                  | Ok _ | Error _ -> ());
+                  (match Urs_mmq.Matrix_geometric.solve q with
+                  | Ok _ | Error _ -> ());
+                  match Urs_mmq.Geometric.solve q with Ok _ | Error _ -> ())
+            in
+            let traces =
+              List.filter
+                (fun (tr : Urs_obs.Convergence.trace) ->
+                  match solver_filter with
+                  | None -> true
+                  | Some s -> tr.Urs_obs.Convergence.solver = s)
+                traces
+            in
+            if traces = [] then `Error (false, "no convergence traces recorded")
+            else begin
+              render_traces format traces;
+              `Ok ()
+            end)
+  in
+  let solver_filter =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "solver" ] ~docv:"NAME"
+          ~doc:
+            "Only show traces from this solver ($(b,qr), $(b,mg_r), \
+             $(b,brent), $(b,uniformization)).")
+  in
+  let max_iter =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-iter" ] ~docv:"N"
+          ~doc:
+            "Lower the QR sweep budget of the live spectral solve \
+             (default 100) — e.g. $(b,--max-iter 2) to watch a forced \
+             stall.")
+  in
+  let ledger_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "from-ledger" ] ~docv:"FILE"
+          ~doc:
+            "Instead of solving live, list the 'convergence' records of \
+             this run-ledger JSONL (per-trace digests; the per-iteration \
+             samples exist only in live mode).")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("table", `Table); ("json", `Json); ("data", `Data) ])
+          `Table
+      & info [ "format" ]
+          ~doc:
+            "Output format: $(b,table) (per-iteration rows under a \
+             per-trace header), $(b,json), or $(b,data) (gnuplot-ready \
+             columns, one dataset per trace).")
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:
+         "Record and display iteration-level convergence telemetry: solve \
+          the model with every iterative method (spectral QR, \
+          matrix-geometric R fixed point, Brent root refinement) and show \
+          each trace's per-iteration residuals — or digest the \
+          'convergence' records of an existing ledger.")
+    Term.(
+      ret
+        (const run $ obs_t $ servers $ lambda $ mu $ operative $ inoperative
+       $ repair_crews $ solver_filter $ max_iter $ ledger_path $ format))
+
 (* ---- serve ---- *)
 
 let serve_cmd =
   let run obs port =
     with_obs obs @@ fun pool ->
     Urs_obs.Ledger.set_memory true;
+    (* the doctor's convergence stage fills /convergence at startup and
+       any later solve keeps appending traces *)
+    Urs_obs.Convergence.set_recording true;
     Format.printf "urs: running quick doctor self-check...@.";
     let report = Urs.Doctor.run ~quick:true ?pool () in
     Format.printf "%a@." Urs.Doctor.pp_report report;
     let server = Urs_obs.Http.start ~port ~routes:standard_routes () in
     Format.printf
       "urs: serving http://127.0.0.1:%d (/metrics /healthz /runs /timeline \
-       /progress /runtime) — Ctrl-C to stop@."
+       /progress /runtime /convergence) — Ctrl-C to stop@."
       (Urs_obs.Http.port server);
     Urs_obs.Http.wait server
   in
@@ -827,8 +1034,9 @@ let serve_cmd =
          "Run a quick doctor self-check, then serve /metrics (Prometheus), \
           /healthz (doctor verdict; 503 when suspect), /runs (recent \
           ledger records, JSON), /timeline (bounded time-series \
-          recorders, JSON), /progress (task completion and ETA, JSON) and \
-          /runtime (GC probe status, JSON) over HTTP until interrupted.")
+          recorders, JSON), /progress (task completion and ETA, JSON), \
+          /runtime (GC probe status, JSON) and /convergence (recent \
+          iteration traces, JSON) over HTTP until interrupted.")
     Term.(const run $ obs_t $ port)
 
 (* ---- watch ---- *)
@@ -1254,7 +1462,7 @@ let () =
   let group =
     Cmd.group info
       [ solve_cmd; stability_cmd; optimize_cmd; capacity_cmd; simulate_cmd;
-        sweep_cmd; metrics_cmd; dataset_cmd; fit_cmd; doctor_cmd; serve_cmd;
-        watch_cmd; report_cmd; trace_cmd ]
+        sweep_cmd; metrics_cmd; dataset_cmd; fit_cmd; doctor_cmd; inspect_cmd;
+        serve_cmd; watch_cmd; report_cmd; trace_cmd ]
   in
   exit (Cmd.eval group)

@@ -423,6 +423,91 @@ let check_memory_stage ?thresholds model =
                 };
               ])
 
+(* ---- convergence stage ----
+
+   The N=5 λ=4 paper model is re-solved by every iterative method under
+   {!Urs_obs.Convergence.with_recording}; each finished iteration trace
+   (QR sweeps, matrix-geometric R fixed point, Brent root refinement)
+   is graded by [Diagnostics.check_convergence] — iteration-cap
+   proximity, non-monotone deflation, residual stagnation, slow linear
+   contraction. [qr_max_iter] exists so tests (and the curious) can
+   lower the QR sweep budget and watch the stage go suspect. *)
+
+let check_convergence_stage ?thresholds ?qr_max_iter model =
+  let name =
+    Printf.sprintf "N=%d lambda=%g" model.Model.servers
+      model.Model.arrival_rate
+  in
+  match Model.qbd model with
+  | None ->
+      [
+        {
+          name = name ^ " conv";
+          value = nan;
+          detail = "not phase-type";
+          verdict =
+            Diagnostics.Degraded [ name ^ ": convergence stage needs phase-type" ];
+        };
+      ]
+  | Some q ->
+      let spectral_res, traces =
+        Urs_obs.Convergence.with_recording (fun () ->
+            Span.with_ ~name:"urs_doctor_convergence"
+              ~labels:[ ("model", name) ]
+              (fun () ->
+                let sp = Mq.Spectral.solve ?max_iter:qr_max_iter q in
+                (match Mq.Matrix_geometric.solve q with
+                | Ok _ | Error _ -> ());
+                (match Mq.Geometric.solve q with Ok _ | Error _ -> ());
+                sp))
+      in
+      let error_checks =
+        match spectral_res with
+        | Ok _ -> []
+        | Error e ->
+            let msg = Format.asprintf "%a" Mq.Spectral.pp_error e in
+            [
+              {
+                name = name ^ " conv/spectral";
+                value = nan;
+                detail = msg;
+                verdict = Diagnostics.Suspect [ name ^ " conv: " ^ msg ];
+              };
+            ]
+      in
+      let trace_checks =
+        List.map
+          (fun (tr : Urs_obs.Convergence.trace) ->
+            let check_name =
+              name ^ " conv/" ^ tr.Urs_obs.Convergence.solver
+            in
+            let value, verdict =
+              Diagnostics.check_convergence ?thresholds ~label:check_name tr
+            in
+            {
+              name = check_name;
+              value;
+              detail = Format.asprintf "%a" Urs_obs.Convergence.pp_trace tr;
+              verdict;
+            })
+          traces
+      in
+      let empty_check =
+        if trace_checks = [] then
+          [
+            {
+              name = name ^ " conv";
+              value = nan;
+              detail = "no convergence traces recorded";
+              verdict =
+                Diagnostics.Degraded
+                  [ name ^ ": no convergence traces recorded" ];
+            };
+          ]
+        else []
+      in
+      error_checks @ trace_checks @ empty_check
+
 let quick_grid = [ (5, 4.0) ]
 let full_grid = [ (5, 4.0); (10, 8.0); (12, 8.0) ]
 
@@ -436,7 +521,7 @@ let run ?(quick = false) ?thresholds ?pool () =
   (* the grid models fan out across the pool, and each model's
      simulation replications nest on the same pool (the pool supports
      nested batches); check order is the grid order either way *)
-  Urs_obs.Progress.start ~total:(List.length grid + 2) "doctor:models";
+  Urs_obs.Progress.start ~total:(List.length grid + 3) "doctor:models";
   let checks =
     Span.with_ ~name:"urs_doctor_run" (fun () ->
         let per_model =
@@ -463,7 +548,13 @@ let run ?(quick = false) ?thresholds ?pool () =
           check_memory_stage ?thresholds (paper_model ~servers:5 ~lambda:4.0)
         in
         Urs_obs.Progress.tick "doctor:models";
-        List.concat per_model @ warmup @ memory)
+        (* convergence stage: the same model once more, every iterative
+           method recorded and graded *)
+        let convergence =
+          check_convergence_stage ?thresholds (paper_model ~servers:5 ~lambda:4.0)
+        in
+        Urs_obs.Progress.tick "doctor:models";
+        List.concat per_model @ warmup @ memory @ convergence)
   in
   Urs_obs.Progress.finish "doctor:models";
   let verdict =

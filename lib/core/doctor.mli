@@ -62,6 +62,23 @@ val check_warmup :
     the ["... warmup"] and ["... sim-vs-transient"] checks; {!run}
     includes them for the N=5 paper model. *)
 
+val check_convergence_stage :
+  ?thresholds:Urs_mmq.Diagnostics.thresholds ->
+  ?qr_max_iter:int ->
+  Model.t ->
+  check list
+(** Convergence audit of one model: re-solve it with every iterative
+    method (spectral QR, matrix-geometric R fixed point, geometric
+    approximation's Brent refinement) under
+    {!Urs_obs.Convergence.with_recording} and grade each finished
+    iteration trace with {!Urs_mmq.Diagnostics.check_convergence} —
+    iteration-cap proximity, non-monotone deflation, residual
+    stagnation, slow linear contraction. One ["... conv/<solver>"]
+    check per trace, plus a suspect check when the spectral solve
+    itself fails. [qr_max_iter] lowers the QR sweep budget (tests use
+    it to force a stall). {!run} includes this stage for the N=5 paper
+    model. *)
+
 val paper_model : servers:int -> lambda:float -> Model.t
 (** The §4 paper model: service rate 1, fitted H2 operative periods,
     exponential (η = 25) inoperative periods. *)

@@ -22,9 +22,10 @@ let reversed ~q0 ~q1 ~q2 =
   Matrix.blit ~src:(Matrix.scale (-1.0) b1) ~dst:m s s;
   m
 
-let eigenvalues_inside_unit_disk ?(tol = 1e-9) ~q0 ~q1 ~q2 () =
+let eigenvalues_inside_unit_disk ?(tol = 1e-9) ?max_iter ?observe ~q0 ~q1 ~q2
+    () =
   let m = reversed ~q0 ~q1 ~q2 in
-  let ws = Eigen.eigenvalues m in
+  let ws = Eigen.eigenvalues ?max_iter ?observe m in
   let zs =
     Array.to_list ws
     |> List.filter_map (fun w ->

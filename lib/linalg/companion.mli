@@ -17,11 +17,20 @@ val reversed : q0:Matrix.t -> q1:Matrix.t -> q2:Matrix.t -> Matrix.t
     is singular. *)
 
 val eigenvalues_inside_unit_disk :
-  ?tol:float -> q0:Matrix.t -> q1:Matrix.t -> q2:Matrix.t -> unit -> Cx.t array
+  ?tol:float ->
+  ?max_iter:int ->
+  ?observe:(Qr_eig.progress -> unit) ->
+  q0:Matrix.t ->
+  q1:Matrix.t ->
+  q2:Matrix.t ->
+  unit ->
+  Cx.t array
 (** All roots [z] of [det Q(z) = 0] with [|z| < 1 - tol]
     (default [tol = 1e-9]), obtained from the reversed companion matrix
     (roots with [|w| <= 1 + tol], i.e. [|z| >= 1], are dropped, as are
-    [w ≈ 0] infinite roots). Sorted by ascending modulus. *)
+    [w ≈ 0] infinite roots). Sorted by ascending modulus. [max_iter] and
+    [observe] are forwarded to the QR eigensolve
+    ({!Qr_eig.eigenvalues_hessenberg}). *)
 
 val evaluate : q0:Matrix.t -> q1:Matrix.t -> q2:Matrix.t -> Cx.t -> Cmatrix.t
 (** [evaluate ~q0 ~q1 ~q2 z] is the complex matrix [Q(z)]. *)

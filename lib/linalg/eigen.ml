@@ -1,7 +1,7 @@
-let eigenvalues ?(balance = true) a =
+let eigenvalues ?(balance = true) ?max_iter ?observe a =
   let b = if balance then Hessenberg.balance a else a in
   let h = Hessenberg.reduce b in
-  Qr_eig.eigenvalues_hessenberg h
+  Qr_eig.eigenvalues_hessenberg ?max_iter ?observe h
 
 let shifted a z =
   let ca = Cmatrix.of_real a in

@@ -1,11 +1,17 @@
 (** Driver for the dense nonsymmetric eigenvalue problem and
     eigenvector extraction by inverse iteration. *)
 
-val eigenvalues : ?balance:bool -> Matrix.t -> Cx.t array
+val eigenvalues :
+  ?balance:bool ->
+  ?max_iter:int ->
+  ?observe:(Qr_eig.progress -> unit) ->
+  Matrix.t ->
+  Cx.t array
 (** All eigenvalues of a square real matrix, as complex numbers in
     conjugate pairs, computed by balancing (optional, default on),
     Hessenberg reduction and double-shift QR. Order is unspecified;
-    sort with {!Cx.compare_by_modulus} if needed. *)
+    sort with {!Cx.compare_by_modulus} if needed. [max_iter] and
+    [observe] are forwarded to {!Qr_eig.eigenvalues_hessenberg}. *)
 
 val right_eigenvector : Matrix.t -> Cx.t -> Cvec.t
 (** [right_eigenvector a z] returns a unit-norm [v] with [a v ≈ z v],

@@ -9,13 +9,28 @@
 
 exception No_convergence of { dim : int; block : int; iterations : int }
 
-let sweep_count = ref 0
+(* mutated from pool workers under `--jobs N`, so it must be atomic to
+   keep the cumulative total exact *)
+let sweep_count = Atomic.make 0
 
-let total_sweeps () = !sweep_count
+let total_sweeps () = Atomic.get sweep_count
+
+type event = Sweep | Deflate
+
+type progress = {
+  event : event;
+  sweeps : int;
+  total : int;
+  remaining : int;
+  block : int;
+  residual : float;
+  shift : float;
+  exceptional : bool;
+}
 
 let sign_of a b = if b >= 0.0 then abs_float a else -.abs_float a
 
-let eigenvalues_hessenberg ?(max_iter = 100) h =
+let eigenvalues_hessenberg ?(max_iter = 100) ?observe h =
   if not (Matrix.is_square h) then invalid_arg "Qr_eig: not square";
   if not (Hessenberg.is_hessenberg h) then invalid_arg "Qr_eig: not Hessenberg";
   let n = h.Matrix.rows in
@@ -32,6 +47,25 @@ let eigenvalues_hessenberg ?(max_iter = 100) h =
     done;
     let anorm = !anorm in
     let t = ref 0.0 in
+    let local_sweeps = ref 0 in
+    (* the callback only reads values the iteration already computed, so
+       results are bit-identical with or without an observer *)
+    let notify ev ~sweeps ~remaining ~block ~residual ~shift ~exceptional =
+      match observe with
+      | None -> ()
+      | Some f ->
+          f
+            {
+              event = ev;
+              sweeps;
+              total = !local_sweeps;
+              remaining;
+              block;
+              residual;
+              shift;
+              exceptional;
+            }
+    in
     let nn = ref (n - 1) in
     while !nn >= 0 do
       let its = ref 0 in
@@ -58,7 +92,9 @@ let eigenvalues_hessenberg ?(max_iter = 100) h =
           wr.(nn_v) <- x +. !t;
           wi.(nn_v) <- 0.0;
           nn := nn_v - 1;
-          deflated := true
+          deflated := true;
+          notify Deflate ~sweeps:!its ~remaining:nn_v ~block:1 ~residual:0.0
+            ~shift:x ~exceptional:false
         end
         else begin
           let y = a.(nn_v - 1).(nn_v - 1) in
@@ -83,13 +119,16 @@ let eigenvalues_hessenberg ?(max_iter = 100) h =
               wi.(nn_v - 1) <- -.z
             end;
             nn := nn_v - 2;
-            deflated := true
+            deflated := true;
+            notify Deflate ~sweeps:!its ~remaining:(nn_v - 1) ~block:2
+              ~residual:0.0 ~shift:x ~exceptional:false
           end
           else begin
             if !its >= max_iter then
               raise (No_convergence { dim = n; block = nn_v; iterations = !its });
             let x = ref x and y = ref y and w = ref w in
-            if !its > 0 && !its mod 10 = 0 then begin
+            let exceptional = !its > 0 && !its mod 10 = 0 in
+            if exceptional then begin
               (* exceptional shift *)
               t := !t +. !x;
               for i = 0 to nn_v do
@@ -104,7 +143,12 @@ let eigenvalues_hessenberg ?(max_iter = 100) h =
               w := -0.4375 *. s *. s
             end;
             incr its;
-            incr sweep_count;
+            Atomic.incr sweep_count;
+            incr local_sweeps;
+            notify Sweep ~sweeps:!its ~remaining:(nn_v + 1)
+              ~block:(nn_v - l + 1)
+              ~residual:(abs_float a.(nn_v).(nn_v - 1))
+              ~shift:!x ~exceptional;
             (* find m: start row of the sweep, where two consecutive
                subdiagonals are small *)
             let p = ref 0.0 and q = ref 0.0 and r = ref 0.0 in

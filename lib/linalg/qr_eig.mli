@@ -15,10 +15,37 @@ val total_sweeps : unit -> int
     process, across all calls — a cheap progress/efficiency counter that
     callers can difference around a solve and feed into a metrics
     registry (this library sits below the observability layer, so it
-    cannot record the metric itself). *)
+    cannot record the metric itself). Kept in an [Atomic.t]: the total
+    stays exact when pool workers solve concurrently. *)
 
-val eigenvalues_hessenberg : ?max_iter:int -> Matrix.t -> Cx.t array
+type event =
+  | Sweep  (** An implicit double-shift sweep is about to run. *)
+  | Deflate  (** A trailing 1x1 / 2x2 block converged and was removed. *)
+
+type progress = {
+  event : event;
+  sweeps : int;  (** Sweeps spent on the current trailing block so far. *)
+  total : int;  (** Cumulative sweeps in this call. *)
+  remaining : int;
+      (** Rows not yet deflated (after removal for [Deflate] events);
+          non-increasing over a healthy run. *)
+  block : int;  (** Active block size (deflated block size on [Deflate]). *)
+  residual : float;
+      (** Sub-diagonal magnitude at the bottom of the active block
+          ([0.] on [Deflate]: the entry was just annihilated). *)
+  shift : float;  (** Shift in use ([x] at the block bottom). *)
+  exceptional : bool;  (** An exceptional shift was substituted. *)
+}
+(** One per-sweep / per-deflation observation, passed to [?observe] of
+    {!eigenvalues_hessenberg}. The callback must not mutate the matrix;
+    it only reads values the iteration already computed, so enabling it
+    cannot change the result (this library sits below the observability
+    layer — the solver layer wires the callback to a recorder). *)
+
+val eigenvalues_hessenberg :
+  ?max_iter:int -> ?observe:(progress -> unit) -> Matrix.t -> Cx.t array
 (** [eigenvalues_hessenberg h] computes all eigenvalues of the upper
     Hessenberg matrix [h] (which is copied, not modified).
     [max_iter] bounds the QR sweeps per eigenvalue (default [100]).
+    [observe] is invoked once before every sweep and once per deflation.
     Raises [Invalid_argument] if [h] is not square or not Hessenberg. *)

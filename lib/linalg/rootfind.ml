@@ -1,4 +1,12 @@
-let bisect ?(tol = 1e-12) ?(max_iter = 200) f a b =
+exception
+  Exhausted of { name : string; iterations : int; width : float; best : float }
+
+let notify observe ~iteration ~width ~best =
+  match observe with
+  | None -> ()
+  | Some f -> f ~iteration ~width ~best
+
+let bisect ?(tol = 1e-12) ?(max_iter = 200) ?observe f a b =
   let fa = f a and fb = f b in
   if fa = 0.0 then a
   else if fb = 0.0 then b
@@ -18,13 +26,23 @@ let bisect ?(tol = 1e-12) ?(max_iter = 200) f a b =
       else begin
         a := m;
         fa := fm
-      end
+      end;
+      notify observe ~iteration:!i ~width:(!b -. !a) ~best:(0.5 *. (!a +. !b))
     done;
+    if !b -. !a > tol then
+      raise
+        (Exhausted
+           {
+             name = "bisect";
+             iterations = !i;
+             width = !b -. !a;
+             best = 0.5 *. (!a +. !b);
+           });
     0.5 *. (!a +. !b)
   end
 
 (* Brent's method, after Brent (1973) / Numerical Recipes zbrent. *)
-let brent ?(tol = 1e-13) ?(max_iter = 200) f a b =
+let brent ?(tol = 1e-13) ?(max_iter = 200) ?observe f a b =
   let fa = f a and fb = f b in
   if fa = 0.0 then a
   else if fb = 0.0 then b
@@ -54,6 +72,7 @@ let brent ?(tol = 1e-13) ?(max_iter = 200) f a b =
       end;
       let tol1 = (2.0 *. epsilon_float *. abs_float !b) +. (0.5 *. tol) in
       let xm = 0.5 *. (!c -. !b) in
+      notify observe ~iteration:!iter ~width:(abs_float (!c -. !b)) ~best:!b;
       if abs_float xm <= tol1 || !fb = 0.0 then result := !b
       else begin
         if abs_float !e >= tol1 && abs_float !fa > abs_float !fb then begin
@@ -97,10 +116,20 @@ let brent ?(tol = 1e-13) ?(max_iter = 200) f a b =
         fb := f !b
       end
     done;
-    if Float.is_nan !result then !b else !result
+    if Float.is_nan !result then
+      raise
+        (Exhausted
+           {
+             name = "brent";
+             iterations = !iter;
+             width = abs_float (!c -. !b);
+             best = !b;
+           });
+    !result
   end
 
-let largest_root_in ?(scan_points = 200) ?(tol = 1e-13) f a b =
+let largest_root_in ?(scan_points = 200) ?(tol = 1e-13) ?max_iter ?observe f a
+    b =
   if not (b > a) then invalid_arg "Rootfind.largest_root_in: empty interval";
   let h = (b -. a) /. float_of_int scan_points in
   let value k = a +. (float_of_int k *. h) in
@@ -116,7 +145,7 @@ let largest_root_in ?(scan_points = 200) ?(tol = 1e-13) f a b =
         | None -> scan (k - 1) (Some (x, fx))
         | Some (xr, fr) ->
             if fx = 0.0 then Some x
-            else if fx *. fr < 0.0 then Some (brent ~tol f x xr)
+            else if fx *. fr < 0.0 then Some (brent ~tol ?max_iter ?observe f x xr)
             else scan (k - 1) (Some (x, fx))
     end
   in

@@ -1,27 +1,60 @@
 (** One-dimensional root finding: bisection and Brent's method.
 
     Used by the geometric approximation to locate the dominant
-    eigenvalue as the largest root of [det Q(z)] in [(0, 1)]. *)
+    eigenvalue as the largest root of [det Q(z)] in [(0, 1)].
+
+    Both solvers report iteration exhaustion by raising {!Exhausted}
+    (mirroring {!Qr_eig.No_convergence}) instead of silently returning
+    their best guess, and accept an optional per-iteration [observe]
+    callback — this library sits below the observability layer, so the
+    caller wires the callback to a recorder. The callback only reads
+    values the iteration already computed; enabling it cannot change
+    the result. *)
+
+exception
+  Exhausted of { name : string; iterations : int; width : float; best : float }
+(** Raised when [max_iter] is exhausted before the bracket narrows to
+    tolerance: [name] is ["bisect"] or ["brent"], [width] the remaining
+    bracket width and [best] the best estimate at that point. *)
 
 val bisect :
-  ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+  ?tol:float ->
+  ?max_iter:int ->
+  ?observe:(iteration:int -> width:float -> best:float -> unit) ->
+  (float -> float) ->
+  float ->
+  float ->
+  float
 (** [bisect f a b] finds a root of [f] in [[a, b]]; requires
     [f a * f b <= 0], otherwise raises [Invalid_argument]. Default
-    [tol = 1e-12] on the interval width, [max_iter = 200]. *)
+    [tol = 1e-12] on the interval width, [max_iter = 200] (raises
+    {!Exhausted} when spent). [observe] is invoked once per iteration
+    with the narrowed bracket. *)
 
 val brent :
-  ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+  ?tol:float ->
+  ?max_iter:int ->
+  ?observe:(iteration:int -> width:float -> best:float -> unit) ->
+  (float -> float) ->
+  float ->
+  float ->
+  float
 (** Brent's method (inverse quadratic interpolation with bisection
-    fallback); same contract as {!bisect} but faster convergence. *)
+    fallback); same contract as {!bisect} but faster convergence.
+    Default [tol = 1e-13]. *)
 
 val largest_root_in :
   ?scan_points:int ->
   ?tol:float ->
+  ?max_iter:int ->
+  ?observe:(iteration:int -> width:float -> best:float -> unit) ->
   (float -> float) ->
   float ->
   float ->
   float option
 (** [largest_root_in f a b] scans [scan_points] (default [200]) equal
     subintervals of [(a, b)] from the right and returns the root in the
-    rightmost sign-change bracket, refined by {!brent}; [None] when no
-    sign change is found. Points where [f] is not finite are skipped. *)
+    rightmost sign-change bracket, refined by {!brent} (to which
+    [max_iter] and [observe] are forwarded — {!Exhausted} propagates);
+    [None] when no sign change is found. Points where [f] is not finite
+    are skipped. *)

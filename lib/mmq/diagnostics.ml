@@ -26,6 +26,9 @@ type thresholds = {
   transient_rel_suspect : float;
   memory_top_heap_words : float;
   memory_gc_pause_seconds : float;
+  conv_cap_ratio_suspect : float;
+  conv_stall_window : int;
+  conv_rate_degraded : float;
 }
 
 let default_thresholds =
@@ -68,6 +71,15 @@ let default_thresholds =
        allocation profile changed fundamentally *)
     memory_top_heap_words = 2.5e8;
     memory_gc_pause_seconds = 1.0;
+    (* convergence stage: burning >= 80% of the iteration cap means the
+       next harder model will stall outright; a window of samples with
+       no residual improvement is a stall in progress; a per-iteration
+       contraction rate above 0.995 (> 5000 iterations per decade) is
+       pathologically slow even for the linearly-convergent R fixed
+       point (z_s ≈ 0.96 on the paper models passes) *)
+    conv_cap_ratio_suspect = 0.8;
+    conv_stall_window = 12;
+    conv_rate_degraded = 0.995;
   }
 
 (* ---- verdict algebra ---- *)
@@ -293,6 +305,106 @@ let check_transient_trajectory ?(thresholds = default_thresholds) ~label pairs
              "%s: trajectory off the transient expectation by %.2g (degraded)"
              label worst);
       (worst, close sc)
+
+(* ---- convergence traces ---- *)
+
+(* Grades one finished iteration trace (see Urs_obs.Convergence).
+   Stagnation and contraction-rate analyses run on the samples after
+   the last deflation event — the only stretch where the residual
+   series tracks a single sub-problem (a QR deflation legitimately
+   resets the residual to the next block's sub-diagonal). A healthy QR
+   trace ends on its last deflation, so those two checks are vacuous
+   there and bite on the deflation-free solvers (R fixed point, Brent,
+   uniformization) and on genuine stalls. *)
+let check_convergence ?(thresholds = default_thresholds)
+    ~label (tr : Urs_obs.Convergence.trace) =
+  let t = thresholds in
+  let sc = new_scorer () in
+  if not tr.converged then
+    complain sc 2
+      (Printf.sprintf "%s: %s did not converge after %d iterations" label
+         tr.solver tr.iterations);
+  let cap_ratio =
+    match tr.max_iter with
+    | Some m when m > 0 -> float_of_int tr.iterations /. float_of_int m
+    | _ -> nan
+  in
+  if tr.converged && Float.is_finite cap_ratio
+     && cap_ratio >= t.conv_cap_ratio_suspect
+  then
+    complain sc 2
+      (Printf.sprintf
+         "%s: %s used %d of %d iterations — iteration-cap proximity %.0f%%"
+         label tr.solver tr.iterations
+         (Option.get tr.max_iter)
+         (100.0 *. cap_ratio));
+  let samples = tr.samples in
+  let n = Array.length samples in
+  (* non-monotone deflation: the active/remaining figure must never
+     grow (QR removes eigenvalues; it cannot un-deflate) *)
+  let non_monotone = ref false in
+  for i = 1 to n - 1 do
+    if samples.(i).Urs_obs.Convergence.active
+       > samples.(i - 1).Urs_obs.Convergence.active
+    then non_monotone := true
+  done;
+  if !non_monotone then
+    complain sc 2
+      (Printf.sprintf "%s: %s deflation is non-monotone (active block grew)"
+         label tr.solver);
+  (* analysis window: finite residuals after the last deflation *)
+  let last_deflation = ref (-1) in
+  for i = 0 to n - 1 do
+    if samples.(i).Urs_obs.Convergence.deflation then last_deflation := i
+  done;
+  let window =
+    let rec collect i acc =
+      if i >= n then List.rev acc
+      else
+        let r = samples.(i).Urs_obs.Convergence.residual in
+        collect (i + 1)
+          (if Float.is_finite r && r > 0.0 then r :: acc else acc)
+    in
+    collect (!last_deflation + 1) []
+  in
+  let wlen = List.length window in
+  if wlen >= t.conv_stall_window then begin
+    let tail =
+      List.filteri (fun i _ -> i >= wlen - t.conv_stall_window) window
+    in
+    let first = List.hd tail in
+    let last = List.nth tail (List.length tail - 1) in
+    (* residual stagnation: no improvement at all over the window *)
+    if last >= first then
+      complain sc 2
+        (Printf.sprintf
+           "%s: %s residual stagnated (%.2e -> %.2e over the last %d \
+            iterations)"
+           label tr.solver first last t.conv_stall_window);
+    (* slow linear contraction: geometric mean of successive ratios *)
+    let rec rate_acc prev rest acc cnt =
+      match rest with
+      | [] -> (acc, cnt)
+      | r :: rest ->
+          if prev > 0.0 && r > 0.0 then
+            rate_acc r rest (acc +. log (r /. prev)) (cnt + 1)
+          else rate_acc r rest acc cnt
+    in
+    let acc, cnt = rate_acc (List.hd window) (List.tl window) 0.0 0 in
+    if cnt >= 4 then begin
+      let rate = exp (acc /. float_of_int cnt) in
+      if tr.converged && rate > t.conv_rate_degraded && rate < 1.0 then
+        complain sc 1
+          (Printf.sprintf
+             "%s: %s contracts slowly (rate ~%.4f per iteration)" label
+             tr.solver rate)
+    end
+  end;
+  let value =
+    if Float.is_finite cap_ratio then cap_ratio
+    else float_of_int tr.iterations
+  in
+  (value, close sc)
 
 let check_ci ?(thresholds = default_thresholds) ~label ~estimate ~half_width ()
     =

@@ -77,6 +77,19 @@ type thresholds = {
   memory_gc_pause_seconds : float;
       (** {!check_memory}: a major-GC pause longer than this inside the
           probed solve is suspect (default [1.]). *)
+  conv_cap_ratio_suspect : float;
+      (** {!check_convergence}: iterations-used over the iteration cap
+          at or above this ratio is suspect (default [0.8] — the next
+          harder model will stall outright). *)
+  conv_stall_window : int;
+      (** {!check_convergence}: number of trailing post-deflation
+          samples over which a residual that fails to improve at all
+          counts as stagnation (default [12]). *)
+  conv_rate_degraded : float;
+      (** {!check_convergence}: a per-iteration residual contraction
+          rate above this degrades (default [0.995], i.e. more than
+          ~5000 iterations per decade — the paper models' linearly
+          convergent R fixed point at [z_s ≈ 0.96] passes). *)
 }
 
 val default_thresholds : thresholds
@@ -164,6 +177,21 @@ val check_transient_trajectory :
     disagreement (relative to the expectation, floored at one job) and
     its verdict, graded against [transient_rel_degraded] / [_suspect].
     Degraded when called with no points. *)
+
+val check_convergence :
+  ?thresholds:thresholds ->
+  label:string ->
+  Urs_obs.Convergence.trace ->
+  float * verdict
+(** Grade one finished iteration trace ([urs doctor]'s [convergence]
+    stage). Suspect when the trace did not converge, when it burned
+    [conv_cap_ratio_suspect] of its iteration cap, when deflation is
+    non-monotone (the active/remaining figure grew), or when the
+    residual stagnated over the last [conv_stall_window] post-deflation
+    samples; degraded on slow linear contraction (geometric-mean
+    per-iteration rate above [conv_rate_degraded]). Returns the
+    cap-utilization ratio (iterations when the trace carries no cap)
+    and the verdict. *)
 
 val check_ci :
   ?thresholds:thresholds ->

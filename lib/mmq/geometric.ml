@@ -16,12 +16,18 @@ let m_dominant =
 type error =
   | Unstable of Stability.verdict
   | Root_not_found
+  | Root_exhausted of { iterations : int; width : float; best : float }
 
 let pp_error ppf = function
   | Unstable v ->
       Format.fprintf ppf "queue is unstable: %a" Stability.pp_verdict v
   | Root_not_found ->
       Format.fprintf ppf "no root of det Q(z) found inside (0, 1)"
+  | Root_exhausted { iterations; width; best } ->
+      Format.fprintf ppf
+        "root refinement exhausted after %d iterations (bracket width %.2e, \
+         best z=%.6f)"
+        iterations width best
 
 type t = { qbd : Qbd.t; z : float; weights : V.t }
 
@@ -31,11 +37,43 @@ let solve_inner ~scan_points q =
   if not verdict.Stability.stable then Error (Unstable verdict)
   else begin
     let f z = Qbd.det_q_scaled q z in
+    (* per-iteration bracket telemetry of the Brent refinement; gated
+       globally, zero overhead when off *)
+    let conv =
+      if Urs_obs.Convergence.recording () then
+        Some
+          (Urs_obs.Convergence.create ~solver:"brent"
+             ~label:
+               (Printf.sprintf "geometric N=%d s=%d"
+                  (Environment.servers env) (Qbd.s q))
+             ())
+      else None
+    in
+    let observe =
+      Option.map
+        (fun c ~iteration ~width ~best ->
+          Urs_obs.Convergence.observe c ~iteration ~residual:width ~shift:best
+            ())
+        conv
+    in
+    let finish_conv converged =
+      Option.iter
+        (fun c ->
+          ignore
+            (Urs_obs.Convergence.finish ~converged c
+              : Urs_obs.Convergence.trace))
+        conv
+    in
     match
-      Urs_linalg.Rootfind.largest_root_in ~scan_points f 1e-9 (1.0 -. 1e-9)
+      Urs_linalg.Rootfind.largest_root_in ~scan_points ?observe f 1e-9
+        (1.0 -. 1e-9)
     with
+    | exception Urs_linalg.Rootfind.Exhausted { iterations; width; best; _ } ->
+        finish_conv false;
+        Error (Root_exhausted { iterations; width; best })
     | None -> Error Root_not_found
     | Some z ->
+        finish_conv true;
         let u = Urs_linalg.Clu.left_null_vector (Qbd.char_poly_at q (Cx.of_float z)) in
         let u_re = CV.real_part u in
         let total = V.sum u_re in

@@ -15,6 +15,13 @@ type error =
   | Unstable of Stability.verdict
   | Root_not_found
       (** No sign change of [det Q] was detected in (0, 1). *)
+  | Root_exhausted of { iterations : int; width : float; best : float }
+      (** Brent's refinement of the bracketed root ran out of
+          iterations ({!Urs_linalg.Rootfind.Exhausted}): the bracket
+          was still [width] wide around the best estimate [best].
+          Previously the solver silently accepted the unconverged
+          guess; now the exhaustion is surfaced so {!Diagnostics} can
+          turn it into a verdict. *)
 
 val pp_error : Format.formatter -> error -> unit
 

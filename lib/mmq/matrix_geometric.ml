@@ -47,6 +47,25 @@ let compute_r ~tol ~max_iter q =
     | Ok f -> f
     | Error `Singular -> raise (Solve_error (Numerical "singular Q1 block"))
   in
+  (* per-iteration telemetry of the fixed point (entrywise delta per
+     sweep); gated globally, zero overhead when off *)
+  let conv =
+    if Urs_obs.Convergence.recording () then
+      Some
+        (Urs_obs.Convergence.create ~max_iter ~solver:"mg_r"
+           ~label:
+             (Printf.sprintf "mg N=%d s=%d"
+                (Environment.servers (Qbd.env q))
+                s)
+           ())
+    else None
+  in
+  let finish_conv converged =
+    Option.iter
+      (fun c ->
+        ignore (Urs_obs.Convergence.finish ~converged c : Urs_obs.Convergence.trace))
+      conv
+  in
   (* R ← −(Q0 + R²Q2) Q1⁻¹, i.e. solve X Q1 = −(Q0 + R²Q2):
      transpose to Q1ᵀ Xᵀ = −(...)ᵀ *)
   let r = ref (M.create s s) in
@@ -61,10 +80,17 @@ let compute_r ~tol ~max_iter q =
       M.set_row x i (Lu.solve_transposed q1_f (M.row rhs i))
     done;
     delta := M.max_abs (M.sub x !r);
+    (match conv with
+    | None -> ()
+    | Some c ->
+        Urs_obs.Convergence.observe c ~iteration:!iters ~residual:!delta ());
     r := x
   done;
-  if !delta > tol then
-    raise (Solve_error (No_convergence { iterations = !iters; delta = !delta }));
+  if !delta > tol then begin
+    finish_conv false;
+    raise (Solve_error (No_convergence { iterations = !iters; delta = !delta }))
+  end;
+  finish_conv true;
   (!r, !iters)
 
 let neg_cm m = CM.scale (Urs_linalg.Cx.of_float (-1.0)) m

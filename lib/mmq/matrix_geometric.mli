@@ -21,7 +21,9 @@ type t
 
 val solve : ?tol:float -> ?max_iter:int -> Qbd.t -> (t, error) result
 (** Defaults: [tol = 1e-13] (entrywise change per sweep),
-    [max_iter = 200_000]. *)
+    [max_iter = 200_000]. When {!Urs_obs.Convergence.recording} is on,
+    the fixed-point iteration records an ["mg_r"] convergence trace
+    (entrywise delta per sweep). *)
 
 val qbd : t -> Qbd.t
 

@@ -93,7 +93,12 @@ let boundary_vectors t = Array.map V.copy t.boundary
 
 exception Solve_error of error
 
-let solve_stages ?(eig_tol = 1e-9) q =
+(* the QR sweep cap forwarded to the companion eigensolve; kept in sync
+   with the Qr_eig default so the convergence recorder can report the
+   effective cap even when the caller does not override it *)
+let default_qr_max_iter = 100
+
+let solve_stages ?(eig_tol = 1e-9) ?max_iter q =
   let env = Qbd.env q in
   let n_servers = Environment.servers env in
   let s = Qbd.s q in
@@ -104,11 +109,39 @@ let solve_stages ?(eig_tol = 1e-9) q =
   else begin
     try
       let q0 = Qbd.q0 q and q1 = Qbd.q1 q and q2 = Qbd.q2 q in
+      let qr_max_iter = Option.value max_iter ~default:default_qr_max_iter in
       let zs =
         Span.with_ ~name:"urs_spectral_stage"
           ~labels:[ ("stage", "eigenvalues") ]
           (fun () ->
             let sweeps_before = Urs_linalg.Qr_eig.total_sweeps () in
+            (* per-sweep telemetry: gated globally, so ordinary solves
+               pay only this branch; the callback reads values the
+               sweep already computed, keeping results bit-identical *)
+            let conv =
+              if Urs_obs.Convergence.recording () then
+                Some
+                  (Urs_obs.Convergence.create ~max_iter:qr_max_iter
+                     ~solver:"qr"
+                     ~label:(Printf.sprintf "spectral N=%d s=%d" n_servers s)
+                     ())
+              else None
+            in
+            let observe =
+              Option.map
+                (fun c (p : Urs_linalg.Qr_eig.progress) ->
+                  Urs_obs.Convergence.observe c ~iteration:p.total
+                    ~residual:p.residual ~shift:p.shift ~active:p.remaining
+                    ~deflation:(p.event = Urs_linalg.Qr_eig.Deflate)
+                    ())
+                conv
+            in
+            let finish_conv converged =
+              Option.iter
+                (fun c ->
+                  ignore (Urs_obs.Convergence.finish ~converged c : Urs_obs.Convergence.trace))
+                conv
+            in
             Fun.protect
               ~finally:(fun () ->
                 Metrics.inc
@@ -118,11 +151,17 @@ let solve_stages ?(eig_tol = 1e-9) q =
                   m_qr_sweeps)
               (fun () ->
                 try
-                  Urs_linalg.Companion.eigenvalues_inside_unit_disk
-                    ~tol:eig_tol ~q0 ~q1 ~q2 ()
+                  let zs =
+                    Urs_linalg.Companion.eigenvalues_inside_unit_disk
+                      ~tol:eig_tol ~max_iter:qr_max_iter ?observe ~q0 ~q1 ~q2
+                      ()
+                  in
+                  finish_conv true;
+                  zs
                 with
                 | Urs_linalg.Qr_eig.No_convergence { dim; block; iterations }
                   ->
+                    finish_conv false;
                     raise
                       (Solve_error
                          (Numerical
@@ -546,11 +585,12 @@ let boundary_condition t = t.boundary_condition
    gauges and a ledger record written after the fact (the residual
    doubles as an accuracy certificate and is cheap next to the
    companion eigensolve) *)
-let solve ?eig_tol q =
+let solve ?eig_tol ?max_iter q =
   Metrics.inc m_solves;
   let t0 = Span.now () in
   let result =
-    Span.with_ ~name:"urs_spectral_solve" (fun () -> solve_stages ?eig_tol q)
+    Span.with_ ~name:"urs_spectral_solve" (fun () ->
+        solve_stages ?eig_tol ?max_iter q)
   in
   let wall = Span.now () -. t0 in
   let params =

@@ -26,15 +26,22 @@ val pp_error : Format.formatter -> error -> unit
 type t
 (** A solved model. *)
 
-val solve : ?eig_tol:float -> Qbd.t -> (t, error) result
+val solve : ?eig_tol:float -> ?max_iter:int -> Qbd.t -> (t, error) result
 (** Solve the model. [eig_tol] is the unit-circle exclusion band used
-    when classifying eigenvalues (default [1e-9]).
+    when classifying eigenvalues (default [1e-9]); [max_iter] bounds the
+    QR sweeps per eigenvalue of the companion eigensolve (default
+    [100] — lower it to force a controlled stall in tests and doctor
+    probes).
 
     Each call updates the last-solve gauges
     ([urs_spectral_eigenvalues] / [urs_spectral_dominant_z] /
     [urs_spectral_residual], labelled [strategy="exact"]) and appends a
     ["spectral.solve"] record (parameters, wall time, residual,
-    boundary condition) to the {!Urs_obs.Ledger} when one is active. *)
+    boundary condition) to the {!Urs_obs.Ledger} when one is active.
+    When {!Urs_obs.Convergence.recording} is on, the companion
+    eigensolve additionally records a per-sweep ["qr"] convergence
+    trace (sub-diagonal residual, shift, deflations) finished into the
+    global trace ring and the ledger. *)
 
 val qbd : t -> Qbd.t
 

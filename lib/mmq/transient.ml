@@ -128,12 +128,27 @@ let distribution_at t ~initial ~time =
     let log_term = ref (-.lam) in
     let n = ref 0 in
     let continue_loop = ref true in
+    (* truncation-depth telemetry: one sample per Poisson term, with
+       the term weight as the residual figure; gated globally *)
+    let conv =
+      if Urs_obs.Convergence.recording () then
+        Some
+          (Urs_obs.Convergence.create ~solver:"uniformization"
+             ~label:
+               (Printf.sprintf "transient t=%g states=%d" time t.n_states)
+             ())
+      else None
+    in
     while !continue_loop do
       let w = exp !log_term in
       if w > 0.0 then
         for st = 0 to t.n_states - 1 do
           acc.(st) <- acc.(st) +. (w *. !v.(st))
         done;
+      (match conv with
+      | None -> ()
+      | Some c ->
+          Urs_obs.Convergence.observe c ~iteration:(!n + 1) ~residual:w ());
       (* the Poisson weights peak at n ≈ lam and then decay
          super-geometrically; once past the peak and below 1e-16 the
          remaining tail is negligible (the weights sum to 1) *)
@@ -145,6 +160,12 @@ let distribution_at t ~initial ~time =
         v := step t !v
       end
     done;
+    Option.iter
+      (fun c ->
+        ignore
+          (Urs_obs.Convergence.finish ~converged:(!n <= 2_000_000) c
+            : Urs_obs.Convergence.trace))
+      conv;
     acc
   end
 

@@ -32,7 +32,10 @@ val empty_all_operative : t -> state
     mode. *)
 
 val distribution_at : t -> initial:state -> time:float -> float array
-(** Full state distribution at time [t] (indexed [jobs * s + mode]). *)
+(** Full state distribution at time [t] (indexed [jobs * s + mode]).
+    When {!Urs_obs.Convergence.recording} is on, the Poisson-series
+    truncation is recorded as a ["uniformization"] convergence trace
+    (one sample per term, the term weight as the residual). *)
 
 val mean_jobs_at : t -> initial:state -> time:float -> float
 val mean_operative_at : t -> initial:state -> time:float -> float

@@ -1,6 +1,6 @@
 #!/bin/sh
 # Starts `urs serve` on a scratch port, checks that /metrics, /healthz,
-# /runs, /timeline, /progress and /runtime answer, that bad query
+# /runs, /timeline, /progress, /runtime and /convergence answer, that bad query
 # parameters get 400s, and that every request is traced: traceparent /
 # x-request-id response headers, per-route RED metrics, one
 # "http.access" ledger record per request, and `urs trace grep`
@@ -62,12 +62,24 @@ curl -sf "http://127.0.0.1:$PORT/progress" | grep -q '"task":"doctor:models"'
 curl -sf "http://127.0.0.1:$PORT/runtime" | grep -q '"profiling"'
 curl -sf "http://127.0.0.1:$PORT/runtime" | grep -q '"ocaml_version"'
 
+# the startup doctor's convergence stage leaves iteration traces behind
+curl -sf "http://127.0.0.1:$PORT/convergence" | grep -q '"traces"'
+curl -sf "http://127.0.0.1:$PORT/convergence" | grep -q '"solver":"qr"'
+curl -sf "http://127.0.0.1:$PORT/convergence?n=1" | grep -q '"traces"'
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$PORT/convergence?n=0")
+if [ "$code" != "400" ]; then
+  echo "serve-smoke: /convergence?n=0 returned $code (want 400)" >&2
+  exit 1
+fi
+
 # the JSON endpoints must say so
 curl -sfI "http://127.0.0.1:$PORT/runs" |
   grep -qi '^content-type: application/json'
 curl -sfI "http://127.0.0.1:$PORT/timeline" |
   grep -qi '^content-type: application/json'
 curl -sfI "http://127.0.0.1:$PORT/progress" |
+  grep -qi '^content-type: application/json'
+curl -sfI "http://127.0.0.1:$PORT/convergence" |
   grep -qi '^content-type: application/json'
 
 # every response names its trace: a traceparent the client can adopt

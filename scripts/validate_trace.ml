@@ -13,8 +13,11 @@
    one pair crossing distinct tids, and the span events must form one
    connected tree: all under a single trace id with exactly one root
    whose parent_span_id is absent or unresolvable — how `make
-   trace-smoke` asserts a --jobs 4 sweep traces as one tree. Used by
-   `make trace-smoke` (and hence `make ci`). *)
+   trace-smoke` asserts a --jobs 4 sweep traces as one tree. With
+   --require-convergence the trace must contain conv:* counter tracks
+   (the per-solve iteration telemetry) with finite residuals,
+   non-increasing after each track's last deflation, ending converged.
+   Used by `make trace-smoke` (and hence `make ci`). *)
 
 module Json = Urs_obs.Json
 
@@ -161,21 +164,128 @@ let check_connected events =
       fail "validate_trace: %d root spans (want exactly 1 connected tree)"
         (List.length rs)
 
+(* convergence counter tracks (conv:<solver>:<seq>, emitted when the
+   run recorded iteration telemetry): every residual must be finite,
+   the residual series must be non-increasing after the last
+   deflation (the last sample where the remaining figure decreased —
+   vacuous for QR traces, which end on their final deflation), and the
+   track must end converged: last residual at or below the first (or
+   below an absolute 1e-12 floor, for series that start already tiny) *)
+let check_convergence events =
+  let arg ev key =
+    match Json.member "args" ev with
+    | Some args -> Option.bind (Json.member key args) Json.to_float_opt
+    | None -> None
+  in
+  let conv =
+    List.filter_map
+      (fun (kind, ev) ->
+        if kind <> Counter then None
+        else
+          match Option.bind (Json.member "name" ev) Json.to_string_opt with
+          | Some n when String.length n >= 5 && String.sub n 0 5 = "conv:" ->
+              Some (n, ev)
+          | _ -> None)
+      events
+  in
+  if conv = [] then
+    fail
+      "validate_trace: no conv:* counter tracks — convergence telemetry \
+       missing from the trace";
+  let by_track = Hashtbl.create 8 in
+  List.iter
+    (fun (n, ev) ->
+      Hashtbl.replace by_track n
+        (ev :: Option.value ~default:[] (Hashtbl.find_opt by_track n)))
+    conv;
+  let samples = ref 0 in
+  Hashtbl.iter
+    (fun name evs ->
+      (* the by-track lists were built by prepending: restore file order *)
+      let evs = List.rev evs in
+      (* stable sort on ts alone: the exporter emits each track's
+         samples chronologically, and equal-microsecond ties must keep
+         that order (sorting ties by value would reorder a deflation
+         against same-instant sweep samples and fake a residual rise) *)
+      let track =
+        List.stable_sort
+          (fun (a, _, _) (b, _, _) -> Float.compare a b)
+          (List.map
+             (fun ev ->
+               let ts =
+                 Option.value ~default:0.0
+                   (Option.bind (Json.member "ts" ev) Json.to_float_opt)
+               in
+               (ts, arg ev "remaining", arg ev "residual"))
+             evs)
+      in
+      let arr = Array.of_list track in
+      samples := !samples + Array.length arr;
+      Array.iter
+        (fun (_, _, res) ->
+          match res with
+          | Some r when not (Float.is_finite r) ->
+              fail "validate_trace: track %s has a non-finite residual" name
+          | _ -> ())
+        arr;
+      let last_defl = ref (-1) in
+      Array.iteri
+        (fun i (_, rem, _) ->
+          if i > 0 then
+            let _, prev_rem, _ = arr.(i - 1) in
+            match (rem, prev_rem) with
+            | Some r, Some p when r < p -> last_defl := i
+            | _ -> ())
+        arr;
+      let prev = ref None in
+      Array.iteri
+        (fun i (_, _, res) ->
+          if i > !last_defl then
+            match res with
+            | Some r ->
+                (match !prev with
+                | Some p when r > p ->
+                    fail
+                      "validate_trace: track %s residual grows after its \
+                       last deflation (%.3e -> %.3e)"
+                      name p r
+                | _ -> ());
+                prev := Some r
+            | None -> ())
+        arr;
+      let residuals =
+        Array.to_list arr |> List.filter_map (fun (_, _, res) -> res)
+      in
+      match residuals with
+      | [] -> fail "validate_trace: track %s carries no residual samples" name
+      | first :: _ ->
+          let last = List.nth residuals (List.length residuals - 1) in
+          if last > Float.max first 1e-12 then
+            fail
+              "validate_trace: track %s did not converge (residual %.3e -> \
+               %.3e)"
+              name first last)
+    by_track;
+  (Hashtbl.length by_track, !samples)
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let require_counter = List.mem "--require-counter" args in
   let require_flows = List.mem "--require-flows" args in
+  let require_convergence = List.mem "--require-convergence" args in
   let path =
     match
       List.filter
-        (fun a -> a <> "--require-counter" && a <> "--require-flows")
+        (fun a ->
+          a <> "--require-counter" && a <> "--require-flows"
+          && a <> "--require-convergence")
         args
     with
     | [ p ] -> p
     | _ ->
         prerr_endline
           "usage: validate_trace [--require-counter] [--require-flows] \
-           TRACE.json";
+           [--require-convergence] TRACE.json";
         exit 2
   in
   let raw =
@@ -206,6 +316,12 @@ let () =
               "validate_trace: %s flows ok (%d pairs, %d cross-tid, %d \
                spans in one tree)\n"
               path pairs crossing spans
+          end;
+          if require_convergence then begin
+            let tracks, samples = check_convergence events in
+            Printf.printf
+              "validate_trace: %s convergence ok (%d tracks, %d samples)\n"
+              path tracks samples
           end;
           Printf.printf "validate_trace: %s ok (%d events, %d counters)\n"
             path (List.length events) counters

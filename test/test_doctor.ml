@@ -172,6 +172,191 @@ let test_check_model_analytic () =
             (Format.asprintf "%a" Diagnostics.pp_verdict v))
     checks
 
+(* ---- convergence grading ---- *)
+
+(* synthetic iteration traces: samples are (residual, active, deflation) *)
+let mk_trace ?max_iter ?(converged = true) ?(solver = "t") samples =
+  let arr =
+    Array.of_list
+      (List.mapi
+         (fun i (r, a, d) ->
+           {
+             Urs_obs.Convergence.iteration = i + 1;
+             residual = r;
+             shift = 0.0;
+             active = a;
+             deflation = d;
+             t = 0.0;
+           })
+         samples)
+  in
+  let rs =
+    List.filter Float.is_finite (List.map (fun (r, _, _) -> r) samples)
+  in
+  {
+    Urs_obs.Convergence.seq = 1;
+    solver;
+    label = "unit";
+    started = 0.0;
+    finished = 1.0;
+    iterations = List.length samples;
+    max_iter;
+    converged;
+    deflations = List.length (List.filter (fun (_, _, d) -> d) samples);
+    dropped = 0;
+    samples = arr;
+    residual_first = (match rs with r :: _ -> r | [] -> nan);
+    residual_last = (match List.rev rs with r :: _ -> r | [] -> nan);
+    residual_min = List.fold_left Float.min infinity rs;
+    residual_mean = 0.0;
+    residual_count = List.length rs;
+  }
+
+let test_check_convergence_grading () =
+  let open Diagnostics in
+  let expect what want (_, v) =
+    let sev = severity v in
+    if sev <> want then
+      Alcotest.failf "%s: want severity %d, got %s" what want
+        (Format.asprintf "%a" pp_verdict v)
+  in
+  let geo n rate = List.init n (fun i -> (rate ** float_of_int i, 0, false)) in
+  (* healthy geometric contraction with plenty of cap headroom *)
+  expect "healthy" 0
+    (check_convergence ~label:"t" (mk_trace ~max_iter:100 (geo 30 0.5)));
+  (* a non-converged trace is suspect on its own *)
+  expect "not converged" 2
+    (check_convergence ~label:"t" (mk_trace ~converged:false (geo 5 0.5)));
+  (* burning >= 80% of the iteration cap is suspect even when converged *)
+  let ratio, v =
+    check_convergence ~label:"t" (mk_trace ~max_iter:10 (geo 9 0.5))
+  in
+  if severity v <> 2 then
+    Alcotest.failf "cap proximity: got %s" (Format.asprintf "%a" pp_verdict v);
+  if abs_float (ratio -. 0.9) > 1e-12 then
+    Alcotest.failf "cap ratio: want 0.9, got %g" ratio;
+  (* the active/remaining figure may never grow *)
+  expect "non-monotone deflation" 2
+    (check_convergence ~label:"t"
+       (mk_trace [ (0.5, 5, false); (0.4, 6, false) ]));
+  (* a flat residual over the stall window is suspect *)
+  expect "stagnation" 2
+    (check_convergence ~label:"t"
+       (mk_trace (List.init 15 (fun _ -> (1e-3, 0, false)))));
+  (* ... but only after the last deflation: a stalled-looking prefix
+     that ends in a deflation is healthy QR behaviour *)
+  expect "stall before deflation" 0
+    (check_convergence ~label:"t"
+       (mk_trace
+          (List.init 14 (fun _ -> (1e-3, 5, false)) @ [ (0.0, 4, true) ])));
+  (* slow linear contraction degrades *)
+  expect "slow contraction" 1
+    (check_convergence ~label:"t" (mk_trace (geo 30 0.999)));
+  (* thresholds are tunable: the same trace passes a lax rate bound *)
+  expect "lax rate threshold" 0
+    (check_convergence
+       ~thresholds:{ default_thresholds with conv_rate_degraded = 0.9999 }
+       ~label:"t" (mk_trace (geo 30 0.999)))
+
+(* ---- the doctor convergence stage ---- *)
+
+let test_convergence_stage_healthy () =
+  let checks =
+    Urs.Doctor.check_convergence_stage
+      (Urs.Doctor.paper_model ~servers:5 ~lambda:4.0)
+  in
+  List.iter
+    (fun solver ->
+      if
+        not
+          (List.exists
+             (fun (c : Urs.Doctor.check) ->
+               c.Urs.Doctor.name = "N=5 lambda=4 conv/" ^ solver)
+             checks)
+      then Alcotest.failf "missing conv/%s check" solver)
+    [ "qr"; "mg_r"; "brent" ];
+  List.iter
+    (fun (c : Urs.Doctor.check) ->
+      match c.Urs.Doctor.verdict with
+      | Diagnostics.Ok -> ()
+      | v ->
+          Alcotest.failf "%s should be Ok, got %s" c.Urs.Doctor.name
+            (Format.asprintf "%a" Diagnostics.pp_verdict v))
+    checks
+
+let test_convergence_stage_forced_stall () =
+  let checks =
+    Urs.Doctor.check_convergence_stage ~qr_max_iter:2
+      (Urs.Doctor.paper_model ~servers:5 ~lambda:4.0)
+  in
+  let qr =
+    List.find_opt
+      (fun (c : Urs.Doctor.check) -> c.Urs.Doctor.name = "N=5 lambda=4 conv/qr")
+      checks
+  in
+  (match qr with
+  | Some c when Diagnostics.severity c.Urs.Doctor.verdict = 2 -> ()
+  | Some c ->
+      Alcotest.failf "stalled conv/qr should be Suspect, got %s"
+        (Format.asprintf "%a" Diagnostics.pp_verdict c.Urs.Doctor.verdict)
+  | None -> Alcotest.fail "missing conv/qr check for the stalled solve");
+  (* the failed spectral solve itself is reported too *)
+  if
+    not
+      (List.exists
+         (fun (c : Urs.Doctor.check) ->
+           c.Urs.Doctor.name = "N=5 lambda=4 conv/spectral"
+           && Diagnostics.severity c.Urs.Doctor.verdict = 2)
+         checks)
+  then Alcotest.fail "missing suspect conv/spectral check"
+
+(* tiny QR budget: the No_convergence payload must survive into the
+   Spectral error message, the recorded trace and the ledger record *)
+let test_no_convergence_escalation () =
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i =
+      i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+    in
+    nn = 0 || go 0
+  in
+  let q = paper_qbd ~servers:5 ~lambda:4.0 in
+  Urs_obs.Ledger.set_memory true;
+  let res, traces =
+    Urs_obs.Convergence.with_recording (fun () ->
+        Urs_mmq.Spectral.solve ~max_iter:2 q)
+  in
+  (match res with
+  | Ok _ -> Alcotest.fail "max_iter=2 should not converge"
+  | Error (Urs_mmq.Spectral.Numerical msg) ->
+      if not (contains msg "did not converge" && contains msg "2 sweeps") then
+        Alcotest.failf "payload lost from error message: %S" msg
+  | Error e ->
+      Alcotest.failf "unexpected error: %a" Urs_mmq.Spectral.pp_error e);
+  (match
+     List.find_opt
+       (fun (tr : Urs_obs.Convergence.trace) ->
+         tr.Urs_obs.Convergence.solver = "qr")
+       traces
+   with
+  | Some tr ->
+      Alcotest.(check bool)
+        "trace not converged" false tr.Urs_obs.Convergence.converged;
+      Alcotest.(check int) "iterations" 2 tr.Urs_obs.Convergence.iterations;
+      Alcotest.(check (option int))
+        "cap recorded" (Some 2) tr.Urs_obs.Convergence.max_iter
+  | None -> Alcotest.fail "no qr trace recorded for the failed solve");
+  (match
+     List.find_opt
+       (fun (r : Urs_obs.Ledger.record) ->
+         r.Urs_obs.Ledger.kind = "convergence"
+         && r.Urs_obs.Ledger.outcome = "no-convergence")
+       (Urs_obs.Ledger.recent ())
+   with
+  | Some _ -> ()
+  | None -> Alcotest.fail "no no-convergence ledger record");
+  Urs_obs.Ledger.set_memory false
+
 let test_near_saturation_degrades () =
   (* utilization ~0.9996: stable, but the margin probe must complain *)
   let q = paper_qbd ~servers:5 ~lambda:4.993 in
@@ -203,10 +388,18 @@ let () =
           Alcotest.test_case "near saturation degrades" `Quick
             test_near_saturation_degrades;
           Alcotest.test_case "memory budget scoring" `Quick test_check_memory;
+          Alcotest.test_case "convergence grading" `Quick
+            test_check_convergence_grading;
         ] );
       ( "doctor",
         [
           Alcotest.test_case "analytic cross-checks" `Quick
             test_check_model_analytic;
+          Alcotest.test_case "convergence stage healthy" `Quick
+            test_convergence_stage_healthy;
+          Alcotest.test_case "convergence stage forced stall" `Quick
+            test_convergence_stage_forced_stall;
+          Alcotest.test_case "no-convergence escalation" `Quick
+            test_no_convergence_escalation;
         ] );
     ]

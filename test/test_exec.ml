@@ -222,6 +222,35 @@ let test_ledger_concurrent_ring () =
   Alcotest.(check int)
     "sequence numbers unique" (List.length seqs) (List.length uniq)
 
+(* The process-global QR sweep counter is an Atomic: four domains
+   solving the same deterministic matrix must account for every sweep
+   exactly, no lost updates. *)
+let test_qr_sweep_counter_concurrent_exact () =
+  let open Urs_linalg in
+  let a =
+    Matrix.init 10 10 (fun i j -> sin (float_of_int ((i * 10) + j + 1)))
+  in
+  let sweeps_of_one =
+    let before = Qr_eig.total_sweeps () in
+    ignore (Eigen.eigenvalues a);
+    Qr_eig.total_sweeps () - before
+  in
+  Alcotest.(check bool) "solve costs sweeps" true (sweeps_of_one > 0);
+  let domains = 4 and per_domain = 8 in
+  let before = Qr_eig.total_sweeps () in
+  let work () =
+    for _ = 1 to per_domain do
+      ignore (Eigen.eigenvalues a)
+    done
+  in
+  let spawned = List.init (domains - 1) (fun _ -> Domain.spawn work) in
+  work ();
+  List.iter Domain.join spawned;
+  Alcotest.(check int)
+    "total exact under contention"
+    (domains * per_domain * sweeps_of_one)
+    (Qr_eig.total_sweeps () - before)
+
 (* ---- memo cache ---- *)
 
 let test_cache_hit_miss_counters () =
@@ -534,6 +563,8 @@ let () =
             test_metrics_concurrent_exact;
           Alcotest.test_case "ledger ring exact" `Quick
             test_ledger_concurrent_ring;
+          Alcotest.test_case "qr sweep counter exact" `Quick
+            test_qr_sweep_counter_concurrent_exact;
         ] );
       ( "cache",
         [

@@ -434,6 +434,80 @@ let test_largest_root_none () =
   | Some _ -> Alcotest.fail "expected no root"
   | None -> ()
 
+(* ---- iteration exhaustion and observation ---- *)
+
+let test_bisect_exhausted () =
+  match
+    Rootfind.bisect ~max_iter:3 ~tol:1e-15 (fun x -> (x *. x) -. 2.0) 0.0 2.0
+  with
+  | exception Rootfind.Exhausted { name; iterations; width; best } ->
+      Alcotest.(check string) "solver name" "bisect" name;
+      Alcotest.(check int) "iterations in payload" 3 iterations;
+      if not (width > 0.0 && width < 2.0) then
+        Alcotest.failf "bracket width %g not narrowed" width;
+      if not (best > 0.0 && best < 2.0) then
+        Alcotest.failf "best estimate %g outside bracket" best
+  | _ -> Alcotest.fail "3 bisections cannot reach 1e-15"
+
+let test_brent_exhausted () =
+  match Rootfind.brent ~max_iter:2 ~tol:1e-15 (fun x -> cos x -. x) 0.0 1.0 with
+  | exception Rootfind.Exhausted { name; iterations; _ } ->
+      Alcotest.(check string) "solver name" "brent" name;
+      Alcotest.(check int) "iterations in payload" 2 iterations
+  | _ -> Alcotest.fail "2 Brent steps cannot reach 1e-15"
+
+let test_brent_observed_unchanged () =
+  let plain = Rootfind.brent (fun x -> cos x -. x) 0.0 1.0 in
+  let iters = ref 0 and last_width = ref infinity in
+  let observed =
+    Rootfind.brent
+      ~observe:(fun ~iteration ~width ~best:_ ->
+        incr iters;
+        Alcotest.(check int) "iterations count up" !iters iteration;
+        last_width := width)
+      (fun x -> cos x -. x)
+      0.0 1.0
+  in
+  Alcotest.(check bool) "callback fired" true (!iters > 0);
+  if !last_width > 1e-10 then
+    Alcotest.failf "final bracket width %g not observed" !last_width;
+  (* the callback only reads values already computed: bit-identical *)
+  Alcotest.(check bool) "root unchanged" true (plain = observed)
+
+let test_eigen_observed_bit_identical () =
+  let a = random_matrix 8 in
+  let plain = Eigen.eigenvalues a in
+  let sweeps = ref 0 and deflations = ref 0 in
+  let observed =
+    Eigen.eigenvalues
+      ~observe:(fun p ->
+        match p.Qr_eig.event with
+        | Qr_eig.Sweep -> incr sweeps
+        | Qr_eig.Deflate -> incr deflations)
+      a
+  in
+  Alcotest.(check bool) "sweeps observed" true (!sweeps > 0);
+  Alcotest.(check bool) "deflations observed" true (!deflations > 0);
+  Alcotest.(check int)
+    "same count" (Array.length plain) (Array.length observed);
+  Array.iteri
+    (fun i z ->
+      (* exact equality, not approximate: observation must not perturb
+         a single floating-point operation *)
+      if Cx.re z <> Cx.re observed.(i) || Cx.im z <> Cx.im observed.(i) then
+        Alcotest.failf "eigenvalue %d differs under observation" i)
+    plain
+
+let test_qr_exhaustion_payload () =
+  let a = random_matrix 8 in
+  match Eigen.eigenvalues ~max_iter:1 a with
+  | exception Qr_eig.No_convergence { dim; block; iterations } ->
+      Alcotest.(check int) "dim" 8 dim;
+      Alcotest.(check int) "iterations" 1 iterations;
+      Alcotest.(check bool) "stuck block plausible" true
+        (block >= 1 && block <= 8)
+  | _ -> Alcotest.fail "one sweep cannot triangularize an 8x8 matrix"
+
 (* ---- qcheck properties ---- *)
 
 let small_dim = QCheck2.Gen.int_range 1 8
@@ -561,6 +635,19 @@ let () =
           Alcotest.test_case "brent on linear" `Quick test_brent_linear;
           Alcotest.test_case "largest root" `Quick test_largest_root;
           Alcotest.test_case "no root" `Quick test_largest_root_none;
+        ] );
+      ( "observation",
+        [
+          Alcotest.test_case "bisect exhaustion payload" `Quick
+            test_bisect_exhausted;
+          Alcotest.test_case "brent exhaustion payload" `Quick
+            test_brent_exhausted;
+          Alcotest.test_case "brent observed, root unchanged" `Quick
+            test_brent_observed_unchanged;
+          Alcotest.test_case "eigenvalues bit-identical observed" `Quick
+            test_eigen_observed_bit_identical;
+          Alcotest.test_case "qr exhaustion payload" `Quick
+            test_qr_exhaustion_payload;
         ] );
       ("properties", qc [ prop_lu_roundtrip; prop_eigen_count; prop_transpose_mul ]);
     ]

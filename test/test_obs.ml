@@ -1701,6 +1701,146 @@ let test_perf_ledger_digest () =
   check_contains "digest lists kinds" rendered "a.kind";
   check_contains "digest header" rendered "by kind"
 
+(* ---- convergence recorder ---- *)
+
+module Conv = Urs_obs.Convergence
+
+let test_conv_recorder_basics () =
+  Conv.reset ();
+  let r = Conv.create ~capacity:4 ~max_iter:10 ~solver:"t" ~label:"basics" () in
+  for i = 1 to 6 do
+    Conv.observe r ~iteration:i
+      ~residual:(1.0 /. float_of_int i)
+      ~active:(7 - i) ()
+  done;
+  let tr = Conv.finish r in
+  Alcotest.(check int) "iterations" 6 tr.Conv.iterations;
+  Alcotest.(check int) "ring bounded" 4 (Array.length tr.Conv.samples);
+  Alcotest.(check int) "dropped" 2 tr.Conv.dropped;
+  Alcotest.(check int) "finite residuals" 6 tr.Conv.residual_count;
+  (* summary figures survive samples falling out of the ring *)
+  check_float "first residual kept" 1.0 tr.Conv.residual_first;
+  check_float "last residual" (1.0 /. 6.0) tr.Conv.residual_last;
+  check_float "min residual" (1.0 /. 6.0) tr.Conv.residual_min;
+  Alcotest.(check int)
+    "window starts at oldest kept" 3 tr.Conv.samples.(0).Conv.iteration;
+  Alcotest.(check (option int)) "cap" (Some 10) tr.Conv.max_iter;
+  Alcotest.(check bool) "converged default" true tr.Conv.converged
+
+let test_conv_finish_idempotent () =
+  Conv.reset ();
+  let r = Conv.create ~solver:"t" ~label:"seal" () in
+  Conv.observe r ~iteration:1 ~residual:0.5 ();
+  let a = Conv.finish ~converged:false r in
+  let b = Conv.finish ~converged:true r in
+  Alcotest.(check int) "same trace" a.Conv.seq b.Conv.seq;
+  Alcotest.(check bool) "first verdict wins" false b.Conv.converged;
+  Alcotest.(check int) "ring holds one entry" 1 (List.length (Conv.recent ()))
+
+let test_conv_with_recording () =
+  Conv.reset ();
+  Alcotest.(check bool) "off by default" false (Conv.recording ());
+  let finished_outside = Conv.create ~solver:"t" ~label:"outside" () in
+  let (), traces =
+    Conv.with_recording (fun () ->
+        Alcotest.(check bool) "on inside" true (Conv.recording ());
+        let r = Conv.create ~solver:"t" ~label:"inside" () in
+        Conv.observe r ~iteration:1 ~residual:0.1 ();
+        ignore (Conv.finish r))
+  in
+  Alcotest.(check bool) "restored off" false (Conv.recording ());
+  Alcotest.(check int) "one trace inside window" 1 (List.length traces);
+  Alcotest.(check string)
+    "the inside trace" "inside" (List.hd traces).Conv.label;
+  (* a recorder created before but finished after the window does not
+     land in the window's trace list *)
+  ignore (Conv.finish finished_outside);
+  let (), later = Conv.with_recording (fun () -> ()) in
+  Alcotest.(check int) "empty window" 0 (List.length later)
+
+let test_conv_ring_bound () =
+  Conv.reset ();
+  for i = 1 to 70 do
+    let r = Conv.create ~solver:"t" ~label:(string_of_int i) () in
+    Conv.observe r ~iteration:1 ~residual:1.0 ();
+    ignore (Conv.finish r)
+  done;
+  let all = Conv.recent () in
+  Alcotest.(check int) "global ring capped" 64 (List.length all);
+  Alcotest.(check string)
+    "newest last" "70"
+    (List.nth all (List.length all - 1)).Conv.label;
+  Alcotest.(check int)
+    "limit keeps newest" 5
+    (List.length (Conv.recent ~limit:5 ()));
+  Alcotest.(check string)
+    "limited slice ends at newest" "70"
+    (List.nth (Conv.recent ~limit:5 ()) 4).Conv.label;
+  Conv.reset ();
+  Alcotest.(check int) "reset clears" 0 (List.length (Conv.recent ()))
+
+let test_conv_export_shapes () =
+  Conv.reset ();
+  let r = Conv.create ~max_iter:9 ~solver:"qr" ~label:"export" () in
+  Conv.observe r ~iteration:1 ~residual:0.25 ~shift:0.5 ~active:3 ();
+  Conv.observe r ~iteration:2 ~active:2 ~deflation:true ();
+  ignore (Conv.finish r);
+  let j = Json.to_string (Conv.to_json ()) in
+  check_contains "top-level traces" j "\"traces\":";
+  check_contains "solver tagged" j "\"solver\":\"qr\"";
+  check_contains "samples present" j "\"samples\":";
+  check_contains "cap exported" j "\"max_iter\":9";
+  let evs = Conv.perfetto_events () in
+  Alcotest.(check bool) "counter events emitted" true (evs <> []);
+  List.iter
+    (fun ev ->
+      let s = Json.to_string ev in
+      check_contains "counter phase" s "\"ph\":\"C\"";
+      check_contains "conv track name" s "\"name\":\"conv:qr:";
+      check_contains "remaining arg" s "\"remaining\":")
+    evs;
+  (* the residual arg is dropped for samples that carried none *)
+  let with_residual =
+    List.filter (fun ev -> contains (Json.to_string ev) "\"residual\":") evs
+  in
+  Alcotest.(check int) "one sample had a residual" 1 (List.length with_residual)
+
+let test_conv_metrics_and_ledger () =
+  Conv.reset ();
+  Urs_obs.Ledger.set_memory true;
+  let r = Conv.create ~solver:"mg_r" ~label:"wired" () in
+  Conv.observe r ~iteration:1 ~residual:0.5 ();
+  Conv.observe r ~iteration:2 ~residual:0.25 ();
+  ignore (Conv.finish r);
+  (match
+     Metrics.value ~labels:[ ("solver", "mg_r") ] "urs_convergence_iterations"
+   with
+  | Some v -> check_float "iterations gauge" 2.0 v
+  | None -> Alcotest.fail "missing urs_convergence_iterations gauge");
+  (match
+     List.find_opt
+       (fun (rec_ : Urs_obs.Ledger.record) ->
+         rec_.Urs_obs.Ledger.kind = "convergence")
+       (Urs_obs.Ledger.recent ())
+   with
+  | Some rec_ ->
+      Alcotest.(check string) "outcome" "ok" rec_.Urs_obs.Ledger.outcome
+  | None -> Alcotest.fail "no convergence ledger record");
+  Urs_obs.Ledger.set_memory false;
+  Conv.reset ()
+
+let test_conv_pp_not_converged () =
+  Conv.reset ();
+  let r = Conv.create ~max_iter:3 ~solver:"bisect" ~label:"stall" () in
+  for i = 1 to 3 do
+    Conv.observe r ~iteration:i ~residual:1.0 ()
+  done;
+  let tr = Conv.finish ~converged:false r in
+  let s = Format.asprintf "%a" Conv.pp_trace tr in
+  check_contains "flags the stall" s "NOT CONVERGED";
+  check_contains "names the solver" s "bisect";
+  Conv.reset ()
+
 (* ---- regression: metrics recorded by a spectral solve ---- *)
 
 let test_spectral_solve_metrics () =
@@ -1869,6 +2009,20 @@ let () =
             test_perf_analyze_breach;
           Alcotest.test_case "renderings" `Quick test_perf_renderings;
           Alcotest.test_case "ledger digest" `Quick test_perf_ledger_digest;
+        ] );
+      ( "convergence",
+        [
+          Alcotest.test_case "recorder basics" `Quick test_conv_recorder_basics;
+          Alcotest.test_case "finish idempotent" `Quick
+            test_conv_finish_idempotent;
+          Alcotest.test_case "with_recording window" `Quick
+            test_conv_with_recording;
+          Alcotest.test_case "global ring bound" `Quick test_conv_ring_bound;
+          Alcotest.test_case "export shapes" `Quick test_conv_export_shapes;
+          Alcotest.test_case "metrics and ledger" `Quick
+            test_conv_metrics_and_ledger;
+          Alcotest.test_case "pp flags stalls" `Quick
+            test_conv_pp_not_converged;
         ] );
       ( "build-info",
         [ Alcotest.test_case "gauge" `Quick test_build_info ] );
