@@ -1,6 +1,6 @@
 # Convenience targets; `make ci` is what the CI workflow runs.
 
-.PHONY: all build test bench bench-gate bench-baseline fmt smoke \
+.PHONY: all build test bench bench-gate bench-baseline sim-bench fmt smoke \
 	doctor-smoke serve-smoke trace-smoke report-smoke ci clean
 
 all: build
@@ -92,7 +92,31 @@ report-smoke: build
 	  --history /tmp/urs_report_history.jsonl --last 2
 	@echo "report-smoke: ok"
 
-ci: fmt build test smoke doctor-smoke serve-smoke trace-smoke report-smoke
+# Simulation-engine perf gate, mirrored by the sim-perf CI job: run the
+# `sim` bench section twice against a scratch history (release profile,
+# so cross-module inlining is on and the engine is actually
+# allocation-free), then gate seconds-per-event at 1.5x via
+# `urs report`, and check that --jobs 1 and --jobs 4 produce
+# byte-identical simulation summaries.
+sim-bench:
+	rm -f /tmp/urs_sim_history.jsonl
+	URS_BENCH_HISTORY=/tmp/urs_sim_history.jsonl \
+	  dune exec --profile release bench/main.exe -- sim > /dev/null
+	URS_BENCH_HISTORY=/tmp/urs_sim_history.jsonl \
+	  dune exec --profile release bench/main.exe -- sim > /dev/null
+	dune exec --profile release bin/urs_cli.exe -- report \
+	  --history /tmp/urs_sim_history.jsonl --last 2 --max-ratio 1.5
+	dune exec --profile release bin/urs_cli.exe -- simulate -N 10 \
+	  --lambda 9.176 --duration 20000 --replications 4 --jobs 1 \
+	  > /tmp/urs_sim_j1.txt
+	dune exec --profile release bin/urs_cli.exe -- simulate -N 10 \
+	  --lambda 9.176 --duration 20000 --replications 4 --jobs 4 \
+	  > /tmp/urs_sim_j4.txt
+	cmp /tmp/urs_sim_j1.txt /tmp/urs_sim_j4.txt
+	@echo "sim-bench: ok"
+
+ci: fmt build test smoke doctor-smoke serve-smoke trace-smoke report-smoke \
+	sim-bench
 
 clean:
 	dune clean

@@ -402,15 +402,18 @@ let section_extensions () =
 
 (* ---- bench-regression gate: the paper's N=5 model ---- *)
 
-(* per-solver wall + GC stats from the last n5 run, consumed by the
-   perf-history append in the driver (survives the per-section
-   Metrics.reset) *)
-let n5_stats : (string * Urs_obs.Perf.solver_stat) list ref = ref []
+(* per-solver wall + GC stats from the gate sections (n5, sim),
+   consumed by the perf-history append in the driver (survives the
+   per-section Metrics.reset) *)
+let gate_stats : (string * Urs_obs.Perf.solver_stat) list ref = ref []
+
+let remove_gate_stat name =
+  gate_stats := List.filter (fun (n, _) -> n <> name) !gate_stats
 
 let section_n5 () =
   header "N=5 paper model — solver wall time (bench-regression gate)";
   Format.printf "(N=5, λ=4, fitted operative H2, η=25 — the doctor's quick model)@.@.";
-  n5_stats := [];
+  List.iter remove_gate_stat [ "spectral"; "mg"; "approx" ];
   let m = model ~servers:5 ~lambda:4.0 in
   let time_solver name strategy iters =
     (* one warm-up solve so one-off initialization stays out of the gate *)
@@ -433,7 +436,7 @@ let section_n5 () =
         major_words = per_iter d.Urs_obs.Runtime.d_major_words;
       }
     in
-    n5_stats := (name, stat) :: !n5_stats;
+    gate_stats := (name, stat) :: !gate_stats;
     Metrics.set
       (Metrics.gauge
          ~labels:[ ("solver", name) ]
@@ -458,6 +461,104 @@ let section_n5 () =
   Format.printf
     "@.(CI compares the spectral gauge in BENCH_solvers.json against the@.\
      committed BENCH_baseline.json and fails on a >2x regression)@.";
+  flush ()
+
+(* ---- simulation engine throughput gate: the Figure-8 workload ---- *)
+
+let section_sim () =
+  header "Simulation engine — events/sec on the Figure-8 workload";
+  Format.printf
+    "(N=10, fitted operative H2, η=25, 92%% load; 4 replications, no \
+     probes)@.@.";
+  remove_gate_stat "sim";
+  (* same environment capacity as the Figure-8 section: N * availability *)
+  let env_capacity = 10.0 *. (34.6209 /. (34.6209 +. 0.04)) in
+  let lambda = 0.92 *. env_capacity in
+  let cfg =
+    {
+      Urs_sim.Server_farm.servers = 10;
+      lambda;
+      mu = 1.0;
+      operative = paper_op;
+      inoperative = paper_inop_exp;
+      repair_crews = None;
+    }
+  in
+  (* split-stream seeds, exactly like Replicate.run *)
+  let master = Urs_prob.Rng.create 2024 in
+  let seeds = Array.init 4 (fun _ -> Urs_prob.Rng.split_seed master) in
+  let events_total () =
+    Option.value ~default:0.0 (Metrics.value "urs_sim_events_total")
+  in
+  (* warm-up run so one-off initialization stays out of the measurement *)
+  ignore
+    (Urs_sim.Server_farm.run ~seed:seeds.(0) ~track_responses:false
+       ~duration:2_000.0 cfg);
+  let gc_capture = Urs_obs.Runtime.start_events () in
+  if gc_capture then Urs_obs.Runtime.clear_events ();
+  let e0 = events_total () in
+  let g0 = Urs_obs.Runtime.sample () in
+  let t0 = Span.now () in
+  Array.iter
+    (fun seed ->
+      ignore
+        (Urs_sim.Server_farm.run ~seed ~track_responses:false
+           ~duration:50_000.0 cfg))
+    seeds;
+  let wall = Span.now () -. t0 in
+  let d = Urs_obs.Runtime.delta ~before:g0 ~after:(Urs_obs.Runtime.sample ()) in
+  let gc_seconds =
+    if gc_capture then begin
+      let s =
+        List.fold_left
+          (fun acc (sl : Urs_obs.Runtime.slice) -> acc +. sl.duration_s)
+          0.0
+          (Urs_obs.Runtime.gc_slices ())
+      in
+      Urs_obs.Runtime.stop_events ();
+      Some s
+    end
+    else None
+  in
+  let events = events_total () -. e0 in
+  let per_event w = if events > 0.0 then w /. events else nan in
+  let stat =
+    {
+      Urs_obs.Perf.seconds = per_event wall;
+      minor_words = per_event d.Urs_obs.Runtime.d_minor_words;
+      promoted_words = per_event d.Urs_obs.Runtime.d_promoted_words;
+      major_words = per_event d.Urs_obs.Runtime.d_major_words;
+    }
+  in
+  gate_stats := ("sim", stat) :: !gate_stats;
+  let gauge name help = Metrics.gauge ~help name in
+  Metrics.set
+    (gauge "urs_bench_sim_events_per_sec"
+       "Simulation events per wall-clock second on the Figure-8 workload")
+    (events /. wall);
+  Metrics.set
+    (gauge "urs_bench_sim_minor_words_per_event"
+       "Minor-heap words allocated per simulation event")
+    stat.Urs_obs.Perf.minor_words;
+  Metrics.set
+    (gauge "urs_bench_sim_seconds"
+       "Wall seconds for the Figure-8 simulation workload")
+    wall;
+  Format.printf "  events processed     %12.0f@." events;
+  Format.printf "  wall time            %12.3f s@." wall;
+  Format.printf "  events/sec           %12.0f@." (events /. wall);
+  Format.printf "  minor words/event    %12.2f@." stat.Urs_obs.Perf.minor_words;
+  Format.printf "  promoted words/event %12.4f@."
+    stat.Urs_obs.Perf.promoted_words;
+  Format.printf "  major words/event    %12.4f@." stat.Urs_obs.Perf.major_words;
+  Format.printf "  minor collections    %12d@."
+    d.Urs_obs.Runtime.d_minor_collections;
+  (match gc_seconds with
+  | Some s -> Format.printf "  GC pause seconds     %12.3f@." s
+  | None -> Format.printf "  GC pause seconds     %12s@." "(capture off)");
+  Format.printf
+    "@.(CI's sim-perf job runs this section twice against a scratch@.\
+     history and fails when seconds/event regresses beyond --max-ratio)@.";
   flush ()
 
 (* ---- convergence: iterations to tolerance and recorder overhead ---- *)
@@ -674,6 +775,7 @@ let sections : (string * string * (unit -> unit)) list =
     ("ablation", "Solver agreement ablation", section_ablation);
     ("extensions", "Extensions beyond the paper", section_extensions);
     ("n5", "N=5 solver wall time (bench-regression gate)", section_n5);
+    ("sim", "Simulation engine events/sec (sim-perf gate)", section_sim);
     ("conv", "Convergence: iterations to tolerance per solver", section_conv);
     ("speedup", "Pool and solve-cache speedups", section_speedup);
     ("timing", "bechamel micro-benchmarks", section_timing);
@@ -723,13 +825,13 @@ let write_bench_json path =
   close_out oc;
   Format.printf "@.wrote %s (%d sections)@." path (List.length sections)
 
-(* Whenever the n5 gate section ran, append one urs-perf/1 line (see
-   Perf.schema in perf.mli) to the committed BENCH_history.jsonl —
+(* Whenever a gate section (n5, sim) ran, append one urs-perf/1 line
+   (see Perf.schema in perf.mli) to the committed BENCH_history.jsonl —
    never truncate; `urs report` consumes the trend. URS_BENCH_HISTORY
-   overrides the path (CI's report-smoke uses a scratch file so its
-   gate only compares same-machine runs). *)
+   overrides the path (CI's report-smoke and sim-perf jobs use a
+   scratch file so their gates only compare same-machine runs). *)
 let append_history () =
-  match !n5_stats with
+  match !gate_stats with
   | [] -> ()
   | stats ->
       let path =

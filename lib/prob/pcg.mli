@@ -1,0 +1,49 @@
+(** Allocation-free pseudo-random number generator for simulation hot
+    paths.
+
+    The state is one mutable native [int], stepped by a 63-bit
+    linear-congruential recurrence and tempered with a splitmix-style
+    xorshift-multiply output permutation (PCG construction). Every draw
+    is branch-light straight-line integer/float code that allocates
+    nothing, unlike {!Rng} whose [Int64] core boxes each intermediate.
+
+    {!Rng} remains the generator for solver layers and for replication
+    seeding: [Rng.split_seed] hands out child seeds exactly as before,
+    and each simulation replication builds its own [Pcg.t] from one. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a generator from an integer seed. Equal seeds
+    give equal streams. *)
+
+val copy : t -> t
+(** Duplicate the current state. *)
+
+val split_seed : t -> int
+(** A nonnegative 62-bit seed drawn from the stream, suitable for
+    [create]; consecutive calls yield statistically independent child
+    streams (splitmix-initialised, same contract as
+    {!Rng.split_seed}). *)
+
+val bits : t -> int
+(** Next raw value, uniform over nonnegative 62-bit ints. *)
+
+val float : t -> float
+(** Uniform in [[0, 1)], 53-bit resolution. *)
+
+val float_pos : t -> float
+(** Uniform in [(0, 1]]; never returns 0, safe for [log]. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform g lo hi] is uniform in [[lo, hi)]. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [[0, bound)]; [bound > 0]. Modulo bias
+    is negligible for [bound] far below 2^62. *)
+
+val exponential : t -> float -> float
+(** [exponential g rate] samples Exp(rate); [rate > 0]. *)
+
+val normal : t -> float
+(** Standard normal via Box–Muller. *)

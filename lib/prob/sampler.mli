@@ -1,0 +1,19 @@
+(** Compiled distribution samplers for the simulation hot path.
+
+    {!compile} digests a {!Distribution.t} once into a flat
+    representation (rates, cumulative weight tables, phase-type jump
+    tables); {!sample} then draws from it with a single shallow match
+    and {!Pcg} arithmetic. The exponential, deterministic, uniform,
+    Weibull and Erlang paths allocate nothing per draw; sampling
+    semantics match [Distribution.sample] family by family (same
+    inversion formulas, same tie-breaking in weight scans), only the
+    underlying generator differs. *)
+
+type t
+
+val compile : Distribution.t -> t
+(** Precompute everything [sample] needs. Call once per distribution
+    per replication setup, never inside the event loop. *)
+
+val sample : t -> Pcg.t -> float
+(** Draw one value. *)

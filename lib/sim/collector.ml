@@ -1,13 +1,23 @@
-type t = {
-  track_responses : bool;
+(* The time-integral accumulators live in a nested all-float record:
+   OCaml stores all-float records flat, so the per-event updates in
+   [set_jobs]/[record_operative] mutate raw float words without boxing.
+   Keeping them in the outer (mixed) record would box every
+   assignment. *)
+
+type acc = {
   mutable start : float;
   mutable last_jobs_time : float;
-  mutable jobs : int;
+  mutable jobs : float; (* current count, kept as float for flatness *)
   mutable jobs_area : float;
   mutable last_ops_time : float;
-  mutable ops : int;
+  mutable ops : float;
   mutable ops_area : float;
-  mutable resp : Urs_stats.Welford.t;
+}
+
+type t = {
+  track_responses : bool;
+  a : acc;
+  resp : Urs_stats.Welford.t;
   mutable resp_samples : float array;
   mutable resp_count : int;
 }
@@ -15,29 +25,34 @@ type t = {
 let create ?(track_responses = true) () =
   {
     track_responses;
-    start = 0.0;
-    last_jobs_time = 0.0;
-    jobs = 0;
-    jobs_area = 0.0;
-    last_ops_time = 0.0;
-    ops = 0;
-    ops_area = 0.0;
+    a =
+      {
+        start = 0.0;
+        last_jobs_time = 0.0;
+        jobs = 0.0;
+        jobs_area = 0.0;
+        last_ops_time = 0.0;
+        ops = 0.0;
+        ops_area = 0.0;
+      };
     resp = Urs_stats.Welford.create ();
     resp_samples = Array.make 1024 0.0;
     resp_count = 0;
   }
 
-let set_jobs t ~now n =
-  t.jobs_area <- t.jobs_area +. (float_of_int t.jobs *. (now -. t.last_jobs_time));
-  t.last_jobs_time <- now;
-  t.jobs <- n
+let[@inline] set_jobs t ~now n =
+  let a = t.a in
+  a.jobs_area <- a.jobs_area +. (a.jobs *. (now -. a.last_jobs_time));
+  a.last_jobs_time <- now;
+  a.jobs <- float_of_int n
 
-let record_operative t ~now n =
-  t.ops_area <- t.ops_area +. (float_of_int t.ops *. (now -. t.last_ops_time));
-  t.last_ops_time <- now;
-  t.ops <- n
+let[@inline] record_operative t ~now n =
+  let a = t.a in
+  a.ops_area <- a.ops_area +. (a.ops *. (now -. a.last_ops_time));
+  a.last_ops_time <- now;
+  a.ops <- float_of_int n
 
-let record_response t r =
+let[@inline] record_response t r =
   Urs_stats.Welford.add t.resp r;
   if t.track_responses then begin
     if t.resp_count = Array.length t.resp_samples then begin
@@ -50,22 +65,25 @@ let record_response t r =
   end
 
 let reset t ~now =
-  t.start <- now;
-  t.last_jobs_time <- now;
-  t.jobs_area <- 0.0;
-  t.last_ops_time <- now;
-  t.ops_area <- 0.0;
-  t.resp <- Urs_stats.Welford.create ();
+  let a = t.a in
+  a.start <- now;
+  a.last_jobs_time <- now;
+  a.jobs_area <- 0.0;
+  a.last_ops_time <- now;
+  a.ops_area <- 0.0;
+  Urs_stats.Welford.reset t.resp;
   t.resp_count <- 0
 
 let mean_jobs t ~now =
-  let area = t.jobs_area +. (float_of_int t.jobs *. (now -. t.last_jobs_time)) in
-  let elapsed = now -. t.start in
+  let a = t.a in
+  let area = a.jobs_area +. (a.jobs *. (now -. a.last_jobs_time)) in
+  let elapsed = now -. a.start in
   if elapsed <= 0.0 then 0.0 else area /. elapsed
 
 let mean_operative t ~now =
-  let area = t.ops_area +. (float_of_int t.ops *. (now -. t.last_ops_time)) in
-  let elapsed = now -. t.start in
+  let a = t.a in
+  let area = a.ops_area +. (a.ops *. (now -. a.last_ops_time)) in
+  let elapsed = now -. a.start in
   if elapsed <= 0.0 then 0.0 else area /. elapsed
 
 let mean_response t = Urs_stats.Welford.mean t.resp

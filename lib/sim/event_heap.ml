@@ -73,4 +73,7 @@ let peek_time h = if h.size = 0 then None else Some (get h 0).time
 
 let clear h =
   Array.fill h.data 0 (Array.length h.data) None;
-  h.size <- 0
+  h.size <- 0;
+  (* reset the tie-break counter too, so a cleared heap orders
+     equal-time events exactly like a fresh one *)
+  h.next_seq <- 0

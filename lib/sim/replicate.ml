@@ -61,6 +61,12 @@ let run ?(seed = 1) ?(replications = 10) ?(confidence = 0.95) ?warmup ?pool
     Array.init replications (fun _ -> Urs_prob.Rng.split_seed master)
   in
   let params = ledger_params cfg ~duration ~replications in
+  (* per-replication results land in flat float arrays (one slot per
+     replication, disjoint across pool domains) instead of a list of
+     result records *)
+  let mj = Array.make replications 0.0 in
+  let mr = Array.make replications 0.0 in
+  let mo = Array.make replications 0.0 in
   let run_one rep =
     let rep_seed = seeds.(rep) in
     (* one span per replication: urs_sim_replication_seconds is the
@@ -97,30 +103,29 @@ let run ?(seed = 1) ?(replications = 10) ?(confidence = 0.95) ?warmup ?pool
           ("mean_operative", Json.Float r.Server_farm.mean_operative);
         ]
       ();
-    r
+    mj.(rep) <- r.Server_farm.mean_jobs;
+    mr.(rep) <- r.Server_farm.mean_response;
+    mo.(rep) <- r.Server_farm.mean_operative
   in
   Urs_obs.Progress.start ~total:replications progress_task;
   (* one span over the fan-out, so pooled replications trace as one
      tree (their contexts are captured from this span's) *)
-  let results =
-    Span.with_ ~name:"urs_replicate" (fun () ->
-        match pool with
-        | None -> Array.init replications run_one
-        | Some pool ->
-            Array.of_list
-              (Urs_exec.Pool.map pool run_one (List.init replications Fun.id)))
-  in
+  Span.with_ ~name:"urs_replicate" (fun () ->
+      match pool with
+      | None ->
+          for rep = 0 to replications - 1 do
+            run_one rep
+          done
+      | Some pool ->
+          ignore
+            (Urs_exec.Pool.map pool run_one (List.init replications Fun.id)));
   Urs_obs.Progress.finish progress_task;
   let t0 = Span.now () in
-  let pick f = Array.map f results in
   let summary =
     {
-      mean_jobs =
-        interval_of ~confidence (pick (fun r -> r.Server_farm.mean_jobs));
-      mean_response =
-        interval_of ~confidence (pick (fun r -> r.Server_farm.mean_response));
-      mean_operative =
-        interval_of ~confidence (pick (fun r -> r.Server_farm.mean_operative));
+      mean_jobs = interval_of ~confidence mj;
+      mean_response = interval_of ~confidence mr;
+      mean_operative = interval_of ~confidence mo;
       replications;
       confidence;
     }

@@ -9,7 +9,13 @@
     (preempt-resume); an operative server cannot idle while jobs wait.
     Unlike the analytical solvers, the simulator accepts {e any}
     {!Urs_prob.Distribution.t} for the period lengths — this is what
-    produces the C² = 0 (deterministic) points of Figure 6. *)
+    produces the C² = 0 (deterministic) points of Figure 6.
+
+    The event loop is allocation-free in steady state: events are int
+    tags in an {!Index_heap}, jobs are slots in a recycled pool, and all
+    randomness flows through {!Urs_prob.Pcg} via compiled
+    {!Urs_prob.Sampler}s. A [?probe:None] run allocates only when a pool
+    reaches a new high-water mark. *)
 
 type config = {
   servers : int;
@@ -32,6 +38,7 @@ type result = {
   measured_time : float;  (** Length of the measurement window. *)
   responses : float array;
       (** Response-time sample (empty if tracking was disabled). *)
+  events : int;  (** Discrete events processed (warmup included). *)
 }
 
 val validate : config -> unit

@@ -1,32 +1,38 @@
-type t = { mutable n : int; mutable mean : float; mutable m2 : float }
+(* All fields are floats on purpose: an all-float record is stored flat
+   by the OCaml runtime, so [add] mutates raw float words and never
+   boxes — this accumulator sits on the simulator's per-completion path.
+   The count stays exact as a float up to 2^53 observations. *)
 
-let create () = { n = 0; mean = 0.0; m2 = 0.0 }
+type t = { mutable n : float; mutable mean : float; mutable m2 : float }
 
-let add acc x =
-  acc.n <- acc.n + 1;
+let create () = { n = 0.0; mean = 0.0; m2 = 0.0 }
+
+let reset acc =
+  acc.n <- 0.0;
+  acc.mean <- 0.0;
+  acc.m2 <- 0.0
+
+let[@inline] add acc x =
+  acc.n <- acc.n +. 1.0;
   let delta = x -. acc.mean in
-  acc.mean <- acc.mean +. (delta /. float_of_int acc.n);
+  acc.mean <- acc.mean +. (delta /. acc.n);
   acc.m2 <- acc.m2 +. (delta *. (x -. acc.mean))
 
-let count acc = acc.n
+let count acc = int_of_float acc.n
 
 let mean acc = acc.mean
 
-let variance acc = if acc.n < 2 then 0.0 else acc.m2 /. float_of_int (acc.n - 1)
+let variance acc = if acc.n < 2.0 then 0.0 else acc.m2 /. (acc.n -. 1.0)
 
 let std_dev acc = sqrt (variance acc)
 
 let merge a b =
-  if a.n = 0 then { n = b.n; mean = b.mean; m2 = b.m2 }
-  else if b.n = 0 then { n = a.n; mean = a.mean; m2 = a.m2 }
+  if a.n = 0.0 then { n = b.n; mean = b.mean; m2 = b.m2 }
+  else if b.n = 0.0 then { n = a.n; mean = a.mean; m2 = a.m2 }
   else begin
-    let n = a.n + b.n in
+    let n = a.n +. b.n in
     let delta = b.mean -. a.mean in
-    let nf = float_of_int n in
-    let mean = a.mean +. (delta *. float_of_int b.n /. nf) in
-    let m2 =
-      a.m2 +. b.m2
-      +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. nf)
-    in
+    let mean = a.mean +. (delta *. b.n /. n) in
+    let m2 = a.m2 +. b.m2 +. (delta *. delta *. a.n *. b.n /. n) in
     { n; mean; m2 }
   end

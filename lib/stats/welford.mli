@@ -4,6 +4,11 @@
 type t
 
 val create : unit -> t
+
+val reset : t -> unit
+(** Forget all observations; equivalent to a fresh accumulator without
+    allocating one. *)
+
 val add : t -> float -> unit
 val count : t -> int
 val mean : t -> float

@@ -73,6 +73,170 @@ let test_rng_split_independence () =
   done;
   Alcotest.(check bool) "split independent" true (!same < 5)
 
+let paper_h2 = Hyperexponential.of_pairs [ (0.7246, 0.1663); (0.2754, 0.0091) ]
+
+(* ---- Pcg ---- *)
+
+let test_pcg_determinism () =
+  let a = Pcg.create 42 and b = Pcg.create 42 in
+  for _ = 1 to 100 do
+    if Pcg.float a <> Pcg.float b then Alcotest.fail "streams diverge"
+  done
+
+let test_pcg_seed_sensitivity () =
+  let a = Pcg.create 1 and b = Pcg.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 100 do
+    if Pcg.float a = Pcg.float b then incr same
+  done;
+  Alcotest.(check bool) "different seeds differ" true (!same < 5)
+
+let test_pcg_range () =
+  let g = Pcg.create 7 in
+  for _ = 1 to 10_000 do
+    let u = Pcg.float g in
+    if u < 0.0 || u >= 1.0 then Alcotest.fail "float out of [0,1)";
+    if Pcg.bits g < 0 then Alcotest.fail "bits negative";
+    let p = Pcg.float_pos g in
+    if p <= 0.0 || p > 1.0 then Alcotest.fail "float_pos out of (0,1]"
+  done
+
+let test_pcg_copy () =
+  let a = Pcg.create 99 in
+  for _ = 1 to 10 do
+    ignore (Pcg.float a)
+  done;
+  let b = Pcg.copy a in
+  for _ = 1 to 100 do
+    if Pcg.float a <> Pcg.float b then Alcotest.fail "copy diverges"
+  done
+
+let test_pcg_ks_uniform () =
+  (* goodness of fit against U(0,1) with the repo's own KS machinery *)
+  let g = Pcg.create 101 in
+  let samples = Array.init 5000 (fun _ -> Pcg.float g) in
+  let dec =
+    Ks.test_samples ~significance:0.05
+      ~hypothesized:(fun x -> Float.min 1.0 (Float.max 0.0 x))
+      ~samples
+  in
+  Alcotest.(check bool) "uniform accepted" true dec.Ks.accept
+
+let test_pcg_ks_exponential () =
+  let d = Exponential.create 4.0 in
+  let g = Pcg.create 103 in
+  let samples = Array.init 5000 (fun _ -> Pcg.exponential g 4.0) in
+  let dec =
+    Ks.test_samples ~significance:0.05 ~hypothesized:(Exponential.cdf d)
+      ~samples
+  in
+  Alcotest.(check bool) "exponential accepted" true dec.Ks.accept
+
+let test_pcg_ks_rejects_wrong () =
+  (* the KS harness must retain power on Pcg streams too *)
+  let wrong = Exponential.create 2.0 in
+  let g = Pcg.create 107 in
+  let samples = Array.init 5000 (fun _ -> Pcg.exponential g 4.0) in
+  let dec =
+    Ks.test_samples ~significance:0.05 ~hypothesized:(Exponential.cdf wrong)
+      ~samples
+  in
+  Alcotest.(check bool) "wrong rate rejected" false dec.Ks.accept
+
+let test_pcg_split_independence () =
+  (* mirrors test_rng_split_independence: a child stream seeded from
+     split_seed must not track its parent *)
+  let g = Pcg.create 23 in
+  let h = Pcg.create (Pcg.split_seed g) in
+  let same = ref 0 in
+  for _ = 1 to 100 do
+    if Pcg.float g = Pcg.float h then incr same
+  done;
+  Alcotest.(check bool) "split independent" true (!same < 5);
+  (* and the split seed is a valid nonnegative seed *)
+  Alcotest.(check bool) "seed nonnegative" true (Pcg.split_seed g >= 0)
+
+let test_pcg_uniform_int_normal () =
+  let g = Pcg.create 11 in
+  let n = 100_000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Pcg.uniform g 2.0 6.0
+  done;
+  check_float ~tol:0.02 "uniform(2,6) mean" 4.0 (!acc /. float_of_int n);
+  let counts = Array.make 5 0 in
+  for _ = 1 to n do
+    let i = Pcg.int g 5 in
+    if i < 0 || i >= 5 then Alcotest.fail "int out of range";
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      check_float ~tol:0.01 "int frequency" 0.2 (float_of_int c /. float_of_int n))
+    counts;
+  let acc = ref 0.0 and acc2 = ref 0.0 in
+  for _ = 1 to n do
+    let z = Pcg.normal g in
+    acc := !acc +. z;
+    acc2 := !acc2 +. (z *. z)
+  done;
+  check_float ~tol:0.02 "normal mean" 0.0 (!acc /. float_of_int n);
+  check_float ~tol:0.03 "normal variance" 1.0 (!acc2 /. float_of_int n)
+
+(* ---- compiled samplers ---- *)
+
+let test_sampler_matches_distribution_means () =
+  (* every family the simulator can receive: the compiled sampler's
+     sample mean must match the distribution's analytic mean *)
+  let families =
+    [
+      ("exponential", Distribution.exponential ~rate:2.0);
+      ("deterministic", Distribution.deterministic 5.0);
+      ("uniform", Distribution.Uniform (Uniform_d.create ~lo:2.0 ~hi:6.0));
+      ("weibull", Distribution.Weibull (Weibull.create ~shape:2.0 ~scale:1.0));
+      ("lognormal", Distribution.Lognormal (Lognormal.of_mean_scv ~mean:3.0 ~scv:2.0));
+      ("erlang", Distribution.Erlang (Erlang.create ~k:3 ~rate:1.5));
+      ("hyperexponential", Distribution.Hyperexponential paper_h2);
+      ("phase_type", Distribution.Phase_type (Phase_type.of_hyperexponential paper_h2));
+    ]
+  in
+  List.iter
+    (fun (name, d) ->
+      let s = Sampler.compile d in
+      let g = Pcg.create 2027 in
+      let n = 200_000 in
+      let acc = ref 0.0 in
+      for _ = 1 to n do
+        acc := !acc +. Sampler.sample s g
+      done;
+      let mean = Distribution.mean d in
+      check_float ~tol:(0.02 *. Float.max mean 1.0) name mean
+        (!acc /. float_of_int n))
+    families
+
+let test_sampler_ks_exponential () =
+  (* distribution-level goodness of fit, not just the mean *)
+  let d = Exponential.create 1.5 in
+  let s = Sampler.compile (Distribution.Exponential d) in
+  let g = Pcg.create 2029 in
+  let samples = Array.init 5000 (fun _ -> Sampler.sample s g) in
+  let dec =
+    Ks.test_samples ~significance:0.05 ~hypothesized:(Exponential.cdf d)
+      ~samples
+  in
+  Alcotest.(check bool) "compiled exp accepted" true dec.Ks.accept
+
+let test_sampler_ks_hyperexponential () =
+  let s = Sampler.compile (Distribution.Hyperexponential paper_h2) in
+  let g = Pcg.create 2031 in
+  let samples = Array.init 5000 (fun _ -> Sampler.sample s g) in
+  let dec =
+    Ks.test_samples ~significance:0.05
+      ~hypothesized:(Hyperexponential.cdf paper_h2)
+      ~samples
+  in
+  Alcotest.(check bool) "compiled h2 accepted" true dec.Ks.accept
+
 (* ---- special functions ---- *)
 
 let test_log_gamma () =
@@ -118,8 +282,6 @@ let test_kolmogorov_cdf () =
   check_float "zero below 0" 0.0 (Special.kolmogorov_cdf 0.0)
 
 (* ---- distributions ---- *)
-
-let paper_h2 = Hyperexponential.of_pairs [ (0.7246, 0.1663); (0.2754, 0.0091) ]
 
 let test_exponential () =
   let d = Exponential.create 2.0 in
@@ -518,6 +680,29 @@ let () =
           Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
           Alcotest.test_case "weighted choice" `Quick test_rng_choose;
           Alcotest.test_case "split independence" `Quick test_rng_split_independence;
+        ] );
+      ( "pcg",
+        [
+          Alcotest.test_case "determinism" `Quick test_pcg_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_pcg_seed_sensitivity;
+          Alcotest.test_case "range" `Quick test_pcg_range;
+          Alcotest.test_case "copy" `Quick test_pcg_copy;
+          Alcotest.test_case "KS uniform" `Quick test_pcg_ks_uniform;
+          Alcotest.test_case "KS exponential" `Quick test_pcg_ks_exponential;
+          Alcotest.test_case "KS rejects wrong rate" `Quick
+            test_pcg_ks_rejects_wrong;
+          Alcotest.test_case "split independence" `Quick
+            test_pcg_split_independence;
+          Alcotest.test_case "uniform/int/normal draws" `Quick
+            test_pcg_uniform_int_normal;
+        ] );
+      ( "sampler",
+        [
+          Alcotest.test_case "matches distribution means" `Slow
+            test_sampler_matches_distribution_means;
+          Alcotest.test_case "KS exponential" `Quick test_sampler_ks_exponential;
+          Alcotest.test_case "KS hyperexponential" `Quick
+            test_sampler_ks_hyperexponential;
         ] );
       ( "special",
         [

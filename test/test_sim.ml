@@ -71,6 +71,173 @@ let test_heap_random_property () =
   in
   Alcotest.(check int) "all popped" 5000 (drain 0)
 
+let test_heap_clear_resets_tiebreak () =
+  (* clear must reset the FIFO sequence counter, so a cleared heap
+     orders equal-time events exactly like a fresh one (regression for
+     the counter carrying over across replications) *)
+  let fresh = Event_heap.create () in
+  let cleared = Event_heap.create () in
+  for i = 0 to 99 do
+    Event_heap.push cleared ~time:(float_of_int i) i
+  done;
+  Event_heap.clear cleared;
+  List.iter
+    (fun h ->
+      Event_heap.push h ~time:1.0 10;
+      Event_heap.push h ~time:1.0 20;
+      Event_heap.push h ~time:0.5 0)
+    [ fresh; cleared ];
+  for _ = 1 to 3 do
+    match (Event_heap.pop fresh, Event_heap.pop cleared) with
+    | Some (ta, va), Some (tb, vb) when ta = tb && va = vb -> ()
+    | _ -> Alcotest.fail "cleared heap diverges from fresh heap"
+  done
+
+(* ---- Index_heap ---- *)
+
+let test_index_heap_ordering () =
+  let h = Index_heap.create () in
+  List.iter
+    (fun t ->
+      Index_heap.push h ~time:t ~kind:(int_of_float t) ~server:(-1) ~epoch:0)
+    [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let order = ref [] in
+  while not (Index_heap.is_empty h) do
+    order := Index_heap.top_kind h :: !order;
+    Index_heap.drop h
+  done;
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+let test_index_heap_fifo_ties () =
+  let h = Index_heap.create () in
+  Index_heap.push h ~time:1.0 ~kind:1 ~server:7 ~epoch:0;
+  Index_heap.push h ~time:1.0 ~kind:2 ~server:8 ~epoch:1;
+  Index_heap.push h ~time:1.0 ~kind:3 ~server:9 ~epoch:2;
+  let seen = ref [] in
+  while not (Index_heap.is_empty h) do
+    seen :=
+      (Index_heap.top_kind h, Index_heap.top_server h, Index_heap.top_epoch h)
+      :: !seen;
+    Index_heap.drop h
+  done;
+  Alcotest.(check bool) "insertion order on equal times" true
+    (List.rev !seen = [ (1, 7, 0); (2, 8, 1); (3, 9, 2) ])
+
+let test_index_heap_growth_and_recycling () =
+  (* push past the initial capacity, drain, then reuse: slots must be
+     recycled and ordering preserved *)
+  let h = Index_heap.create ~capacity:4 () in
+  for i = 999 downto 0 do
+    Index_heap.push h ~time:(float_of_int i) ~kind:i ~server:(-1) ~epoch:0
+  done;
+  Alcotest.(check int) "size" 1000 (Index_heap.size h);
+  let prev = ref neg_infinity in
+  while not (Index_heap.is_empty h) do
+    let t = Index_heap.top_time h in
+    if t < !prev then Alcotest.fail "heap order violated";
+    prev := t;
+    Index_heap.drop h
+  done;
+  Alcotest.(check bool) "empty" true (Index_heap.is_empty h);
+  (* second drain over the recycled slots *)
+  let g = Urs_prob.Rng.create 3 in
+  for _ = 1 to 5000 do
+    Index_heap.push h ~time:(Urs_prob.Rng.float g) ~kind:0 ~server:(-1)
+      ~epoch:0
+  done;
+  let prev = ref neg_infinity and n = ref 0 in
+  while not (Index_heap.is_empty h) do
+    let t = Index_heap.top_time h in
+    if t < !prev then Alcotest.fail "order violated after recycling";
+    prev := t;
+    incr n;
+    Index_heap.drop h
+  done;
+  Alcotest.(check int) "all dropped" 5000 !n
+
+let test_index_heap_clear_resets_tiebreak () =
+  (* port of the Event_heap guarantee: clear resets the sequence
+     counter, so equal-time FIFO order restarts like a fresh heap *)
+  let fresh = Index_heap.create () in
+  let cleared = Index_heap.create () in
+  for i = 0 to 99 do
+    Index_heap.push cleared ~time:(float_of_int i) ~kind:i ~server:(-1)
+      ~epoch:0
+  done;
+  Index_heap.clear cleared;
+  Alcotest.(check int) "cleared is empty" 0 (Index_heap.size cleared);
+  List.iter
+    (fun h ->
+      Index_heap.push h ~time:2.0 ~kind:1 ~server:(-1) ~epoch:0;
+      Index_heap.push h ~time:2.0 ~kind:2 ~server:(-1) ~epoch:0;
+      Index_heap.push h ~time:1.0 ~kind:3 ~server:(-1) ~epoch:0)
+    [ fresh; cleared ];
+  for _ = 1 to 3 do
+    if
+      Index_heap.top_time fresh <> Index_heap.top_time cleared
+      || Index_heap.top_kind fresh <> Index_heap.top_kind cleared
+    then Alcotest.fail "cleared heap diverges from fresh heap";
+    Index_heap.drop fresh;
+    Index_heap.drop cleared
+  done
+
+let test_index_heap_empty_drop_raises () =
+  let h = Index_heap.create () in
+  Alcotest.check_raises "drop on empty"
+    (Invalid_argument "Index_heap.drop: empty heap") (fun () ->
+      Index_heap.drop h)
+
+(* ---- Int_deque ---- *)
+
+let test_int_deque_fifo () =
+  let d = Int_deque.create () in
+  Int_deque.push_back d 1;
+  Int_deque.push_back d 2;
+  Int_deque.push_back d 3;
+  Alcotest.(check int) "first" 1 (Int_deque.pop_front d);
+  Alcotest.(check int) "second" 2 (Int_deque.pop_front d);
+  Int_deque.push_back d 4;
+  Alcotest.(check int) "third" 3 (Int_deque.pop_front d);
+  Alcotest.(check int) "fourth" 4 (Int_deque.pop_front d);
+  Alcotest.(check int) "empty sentinel" (-1) (Int_deque.pop_front d)
+
+let test_int_deque_push_front () =
+  let d = Int_deque.create () in
+  Int_deque.push_back d 10;
+  Int_deque.push_back d 11;
+  Int_deque.push_front d 99;
+  Alcotest.(check int) "preempted first" 99 (Int_deque.pop_front d);
+  Alcotest.(check int) "then queued" 10 (Int_deque.pop_front d)
+
+let test_int_deque_growth_wraparound () =
+  (* force growth while head is mid-buffer so the unwrap copy runs *)
+  let d = Int_deque.create ~capacity:4 () in
+  for i = 0 to 2 do
+    Int_deque.push_back d i
+  done;
+  ignore (Int_deque.pop_front d);
+  ignore (Int_deque.pop_front d);
+  for i = 3 to 40 do
+    Int_deque.push_back d i
+  done;
+  Alcotest.(check int) "length" 39 (Int_deque.length d);
+  for i = 2 to 40 do
+    Alcotest.(check int) "order preserved" i (Int_deque.pop_front d)
+  done;
+  Alcotest.(check bool) "empty" true (Int_deque.is_empty d);
+  Int_deque.push_front d 7;
+  Alcotest.(check int) "front after wrap" 7 (Int_deque.pop_front d)
+
+let test_int_deque_clear () =
+  let d = Int_deque.create () in
+  for i = 0 to 9 do
+    Int_deque.push_back d i
+  done;
+  Int_deque.clear d;
+  Alcotest.(check bool) "cleared" true (Int_deque.is_empty d);
+  Int_deque.push_back d 5;
+  Alcotest.(check int) "usable after clear" 5 (Int_deque.pop_front d)
+
 (* ---- Deque ---- *)
 
 let test_deque_fifo () =
@@ -413,12 +580,43 @@ let test_replicate_pinned_summary () =
   in
   let s = Replicate.run ~seed:123 ~replications:3 ~duration:2_000.0 cfg in
   let check name expected got = Alcotest.(check (float 1e-6)) name expected got in
-  check "mean jobs" 1.31889419973 s.Replicate.mean_jobs.Replicate.estimate;
-  check "mean jobs CI" 0.202372681298 s.Replicate.mean_jobs.Replicate.half_width;
-  check "mean response" 1.34942631329
+  check "mean jobs" 1.36661027453 s.Replicate.mean_jobs.Replicate.estimate;
+  check "mean jobs CI" 0.251445645386 s.Replicate.mean_jobs.Replicate.half_width;
+  check "mean response" 1.35809262083
     s.Replicate.mean_response.Replicate.estimate;
-  check "mean response CI" 0.224916623202
+  check "mean response CI" 0.182173906069
     s.Replicate.mean_response.Replicate.half_width
+
+(* ---- allocation regression ---- *)
+
+let test_sim_allocation_per_event () =
+  (* the engine must not regress to per-event closure/boxing traffic.
+     In the release profile it runs at ~0.06 minor words/event; the dev
+     profile compiles with -opaque (no cross-module inlining), which
+     boxes float arguments at module boundaries and costs ~12
+     words/event. The old closure-based engine allocated ~77, so a
+     threshold of 32 catches a structural regression under either
+     profile while staying immune to compiler-flag noise. *)
+  let cfg =
+    {
+      Server_farm.servers = 4;
+      lambda = 3.0;
+      mu = 1.0;
+      operative = Urs_prob.Distribution.h2 ~w1:0.7246 ~r1:0.1663 ~r2:0.0091;
+      inoperative = Urs_prob.Distribution.exponential ~rate:25.0;
+      repair_crews = None;
+    }
+  in
+  (* warm the pools so steady-state growth is done *)
+  ignore (Server_farm.run ~seed:61 ~track_responses:false ~duration:2_000.0 cfg);
+  let before = Gc.minor_words () in
+  let r =
+    Server_farm.run ~seed:61 ~track_responses:false ~duration:20_000.0 cfg
+  in
+  let words = Gc.minor_words () -. before in
+  let per_event = words /. float_of_int r.Server_farm.events in
+  if per_event > 32.0 then
+    Alcotest.failf "allocation regression: %.2f minor words/event" per_event
 
 let () =
   Alcotest.run "urs_sim"
@@ -429,6 +627,28 @@ let () =
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "growth" `Quick test_heap_growth;
           Alcotest.test_case "random stream" `Quick test_heap_random_property;
+          Alcotest.test_case "clear resets tie-break" `Quick
+            test_heap_clear_resets_tiebreak;
+        ] );
+      ( "index_heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_index_heap_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_index_heap_fifo_ties;
+          Alcotest.test_case "growth and slot recycling" `Quick
+            test_index_heap_growth_and_recycling;
+          Alcotest.test_case "clear resets tie-break" `Quick
+            test_index_heap_clear_resets_tiebreak;
+          Alcotest.test_case "drop on empty raises" `Quick
+            test_index_heap_empty_drop_raises;
+        ] );
+      ( "int_deque",
+        [
+          Alcotest.test_case "fifo" `Quick test_int_deque_fifo;
+          Alcotest.test_case "push front (preemption)" `Quick
+            test_int_deque_push_front;
+          Alcotest.test_case "growth with wraparound" `Quick
+            test_int_deque_growth_wraparound;
+          Alcotest.test_case "clear" `Quick test_int_deque_clear;
         ] );
       ( "deque",
         [
@@ -480,5 +700,10 @@ let () =
             test_replicate_ci_narrows;
           Alcotest.test_case "pinned summary (split-stream seeds)" `Slow
             test_replicate_pinned_summary;
+        ] );
+      ( "allocation",
+        [
+          Alcotest.test_case "minor words per event bounded" `Slow
+            test_sim_allocation_per_event;
         ] );
     ]
