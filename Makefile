@@ -1,7 +1,7 @@
 # Convenience targets; `make ci` is what the CI workflow runs.
 
 .PHONY: all build test bench bench-gate bench-baseline sim-bench fmt smoke \
-	doctor-smoke serve-smoke trace-smoke report-smoke ci clean
+	doctor-smoke serve-smoke trace-smoke report-smoke soak-smoke ci clean
 
 all: build
 
@@ -92,6 +92,14 @@ report-smoke: build
 	  --history /tmp/urs_report_history.jsonl --last 2
 	@echo "report-smoke: ok"
 
+# Service-level soak: `urs serve` under SOAK_SECONDS (default 60) of
+# open-loop solve traffic must finish with zero 5xx, a finite p99 from
+# the histogram-quantile export and `urs slo check` exit 0; the same
+# server with a starved solver (--solve-max-iter 1) must breach the
+# error-rate SLO and flip `urs slo check` to exit 1.
+soak-smoke: build
+	sh scripts/soak_smoke.sh
+
 # Simulation-engine perf gate, mirrored by the sim-perf CI job: run the
 # `sim` bench section twice against a scratch history (release profile,
 # so cross-module inlining is on and the engine is actually
@@ -116,7 +124,7 @@ sim-bench:
 	@echo "sim-bench: ok"
 
 ci: fmt build test smoke doctor-smoke serve-smoke trace-smoke report-smoke \
-	sim-bench
+	soak-smoke sim-bench
 
 clean:
 	dune clean

@@ -561,6 +561,76 @@ let section_sim () =
      history and fails when seconds/event regresses beyond --max-ratio)@.";
   flush ()
 
+(* ---- serve: request throughput and tail latency over HTTP ---- *)
+
+let section_serve () =
+  header "Serve — HTTP request throughput and p99 (in-process server)";
+  Format.printf
+    "(sequential HTTP/1.0 server on an ephemeral port; closed loop,@.\
+    \ 1 worker, no think time; quantiles from the latency histogram)@.@.";
+  List.iter remove_gate_stat [ "serve_healthz"; "serve_solve" ];
+  let cache = Urs.Solve_cache.create () in
+  let server =
+    Urs_obs.Http.start ~port:0 ~routes:Urs_obs.Routes.standard
+      ~post_routes:[ Urs.Solve_service.post_route ~cache () ]
+      ()
+  in
+  let port = Urs_obs.Http.port server in
+  Fun.protect ~finally:(fun () -> Urs_obs.Http.stop server) @@ fun () ->
+  Format.printf "  %-14s  %9s  %10s  %10s  %10s  %6s@." "target" "requests"
+    "req/s" "p50 (ms)" "p99 (ms)" "errors";
+  let bench ~name ~target ?(meth = "GET") ?body () =
+    (* warm-up request: connection path, and for POST /solve the cache
+       fill, stay out of the measurement — the gate row is the cached
+       steady state *)
+    ignore (Urs_obs.Http.request ~meth ?body ~port target);
+    let g0 = Urs_obs.Runtime.sample () in
+    let r =
+      Urs.Loadgen.run ~meth ?body ~port ~target ~duration_s:2.0
+        ~mode:(Urs.Loadgen.Closed { workers = 1; think_s = 0.0 })
+        ()
+    in
+    let d = Urs_obs.Runtime.delta ~before:g0 ~after:(Urs_obs.Runtime.sample ()) in
+    let per w =
+      if r.Urs.Loadgen.requests > 0 then
+        w /. float_of_int r.Urs.Loadgen.requests
+      else nan
+    in
+    let stat =
+      {
+        Urs_obs.Perf.seconds = per r.Urs.Loadgen.wall_s;
+        minor_words = per d.Urs_obs.Runtime.d_minor_words;
+        promoted_words = per d.Urs_obs.Runtime.d_promoted_words;
+        major_words = per d.Urs_obs.Runtime.d_major_words;
+      }
+    in
+    gate_stats := (name, stat) :: !gate_stats;
+    let gauge metric help =
+      Metrics.gauge ~labels:[ ("target", target) ] ~help metric
+    in
+    Metrics.set
+      (gauge "urs_bench_serve_requests_per_sec"
+         "Closed-loop single-worker requests per second")
+      r.Urs.Loadgen.throughput;
+    Metrics.set
+      (gauge "urs_bench_serve_p99_seconds"
+         "Client-observed p99 request latency")
+      r.Urs.Loadgen.p99_s;
+    Format.printf "  %-14s  %9d  %10.0f  %10.3f  %10.3f  %6d@." target
+      r.Urs.Loadgen.requests r.Urs.Loadgen.throughput
+      (1e3 *. r.Urs.Loadgen.p50_s)
+      (1e3 *. r.Urs.Loadgen.p99_s)
+      (r.Urs.Loadgen.errors + r.Urs.Loadgen.timeouts);
+    flush ()
+  in
+  bench ~name:"serve_healthz" ~target:"/healthz" ();
+  bench ~name:"serve_solve" ~target:"/solve" ~meth:"POST"
+    ~body:{|{"scenario":"paper"}|} ();
+  Format.printf
+    "@.(both rows land in BENCH_history.jsonl as ungated trend rows —@.\
+     `urs report` plots them but only spectral/sim can breach the gate)@.";
+  flush ()
+
 (* ---- convergence: iterations to tolerance and recorder overhead ---- *)
 
 let section_conv () =
@@ -776,6 +846,7 @@ let sections : (string * string * (unit -> unit)) list =
     ("extensions", "Extensions beyond the paper", section_extensions);
     ("n5", "N=5 solver wall time (bench-regression gate)", section_n5);
     ("sim", "Simulation engine events/sec (sim-perf gate)", section_sim);
+    ("serve", "HTTP serve throughput and p99 (healthz, cached solve)", section_serve);
     ("conv", "Convergence: iterations to tolerance per solver", section_conv);
     ("speedup", "Pool and solve-cache speedups", section_speedup);
     ("timing", "bechamel micro-benchmarks", section_timing);

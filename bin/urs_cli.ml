@@ -83,78 +83,11 @@ let dump_obs obs =
       in
       write path (body ^ "\n")
 
-(* ---- HTTP routes shared by `urs serve` and --serve-metrics ---- *)
+(* ---- HTTP routes shared by `urs serve` and --serve-metrics ----
+   (implemented in Urs_obs.Routes, so the /metrics content type and
+   quantile rendering are testable from the library) *)
 
-let health_response () =
-  (* the doctor verdict gauge, when a doctor run has happened in this
-     process; load balancers read the status code, humans the body *)
-  match
-    Urs_obs.Metrics.value
-      ~labels:[ ("component", "doctor") ]
-      "urs_health_status"
-  with
-  | None -> Urs_obs.Http.respond "unknown (no doctor run yet)\n"
-  | Some v ->
-      let label =
-        if v = 0.0 then "ok" else if v = 1.0 then "degraded" else "suspect"
-      in
-      Urs_obs.Http.respond
-        ~status:(if v < 2.0 then 200 else 503)
-        (label ^ "\n")
-
-let json_response j =
-  Urs_obs.Http.respond ~content_type:"application/json"
-    (Urs_obs.Json.to_string j ^ "\n")
-
-let runs_response q =
-  (* /runs?n=N limits the records returned; a non-positive or
-     non-numeric N is the client's error, not a value to clamp *)
-  match Urs_obs.Http.query_pos_int q "n" ~default:100 with
-  | Error msg -> Urs_obs.Http.respond ~status:400 (msg ^ "\n")
-  | Ok limit ->
-      let records = Urs_obs.Ledger.recent ~limit () in
-      json_response
-        (Urs_obs.Json.List (List.map Urs_obs.Ledger.to_json records))
-
-let timeline_response q =
-  (* /timeline?series=NAME restricts to one series name;
-     /timeline?coarsen=K merges K adjacent buckets per series *)
-  let name = Urs_obs.Http.query_get q "series" in
-  match Urs_obs.Http.query_pos_int q "coarsen" ~default:1 with
-  | Error msg -> Urs_obs.Http.respond ~status:400 (msg ^ "\n")
-  | Ok factor ->
-      let snaps = Urs_obs.Timeline.snapshot ?name () in
-      let snaps =
-        if factor = 1 then snaps
-        else List.map (Urs_obs.Timeline.coarsen ~factor) snaps
-      in
-      json_response
-        (Urs_obs.Json.Obj
-           [
-             ( "series",
-               Urs_obs.Json.List
-                 (List.map Urs_obs.Timeline.snapshot_json snaps) );
-           ])
-
-let convergence_response q =
-  (* /convergence?n=N limits the traces returned (newest last) *)
-  match Urs_obs.Http.query_pos_int q "n" ~default:100 with
-  | Error msg -> Urs_obs.Http.respond ~status:400 (msg ^ "\n")
-  | Ok limit -> json_response (Urs_obs.Convergence.to_json ~limit ())
-
-let standard_routes =
-  [
-    ( "/metrics",
-      fun _q ->
-        Urs_obs.Http.respond ~content_type:"text/plain; version=0.0.4"
-          (Urs_obs.Export.prometheus (Urs_obs.Metrics.snapshot ())) );
-    ("/healthz", fun _q -> health_response ());
-    ("/runs", runs_response);
-    ("/timeline", timeline_response);
-    ("/progress", fun _q -> json_response (Urs_obs.Progress.to_json ()));
-    ("/runtime", fun _q -> json_response (Urs_obs.Runtime.status_json ()));
-    ("/convergence", convergence_response);
-  ]
+let standard_routes = Urs_obs.Routes.standard
 
 (* dump on the way out even if the command fails, so a crashed run still
    leaves its metrics behind. [f] receives the work pool ([Some _] only
@@ -1006,38 +939,405 @@ let inspect_cmd =
 
 (* ---- serve ---- *)
 
+let default_objectives = [ "p99 < 250ms"; "error_rate < 1%" ]
+
+let parse_objectives specs =
+  let specs = if specs = [] then default_objectives else specs in
+  List.fold_left
+    (fun acc spec ->
+      match (acc, Urs_obs.Slo.parse_objective spec) with
+      | Error _, _ -> acc
+      | Ok os, Ok o -> Ok (os @ [ o ])
+      | Ok _, Error msg -> Error msg)
+    (Ok []) specs
+
 let serve_cmd =
-  let run obs port =
-    with_obs obs @@ fun pool ->
-    Urs_obs.Ledger.set_memory true;
-    (* the doctor's convergence stage fills /convergence at startup and
-       any later solve keeps appending traces *)
-    Urs_obs.Convergence.set_recording true;
-    Format.printf "urs: running quick doctor self-check...@.";
-    let report = Urs.Doctor.run ~quick:true ?pool () in
-    Format.printf "%a@." Urs.Doctor.pp_report report;
-    let server = Urs_obs.Http.start ~port ~routes:standard_routes () in
-    Format.printf
-      "urs: serving http://127.0.0.1:%d (/metrics /healthz /runs /timeline \
-       /progress /runtime /convergence) — Ctrl-C to stop@."
-      (Urs_obs.Http.port server);
-    Urs_obs.Http.wait server
+  let run obs port objectives solve_max_iter =
+    match parse_objectives objectives with
+    | Error msg -> `Error (false, "--objective: " ^ msg)
+    | Ok objectives ->
+        with_obs obs @@ fun pool ->
+        Urs_obs.Ledger.set_memory true;
+        (* the doctor's convergence stage fills /convergence at startup and
+           any later solve keeps appending traces *)
+        Urs_obs.Convergence.set_recording true;
+        Format.printf "urs: running quick doctor self-check...@.";
+        let report = Urs.Doctor.run ~quick:true ?pool () in
+        Format.printf "%a@." Urs.Doctor.pp_report report;
+        (* the SLO engine baselines after the self-check, so the doctor's
+           own traffic is never charged against the serving budget *)
+        let slo = Urs_obs.Slo.create objectives in
+        let cache = Urs.Solve_cache.create () in
+        let routes =
+          standard_routes @ [ ("/slo", Urs_obs.Routes.slo_response slo) ]
+        in
+        let post_routes =
+          [ Urs.Solve_service.post_route ?pool ~cache ?max_iter:solve_max_iter () ]
+        in
+        (match solve_max_iter with
+        | Some n ->
+            Format.printf
+              "urs: FAULT DRILL — /solve capped at %d spectral iterations \
+               (expect 500s and an SLO breach)@."
+              n
+        | None -> ());
+        let server =
+          Urs_obs.Http.start ~port ~routes ~post_routes ()
+        in
+        Format.printf
+          "urs: serving http://127.0.0.1:%d (/metrics /healthz /runs \
+           /timeline /progress /runtime /convergence /slo, POST /solve) — \
+           Ctrl-C to stop@."
+          (Urs_obs.Http.port server);
+        Urs_obs.Http.wait server;
+        `Ok ()
   in
   let port =
     Arg.(
       value & opt int 9090
       & info [ "p"; "port" ] ~doc:"Listen port (0 picks an ephemeral port).")
   in
+  let objectives =
+    Arg.(
+      value & opt_all string []
+      & info [ "objective" ] ~docv:"SPEC"
+          ~doc:
+            "Service-level objective (repeatable): $(b,p99 < 250ms), \
+             $(b,error_rate < 1%), optionally named \
+             ($(b,api: p99.9 < 2s)) or bound to a metric \
+             ($(b,p99(urs_http_request_seconds) < 50ms)). Defaults: \
+             p99 < 250ms and error_rate < 1% over the serving metrics. \
+             Evaluated with 5m/1h burn-rate windows on every /slo \
+             request and exported as urs_slo_burn_rate gauges.")
+  in
+  let solve_max_iter =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "solve-max-iter" ] ~docv:"N"
+          ~doc:
+            "Fault drill: cap the spectral solver behind POST /solve at \
+             $(docv) iterations, so solves fail with 500s and burn the \
+             error-rate SLO. Capped results bypass the solve cache. For \
+             testing alerting pipelines; never useful in production.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run a quick doctor self-check, then serve /metrics (Prometheus), \
-          /healthz (doctor verdict; 503 when suspect), /runs (recent \
-          ledger records, JSON), /timeline (bounded time-series \
-          recorders, JSON), /progress (task completion and ETA, JSON), \
-          /runtime (GC probe status, JSON) and /convergence (recent \
-          iteration traces, JSON) over HTTP until interrupted.")
-    Term.(const run $ obs_t $ port)
+         "Run a quick doctor self-check, then serve /metrics (Prometheus, \
+          with interpolated quantiles), /healthz (doctor verdict; 503 when \
+          suspect), /runs (recent ledger records, JSON), /timeline (bounded \
+          time-series recorders, JSON), /progress (task completion and \
+          ETA, JSON), /runtime (GC probe status, JSON), /convergence \
+          (recent iteration traces, JSON), /slo (burn-rate evaluation, \
+          JSON) and POST /solve (JSON model in, stationary metrics out) \
+          over HTTP until interrupted.")
+    Term.(ret (const run $ obs_t $ port $ objectives $ solve_max_iter))
+
+(* ---- loadgen ---- *)
+
+let loadgen_cmd =
+  let run obs port addr target duration mode workers think rate body solve
+      timeout_s seed out compare probes =
+    with_obs obs @@ fun _pool ->
+    let mode =
+      match mode with
+      | `Closed -> Urs.Loadgen.Closed { workers; think_s = think }
+      | `Open -> Urs.Loadgen.Open { rate; workers }
+    in
+    (* --solve targets POST /solve with a paper-scenario body unless an
+       explicit --body overrides it; a bare --body also implies POST *)
+    let target = if solve then "/solve" else target in
+    let body =
+      if solve && body = None then Some {|{"scenario":"paper"}|} else body
+    in
+    let meth = if body <> None then "POST" else "GET" in
+    match
+      Urs.Loadgen.run ~addr ~timeout_s ~seed ~meth ?body ~port ~target
+        ~duration_s:duration ~mode ()
+    with
+    | exception Invalid_argument msg -> `Error (false, msg)
+    | result ->
+        let r = result in
+        Format.printf "target:      %s %s (%s loop)@." meth r.Urs.Loadgen.target
+          (Urs.Loadgen.mode_label r.Urs.Loadgen.mode);
+        Format.printf "requests:    %d in %.1fs (%.1f req/s)@."
+          r.Urs.Loadgen.requests r.Urs.Loadgen.wall_s
+          r.Urs.Loadgen.throughput;
+        Format.printf "errors:      %d non-2xx, %d timeouts@."
+          r.Urs.Loadgen.errors r.Urs.Loadgen.timeouts;
+        List.iter
+          (fun (code, n) -> Format.printf "  %d: %d@." code n)
+          r.Urs.Loadgen.codes;
+        Format.printf
+          "latency:     mean %.3gms  p50 %.3gms  p90 %.3gms  p99 %.3gms  \
+           max %.3gms@."
+          (1e3 *. r.Urs.Loadgen.mean_s)
+          (1e3 *. r.Urs.Loadgen.p50_s)
+          (1e3 *. r.Urs.Loadgen.p90_s)
+          (1e3 *. r.Urs.Loadgen.p99_s)
+          (1e3 *. r.Urs.Loadgen.max_s);
+        let comparison =
+          if not compare then Ok None
+          else
+            match
+              Urs.Loadgen.compare_model ~probes ~addr ~timeout_s ~meth ?body
+                ~port ~target result
+            with
+            | Error msg -> Error msg
+            | Ok c ->
+                Format.printf
+                  "model:       mu_hat %.1f/s (from %d probes), lambda %.1f/s@."
+                  c.Urs.Loadgen.mu_hat c.Urs.Loadgen.probes
+                  c.Urs.Loadgen.lambda;
+                (if Float.is_nan c.Urs.Loadgen.predicted_response_s then
+                   Format.printf
+                     "model:       measured load at or above fitted capacity \
+                      — M/M/1 predicts divergence@."
+                 else
+                   let p = c.Urs.Loadgen.predicted_response_s in
+                   let m = c.Urs.Loadgen.measured_response_s in
+                   Format.printf
+                     "response:    predicted %.3gms vs measured %.3gms \
+                      (ratio %.2f)@."
+                     (1e3 *. p) (1e3 *. m) (m /. p));
+                Ok (Some c)
+        in
+        (match out with
+        | None -> ()
+        | Some path ->
+            let doc =
+              Urs_obs.Json.Obj
+                ([ ("result", Urs.Loadgen.result_json result) ]
+                @
+                match comparison with
+                | Ok (Some c) ->
+                    [ ("comparison", Urs.Loadgen.comparison_json c) ]
+                | _ -> [])
+            in
+            let oc = open_out path in
+            Urs_obs.Json.to_channel oc doc;
+            close_out oc);
+        (match comparison with
+        | Error msg -> `Error (false, "--compare-model: " ^ msg)
+        | Ok _ -> `Ok ())
+  in
+  let port =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:"Port of the target server on $(b,--addr).")
+  in
+  let addr =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "addr" ] ~docv:"ADDR" ~doc:"Target address.")
+  in
+  let target =
+    Arg.(
+      value & opt string "/healthz"
+      & info [ "target" ] ~docv:"PATH" ~doc:"Request path (with query).")
+  in
+  let duration =
+    Arg.(
+      value & opt float 10.0
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"How long to generate traffic (default 10s).")
+  in
+  let mode =
+    let mode_conv = Arg.enum [ ("closed", `Closed); ("open", `Open) ] in
+    Arg.(
+      value & opt mode_conv `Closed
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "$(b,closed): N workers cycling request/think — offered load \
+             adapts to the server. $(b,open): Poisson arrivals at \
+             $(b,--rate), latency measured from the scheduled arrival \
+             (no coordinated omission).")
+  in
+  let workers =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Concurrent client threads (default 4).")
+  in
+  let think =
+    Arg.(
+      value & opt float 0.0
+      & info [ "think" ] ~docv:"SECONDS"
+          ~doc:"Closed-loop think time between requests (default 0).")
+  in
+  let rate =
+    Arg.(
+      value & opt float 20.0
+      & info [ "rate" ] ~docv:"PER_SECOND"
+          ~doc:"Open-loop Poisson arrival rate (default 20/s).")
+  in
+  let body =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "body" ] ~docv:"JSON"
+          ~doc:"POST this body instead of issuing GETs.")
+  in
+  let solve =
+    Arg.(
+      value & flag
+      & info [ "solve" ]
+          ~doc:
+            "Shorthand: POST /solve with the paper scenario \
+             ($(b,--body) overrides the payload).")
+  in
+  let timeout_s =
+    Arg.(
+      value & opt float 5.0
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-request socket timeout (default 5s).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~doc:"Seed for the open-loop Poisson schedule.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the run result (and comparison) as JSON to $(docv).")
+  in
+  let compare =
+    Arg.(
+      value & flag
+      & info [ "compare-model" ]
+          ~doc:
+            "After the run, fit the server's service rate from unloaded \
+             probes and print the M/M/1-predicted response time at the \
+             measured throughput next to the measured one — the paper's \
+             measure/fit/predict loop with the serving process itself as \
+             the system under study.")
+  in
+  let probes =
+    Arg.(
+      value & opt int 30
+      & info [ "probes" ] ~docv:"N"
+          ~doc:"Calibration probes for $(b,--compare-model) (default 30).")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Generate HTTP traffic against a running urs serve — closed loop \
+          (workers with think time) or open loop (Poisson arrivals; \
+          latency from the scheduled arrival) — and report throughput, \
+          error/timeout counts and interpolated latency quantiles. Every \
+          run appends a 'loadgen' ledger record when $(b,--ledger) is \
+          active.")
+    Term.(
+      ret
+        (const run $ obs_t $ port $ addr $ target $ duration $ mode $ workers
+       $ think $ rate $ body $ solve $ timeout_s $ seed $ out $ compare
+       $ probes))
+
+(* ---- slo ---- *)
+
+let slo_check_cmd =
+  let run port timeout_s =
+    match Urs_obs.Http.get ~timeout_s ~port "/slo" with
+    | Error msg ->
+        `Error (false, Printf.sprintf "127.0.0.1:%d unreachable (%s)" port msg)
+    | Ok (status, _) when status <> 200 ->
+        `Error (false, Printf.sprintf "/slo returned %d" status)
+    | Ok (_, body) -> (
+        let open Urs_obs in
+        match Json.of_string (String.trim body) with
+        | Error msg -> `Error (false, "bad /slo JSON: " ^ msg)
+        | Ok j -> (
+            match Json.member "objectives" j with
+            | Some (Json.List objectives) ->
+                List.iter
+                  (fun o ->
+                    let str k =
+                      Option.value ~default:"?"
+                        (Option.bind (Json.member k o) Json.to_string_opt)
+                    in
+                    let num k =
+                      Option.value ~default:nan
+                        (Option.bind (Json.member k o) Json.to_float_opt)
+                    in
+                    let breached =
+                      match Json.member "breached" o with
+                      | Some (Json.Bool b) -> b
+                      | _ -> false
+                    in
+                    let windows =
+                      match Json.member "windows" o with
+                      | Some (Json.List ws) ->
+                          String.concat "  "
+                            (List.map
+                               (fun w ->
+                                 let label =
+                                   Option.value ~default:"?"
+                                     (Option.bind (Json.member "window" w)
+                                        Json.to_string_opt)
+                                 in
+                                 let burn =
+                                   Option.value ~default:nan
+                                     (Option.bind (Json.member "burn_rate" w)
+                                        Json.to_float_opt)
+                                 in
+                                 Printf.sprintf "burn[%s]=%.3g" label burn)
+                               ws)
+                      | _ -> ""
+                    in
+                    Format.printf "[%-6s] %-24s %-22s current %.4g  %s@."
+                      (if breached then "BREACH" else "ok")
+                      (str "objective") (str "sli") (num "current") windows)
+                  objectives;
+                let breached =
+                  match Json.member "breached" j with
+                  | Some (Json.Bool b) -> b
+                  | _ -> false
+                in
+                if breached then begin
+                  Format.printf "urs slo: BREACHED@.";
+                  exit 1
+                end
+                else begin
+                  Format.printf "urs slo: all objectives within budget@.";
+                  `Ok ()
+                end
+            | _ -> `Error (false, "/slo JSON missing objectives")))
+  in
+  let port =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:"Port of a running $(b,urs serve) on 127.0.0.1.")
+  in
+  let timeout_s =
+    Arg.(
+      value & opt float 5.0
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Request timeout (default 5s).")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Fetch /slo from a running urs serve, print every objective's \
+          current value and per-window burn rates, and exit 1 if any \
+          objective is breached (burning its error budget faster than \
+          allowed in every window) — CI's gate on service health.")
+    Term.(ret (const run $ port $ timeout_s))
+
+let slo_cmd =
+  Cmd.group
+    (Cmd.info "slo"
+       ~doc:
+         "Service-level-objective tooling: $(b,urs slo check) evaluates a \
+          running server's objectives and exits non-zero on breach.")
+    [ slo_check_cmd ]
 
 (* ---- watch ---- *)
 
@@ -1108,8 +1408,68 @@ let watch_cmd =
                   Format.printf "urs watch: /progress JSON missing tasks@.";
                   None))
     in
+    (* latency quantiles from /metrics?format=json — the exporter
+       synthesizes interpolated p50/p90/p99 per non-empty histogram;
+       skipped silently when unreachable or not yet populated *)
+    let render_quantiles () =
+      match Http.get ~port "/metrics?format=json" with
+      | Error _ | Ok (_, "") -> ()
+      | Ok (status, _) when status <> 200 -> ()
+      | Ok (_, body) -> (
+          match Json.of_string (String.trim body) with
+          | Error _ -> ()
+          | Ok j -> (
+              match Json.member "metrics" j with
+              | Some (Json.List ms) ->
+                  let rows =
+                    List.filter_map
+                      (fun m ->
+                        match
+                          (Json.member "name" m, Json.member "quantiles" m)
+                        with
+                        | Some (Json.String name), Some (Json.Obj qs)
+                          when qs <> [] ->
+                            let labels =
+                              match Json.member "labels" m with
+                              | Some (Json.Obj ls) ->
+                                  Printf.sprintf "{%s}"
+                                    (String.concat ","
+                                       (List.filter_map
+                                          (fun (k, v) ->
+                                            Option.map
+                                              (fun v -> k ^ "=" ^ v)
+                                              (Json.to_string_opt v))
+                                          ls))
+                              | _ -> ""
+                            in
+                            let cells =
+                              List.filter_map
+                                (fun (q, v) ->
+                                  match
+                                    (float_of_string_opt q, Json.to_float_opt v)
+                                  with
+                                  | Some q, Some v ->
+                                      Some
+                                        (Printf.sprintf "p%g=%.3gms"
+                                           (100. *. q) (1e3 *. v))
+                                  | _ -> None)
+                                qs
+                            in
+                            Some
+                              (Printf.sprintf "  %-40s %s" (name ^ labels)
+                                 (String.concat "  " cells))
+                        | _ -> None)
+                      ms
+                  in
+                  if rows <> [] then begin
+                    Format.printf "  latency quantiles:@.";
+                    List.iter (fun r -> Format.printf "  %s@." r) rows
+                  end
+              | _ -> ()))
+    in
     let rec loop () =
       let finished = render () in
+      if finished <> None then render_quantiles ();
       if once then begin
         (* fail fast for scripts: a fetch/parse failure in one-shot mode
            is an error exit, while the polling loop (above) just warns
@@ -1463,6 +1823,6 @@ let () =
     Cmd.group info
       [ solve_cmd; stability_cmd; optimize_cmd; capacity_cmd; simulate_cmd;
         sweep_cmd; metrics_cmd; dataset_cmd; fit_cmd; doctor_cmd; inspect_cmd;
-        serve_cmd; watch_cmd; report_cmd; trace_cmd ]
+        serve_cmd; loadgen_cmd; slo_cmd; watch_cmd; report_cmd; trace_cmd ]
   in
   exit (Cmd.eval group)

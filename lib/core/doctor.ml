@@ -508,6 +508,104 @@ let check_convergence_stage ?thresholds ?qr_max_iter model =
       in
       error_checks @ trace_checks @ empty_check
 
+(* ---- slo stage ----
+
+   The SLO engine is itself part of the serving surface, so the doctor
+   drills it rather than trusting it: synthetic workloads replay an
+   hour of traffic through an engine on a private registry under a
+   fake clock — a healthy one comfortably inside its budget and a
+   faulty one burning it ten times over — and the stage is suspect
+   unless the healthy drill stays quiet and the faulty one alarms.
+   Four drills cover both SLI kinds (error-rate and latency). *)
+
+let slo_drill ~label ~objective ~emit ~expect_breach =
+  let registry = Metrics.create () in
+  let now = ref 0.0 in
+  let slo =
+    Urs_obs.Slo.create ~clock:(fun () -> !now) ~registry [ objective ]
+  in
+  (* 61 minutes at one sample per minute: the slow 1h window gets a
+     true baseline, not just the creation sample *)
+  for _ = 1 to 61 do
+    now := !now +. 60.0;
+    emit registry;
+    Urs_obs.Slo.tick slo
+  done;
+  let evals = Urs_obs.Slo.evaluate slo in
+  let breached = Urs_obs.Slo.any_breached evals in
+  let burn =
+    match evals with
+    | { Urs_obs.Slo.windows = w :: _; _ } :: _ -> w.Urs_obs.Slo.burn_rate
+    | _ -> nan
+  in
+  {
+    name = "slo " ^ label;
+    value = burn;
+    detail =
+      Printf.sprintf "burn %.3g, breached %b (expected %b)" burn breached
+        expect_breach;
+    verdict =
+      (if breached = expect_breach then Diagnostics.Ok
+       else
+         Diagnostics.Suspect
+           [
+             Printf.sprintf "slo drill %s: breached %b where %b was expected"
+               label breached expect_breach;
+           ]);
+  }
+
+let check_slo_stage () =
+  Span.with_ ~name:"urs_doctor_slo" @@ fun () ->
+  let error_objective budget =
+    {
+      Urs_obs.Slo.name = "drill-errors";
+      sli = Urs_obs.Slo.Error_rate { metric = Urs_obs.Slo.default_error_metric };
+      budget;
+    }
+  in
+  let latency_objective =
+    (* p99 < 50ms over the standard request histogram *)
+    Urs_obs.Slo.parse_objective_exn "drill-latency: p99 < 50ms"
+  in
+  let emit_errors ~bad registry =
+    let c code =
+      Metrics.counter ~registry
+        ~labels:[ ("code", code); ("route", "drill") ]
+        Urs_obs.Slo.default_error_metric
+    in
+    Metrics.inc ~by:(float_of_int (1000 - bad)) (c "200");
+    if bad > 0 then Metrics.inc ~by:(float_of_int bad) (c "500")
+  in
+  let emit_latency ~slow registry =
+    let h =
+      Metrics.histogram ~registry ~buckets:Metrics.default_latency_buckets
+        ~labels:[ ("route", "drill") ]
+        Urs_obs.Slo.default_latency_metric
+    in
+    for _ = 1 to 1000 - slow do
+      Metrics.observe h 0.004
+    done;
+    for _ = 1 to slow do
+      Metrics.observe h 0.2
+    done
+  in
+  [
+    (* 1‰ of errors against a 1% budget: burn 0.1, quiet *)
+    slo_drill ~label:"error-rate healthy"
+      ~objective:(error_objective 0.01)
+      ~emit:(emit_errors ~bad:1) ~expect_breach:false;
+    (* 10% of errors against a 1% budget: burn 10, alarm *)
+    slo_drill ~label:"error-rate breach"
+      ~objective:(error_objective 0.01)
+      ~emit:(emit_errors ~bad:100) ~expect_breach:true;
+    (* everything at 4ms against p99 < 50ms: quiet *)
+    slo_drill ~label:"latency healthy" ~objective:latency_objective
+      ~emit:(emit_latency ~slow:0) ~expect_breach:false;
+    (* 10% of requests at 200ms against a 1% budget: alarm *)
+    slo_drill ~label:"latency breach" ~objective:latency_objective
+      ~emit:(emit_latency ~slow:100) ~expect_breach:true;
+  ]
+
 let quick_grid = [ (5, 4.0) ]
 let full_grid = [ (5, 4.0); (10, 8.0); (12, 8.0) ]
 
@@ -521,7 +619,7 @@ let run ?(quick = false) ?thresholds ?pool () =
   (* the grid models fan out across the pool, and each model's
      simulation replications nest on the same pool (the pool supports
      nested batches); check order is the grid order either way *)
-  Urs_obs.Progress.start ~total:(List.length grid + 3) "doctor:models";
+  Urs_obs.Progress.start ~total:(List.length grid + 4) "doctor:models";
   let checks =
     Span.with_ ~name:"urs_doctor_run" (fun () ->
         let per_model =
@@ -554,7 +652,11 @@ let run ?(quick = false) ?thresholds ?pool () =
           check_convergence_stage ?thresholds (paper_model ~servers:5 ~lambda:4.0)
         in
         Urs_obs.Progress.tick "doctor:models";
-        List.concat per_model @ warmup @ memory @ convergence)
+        (* slo stage: drill the burn-rate engine on synthetic healthy
+           and breached workloads under a fake clock *)
+        let slo = check_slo_stage () in
+        Urs_obs.Progress.tick "doctor:models";
+        List.concat per_model @ warmup @ memory @ convergence @ slo)
   in
   Urs_obs.Progress.finish "doctor:models";
   let verdict =

@@ -79,6 +79,14 @@ val check_convergence_stage :
     it to force a stall). {!run} includes this stage for the N=5 paper
     model. *)
 
+val check_slo_stage : unit -> check list
+(** SLO-engine drill: replay an hour of synthetic traffic through
+    {!Urs_obs.Slo} engines on private registries under a fake clock —
+    healthy and deliberately breached workloads for both SLI kinds
+    (error-rate and latency) — and verify the healthy drills stay
+    quiet while the breached ones alarm. Four ["slo ..."] checks;
+    {!run} includes them as its final stage. *)
+
 val paper_model : servers:int -> lambda:float -> Model.t
 (** The §4 paper model: service rate 1, fitted H2 operative periods,
     exponential (η = 25) inoperative periods. *)

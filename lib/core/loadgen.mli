@@ -1,0 +1,92 @@
+(** HTTP traffic generation against [urs serve] — the measuring half of
+    the serving-and-measuring loop ([urs loadgen]).
+
+    Two disciplines:
+    - {e closed loop}: [workers] clients cycling request → response →
+      think ([think_s]); offered load adapts to the service rate.
+    - {e open loop}: arrivals scheduled by a Poisson process of rate
+      [rate] (shared across [workers] senders), independent of the
+      server. Latency is measured from the {e scheduled} arrival, so
+      coordinated omission cannot hide a slow server: when all workers
+      are busy, the queueing of later arrivals counts against their
+      response times.
+
+    Latencies land in a run-local histogram over
+    {!Urs_obs.Metrics.default_latency_buckets}; the result's quantiles
+    come from {!Urs_obs.Metrics.histogram_quantile}, and every run
+    appends one ["loadgen"] ledger record. *)
+
+type mode =
+  | Closed of { workers : int; think_s : float }
+  | Open of { rate : float; workers : int }
+
+type result = {
+  mode : mode;
+  target : string;
+  requests : int;
+  errors : int;  (** Non-2xx responses plus fast transport failures. *)
+  timeouts : int;
+      (** Transport failures that consumed the timeout budget. *)
+  codes : (int * int) list;  (** Status code → count, sorted. *)
+  wall_s : float;
+  throughput : float;  (** Completed requests per second. *)
+  mean_s : float;
+  max_s : float;
+  p50_s : float;
+  p90_s : float;
+  p99_s : float;  (** Interpolated quantiles; [nan] on an empty run. *)
+}
+
+val mode_label : mode -> string
+(** ["closed"] or ["open"]. *)
+
+val run :
+  ?addr:string ->
+  ?timeout_s:float ->
+  ?seed:int ->
+  ?meth:string ->
+  ?body:string ->
+  ?content_type:string ->
+  port:int ->
+  target:string ->
+  duration_s:float ->
+  mode:mode ->
+  unit ->
+  result
+(** Generate traffic against [addr:port][target] for [duration_s]
+    seconds. [meth]/[body]/[content_type] (defaults [GET], none,
+    [application/json]) select the request — a POST body turns it into
+    a solve-endpoint generator. [seed] (default 1) drives the Poisson
+    schedule of the open-loop mode. Raises [Invalid_argument] on
+    nonsensical parameters. *)
+
+type comparison = {
+  probes : int;  (** Calibration probes that succeeded. *)
+  mu_hat : float;  (** Fitted service rate, 1/mean of unloaded probes. *)
+  lambda : float;  (** The measured throughput, used as arrival rate. *)
+  predicted_response_s : float;
+      (** M/M/1 prediction at (λ, µ̂); [nan] when λ ≥ µ̂. *)
+  measured_response_s : float;
+}
+
+val compare_model :
+  ?probes:int ->
+  ?addr:string ->
+  ?timeout_s:float ->
+  ?meth:string ->
+  ?body:string ->
+  ?content_type:string ->
+  port:int ->
+  target:string ->
+  result ->
+  (comparison, string) Stdlib.result
+(** Calibrate the service rate with [probes] (default 30) sequential
+    unloaded requests, then predict the loaded mean response time from
+    the repo's own M/M/1 solver
+    ({!Urs_mmq.Mmc.mean_response_time}[ ~servers:1]) at the measured
+    throughput — the paper's measure/fit/predict/compare loop in
+    miniature, with the serving process itself as the system under
+    study. [Error] when every probe fails. *)
+
+val result_json : result -> Urs_obs.Json.t
+val comparison_json : comparison -> Urs_obs.Json.t

@@ -75,6 +75,20 @@ let evaluate ?pool ?cache ?(strategy = Solver.Exact) model =
       Cache.find_or_compute c (key strategy model) (fun () ->
           Solver.evaluate ?pool ~strategy model)
 
+let evaluate_info ?pool ?cache ?(strategy = Solver.Exact) model =
+  match cache with
+  | None -> (Solver.evaluate ?pool ~strategy model, false)
+  | Some c -> (
+      let k = key strategy model in
+      (* find + insert_if_absent rather than find_or_compute, so the
+         caller learns whether its own lookup hit while the cache
+         counters still see exactly one lookup *)
+      match Cache.find c k with
+      | Some r -> (r, true)
+      | None ->
+          (Cache.insert_if_absent c k (Solver.evaluate ?pool ~strategy model),
+           false))
+
 let length = Cache.length
 
 let clear = Cache.clear

@@ -34,6 +34,16 @@ val evaluate :
 (** Like {!Solver.evaluate}, consulting [cache] first when given.
     Errors are memoized too (an unstable model stays unstable). *)
 
+val evaluate_info :
+  ?pool:Urs_exec.Pool.t ->
+  ?cache:t ->
+  ?strategy:Solver.strategy ->
+  Model.t ->
+  (Solver.performance, Solver.error) result * bool
+(** {!evaluate} plus whether the lookup hit the cache ([false] without
+    one) — the [POST /solve] route annotates its response with it. The
+    result is bit-identical to {!evaluate}; only the flag is added. *)
+
 val length : t -> int
 
 val clear : t -> unit

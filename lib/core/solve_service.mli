@@ -1,0 +1,55 @@
+(** The [POST /solve] route: a JSON model in, stationary metrics out.
+
+    Request body (one JSON object):
+    {v
+    {"servers": 10, "lambda": 8.0, "mu": 1.0,
+     "operative": "h2:0.7246,0.1663,0.0091",
+     "inoperative": "exp:25",
+     "repair_crews": 2,
+     "strategy": "exact",
+     "sim": {"duration": 200000, "replications": 5, "seed": 1}}
+    v}
+    or [{"scenario": "paper"}] / [{"scenario": "paper-h2"}] (the §4
+    configurations), with explicit fields overriding the scenario's
+    defaults. Distributions use the CLI's compact syntax
+    ([exp:R | h2:W1,R1,R2 | det:V | erlang:K,R]); [strategy] is
+    [exact] (default), [approx], [mg] or [sim] (with optional [sim]
+    options). Defaults mirror [urs solve]'s flags, so an empty object
+    [{}] solves the same model as a bare [urs solve].
+
+    The response carries the model's ledger parameters, the
+    performance record (including [mean_queue_wait] — sojourn minus
+    service requirement), whether this request hit the solve cache and
+    the solve wall time. Malformed bodies, unknown scenarios, unstable
+    or non-phase-type models are 400s (the client's fault); a
+    numerical solver failure is a 500 — which is what makes
+    [urs serve --solve-max-iter 1] a deliberate error-rate-SLO breach
+    drill. Results are bit-identical to {!Solver.evaluate} at any pool
+    width. *)
+
+val dist_of_string : string -> (Urs_prob.Distribution.t, string) result
+(** Parse the compact distribution syntax (shared with the CLI flags). *)
+
+val parse_request :
+  string -> (Model.t * Solver.strategy, string) result
+(** Parse a request body; exposed for tests. *)
+
+val handle :
+  ?pool:Urs_exec.Pool.t ->
+  ?cache:Solve_cache.t ->
+  ?max_iter:int ->
+  Urs_obs.Http.query ->
+  body:string ->
+  Urs_obs.Http.response
+(** The handler. With [max_iter] set, the cache is bypassed entirely —
+    a capped solver is a fault drill and its results must be neither
+    memoized nor masked by healthy cached answers. *)
+
+val post_route :
+  ?pool:Urs_exec.Pool.t ->
+  ?cache:Solve_cache.t ->
+  ?max_iter:int ->
+  unit ->
+  string * (Urs_obs.Http.query -> body:string -> Urs_obs.Http.response)
+(** [("/solve", handler)] — ready for {!Urs_obs.Http.start}'s
+    [post_routes]. *)

@@ -40,7 +40,7 @@ let strategy_label = function
   | Matrix_geometric -> "mg"
   | Simulation _ -> "sim"
 
-let evaluate_inner ?pool ?(strategy = Exact) model =
+let evaluate_inner ?pool ?max_iter ?(strategy = Exact) model =
   let verdict = Model.stability model in
   if not verdict.Mq.Stability.stable then Error (Unstable verdict)
   else
@@ -49,7 +49,7 @@ let evaluate_inner ?pool ?(strategy = Exact) model =
         match Model.qbd model with
         | None -> Error Not_phase_type
         | Some q -> (
-            match Mq.Spectral.solve q with
+            match Mq.Spectral.solve ?max_iter q with
             | Error (Mq.Spectral.Unstable v) -> Error (Unstable v)
             | Error e -> Error (Solver_failure (render Mq.Spectral.pp_error e))
             | Ok sol ->
@@ -150,7 +150,7 @@ let ledger_gauges strat =
       "urs_spectral_eigenvalues";
     ]
 
-let evaluate ?pool ?(strategy = Exact) model =
+let evaluate ?pool ?max_iter ?(strategy = Exact) model =
   let labels = [ ("strategy", strategy_label strategy) ] in
   Metrics.inc
     (Metrics.counter ~labels ~help:"Solver.evaluate calls"
@@ -158,7 +158,7 @@ let evaluate ?pool ?(strategy = Exact) model =
   let t0 = Span.now () in
   let result =
     Span.with_ ~name:"urs_solver_evaluate" ~labels (fun () ->
-        evaluate_inner ?pool ~strategy model)
+        evaluate_inner ?pool ?max_iter ~strategy model)
   in
   let wall = Span.now () -. t0 in
   let outcome_counter =
@@ -200,8 +200,8 @@ let evaluate ?pool ?(strategy = Exact) model =
         ());
   result
 
-let evaluate_exn ?pool ?strategy model =
-  match evaluate ?pool ?strategy model with
+let evaluate_exn ?pool ?max_iter ?strategy model =
+  match evaluate ?pool ?max_iter ?strategy model with
   | Ok p -> p
   | Error e -> failwith (render pp_error e)
 

@@ -48,12 +48,17 @@ val pp_error : Format.formatter -> error -> unit
 
 val evaluate :
   ?pool:Urs_exec.Pool.t ->
+  ?max_iter:int ->
   ?strategy:strategy ->
   Model.t ->
   (performance, error) result
 (** Evaluate the model (default strategy [Exact]). [pool] parallelizes
     the replications of the [Simulation] strategy (the analytic methods
     ignore it); results are bit-identical with and without it.
+    [max_iter] caps the spectral eigenvalue iteration of the [Exact]
+    strategy (other strategies ignore it) — its only legitimate uses
+    are tests and fault drills ([urs serve --solve-max-iter]) that need
+    a solver which fails on demand.
 
     Besides the per-strategy call/success/failure counters and the
     [urs_solver_evaluate] span, every call appends a
@@ -62,7 +67,11 @@ val evaluate :
     snapshot of the strategy's last-solve gauges). *)
 
 val evaluate_exn :
-  ?pool:Urs_exec.Pool.t -> ?strategy:strategy -> Model.t -> performance
+  ?pool:Urs_exec.Pool.t ->
+  ?max_iter:int ->
+  ?strategy:strategy ->
+  Model.t ->
+  performance
 (** Like {!evaluate} but raises [Failure] with a rendered error. *)
 
 val strategy_name : strategy -> string

@@ -20,6 +20,14 @@ val create :
 val find : 'v t -> string -> 'v option
 (** Lookup without computing; counts a hit or a miss. *)
 
+val insert_if_absent : 'v t -> string -> 'v -> 'v
+(** Insert a value computed outside the cache (evicting the
+    least-recently-used entry when full) and return the winning value —
+    the existing one if a racing computation inserted first. Counts
+    neither a hit nor a miss; pair with {!find} when the caller needs
+    to know whether its lookup hit (e.g. to annotate a response)
+    without skewing the counters. *)
+
 val find_or_compute : 'v t -> string -> (unit -> 'v) -> 'v
 (** [find_or_compute c key f] returns the cached value for [key], or
     computes [f ()], inserts it (evicting the least-recently-used entry

@@ -76,7 +76,24 @@ let set_build_info ~version () =
 
 let clear_build_info () = build_info := None
 
-let prometheus ?(skip_zero = false) entries =
+let default_quantiles = [ 0.5; 0.9; 0.99 ]
+
+(* quantile estimates as a synthesized gauge family <name>_quantile with
+   a quantile="q" label — derived data, kept out of the histogram family
+   proper so PromQL's own histogram_quantile() still sees clean buckets *)
+let quantile_rows quantiles (e : Metrics.entry) =
+  match e.Metrics.data with
+  | Metrics.Histogram_value h when h.count > 0 && quantiles <> [] ->
+      List.filter_map
+        (fun q ->
+          let v =
+            Metrics.histogram_quantile ~bounds:h.bounds ~counts:h.counts q
+          in
+          if Float.is_nan v then None else Some (q, v))
+        quantiles
+  | _ -> []
+
+let prometheus ?(skip_zero = false) ?(quantiles = []) entries =
   let entries = filter_zero skip_zero entries in
   let buf = Buffer.create 1024 in
   (match !build_info with
@@ -133,9 +150,38 @@ let prometheus ?(skip_zero = false) entries =
                (label_str e.Metrics.labels)
                h.count))
     entries;
+  (* quantile families come after every histogram family: entries are
+     sorted by name, so each synthesized family stays contiguous (the
+     format requires one group per family) *)
+  List.iter
+    (fun (e : Metrics.entry) ->
+      match quantile_rows quantiles e with
+      | [] -> ()
+      | rows ->
+          let family = e.Metrics.name ^ "_quantile" in
+          if not (Hashtbl.mem seen family) then begin
+            Hashtbl.add seen family ();
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "# HELP %s Interpolated quantile estimates of %s.\n\
+                  # TYPE %s gauge\n"
+                 family e.Metrics.name family)
+          end;
+          List.iter
+            (fun (q, v) ->
+              let labels =
+                List.sort
+                  (fun (a, _) (b, _) -> compare a b)
+                  (("quantile", fmt_float q) :: e.Metrics.labels)
+              in
+              Buffer.add_string buf
+                (Printf.sprintf "%s%s %s\n" family (label_str labels)
+                   (fmt_float v)))
+            rows)
+    entries;
   Buffer.contents buf
 
-let entry_json (e : Metrics.entry) =
+let entry_json ?(quantiles = []) (e : Metrics.entry) =
   let labels =
     if e.Metrics.labels = [] then []
     else
@@ -166,6 +212,17 @@ let entry_json (e : Metrics.entry) =
                  Json.Obj [ ("le", le); ("count", Json.Int !cum) ])
                h.counts)
         in
+        let qs =
+          match quantile_rows quantiles e with
+          | [] -> []
+          | rows ->
+              [
+                ( "quantiles",
+                  Json.Obj
+                    (List.map (fun (q, v) -> (fmt_float q, Json.Float v)) rows)
+                );
+              ]
+        in
         [
           ("count", Json.Int h.count);
           ("sum", Json.Float h.sum);
@@ -173,6 +230,7 @@ let entry_json (e : Metrics.entry) =
           ("stddev", Json.Float (finite_or_zero h.stddev));
           ("buckets", Json.List buckets);
         ]
+        @ qs
   in
   Json.Obj
     ([ ("name", Json.String e.Metrics.name);
@@ -180,7 +238,7 @@ let entry_json (e : Metrics.entry) =
      ]
     @ help @ labels @ payload)
 
-let json_value ?(skip_zero = false) entries =
+let json_value ?(skip_zero = false) ?(quantiles = []) entries =
   let info =
     match !build_info with
     | None -> []
@@ -200,11 +258,14 @@ let json_value ?(skip_zero = false) entries =
   Json.Obj
     [
       ( "metrics",
-        Json.List (info @ List.map entry_json (filter_zero skip_zero entries))
+        Json.List
+          (info
+          @ List.map (entry_json ~quantiles) (filter_zero skip_zero entries))
       );
     ]
 
-let json ?skip_zero entries = Json.to_string (json_value ?skip_zero entries)
+let json ?skip_zero ?quantiles entries =
+  Json.to_string (json_value ?skip_zero ?quantiles entries)
 
 (* ---- static Urs_stats histograms as Prometheus histograms ----
 

@@ -12,20 +12,39 @@
     non-finite (no observations, or an observed infinity), so the JSON
     output never depends on how a consumer treats [null] samples. *)
 
-val prometheus : ?skip_zero:bool -> Metrics.entry list -> string
+val default_quantiles : float list
+(** [[0.5; 0.9; 0.99]] — what the [/metrics] endpoint and [urs watch]
+    render. *)
+
+val prometheus :
+  ?skip_zero:bool -> ?quantiles:float list -> Metrics.entry list -> string
 (** Text exposition format (version 0.0.4): [# HELP] / [# TYPE] comment
     lines followed by samples; histograms expand to cumulative
     [_bucket{le="..."}] samples plus [_sum] and [_count]. Label values
     are escaped per the format (backslash, double-quote and newline);
-    HELP text likewise (backslash and newline). *)
+    HELP text likewise (backslash and newline).
 
-val json_value : ?skip_zero:bool -> Metrics.entry list -> Json.t
+    With [~quantiles] (default none), every non-empty histogram
+    additionally yields a synthesized [<name>_quantile] gauge family —
+    one sample per requested quantile, labelled
+    [quantile="0.5"|"0.9"|...] — computed by
+    {!Metrics.histogram_quantile}. Derived data is kept out of the
+    histogram family proper, so PromQL's own [histogram_quantile()]
+    still sees clean buckets, and the synthesized families are emitted
+    after all primary families so each family stays one contiguous
+    group. *)
+
+val json_value :
+  ?skip_zero:bool -> ?quantiles:float list -> Metrics.entry list -> Json.t
 (** The snapshot as a JSON value — [{"metrics": [...]}] — for embedding
     in larger documents (the bench harness). Histogram buckets are
     cumulative, matching the Prometheus rendering, and carry the Welford
-    [mean]/[stddev] summary. *)
+    [mean]/[stddev] summary. With [~quantiles], non-empty histogram
+    entries gain a ["quantiles"] object mapping each requested quantile
+    to its interpolated estimate. *)
 
-val json : ?skip_zero:bool -> Metrics.entry list -> string
+val json :
+  ?skip_zero:bool -> ?quantiles:float list -> Metrics.entry list -> string
 
 val set_build_info : version:string -> unit -> unit
 (** Declare the process's build information. Once set, {!prometheus} and

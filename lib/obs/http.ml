@@ -88,6 +88,9 @@ let status_text = function
   | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
+  | 411 -> "Length Required"
+  | 413 -> "Content Too Large"
+  | 415 -> "Unsupported Media Type"
   | 500 -> "Internal Server Error"
   | 503 -> "Service Unavailable"
   | _ -> "Status"
@@ -116,8 +119,19 @@ let write_response ?(omit_body = false) ?(extra_headers = []) fd
     sent := !sent + Unix.write fd payload !sent (n - !sent)
   done
 
-(* read up to the end of the request head (we ignore headers and body;
-   only the request line matters) *)
+(* index just past the "\r\n\r\n" head terminator, if present *)
+let head_end s =
+  let n = String.length s in
+  let rec find i =
+    if i + 3 >= n then None
+    else if String.sub s i 4 = "\r\n\r\n" then Some (i + 4)
+    else find (i + 1)
+  in
+  find 0
+
+(* read up to the end of the request head; a client that pipelines the
+   body in the same write leaves it in the returned buffer, after the
+   head terminator *)
 let read_request fd =
   let buf = Buffer.create 256 in
   let chunk = Bytes.create 1024 in
@@ -127,19 +141,38 @@ let read_request fd =
       let n = Unix.read fd chunk 0 (Bytes.length chunk) in
       if n > 0 then begin
         Buffer.add_subbytes buf chunk 0 n;
-        let s = Buffer.contents buf in
-        let have_head_end =
-          let rec find i =
-            i + 3 < String.length s
-            && (String.sub s i 4 = "\r\n\r\n" || find (i + 1))
-          in
-          String.length s >= 4 && find 0
-        in
-        if not have_head_end then go ()
+        if head_end (Buffer.contents buf) = None then go ()
       end
   in
   (try go () with Unix.Unix_error _ -> ());
   Buffer.contents buf
+
+(* read the request body: [already] bytes arrived with the head; pull
+   the rest off the socket until Content-Length is satisfied. A short
+   read (silent client, receive timeout) yields [None]. *)
+let read_body fd ~raw ~body_start ~content_length =
+  let already = String.length raw - body_start in
+  if already >= content_length then
+    Some (String.sub raw body_start content_length)
+  else begin
+    let buf = Buffer.create content_length in
+    Buffer.add_string buf (String.sub raw body_start already);
+    let chunk = Bytes.create 4096 in
+    let rec go () =
+      if Buffer.length buf >= content_length then true
+      else
+        let want =
+          Stdlib.min (Bytes.length chunk) (content_length - Buffer.length buf)
+        in
+        match Unix.read fd chunk 0 want with
+        | 0 -> false
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            go ()
+        | exception Unix.Unix_error _ -> false
+    in
+    if go () then Some (Buffer.contents buf) else None
+  end
 
 (* header names are case-insensitive: lowercase them once here so
    lookups are plain assoc. Values are trimmed; parsing stops at the
@@ -213,15 +246,70 @@ let in_flight =
 (* the route label is the matched route (bounded set), never the raw
    path: unmatched paths collapse into "unknown" so a scanner cannot
    explode the label cardinality *)
-let route_of meth path routes =
+let route_of meth path routes post_routes =
   match path with
   | None -> "malformed"
-  | Some p ->
-      if meth <> Some "GET" && meth <> Some "HEAD" then "unsupported"
-      else if List.mem_assoc p routes then p
-      else "unknown"
+  | Some p -> (
+      match meth with
+      | Some "GET" | Some "HEAD" ->
+          if List.mem_assoc p routes then p else "unknown"
+      | Some "POST" -> if List.mem_assoc p post_routes then p else "unknown"
+      | _ -> "unsupported")
 
-let handle routes fd =
+(* a POST body is accepted only when it is well-declared and bounded:
+   json Content-Type (415), a Content-Length (411) within [max_body]
+   (413), and the declared bytes actually arriving (400) *)
+let handle_post ~max_body ~post_routes ~routes fd ~raw ~path ~query ~headers =
+  match List.assoc_opt path post_routes with
+  | None ->
+      if List.mem_assoc path routes then
+        respond ~status:405 "this route only supports GET\n"
+      else
+        let known = String.concat " " (List.map fst post_routes) in
+        respond ~status:404
+          (Printf.sprintf "no POST route %s%s\n" path
+             (if known = "" then "" else " (try: " ^ known ^ ")"))
+  | Some handler -> (
+      let content_type =
+        Option.value (header headers "content-type") ~default:""
+      in
+      let is_json =
+        (* accept parameters ("application/json; charset=utf-8") *)
+        let prefix = "application/json" in
+        String.length content_type >= String.length prefix
+        && String.lowercase_ascii (String.sub content_type 0 (String.length prefix))
+           = prefix
+      in
+      if not is_json then
+        respond ~status:415 "POST bodies must be application/json\n"
+      else
+        match header headers "content-length" with
+        | None -> respond ~status:411 "Content-Length is required\n"
+        | Some v -> (
+            match int_of_string_opt (String.trim v) with
+            | None -> respond ~status:400 "invalid Content-Length\n"
+            | Some content_length when content_length < 0 ->
+                respond ~status:400 "invalid Content-Length\n"
+            | Some content_length ->
+                if content_length > max_body then
+                  respond ~status:413
+                    (Printf.sprintf "body exceeds the %d-byte limit\n" max_body)
+                else
+                  let body_start =
+                    match head_end raw with
+                    | Some i -> i
+                    | None -> String.length raw
+                  in
+                  match read_body fd ~raw ~body_start ~content_length with
+                  | None -> respond ~status:400 "incomplete request body\n"
+                  | Some body -> (
+                      try handler query ~body
+                      with e ->
+                        respond ~status:500
+                          (Printf.sprintf "handler error: %s\n"
+                             (Printexc.to_string e)))))
+
+let handle ~max_body ~post_routes routes fd =
   Metrics.add in_flight 1.0;
   Fun.protect ~finally:(fun () -> Metrics.add in_flight (-1.0))
   @@ fun () ->
@@ -239,15 +327,21 @@ let handle routes fd =
   let resp =
     match parsed with
     | None -> respond ~status:400 "malformed request\n"
+    | Some ("POST", path, query) ->
+        handle_post ~max_body ~post_routes ~routes fd ~raw ~path ~query
+          ~headers
     | Some (meth, _, _) when meth <> "GET" && meth <> "HEAD" ->
-        respond ~status:405 "only GET and HEAD are supported\n"
+        respond ~status:405 "only GET, HEAD and POST are supported\n"
     | Some (meth, path, query) -> (
         if meth = "HEAD" then omit_body := true;
         match List.assoc_opt path routes with
         | None ->
-            let known = String.concat " " (List.map fst routes) in
-            respond ~status:404
-              (Printf.sprintf "no route %s (try: %s)\n" path known)
+            if List.mem_assoc path post_routes then
+              respond ~status:405 "this route only supports POST\n"
+            else
+              let known = String.concat " " (List.map fst routes) in
+              respond ~status:404
+                (Printf.sprintf "no route %s (try: %s)\n" path known)
         | Some handler -> (
             try handler query
             with e ->
@@ -257,13 +351,14 @@ let handle routes fd =
   let wall = Span.now () -. t0 in
   let meth = Option.map (fun (m, _, _) -> m) parsed in
   let path = Option.map (fun (_, p, _) -> p) parsed in
-  let route = route_of meth path routes in
+  let route = route_of meth path routes post_routes in
   Metrics.inc
     (Metrics.counter ~help:"HTTP requests served"
        ~labels:[ ("route", route); ("code", string_of_int resp.status) ]
        "urs_http_requests_total");
   Metrics.observe
     (Metrics.histogram ~help:"HTTP request latency"
+       ~buckets:Metrics.default_latency_buckets
        ~labels:[ ("route", route) ]
        "urs_http_request_seconds")
     wall;
@@ -292,7 +387,7 @@ let handle routes fd =
   (try write_response ~omit_body:!omit_body ~extra_headers fd resp
    with Unix.Unix_error _ -> ())
 
-let accept_loop sock stopping routes =
+let accept_loop sock stopping ~max_body ~post_routes routes =
   let rec go () =
     match Unix.accept sock with
     | exception Unix.Unix_error _ -> if not !stopping then go ()
@@ -308,13 +403,16 @@ let accept_loop sock stopping routes =
                  (-> malformed request). *)
               Unix.setsockopt_float client Unix.SO_RCVTIMEO 5.0;
               Unix.setsockopt_float client Unix.SO_SNDTIMEO 5.0;
-              handle routes client
+              handle ~max_body ~post_routes routes client
             with _ -> ());
         go ()
   in
   go ()
 
-let start ?(addr = "127.0.0.1") ~port ~routes () =
+let default_max_body_bytes = 1 lsl 20
+
+let start ?(addr = "127.0.0.1") ?(max_body_bytes = default_max_body_bytes)
+    ?(post_routes = []) ~port ~routes () =
   (* A client that disconnects mid-response (aborted curl, scrape
      timeout) would otherwise deliver SIGPIPE on the next write and
      kill the whole process — ignoring it turns the write into EPIPE,
@@ -335,7 +433,12 @@ let start ?(addr = "127.0.0.1") ~port ~routes () =
     | _ -> port
   in
   let stopping = ref false in
-  let thread = Thread.create (fun () -> accept_loop sock stopping routes) () in
+  let thread =
+    Thread.create
+      (fun () ->
+        accept_loop sock stopping ~max_body:max_body_bytes ~post_routes routes)
+      ()
+  in
   { sock; port; thread; stopping }
 
 let port t = t.port
@@ -352,15 +455,17 @@ let wait t = Thread.join t.thread
 
 (* ---- a matching tiny client (for `urs watch` and smoke tests) ---- *)
 
-let request ?(addr = "127.0.0.1") ?(timeout = 5.0) ?(headers = []) ~port
-    target =
+let request ?(addr = "127.0.0.1") ?(timeout_s = 5.0) ?(headers = [])
+    ?(meth = "GET") ?body ?(content_type = "application/json") ~port target =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
     (fun () ->
       try
-        Unix.setsockopt_float sock Unix.SO_RCVTIMEO timeout;
-        Unix.setsockopt_float sock Unix.SO_SNDTIMEO timeout;
+        (* every socket operation is bounded, so a silent or half-open
+           server costs at most timeout_s per syscall, never a hang *)
+        Unix.setsockopt_float sock Unix.SO_RCVTIMEO timeout_s;
+        Unix.setsockopt_float sock Unix.SO_SNDTIMEO timeout_s;
         Unix.connect sock
           (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port));
         (* propagate the caller's ambient context unless a traceparent
@@ -375,12 +480,22 @@ let request ?(addr = "127.0.0.1") ?(timeout = 5.0) ?(headers = []) ~port
             | Some c -> ("traceparent", Context.to_traceparent c) :: headers
             | None -> headers
         in
+        let body_headers, payload_body =
+          match body with
+          | None -> ("", "")
+          | Some b ->
+              ( Printf.sprintf "Content-Type: %s\r\nContent-Length: %d\r\n"
+                  content_type (String.length b),
+                b )
+        in
         let req =
-          Printf.sprintf "GET %s HTTP/1.0\r\nHost: %s\r\n%s\r\n" target addr
+          Printf.sprintf "%s %s HTTP/1.0\r\nHost: %s\r\n%s%s\r\n%s" meth
+            target addr
             (String.concat ""
                (List.map
                   (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v)
                   headers))
+            body_headers payload_body
         in
         let payload = Bytes.of_string req in
         let n = Bytes.length payload in
@@ -406,12 +521,7 @@ let request ?(addr = "127.0.0.1") ?(timeout = 5.0) ?(headers = []) ~port
         in
         let resp_headers = parse_headers raw in
         let body =
-          let rec find i =
-            if i + 3 >= String.length raw then None
-            else if String.sub raw i 4 = "\r\n\r\n" then Some (i + 4)
-            else find (i + 1)
-          in
-          match find 0 with
+          match head_end raw with
           | Some start -> String.sub raw start (String.length raw - start)
           | None -> ""
         in
@@ -421,7 +531,12 @@ let request ?(addr = "127.0.0.1") ?(timeout = 5.0) ?(headers = []) ~port
       | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
       | e -> Error (Printexc.to_string e))
 
-let get ?addr ?timeout ~port target =
+let get ?addr ?timeout_s ~port target =
   Result.map
     (fun (status, _headers, body) -> (status, body))
-    (request ?addr ?timeout ~port target)
+    (request ?addr ?timeout_s ~port target)
+
+let post ?addr ?timeout_s ?content_type ~port ~body target =
+  Result.map
+    (fun (status, _headers, resp_body) -> (status, resp_body))
+    (request ?addr ?timeout_s ?content_type ~meth:"POST" ~body ~port target)

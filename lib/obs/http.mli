@@ -4,15 +4,19 @@
 
     {!start} binds a listening socket and spawns {e one} background
     thread that accepts and serves connections sequentially —
-    HTTP/1.0, [Connection: close], GET and HEAD only (HEAD gets the
-    same headers with an empty body; other methods get 405). Because
-    service is sequential, accepted sockets carry a 5 s receive/send
-    timeout so a silent or half-open client cannot block later
-    scrapes, and SIGPIPE is ignored ({!start} installs the handler) so
-    a client aborting mid-response cannot kill the process. This is
-    intentionally the smallest thing a Prometheus scraper, a load
-    balancer's health probe or [curl] can talk to; it is not a general
-    web server.
+    HTTP/1.0, [Connection: close], GET and HEAD on [routes] (HEAD gets
+    the same headers with an empty body) plus POST on [post_routes];
+    other methods get 405. POST bodies must be declared and bounded: a
+    JSON [Content-Type] (else 415), a [Content-Length] (else 411; 400
+    when non-numeric) no larger than [max_body_bytes] (else 413), and
+    the declared bytes actually arriving before the receive timeout
+    (else 400). Because service is sequential, accepted sockets carry
+    a 5 s receive/send timeout so a silent or half-open client cannot
+    block later scrapes, and SIGPIPE is ignored ({!start} installs the
+    handler) so a client aborting mid-response cannot kill the
+    process. This is intentionally the smallest thing a Prometheus
+    scraper, a load balancer's health probe, [curl] or the bundled
+    {!request} client can talk to; it is not a general web server.
 
     Route handlers run on the server thread. Under the OCaml runtime,
     threads of one domain interleave rather than run in parallel, so
@@ -61,8 +65,14 @@ val query_pos_int : query -> string -> default:int -> (int, string) result
 type t
 (** A running server. *)
 
+val default_max_body_bytes : int
+(** 1 MiB — generous for a JSON model, far below anything that could
+    memory-starve the process. *)
+
 val start :
   ?addr:string ->
+  ?max_body_bytes:int ->
+  ?post_routes:(string * (query -> body:string -> response)) list ->
   port:int ->
   routes:(string * (query -> response)) list ->
   unit ->
@@ -73,7 +83,14 @@ val start :
     the query string is parsed and handed to the handler. Unknown paths
     get a 404 listing the known routes, and a handler that raises turns
     into a 500 carrying the exception text. Raises [Unix.Unix_error] if
-    the address cannot be bound. *)
+    the address cannot be bound.
+
+    [post_routes] (default none) serve POST requests; their handlers
+    additionally receive the request body, which the server has
+    already vetted (JSON content type, [Content-Length] within
+    [max_body_bytes] — default {!default_max_body_bytes} — and fully
+    received). A GET against a POST-only path (or vice versa) is a
+    405, not a 404. *)
 
 val port : t -> int
 (** The actual bound port (useful with [~port:0]). *)
@@ -89,24 +106,43 @@ val wait : t -> unit
 
 val request :
   ?addr:string ->
-  ?timeout:float ->
+  ?timeout_s:float ->
   ?headers:(string * string) list ->
+  ?meth:string ->
+  ?body:string ->
+  ?content_type:string ->
   port:int ->
   string ->
   (int * (string * string) list * string, string) result
-(** Minimal matching client: one blocking HTTP/1.0 GET against
-    [addr:port] (default [127.0.0.1], [timeout] 5 s per socket
-    operation) returning status, response headers (names lowercased,
-    values trimmed) and body, or a connection/protocol error message.
-    [headers] are sent verbatim; unless one of them is a
-    [traceparent], the caller's ambient {!Context.current} (if any) is
-    propagated as one automatically. Backs [urs watch] and the smoke
+(** Minimal matching client: one blocking HTTP/1.0 request against
+    [addr:port] (default [127.0.0.1]) returning status, response
+    headers (names lowercased, values trimmed) and body, or a
+    connection/protocol error message. [timeout_s] (default 5 s,
+    matching the server's socket timeouts) bounds {e every} socket
+    operation — connect, send and receive — so a silent or half-open
+    server can never hang the caller; a timeout surfaces as an [Error]
+    with the [Unix] error message. [meth] defaults to [GET]; with
+    [body] the request carries [Content-Length] and [content_type]
+    (default [application/json]) — what a POST needs. [headers] are
+    sent verbatim; unless one of them is a [traceparent], the caller's
+    ambient {!Context.current} (if any) is propagated as one
+    automatically. Backs [urs watch], [urs loadgen] and the smoke
     tests; not a general HTTP client. *)
 
 val get :
   ?addr:string ->
-  ?timeout:float ->
+  ?timeout_s:float ->
   port:int ->
   string ->
   (int * string, string) result
 (** {!request} without the response headers. *)
+
+val post :
+  ?addr:string ->
+  ?timeout_s:float ->
+  ?content_type:string ->
+  port:int ->
+  body:string ->
+  string ->
+  (int * string, string) result
+(** One POST carrying [body], without the response headers. *)

@@ -122,6 +122,15 @@ type histogram = metric
 let default_time_buckets =
   [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0; 60.0 |]
 
+(* ~3 bounds per decade over µs..10s: fine enough that interpolated
+   request-latency quantiles stay within a bucket's width of the truth,
+   coarse enough that one histogram stays a handful of counters *)
+let default_latency_buckets =
+  [|
+    1e-5; 2.5e-5; 5e-5; 1e-4; 2.5e-4; 5e-4; 1e-3; 2.5e-3; 5e-3; 1e-2; 2.5e-2;
+    5e-2; 0.1; 0.25; 0.5; 1.0; 2.5; 5.0; 10.0;
+  |]
+
 let check_bounds bounds =
   let n = Array.length bounds in
   if n = 0 then invalid_arg "Metrics.histogram: empty bucket bounds";
@@ -158,6 +167,78 @@ let observe (h : histogram) x =
           d.sum <- d.sum +. x;
           W.add d.stats x)
   | _ -> assert false
+
+(* ---- quantile estimation over fixed buckets ----
+
+   The same monotone interpolation Prometheus's histogram_quantile()
+   applies server-side: find the bucket the target rank falls in, then
+   interpolate linearly within it (observations are assumed uniform
+   inside a bucket). The estimate is exact when the rank lands on a
+   bucket boundary and off by at most one bucket width otherwise. *)
+
+let histogram_quantile ~bounds ~counts q =
+  let nb = Array.length bounds in
+  let total = Array.fold_left ( + ) 0 counts in
+  if
+    Array.length counts <> nb + 1
+    || total = 0
+    || Float.is_nan q
+    || q < 0.0
+    || q > 1.0
+  then nan
+  else begin
+    let rank = q *. float_of_int total in
+    (* first bucket whose cumulative count reaches the rank; a rank of 0
+       resolves to the first non-empty bucket's lower edge *)
+    let i = ref 0 and cum_prev = ref 0 in
+    while
+      !i < nb
+      && (counts.(!i) = 0
+         || float_of_int (!cum_prev + counts.(!i)) < rank)
+    do
+      cum_prev := !cum_prev + counts.(!i);
+      incr i
+    done;
+    if !i >= nb then
+      (* the +Inf bucket has no upper edge to interpolate towards; the
+         best monotone answer is the highest finite bound (Prometheus
+         does the same) *)
+      bounds.(nb - 1)
+    else if !i = 0 && bounds.(0) <= 0.0 then bounds.(0)
+    else begin
+      let lo = if !i = 0 then 0.0 else bounds.(!i - 1) in
+      let hi = bounds.(!i) in
+      let within =
+        (rank -. float_of_int !cum_prev) /. float_of_int counts.(!i)
+      in
+      lo +. ((hi -. lo) *. Float.max 0.0 (Float.min 1.0 within))
+    end
+  end
+
+let histogram_count_above ~bounds ~counts threshold =
+  let nb = Array.length bounds in
+  if Array.length counts <> nb + 1 || Float.is_nan threshold then nan
+  else begin
+    (* everything in buckets strictly above the one containing the
+       threshold, plus the uniform-interpolation share of that bucket *)
+    let above = ref 0.0 in
+    for i = 0 to nb do
+      let lo = if i = 0 then 0.0 else bounds.(i - 1) in
+      let hi = if i < nb then bounds.(i) else infinity in
+      let c = float_of_int counts.(i) in
+      if c > 0.0 then
+        if threshold <= lo then above := !above +. c
+        else if threshold < hi then
+          if Float.is_finite hi then
+            above := !above +. (c *. (hi -. threshold) /. (hi -. lo))
+          else
+            (* a threshold beyond the last finite bound lands in the
+               +Inf bucket, which has no upper edge to interpolate
+               against — count the whole bucket (conservative) *)
+            above := !above +. c
+    done;
+    !above
+  end
 
 (* ---- registry-wide operations ---- *)
 

@@ -81,6 +81,12 @@ val default_time_buckets : float array
 (** Upper bounds suited to wall-clock durations in seconds:
     [1e-6 .. 60]. *)
 
+val default_latency_buckets : float array
+(** Log-spaced upper bounds tuned for request latencies: roughly three
+    per decade over [1e-5 .. 10] seconds (19 bounds), so interpolated
+    quantiles ({!histogram_quantile}) resolve µs-scale health-check
+    responses and second-scale solves from the same histogram. *)
+
 val histogram :
   ?registry:t ->
   ?help:string ->
@@ -122,3 +128,28 @@ val snapshot : ?registry:t -> unit -> entry list
 val value : ?registry:t -> ?labels:labels -> string -> float option
 (** Current value of a counter or gauge by name (convenience for tests
     and assertions); [None] if absent or a histogram. *)
+
+(** {1 Bucket interpolation}
+
+    Estimators over a histogram's per-bucket counts (the
+    {!Histogram_value} layout: [counts] has one entry per bound plus a
+    final [+Inf] bucket), assuming observations are uniform within a
+    bucket — the same monotone interpolation Prometheus's
+    [histogram_quantile()] performs server-side. *)
+
+val histogram_quantile : bounds:float array -> counts:int array -> float -> float
+(** [histogram_quantile ~bounds ~counts q] estimates the [q]-quantile
+    ([0 <= q <= 1]). Exact when [q·count] lands on a bucket boundary;
+    otherwise off by at most one bucket width. A rank that falls in the
+    [+Inf] bucket returns the highest finite bound (no upper edge to
+    interpolate towards). Returns [nan] on an empty histogram, a
+    non-finite or out-of-range [q], or mismatched array lengths. *)
+
+val histogram_count_above :
+  bounds:float array -> counts:int array -> float -> float
+(** [histogram_count_above ~bounds ~counts t] estimates how many
+    observations exceeded [t]: every count in buckets entirely above
+    [t] plus the interpolated share of the bucket containing it ([0.]
+    on an empty histogram). Feeds latency SLOs — "p99 < t" holds iff at
+    most 1% of observations lie above [t]. Returns [nan] when [t] is
+    NaN or the arrays are mismatched. *)

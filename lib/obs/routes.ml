@@ -1,0 +1,81 @@
+(* The standard observability routes shared by `urs serve` and
+   `--serve-metrics`, in the library rather than the CLI so their
+   behavior (notably the /metrics content type and quantile rendering)
+   is directly testable. *)
+
+let metrics_content_type = "text/plain; version=0.0.4"
+
+let json_response j =
+  Http.respond ~content_type:"application/json" (Json.to_string j ^ "\n")
+
+let health_response () =
+  (* the doctor verdict gauge, when a doctor run has happened in this
+     process; load balancers read the status code, humans the body *)
+  match Metrics.value ~labels:[ ("component", "doctor") ] "urs_health_status" with
+  | None -> Http.respond "unknown (no doctor run yet)\n"
+  | Some v ->
+      let label =
+        if v = 0.0 then "ok" else if v = 1.0 then "degraded" else "suspect"
+      in
+      Http.respond ~status:(if v < 2.0 then 200 else 503) (label ^ "\n")
+
+let metrics_response q =
+  (* /metrics?format=json for structured consumers (urs watch); the
+     default is Prometheus text exposition. Both render interpolated
+     p50/p90/p99 for every non-empty histogram — additive output
+     (synthesized <name>_quantile families / "quantiles" objects), so
+     plain scrapers are unaffected. *)
+  let snap = Metrics.snapshot () in
+  let quantiles = Export.default_quantiles in
+  match Http.query_get q "format" with
+  | None | Some "prometheus" ->
+      Http.respond ~content_type:metrics_content_type
+        (Export.prometheus ~quantiles snap)
+  | Some "json" -> json_response (Export.json_value ~quantiles snap)
+  | Some other ->
+      Http.respond ~status:400
+        (Printf.sprintf "unknown format %S (prometheus|json)\n" other)
+
+let runs_response q =
+  (* /runs?n=N limits the records returned; a non-positive or
+     non-numeric N is the client's error, not a value to clamp *)
+  match Http.query_pos_int q "n" ~default:100 with
+  | Error msg -> Http.respond ~status:400 (msg ^ "\n")
+  | Ok limit ->
+      let records = Ledger.recent ~limit () in
+      json_response (Json.List (List.map Ledger.to_json records))
+
+let timeline_response q =
+  (* /timeline?series=NAME restricts to one series name;
+     /timeline?coarsen=K merges K adjacent buckets per series *)
+  let name = Http.query_get q "series" in
+  match Http.query_pos_int q "coarsen" ~default:1 with
+  | Error msg -> Http.respond ~status:400 (msg ^ "\n")
+  | Ok factor ->
+      let snaps = Timeline.snapshot ?name () in
+      let snaps =
+        if factor = 1 then snaps
+        else List.map (Timeline.coarsen ~factor) snaps
+      in
+      json_response
+        (Json.Obj
+           [ ("series", Json.List (List.map Timeline.snapshot_json snaps)) ])
+
+let convergence_response q =
+  (* /convergence?n=N limits the traces returned (newest last) *)
+  match Http.query_pos_int q "n" ~default:100 with
+  | Error msg -> Http.respond ~status:400 (msg ^ "\n")
+  | Ok limit -> json_response (Convergence.to_json ~limit ())
+
+let standard =
+  [
+    ("/metrics", metrics_response);
+    ("/healthz", fun _q -> health_response ());
+    ("/runs", runs_response);
+    ("/timeline", timeline_response);
+    ("/progress", fun _q -> json_response (Progress.to_json ()));
+    ("/runtime", fun _q -> json_response (Runtime.status_json ()));
+    ("/convergence", convergence_response);
+  ]
+
+let slo_response slo _q = json_response (Slo.to_json (Slo.evaluate slo))

@@ -1,0 +1,28 @@
+(** The standard observability routes shared by [urs serve] and
+    [--serve-metrics] — in the library (not the CLI) so their behavior
+    is directly testable.
+
+    Route inventory: [/metrics] (Prometheus text exposition by default,
+    [?format=json] for the JSON rendering — both including interpolated
+    p50/p90/p99 per non-empty histogram via {!Export.default_quantiles}),
+    [/healthz] (doctor verdict gauge → status code), [/runs] (ledger
+    ring), [/timeline], [/progress], [/runtime], [/convergence]. *)
+
+val metrics_content_type : string
+(** ["text/plain; version=0.0.4"] — the Prometheus text exposition
+    content type the [/metrics] route must answer with. *)
+
+val json_response : Json.t -> Http.response
+(** 200 [application/json], newline-terminated compact rendering. *)
+
+val health_response : unit -> Http.response
+
+val metrics_response : Http.query -> Http.response
+
+val standard : (string * (Http.query -> Http.response)) list
+(** The GET routes listed above, ready for {!Http.start}. *)
+
+val slo_response : Slo.t -> Http.query -> Http.response
+(** The [/slo] route: evaluate every objective of the engine (also
+    publishing burn-rate gauges and ledger records — an evaluation, not
+    a passive read) and return {!Slo.to_json}. *)

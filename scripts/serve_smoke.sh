@@ -72,6 +72,11 @@ if [ "$code" != "400" ]; then
   exit 1
 fi
 
+# /metrics speaks the Prometheus text exposition format and says so —
+# the version suffix is what lets a scraper negotiate the parse
+curl -sfI "http://127.0.0.1:$PORT/metrics" |
+  grep -qi '^content-type: text/plain; version=0\.0\.4'
+
 # the JSON endpoints must say so
 curl -sfI "http://127.0.0.1:$PORT/runs" |
   grep -qi '^content-type: application/json'

@@ -1,0 +1,118 @@
+#!/bin/sh
+# Soak test for the serving-and-measuring loop: a real `urs serve`
+# under sustained open-loop solve traffic must come out healthy —
+# zero 5xx on either side of the wire, a finite p99 from the
+# histogram-quantile export, `urs slo check` exit 0, burn-rate gauges
+# in /metrics and "slo" records in the ledger — and the same server
+# with a deliberately crippled solver (--solve-max-iter 1) must flip
+# `urs slo check` to exit 1 and journal the breach. Used by
+# `make soak-smoke` (and hence `make ci`).
+#
+# SOAK_SECONDS (default 60) bounds the loadgen leg.
+set -eu
+
+PORT="${URS_SOAK_PORT:-9117}"
+PORT2=$((PORT + 1))
+SOAK_SECONDS="${SOAK_SECONDS:-60}"
+BIN=./_build/default/bin/urs_cli.exe
+LOG=/tmp/urs_soak.log
+LEDGER=/tmp/urs_soak_ledger.jsonl
+CRIPPLED_LOG=/tmp/urs_soak_crippled.log
+CRIPPLED_LEDGER=/tmp/urs_soak_crippled_ledger.jsonl
+OUT=/tmp/urs_soak_loadgen.json
+
+fail() {
+  echo "soak-smoke: $1" >&2
+  exit 1
+}
+
+PID=""
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+wait_up() {
+  # serve runs a quick doctor pass before it starts listening
+  i=0
+  while [ $i -lt 100 ]; do
+    if curl -sf "http://127.0.0.1:$1/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    i=$((i + 1))
+    sleep 0.2
+  done
+  echo "soak-smoke: server never answered on port $1" >&2
+  cat "$2" >&2
+  exit 1
+}
+
+# ---- healthy leg: sustained solve traffic, SLOs must hold ----
+
+rm -f "$LEDGER" "$OUT"
+"$BIN" serve --port "$PORT" --ledger "$LEDGER" >"$LOG" 2>&1 &
+PID=$!
+wait_up "$PORT" "$LOG"
+
+# open-loop Poisson arrivals on POST /solve: the parser, cache and
+# (on the first miss) the solver are on the request path; latency is
+# measured from the scheduled arrival, so a stalled server cannot
+# hide behind a slowed generator
+"$BIN" loadgen --port "$PORT" --mode open --rate 50 --workers 4 \
+  --duration "$SOAK_SECONDS" --solve -o "$OUT" >/dev/null
+
+# zero 5xx, zero transport errors, zero timeouts — as the client saw it
+grep -q '"errors":0' "$OUT" || fail "loadgen counted non-2xx responses (see $OUT)"
+grep -q '"timeouts":0' "$OUT" || fail "loadgen counted timeouts (see $OUT)"
+if grep -q '"5[0-9][0-9]":' "$OUT"; then
+  fail "loadgen saw 5xx status codes (see $OUT)"
+fi
+
+# ... and as the server counted it
+if curl -sf "http://127.0.0.1:$PORT/metrics" |
+  grep -q '^urs_http_requests_total{code="5'; then
+  fail "server-side RED metrics count 5xx responses"
+fi
+
+# the p99 of the solve route, interpolated from the histogram by the
+# quantile export, must be a finite bounded number
+p99=$(curl -sf "http://127.0.0.1:$PORT/metrics" |
+  sed -n 's/^urs_http_request_seconds_quantile{quantile="0.99",route="\/solve"} //p')
+[ -n "$p99" ] || fail "no p99 quantile for route /solve in /metrics"
+ok=$(printf '%s\n' "$p99" | awk '$1 + 0 > 0 && $1 + 0 < 1.0 { print "ok" }')
+[ "$ok" = "ok" ] || fail "/solve p99 is $p99 (want finite, 0 < p99 < 1s)"
+
+# the objectives hold: exit 0, burn-rate gauges exported, slo records
+# journaled (`slo check` evaluates the engine, which publishes both)
+"$BIN" slo check --port "$PORT" || fail "slo check reported a breach on a healthy run"
+curl -sf "http://127.0.0.1:$PORT/metrics" | grep -q '^urs_slo_burn_rate{' ||
+  fail "no urs_slo_burn_rate gauges in /metrics"
+grep -q '"kind":"slo"' "$LEDGER" || fail "no slo records in the ledger"
+grep '"kind":"slo"' "$LEDGER" | grep -q '"outcome":"ok"' ||
+  fail "no ok-outcome slo records in the ledger"
+
+kill "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+
+# ---- crippled leg: a starved solver must trip the error-rate SLO ----
+
+rm -f "$CRIPPLED_LEDGER"
+"$BIN" serve --port "$PORT2" --ledger "$CRIPPLED_LEDGER" \
+  --solve-max-iter 1 >"$CRIPPLED_LOG" 2>&1 &
+PID=$!
+wait_up "$PORT2" "$CRIPPLED_LOG"
+
+# every solve now fails to converge and comes back 500
+i=0
+while [ $i -lt 20 ]; do
+  curl -s -o /dev/null -X POST -H 'Content-Type: application/json' \
+    -d '{"scenario":"paper"}' "http://127.0.0.1:$PORT2/solve"
+  i=$((i + 1))
+done
+
+rc=0
+"$BIN" slo check --port "$PORT2" >/dev/null || rc=$?
+[ "$rc" = "1" ] || fail "slo check exited $rc on a crippled server (want 1)"
+curl -sf "http://127.0.0.1:$PORT2/metrics" | grep -q '^urs_slo_burn_rate{' ||
+  fail "no urs_slo_burn_rate gauges on the crippled server"
+grep '"kind":"slo"' "$CRIPPLED_LEDGER" | grep -q '"outcome":"breach"' ||
+  fail "no breach-outcome slo records in the crippled ledger"
+
+echo "soak-smoke: ok"

@@ -6,6 +6,12 @@ let check_float ?(tol = 1e-9) msg expected actual =
   if abs_float (expected -. actual) > tol then
     Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
 
+let check_contains msg hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  if not (nn = 0 || go 0) then
+    Alcotest.failf "%s: %S not found in %S" msg needle hay
+
 let paper_model ~servers ~lambda =
   Urs.Model.create ~servers ~arrival_rate:lambda ~service_rate:1.0
     ~operative:Urs.Model.paper_operative
@@ -233,6 +239,207 @@ let test_linspace () =
       check_float "last" 1.0 e
   | _ -> Alcotest.fail "wrong length"
 
+(* ---- the POST /solve service ---- *)
+
+module Json = Urs_obs.Json
+module Http = Urs_obs.Http
+
+let handle ?pool ?cache ?max_iter body =
+  Urs.Solve_service.handle ?pool ?cache ?max_iter [] ~body
+
+let performance_of resp =
+  match Json.of_string resp.Http.body with
+  | Error msg -> Alcotest.failf "response is not JSON (%s): %s" msg resp.Http.body
+  | Ok j -> (
+      match Json.member "performance" j with
+      | Some p -> Json.to_string p
+      | None -> Alcotest.failf "no performance object in %s" resp.Http.body)
+
+let test_solve_service_scenario () =
+  let resp = handle {|{"scenario":"paper"}|} in
+  Alcotest.(check int) "status" 200 resp.Http.status;
+  Alcotest.(check string)
+    "content type" "application/json" resp.Http.content_type;
+  let expected =
+    match Urs.Solver.evaluate (paper_model ~servers:10 ~lambda:8.0) with
+    | Ok p -> p
+    | Error e ->
+        Alcotest.failf "direct solve failed: %s"
+          (Format.asprintf "%a" Urs.Solver.pp_error e)
+  in
+  let j = Result.get_ok (Json.of_string resp.Http.body) in
+  let perf_float field =
+    match Option.bind (Json.member "performance" j) (Json.member field) with
+    | Some v -> Option.value ~default:nan (Json.to_float_opt v)
+    | None -> Alcotest.failf "missing performance.%s" field
+  in
+  (* bit-identical to the library solver, not merely close *)
+  check_float ~tol:0.0 "mean_jobs matches Solver.evaluate exactly"
+    expected.Urs.Solver.mean_jobs (perf_float "mean_jobs");
+  check_float ~tol:0.0 "mean_response matches" expected.Urs.Solver.mean_response
+    (perf_float "mean_response");
+  (* mean queue wait = sojourn minus the 1/µ service requirement *)
+  check_float "queue wait"
+    (expected.Urs.Solver.mean_response -. 1.0)
+    (perf_float "mean_queue_wait");
+  (* an empty body solves the same model as a bare `urs solve` *)
+  Alcotest.(check string)
+    "{} is the paper model"
+    (performance_of resp)
+    (performance_of (handle "{}"))
+
+let test_solve_service_pool_identical () =
+  let body = {|{"servers":10,"lambda":8,"mu":1,"strategy":"exact"}|} in
+  let seq = performance_of (handle body) in
+  let par =
+    Urs_exec.Pool.with_pool ~name:"solve-test" ~domains:4 (fun pool ->
+        performance_of (handle ~pool body))
+  in
+  Alcotest.(check string) "performance byte-identical across pool widths" seq
+    par
+
+let test_solve_service_cache_annotation () =
+  let cache = Urs.Solve_cache.create () in
+  let body = {|{"scenario":"paper-h2"}|} in
+  let first = handle ~cache body in
+  let second = handle ~cache body in
+  check_contains "first solve is a miss" first.Http.body
+    {|"cache":{"hit":false,"enabled":true}|};
+  check_contains "second solve hits" second.Http.body
+    {|"cache":{"hit":true,"enabled":true}|};
+  Alcotest.(check string)
+    "cached answer identical" (performance_of first) (performance_of second);
+  (* without a cache the response says so *)
+  check_contains "cacheless solve" (handle body).Http.body
+    {|"cache":{"hit":false,"enabled":false}|}
+
+let test_solve_service_max_iter_drill () =
+  (* a starved solver is a 500 — the error-rate-SLO breach drill *)
+  let resp = handle ~max_iter:1 {|{"scenario":"paper"}|} in
+  Alcotest.(check int) "solver failure is a 500" 500 resp.Http.status;
+  check_contains "error payload" resp.Http.body {|"error"|}
+
+let test_solve_service_client_errors () =
+  List.iter
+    (fun (label, body) ->
+      let resp = handle body in
+      if resp.Http.status <> 400 then
+        Alcotest.failf "%s: got %d (want 400): %s" label resp.Http.status
+          resp.Http.body)
+    [
+      ("malformed json", "{");
+      ("not an object", "[1,2]");
+      ("unknown scenario", {|{"scenario":"nope"}|});
+      ("unknown strategy", {|{"strategy":"magic"}|});
+      ("bad distribution", {|{"operative":"nope:1"}|});
+      ("non-numeric field", {|{"lambda":"eight"}|});
+      ("unstable model", {|{"servers":1,"lambda":5,"mu":1}|});
+      ("invalid model", {|{"servers":0}|});
+    ]
+
+let test_solve_service_parse_request () =
+  match
+    Urs.Solve_service.parse_request
+      {|{"scenario":"paper","strategy":"sim",
+         "sim":{"duration":1000,"replications":2,"seed":5}}|}
+  with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok (m, Urs.Solver.Simulation { Urs.Solver.duration; replications; seed }) ->
+      Alcotest.(check int) "servers from scenario" 10 m.Urs.Model.servers;
+      check_float "duration" 1000.0 duration;
+      Alcotest.(check int) "replications" 2 replications;
+      Alcotest.(check int) "seed" 5 seed
+  | Ok _ -> Alcotest.fail "expected the simulation strategy"
+
+(* ---- loadgen ---- *)
+
+let with_ping_server f =
+  let server =
+    Http.start ~port:0
+      ~routes:[ ("/ping", fun _q -> Http.respond "pong\n") ]
+      ()
+  in
+  Fun.protect ~finally:(fun () -> Http.stop server) (fun () -> f (Http.port server))
+
+let test_loadgen_closed_loop () =
+  with_ping_server @@ fun port ->
+  let r =
+    Urs.Loadgen.run ~port ~target:"/ping" ~duration_s:0.5
+      ~mode:(Urs.Loadgen.Closed { workers = 2; think_s = 0.0 })
+      ()
+  in
+  if r.Urs.Loadgen.requests <= 0 then Alcotest.fail "no requests completed";
+  Alcotest.(check int) "no errors" 0 r.Urs.Loadgen.errors;
+  Alcotest.(check int) "no timeouts" 0 r.Urs.Loadgen.timeouts;
+  Alcotest.(check (list (pair int int)))
+    "every response was a 200"
+    [ (200, r.Urs.Loadgen.requests) ]
+    r.Urs.Loadgen.codes;
+  let finite_positive msg v =
+    if not (v > 0.0 && Float.is_finite v) then
+      Alcotest.failf "%s: %g not finite-positive" msg v
+  in
+  finite_positive "throughput" r.Urs.Loadgen.throughput;
+  finite_positive "mean latency" r.Urs.Loadgen.mean_s;
+  finite_positive "p50" r.Urs.Loadgen.p50_s;
+  finite_positive "p99" r.Urs.Loadgen.p99_s;
+  if r.Urs.Loadgen.p99_s < r.Urs.Loadgen.p50_s then
+    Alcotest.fail "quantiles must be monotone";
+  Alcotest.(check string) "mode label" "closed" (Urs.Loadgen.mode_label r.Urs.Loadgen.mode)
+
+let test_loadgen_open_loop_rate () =
+  (* the workers share ONE Poisson schedule: the completed count tracks
+     rate * duration, not workers * rate * duration *)
+  with_ping_server @@ fun port ->
+  let r =
+    Urs.Loadgen.run ~seed:3 ~port ~target:"/ping" ~duration_s:1.0
+      ~mode:(Urs.Loadgen.Open { rate = 200.0; workers = 2 })
+      ()
+  in
+  let n = r.Urs.Loadgen.requests in
+  if n < 100 || n > 300 then
+    Alcotest.failf "open loop at rate 200 for 1s completed %d requests" n;
+  Alcotest.(check int) "no errors" 0 r.Urs.Loadgen.errors
+
+let test_loadgen_validation () =
+  let expect_invalid label f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s should raise Invalid_argument" label
+  in
+  let run duration_s mode () =
+    ignore (Urs.Loadgen.run ~port:1 ~target:"/x" ~duration_s ~mode ())
+  in
+  expect_invalid "zero duration"
+    (run 0.0 (Urs.Loadgen.Closed { workers = 1; think_s = 0.0 }));
+  expect_invalid "zero workers"
+    (run 1.0 (Urs.Loadgen.Closed { workers = 0; think_s = 0.0 }));
+  expect_invalid "negative think"
+    (run 1.0 (Urs.Loadgen.Closed { workers = 1; think_s = -1.0 }));
+  expect_invalid "zero rate"
+    (run 1.0 (Urs.Loadgen.Open { rate = 0.0; workers = 1 }))
+
+let test_loadgen_compare_model () =
+  with_ping_server @@ fun port ->
+  let r =
+    Urs.Loadgen.run ~port ~target:"/ping" ~duration_s:0.3
+      ~mode:(Urs.Loadgen.Closed { workers = 1; think_s = 0.0 })
+      ()
+  in
+  (match Urs.Loadgen.compare_model ~probes:10 ~port ~target:"/ping" r with
+  | Error msg -> Alcotest.failf "comparison failed: %s" msg
+  | Ok c ->
+      if not (c.Urs.Loadgen.mu_hat > 0.0) then
+        Alcotest.failf "fitted service rate %g" c.Urs.Loadgen.mu_hat;
+      check_float ~tol:0.0 "lambda is the measured throughput"
+        r.Urs.Loadgen.throughput c.Urs.Loadgen.lambda;
+      check_float ~tol:0.0 "measured response carried over"
+        r.Urs.Loadgen.mean_s c.Urs.Loadgen.measured_response_s);
+  (* every calibration probe failing is an Error, not a crash *)
+  match Urs.Loadgen.compare_model ~probes:2 ~port:1 ~target:"/ping" r with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "dead port should fail calibration"
+
 let () =
   Alcotest.run "urs_core"
     [
@@ -277,5 +484,29 @@ let () =
           Alcotest.test_case "repair times (figure 7)" `Quick
             test_sweep_repair_times;
           Alcotest.test_case "linspace" `Quick test_linspace;
+        ] );
+      ( "solve-service",
+        [
+          Alcotest.test_case "paper scenario" `Quick test_solve_service_scenario;
+          Alcotest.test_case "pool-width invariance" `Quick
+            test_solve_service_pool_identical;
+          Alcotest.test_case "cache annotation" `Quick
+            test_solve_service_cache_annotation;
+          Alcotest.test_case "max-iter fault drill" `Quick
+            test_solve_service_max_iter_drill;
+          Alcotest.test_case "client errors are 400s" `Quick
+            test_solve_service_client_errors;
+          Alcotest.test_case "request parsing" `Quick
+            test_solve_service_parse_request;
+        ] );
+      ( "loadgen",
+        [
+          Alcotest.test_case "closed loop" `Quick test_loadgen_closed_loop;
+          Alcotest.test_case "open loop offered rate" `Quick
+            test_loadgen_open_loop_rate;
+          Alcotest.test_case "parameter validation" `Quick
+            test_loadgen_validation;
+          Alcotest.test_case "model comparison" `Quick
+            test_loadgen_compare_model;
         ] );
     ]

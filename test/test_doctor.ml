@@ -372,6 +372,23 @@ let test_near_saturation_degrades () =
             rep.Diagnostics.stability_margin
       | Diagnostics.Degraded _ | Diagnostics.Suspect _ -> ())
 
+let test_slo_stage () =
+  (* the four drills (healthy/breached x error-rate/latency) replay an
+     hour of synthetic traffic each under a fake clock; every check
+     must come back Ok — a quiet healthy engine and an alarming
+     breached one *)
+  let checks = Urs.Doctor.check_slo_stage () in
+  Alcotest.(check int) "four drills" 4 (List.length checks);
+  List.iter
+    (fun (c : Urs.Doctor.check) ->
+      match c.Urs.Doctor.verdict with
+      | Diagnostics.Ok -> ()
+      | v ->
+          Alcotest.failf "%s: %s (%s)" c.Urs.Doctor.name
+            (Format.asprintf "%a" Diagnostics.pp_verdict v)
+            c.Urs.Doctor.detail)
+    checks
+
 let () =
   Alcotest.run "urs_doctor"
     [
@@ -401,5 +418,6 @@ let () =
             test_convergence_stage_forced_stall;
           Alcotest.test_case "no-convergence escalation" `Quick
             test_no_convergence_escalation;
+          Alcotest.test_case "slo stage drills" `Quick test_slo_stage;
         ] );
     ]

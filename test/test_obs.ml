@@ -1879,6 +1879,420 @@ let test_spectral_solve_metrics () =
   | Some lu when lu > 0.0 -> ()
   | _ -> Alcotest.fail "urs_spectral_lu_factorizations_total should be positive"
 
+(* ---- histogram quantile interpolation ---- *)
+
+let check_nan msg v =
+  if not (Float.is_nan v) then Alcotest.failf "%s: expected nan, got %g" msg v
+
+let test_quantile_boundary () =
+  (* 10 observations per bucket: ranks landing exactly on a cumulative
+     boundary return the bucket bound itself, no interpolation error *)
+  let bounds = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let counts = [| 10; 10; 10; 10; 0 |] in
+  let q v = Metrics.histogram_quantile ~bounds ~counts v in
+  check_float "q=0.25 exact" 1.0 (q 0.25);
+  check_float "q=0.5 exact" 2.0 (q 0.5);
+  check_float "q=0.75 exact" 3.0 (q 0.75);
+  check_float "q=1 is the last finite bound" 4.0 (q 1.0);
+  check_float "mid-bucket rank interpolates linearly" 1.5 (q 0.375);
+  check_float "first bucket interpolates from zero" 0.4 (q 0.1);
+  (* a rank in the +Inf bucket has no upper edge to aim at *)
+  check_float "+Inf rank clamps to highest finite bound" 4.0
+    (Metrics.histogram_quantile ~bounds ~counts:[| 0; 0; 0; 0; 5 |] 0.5)
+
+let test_quantile_nan_cases () =
+  let bounds = [| 1.0; 2.0 |] in
+  let q counts v = Metrics.histogram_quantile ~bounds ~counts v in
+  check_nan "empty histogram" (q [| 0; 0; 0 |] 0.5);
+  check_nan "q above 1" (q [| 1; 1; 1 |] 1.5);
+  check_nan "negative q" (q [| 1; 1; 1 |] (-0.1));
+  check_nan "nan q" (q [| 1; 1; 1 |] nan);
+  check_nan "mismatched arrays" (q [| 1; 1 |] 0.5)
+
+(* interpolated quantiles vs the exact empirical ones: off by at most
+   the width of the bucket the true quantile falls in (the mli's
+   contract), on an exponential and a bimodal latency population *)
+let check_quantile_vs_empirical ~label samples =
+  let bounds = Metrics.default_latency_buckets in
+  let nb = Array.length bounds in
+  let counts = Array.make (nb + 1) 0 in
+  Array.iter
+    (fun v ->
+      let i = ref 0 in
+      while !i < nb && v > bounds.(!i) do
+        incr i
+      done;
+      counts.(!i) <- counts.(!i) + 1)
+    samples;
+  List.iter
+    (fun q ->
+      let hq = Metrics.histogram_quantile ~bounds ~counts q in
+      let eq = Urs_stats.Empirical.quantile samples q in
+      let bi = ref 0 in
+      while !bi < nb && eq > bounds.(!bi) do
+        incr bi
+      done;
+      let lo = if !bi = 0 then 0.0 else bounds.(min !bi nb - 1) in
+      let hi = bounds.(min !bi (nb - 1)) in
+      let width = Float.max (hi -. lo) 1e-12 in
+      if Float.is_nan hq || abs_float (hq -. eq) > width +. 1e-9 then
+        Alcotest.failf
+          "%s q=%g: histogram %.6g vs empirical %.6g exceeds bucket width %.6g"
+          label q hq eq width)
+    [ 0.5; 0.9; 0.99 ]
+
+let test_quantile_vs_empirical () =
+  let rng = Urs_prob.Rng.create 7 in
+  let exponential =
+    Array.init 20_000 (fun _ -> Urs_prob.Rng.exponential rng 1.0)
+  in
+  check_quantile_vs_empirical ~label:"exponential" exponential;
+  (* bimodal: µs-scale health checks mixed with second-scale solves *)
+  let bimodal =
+    Array.init 20_000 (fun i ->
+        if i land 1 = 0 then Urs_prob.Rng.exponential rng 2000.0
+        else Urs_prob.Rng.exponential rng 2.0)
+  in
+  check_quantile_vs_empirical ~label:"bimodal" bimodal
+
+(* ---- standard routes: /metrics content type and formats ---- *)
+
+module Routes = Urs_obs.Routes
+
+let test_metrics_route_content_type () =
+  Metrics.reset ();
+  let h =
+    Metrics.histogram ~buckets:Metrics.default_latency_buckets
+      ~labels:[ ("route", "/x") ]
+      "rt_seconds"
+  in
+  Metrics.observe h 0.003;
+  let handler = List.assoc "/metrics" Routes.standard in
+  let resp = handler [] in
+  Alcotest.(check string)
+    "prometheus text exposition content type" "text/plain; version=0.0.4"
+    resp.Http.content_type;
+  Alcotest.(check string)
+    "exported constant matches" Routes.metrics_content_type
+    resp.Http.content_type;
+  Alcotest.(check int) "status" 200 resp.Http.status;
+  check_contains "histogram family present" resp.Http.body "rt_seconds_bucket";
+  check_contains "synthesized quantile family" resp.Http.body
+    {|rt_seconds_quantile{quantile="0.99",route="/x"}|};
+  let json = handler [ ("format", "json") ] in
+  Alcotest.(check string)
+    "json content type" "application/json" json.Http.content_type;
+  check_contains "json carries quantiles" json.Http.body {|"quantiles"|};
+  let bad = handler [ ("format", "xml") ] in
+  Alcotest.(check int) "unknown format is a 400" 400 bad.Http.status
+
+(* ---- client timeout: a silent server must not hang the caller ---- *)
+
+let test_http_client_timeout () =
+  (* a listening socket that never accepts: the TCP handshake succeeds
+     (backlog), but no byte ever comes back *)
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+      Unix.listen sock 1;
+      let port =
+        match Unix.getsockname sock with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> Alcotest.fail "unexpected socket address"
+      in
+      let t0 = Unix.gettimeofday () in
+      match Http.request ~timeout_s:0.4 ~port "/healthz" with
+      | Ok _ -> Alcotest.fail "silent server produced a response"
+      | Error _ ->
+          let elapsed = Unix.gettimeofday () -. t0 in
+          if elapsed > 3.0 then
+            Alcotest.failf "timeout took %.1fs (want ~0.4s)" elapsed)
+
+(* ---- POST body vetting ---- *)
+
+let http_send ?(close_write = false) ~port raw =
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+  let sock = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock addr;
+      let _ = Unix.write_substring sock raw 0 (String.length raw) in
+      if close_write then Unix.shutdown sock Unix.SHUTDOWN_SEND;
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 1024 in
+      let rec drain () =
+        let n = Unix.read sock chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+        end
+      in
+      drain ();
+      Buffer.contents buf)
+
+let test_http_post_vetting () =
+  let post_routes =
+    [ ("/echo", fun _q ~body -> Http.respond ~content_type:"application/json" body) ]
+  in
+  let routes = [ ("/ping", fun _q -> Http.respond "pong\n") ] in
+  let server = Http.start ~port:0 ~max_body_bytes:64 ~routes ~post_routes () in
+  Fun.protect
+    ~finally:(fun () -> Http.stop server)
+    (fun () ->
+      let port = Http.port server in
+      let post ?(content_type = "application/json") ?length body =
+        let length =
+          match length with
+          | Some l -> l
+          | None -> string_of_int (String.length body)
+        in
+        http_send ~port
+          (Printf.sprintf
+             "POST /echo HTTP/1.0\r\nContent-Type: %s\r\nContent-Length: \
+              %s\r\n\r\n%s"
+             content_type length body)
+      in
+      check_contains "well-formed POST succeeds"
+        (post {|{"ok":true}|})
+        "HTTP/1.0 200";
+      check_contains "body echoed" (post {|{"ok":true}|}) {|{"ok":true}|};
+      check_contains "non-JSON content type is 415"
+        (post ~content_type:"text/plain" "hello")
+        "HTTP/1.0 415";
+      check_contains "missing Content-Length is 411"
+        (http_send ~port
+           "POST /echo HTTP/1.0\r\nContent-Type: application/json\r\n\r\n{}")
+        "HTTP/1.0 411";
+      check_contains "non-numeric Content-Length is 400"
+        (post ~length:"banana" "{}")
+        "HTTP/1.0 400";
+      check_contains "oversized declared body is 413"
+        (post ~length:"100000" "{}")
+        "HTTP/1.0 413";
+      check_contains "truncated body is 400"
+        (http_send ~port ~close_write:true
+           "POST /echo HTTP/1.0\r\nContent-Type: application/json\r\n\
+            Content-Length: 10\r\n\r\n{}")
+        "HTTP/1.0 400";
+      check_contains "GET against a POST route is 405"
+        (http_send ~port "GET /echo HTTP/1.0\r\n\r\n")
+        "HTTP/1.0 405";
+      check_contains "POST against a GET route is 405"
+        (post {|{}|} |> fun _ ->
+         http_send ~port
+           "POST /ping HTTP/1.0\r\nContent-Type: application/json\r\n\
+            Content-Length: 2\r\n\r\n{}")
+        "HTTP/1.0 405";
+      check_contains "server still alive" (http_get ~port "/ping") "pong")
+
+(* ---- SLO engine ---- *)
+
+module Slo = Urs_obs.Slo
+
+let test_slo_parse () =
+  let ok spec = Slo.parse_objective_exn spec in
+  let o = ok "p99 < 50ms" in
+  Alcotest.(check string) "self-naming" "p99 < 50ms" o.Slo.name;
+  check_float "latency budget is 1-q" 0.01 o.Slo.budget;
+  (match o.Slo.sli with
+  | Slo.Latency { metric; q; threshold_s } ->
+      Alcotest.(check string) "default metric" Slo.default_latency_metric metric;
+      check_float "q" 0.99 q;
+      check_float "threshold in seconds" 0.05 threshold_s
+  | _ -> Alcotest.fail "expected a latency SLI");
+  let o = ok "api: p99.9(my_seconds) < 2s" in
+  Alcotest.(check string) "explicit name" "api" o.Slo.name;
+  (match o.Slo.sli with
+  | Slo.Latency { metric; q; threshold_s } ->
+      Alcotest.(check string) "metric override" "my_seconds" metric;
+      check_float "fractional quantile" 0.999 q;
+      check_float "seconds suffix" 2.0 threshold_s
+  | _ -> Alcotest.fail "expected a latency SLI");
+  (match (ok "p50 < 250us").Slo.sli with
+  | Slo.Latency { threshold_s; _ } ->
+      check_float "us suffix wins over s" 2.5e-4 threshold_s
+  | _ -> Alcotest.fail "expected a latency SLI");
+  let o = ok "error_rate < 0.1%" in
+  check_float "percent budget" 0.001 o.Slo.budget;
+  (match o.Slo.sli with
+  | Slo.Error_rate { metric } ->
+      Alcotest.(check string) "default metric" Slo.default_error_metric metric
+  | _ -> Alcotest.fail "expected an error-rate SLI");
+  let o = ok "err: error_rate(my_total) < 0.02" in
+  check_float "bare fraction budget" 0.02 o.Slo.budget;
+  (match o.Slo.sli with
+  | Slo.Error_rate { metric } ->
+      Alcotest.(check string) "metric override" "my_total" metric
+  | _ -> Alcotest.fail "expected an error-rate SLI");
+  List.iter
+    (fun spec ->
+      match Slo.parse_objective spec with
+      | Ok _ -> Alcotest.failf "%S should not parse" spec
+      | Error _ -> ())
+    [
+      "garbage";
+      "p99 < 50";
+      "p0 < 1s";
+      "p100 < 1s";
+      "error_rate < 150%";
+      "error_rate < 0";
+      "p99(bad name) < 1s";
+      "p99 < -3ms";
+    ]
+
+let slo_error_counter registry code =
+  Metrics.counter ~registry
+    ~labels:[ ("code", code); ("route", "/x") ]
+    "urs_http_requests_total"
+
+let test_slo_burn_and_breach () =
+  with_clean_ledger @@ fun () ->
+  Ledger.set_memory true;
+  let registry = Metrics.create () in
+  let now = ref 0.0 in
+  let obj = Slo.parse_objective_exn "error_rate < 1%" in
+  let slo = Slo.create ~clock:(fun () -> !now) ~registry [ obj ] in
+  let emit ~bad ~good =
+    Metrics.inc ~by:(float_of_int good) (slo_error_counter registry "200");
+    if bad > 0 then
+      Metrics.inc ~by:(float_of_int bad) (slo_error_counter registry "500")
+  in
+  (* an hour of clean traffic *)
+  for _ = 1 to 61 do
+    now := !now +. 60.0;
+    emit ~bad:0 ~good:1000;
+    Slo.tick slo
+  done;
+  (match Slo.evaluate slo with
+  | [ ev ] ->
+      Alcotest.(check bool) "healthy run not breached" false ev.Slo.breached;
+      check_float "current error rate zero" 0.0 ev.Slo.current;
+      List.iter
+        (fun (w : Slo.window_eval) ->
+          check_float ("zero burn in " ^ w.Slo.window) 0.0 w.Slo.burn_rate)
+        ev.Slo.windows
+  | evs -> Alcotest.failf "expected one eval, got %d" (List.length evs));
+  (* one bad minute: the fast window alarms, the slow window holds, so
+     the multi-window rule does not page *)
+  now := !now +. 60.0;
+  emit ~bad:200 ~good:800;
+  (match Slo.evaluate slo with
+  | [ ev ] ->
+      Alcotest.(check bool) "brief blip not breached" false ev.Slo.breached;
+      let burn label =
+        (List.find (fun (w : Slo.window_eval) -> w.Slo.window = label)
+           ev.Slo.windows)
+          .Slo.burn_rate
+      in
+      if burn "5m" <= 1.0 then
+        Alcotest.failf "fast window should burn > 1, got %g" (burn "5m");
+      if burn "1h" > 1.0 then
+        Alcotest.failf "slow window should hold, got %g" (burn "1h")
+  | evs -> Alcotest.failf "expected one eval, got %d" (List.length evs));
+  (* sustained 10%% errors: every window burns, the objective breaches *)
+  for _ = 1 to 10 do
+    now := !now +. 60.0;
+    emit ~bad:100 ~good:900;
+    Slo.tick slo
+  done;
+  (match Slo.evaluate slo with
+  | [ ev ] ->
+      Alcotest.(check bool) "sustained failure breaches" true ev.Slo.breached;
+      Alcotest.(check bool) "any_breached agrees" true (Slo.any_breached [ ev ])
+  | evs -> Alcotest.failf "expected one eval, got %d" (List.length evs));
+  (* burn-rate and breached gauges landed on the engine's registry *)
+  (match
+     Metrics.value ~registry
+       ~labels:[ ("objective", obj.Slo.name); ("window", "5m") ]
+       "urs_slo_burn_rate"
+   with
+  | Some v when v > 1.0 -> ()
+  | Some v -> Alcotest.failf "burn-rate gauge %g should exceed 1" v
+  | None -> Alcotest.fail "urs_slo_burn_rate gauge missing");
+  (match
+     Metrics.value ~registry
+       ~labels:[ ("objective", obj.Slo.name) ]
+       "urs_slo_breached"
+   with
+  | Some v -> check_float "breached gauge set" 1.0 v
+  | None -> Alcotest.fail "urs_slo_breached gauge missing");
+  (* ... and every evaluation journaled one slo record per objective *)
+  let slo_records =
+    List.filter (fun r -> r.Ledger.kind = "slo") (Ledger.recent ())
+  in
+  Alcotest.(check int) "three evaluations journaled" 3
+    (List.length slo_records);
+  Alcotest.(check bool) "a breach outcome recorded" true
+    (List.exists (fun r -> r.Ledger.outcome = "breach") slo_records)
+
+let test_slo_latency_sli () =
+  let registry = Metrics.create () in
+  let now = ref 0.0 in
+  let obj = Slo.parse_objective_exn "p99 < 50ms" in
+  let slo = Slo.create ~clock:(fun () -> !now) ~registry [ obj ] in
+  let hist =
+    Metrics.histogram ~registry ~buckets:Metrics.default_latency_buckets
+      ~labels:[ ("route", "/x") ]
+      "urs_http_request_seconds"
+  in
+  let emit ~slow ~fast =
+    for _ = 1 to fast do
+      Metrics.observe hist 0.004
+    done;
+    for _ = 1 to slow do
+      Metrics.observe hist 0.2
+    done
+  in
+  for _ = 1 to 61 do
+    now := !now +. 60.0;
+    emit ~slow:0 ~fast:100;
+    Slo.tick slo
+  done;
+  (match Slo.evaluate slo with
+  | [ ev ] ->
+      Alcotest.(check bool) "fast traffic holds" false ev.Slo.breached;
+      if Float.is_nan ev.Slo.current || ev.Slo.current > 0.05 then
+        Alcotest.failf "current p99 %g should sit below 50ms" ev.Slo.current
+  | evs -> Alcotest.failf "expected one eval, got %d" (List.length evs));
+  (* ten minutes with 20%% of requests at 200ms against a 1%% budget *)
+  for _ = 1 to 10 do
+    now := !now +. 60.0;
+    emit ~slow:20 ~fast:80;
+    Slo.tick slo
+  done;
+  match Slo.evaluate slo with
+  | [ ev ] ->
+      Alcotest.(check bool) "slow tail breaches" true ev.Slo.breached;
+      if not (ev.Slo.current > 0.05) then
+        Alcotest.failf "current p99 %g should exceed the threshold"
+          ev.Slo.current
+  | evs -> Alcotest.failf "expected one eval, got %d" (List.length evs)
+
+let test_slo_young_engine () =
+  (* no traffic at all: nothing burns, nothing breaches, the current
+     value is honest about having no data *)
+  let registry = Metrics.create () in
+  let slo =
+    Slo.create
+      ~clock:(fun () -> 0.0)
+      ~registry
+      [ Slo.parse_objective_exn "p99 < 50ms" ]
+  in
+  match Slo.evaluate slo with
+  | [ ev ] ->
+      Alcotest.(check bool) "not breached" false ev.Slo.breached;
+      check_nan "no data yet" ev.Slo.current;
+      List.iter
+        (fun (w : Slo.window_eval) ->
+          check_float "no burn" 0.0 w.Slo.burn_rate)
+        ev.Slo.windows;
+      check_contains "json shape" (Json.to_string (Slo.to_json [ ev ]))
+        {|"breached":false|}
+  | evs -> Alcotest.failf "expected one eval, got %d" (List.length evs)
+
 let () =
   Alcotest.run "urs_obs"
     [
@@ -1960,6 +2374,29 @@ let () =
           Alcotest.test_case "metrics route" `Quick test_http_metrics_route;
           Alcotest.test_case "query helpers" `Quick test_query_helpers;
           Alcotest.test_case "request middleware" `Quick test_http_middleware;
+          Alcotest.test_case "client timeout on silent server" `Quick
+            test_http_client_timeout;
+          Alcotest.test_case "post body vetting" `Quick test_http_post_vetting;
+        ] );
+      ( "quantiles",
+        [
+          Alcotest.test_case "boundary exactness" `Quick test_quantile_boundary;
+          Alcotest.test_case "nan cases" `Quick test_quantile_nan_cases;
+          Alcotest.test_case "vs empirical quantile" `Quick
+            test_quantile_vs_empirical;
+        ] );
+      ( "routes",
+        [
+          Alcotest.test_case "metrics content type and formats" `Quick
+            test_metrics_route_content_type;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "objective parsing" `Quick test_slo_parse;
+          Alcotest.test_case "burn rate and breach" `Quick
+            test_slo_burn_and_breach;
+          Alcotest.test_case "latency sli" `Quick test_slo_latency_sli;
+          Alcotest.test_case "young engine" `Quick test_slo_young_engine;
         ] );
       ( "timeline",
         [
