@@ -88,7 +88,7 @@ report-smoke: build
 	  dune exec bench/main.exe -- n5 > /dev/null
 	URS_BENCH_HISTORY=/tmp/urs_report_history.jsonl \
 	  dune exec bench/main.exe -- n5 > /dev/null
-	dune exec bin/urs_cli.exe -- report \
+	dune exec bin/urs_cli.exe -- report --detect \
 	  --history /tmp/urs_report_history.jsonl --last 2
 	@echo "report-smoke: ok"
 
@@ -96,7 +96,11 @@ report-smoke: build
 # open-loop solve traffic must finish with zero 5xx, a finite p99 from
 # the histogram-quantile export and `urs slo check` exit 0; the same
 # server with a starved solver (--solve-max-iter 1) must breach the
-# error-rate SLO and flip `urs slo check` to exit 1.
+# error-rate SLO and flip `urs slo check` to exit 1. The healthy leg
+# runs the ledger with rotation (64 KiB segments, keep 3, batched
+# flushes) and must end disk-bounded with every segment parseable; a
+# third bounded-retention leg reconciles `urs query` per-route counts
+# against urs_http_requests_total.
 soak-smoke: build
 	sh scripts/soak_smoke.sh
 

@@ -18,6 +18,9 @@ type obs = {
   trace : string option;
   trace_format : [ `Flame | `Perfetto ];
   ledger : string option;
+  ledger_max_bytes : int option;
+  ledger_keep : int;
+  ledger_flush_every : int;
   serve : int option;
   jobs : int;
   profile_gc : bool;
@@ -127,7 +130,9 @@ let with_obs obs f =
   if obs.profile_gc then Urs_obs.Runtime.set_profiling true;
   let started_events = obs.profile_gc && Urs_obs.Runtime.start_events () in
   (match obs.ledger with
-  | Some path -> Urs_obs.Ledger.open_file path
+  | Some path ->
+      Urs_obs.Ledger.open_file ?max_bytes:obs.ledger_max_bytes
+        ~keep:obs.ledger_keep ~flush_every:obs.ledger_flush_every path
   | None -> ());
   let server =
     match obs.serve with
@@ -218,6 +223,39 @@ let obs_t =
              simulation replication to $(docv) (the run ledger; see the \
              README).")
   in
+  let ledger_max_bytes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ledger-max-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Rotate the --ledger file before an append would push it past \
+             $(docv) bytes: the live file is renamed to FILE.1 (FILE.1 to \
+             FILE.2, ...) and segments beyond --ledger-keep are deleted. \
+             Readers ($(b,urs query), $(b,urs report --ledger), \
+             $(b,urs trace grep)) merge every surviving segment \
+             oldest-first. Without the flag the ledger grows unbounded.")
+  in
+  let ledger_keep =
+    Arg.(
+      value & opt int 3
+      & info [ "ledger-keep" ] ~docv:"K"
+          ~doc:
+            "Rotated segments to retain alongside the live ledger file \
+             (default 3; at most $(docv)+1 files ever exist). Only \
+             meaningful with --ledger-max-bytes.")
+  in
+  let ledger_flush_every =
+    Arg.(
+      value & opt int 1
+      & info [ "ledger-flush-every" ] ~docv:"N"
+          ~doc:
+            "Buffer up to $(docv) ledger records between flushes (default \
+             1: every record is flushed as it is written). Larger values \
+             batch the write path under heavy append load; the buffer is \
+             always flushed at rotation and at exit, so at most $(docv)-1 \
+             records are at risk in a crash.")
+  in
   let serve =
     Arg.(
       value
@@ -255,17 +293,43 @@ let obs_t =
              as GC slices and counter tracks. Off by default (zero \
              overhead).")
   in
-  let make verbose metrics format trace trace_format ledger serve jobs
-      profile_gc =
+  let make verbose metrics format trace trace_format ledger ledger_max_bytes
+      ledger_keep ledger_flush_every serve jobs profile_gc =
     setup_logs (List.length verbose);
     if jobs < 1 then
       Format.eprintf "urs: ignoring --jobs %d (must be >= 1)@." jobs;
-    { metrics; format; trace; trace_format; ledger; serve; jobs = max 1 jobs;
-      profile_gc }
+    { metrics; format; trace; trace_format; ledger; ledger_max_bytes;
+      ledger_keep; ledger_flush_every; serve; jobs = max 1 jobs; profile_gc }
   in
   Term.(
     const make $ verbose $ metrics $ format $ trace $ trace_format $ ledger
-    $ serve $ jobs $ profile_gc)
+    $ ledger_max_bytes $ ledger_keep $ ledger_flush_every $ serve $ jobs
+    $ profile_gc)
+
+(* ---- streaming ledger reads ----
+
+   Every user-facing ledger scan goes through Ledger.fold_path: rotated
+   segments are merged oldest-first and a torn tail (a crashed or
+   still-running writer's partial last line) is skipped and counted
+   rather than fatal. *)
+
+let warn_ledger_stats cmd (stats : Urs_obs.Ledger.fold_stats) =
+  if stats.Urs_obs.Ledger.malformed > 0 then
+    Format.eprintf "urs %s: skipped %d malformed ledger line(s) (torn tail?)@."
+      cmd stats.Urs_obs.Ledger.malformed
+
+let read_ledger_records ?filter cmd path =
+  let keep =
+    match filter with None -> fun _ -> true | Some f -> f
+  in
+  match
+    Urs_obs.Ledger.fold_path path ~init:[] ~f:(fun acc r ->
+        if keep r then r :: acc else acc)
+  with
+  | Error msg -> Error msg
+  | Ok (rev, stats) ->
+      warn_ledger_stats cmd stats;
+      Ok (List.rev rev)
 
 (* ---- shared argument parsing ---- *)
 
@@ -813,18 +877,16 @@ let inspect_cmd =
     | Some path -> (
         (* summaries only: the ledger carries the per-trace digest, not
            the per-iteration samples *)
-        match Urs_obs.Ledger.read_file path with
+        match
+          read_ledger_records "inspect" path
+            ~filter:(fun (r : Urs_obs.Ledger.record) ->
+              r.Urs_obs.Ledger.kind = "convergence"
+              && match solver_filter with
+                 | None -> true
+                 | Some s -> str_field r.Urs_obs.Ledger.params "solver" = s)
+        with
         | Error msg -> `Error (false, "cannot read ledger: " ^ msg)
         | Ok records ->
-            let records =
-              List.filter
-                (fun (r : Urs_obs.Ledger.record) ->
-                  r.Urs_obs.Ledger.kind = "convergence"
-                  && match solver_filter with
-                     | None -> true
-                     | Some s -> str_field r.Urs_obs.Ledger.params "solver" = s)
-                records
-            in
             if records = [] then
               `Error (false, path ^ ": no convergence records")
             else begin
@@ -989,7 +1051,25 @@ let serve_cmd =
            /timeline /progress /runtime /convergence /slo, POST /solve) — \
            Ctrl-C to stop@."
           (Urs_obs.Http.port server);
-        Urs_obs.Http.wait server;
+        (* SIGTERM / Ctrl-C kick the accept loop instead of killing the
+           process, so the unwind reaches with_obs's cleanup and the
+           ledger's batched tail (--ledger-flush-every) is flushed and
+           closed. Http.shutdown never joins: the handler may run on
+           the server thread itself. The foreground wait polls a flag
+           rather than joining — a thread parked in pthread_join never
+           reaches a safepoint, so a handler could otherwise starve. *)
+        let stopping = ref false in
+        let quit _ =
+          stopping := true;
+          Urs_obs.Http.shutdown server
+        in
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle quit);
+        Sys.set_signal Sys.sigint (Sys.Signal_handle quit);
+        while not !stopping do
+          Unix.sleepf 0.2
+        done;
+        Urs_obs.Http.stop server;
+        Format.printf "urs: shutting down@.";
         `Ok ()
   in
   let port =
@@ -1518,7 +1598,7 @@ let watch_cmd =
 (* ---- report ---- *)
 
 let report_cmd =
-  let run history last format max_ratio ledger_path =
+  let run history last format max_ratio ledger_path detect =
     match Urs_obs.Perf.read_file history with
     | Error msg -> `Error (false, "cannot read history: " ^ msg)
     | Ok [] -> `Error (false, Printf.sprintf "%s: no history entries" history)
@@ -1543,7 +1623,7 @@ let report_cmd =
         (match ledger_path with
         | None -> ()
         | Some path -> (
-            match Urs_obs.Ledger.read_file path with
+            match read_ledger_records "report" path with
             | Error msg ->
                 Format.eprintf "urs report: cannot read ledger: %s@." msg
             | Ok records -> (
@@ -1554,8 +1634,24 @@ let report_cmd =
                       ^ Urs_obs.Perf.render_ledger_digest
                           (Urs_obs.Perf.ledger_digest records))
                 | `Json | `Data -> ())));
+        let drift_breach =
+          if not detect then false
+          else begin
+            let drifts = Urs_obs.Perf.detect_drift entries in
+            let solvers = List.length r.Urs_obs.Perf.trends in
+            (match format with
+            | `Table | `Markdown ->
+                print_string ("\n" ^ Urs_obs.Perf.render_drifts ~solvers drifts)
+            | `Json ->
+                print_string
+                  (Urs_obs.Json.to_string (Urs_obs.Perf.drifts_json drifts)
+                  ^ "\n")
+            | `Data -> ());
+            Urs_obs.Perf.drift_regressions drifts <> []
+          end
+        in
         (* the CI gate greps the exit status, not the output *)
-        if r.Urs_obs.Perf.breaches <> [] then exit 1;
+        if r.Urs_obs.Perf.breaches <> [] || drift_breach then exit 1;
         `Ok ()
   in
   let history =
@@ -1604,15 +1700,280 @@ let report_cmd =
             "Also digest a run-ledger JSONL (records and wall time by kind) \
              into table/markdown output.")
   in
+  let detect =
+    Arg.(
+      value & flag
+      & info [ "detect" ]
+          ~doc:
+            "Also run CUSUM change-point detection over each solver's \
+             per-run wall times (in log space — a regression is a \
+             multiplicative step). Any step is reported with the run and \
+             commit it arrived with; a confirmed upward step on a gated \
+             solver also makes the command exit 1. Short histories (fewer \
+             than 10 runs per solver) never flag.")
+  in
   Cmd.v
     (Cmd.info "report"
        ~doc:
          "Aggregate the bench perf history (and optionally a run ledger) \
           into a regression report: per-solver wall-time and \
           alloc-per-solve trends, ratio vs. best-known. Exits 1 when the \
-          latest gated (spectral) entry regresses beyond --max-ratio, so \
-          CI can gate on trends.")
-    Term.(ret (const run $ history $ last $ format $ max_ratio $ ledger_path))
+          latest gated (spectral) entry regresses beyond --max-ratio (or, \
+          with $(b,--detect), when a change-point step is confirmed on a \
+          gated solver), so CI can gate on trends.")
+    Term.(
+      ret
+        (const run $ history $ last $ format $ max_ratio $ ledger_path
+       $ detect))
+
+(* ---- query ---- *)
+
+let query_cmd =
+  let run ledger kind strategy outcome route trace_id since until group_by
+      aggs format no_index =
+    let module Q = Urs_obs.Query in
+    let parse_aggs specs =
+      let specs = if specs = [] then [ "count" ] else specs in
+      List.fold_left
+        (fun acc spec ->
+          match (acc, Q.parse_agg spec) with
+          | (Error _ as e), _ -> e
+          | Ok l, Ok a -> Ok (l @ [ a ])
+          | Ok _, Error msg -> Error ("--agg " ^ spec ^ ": " ^ msg))
+        (Ok []) specs
+    in
+    match
+      (Q.parse_group_by (Option.value group_by ~default:""), parse_aggs aggs)
+    with
+    | Error msg, _ -> `Error (false, "--group-by: " ^ msg)
+    | _, Error msg -> `Error (false, msg)
+    | Ok group_by, Ok aggs -> (
+        let filter =
+          { Q.kind; strategy; outcome; route; trace_id; since; until }
+        in
+        match
+          Q.run ~use_index:(not no_index) ~filter ~group_by ~aggs ledger
+        with
+        | Error msg -> `Error (false, msg)
+        | Ok t ->
+            if t.Q.malformed > 0 then
+              Format.eprintf
+                "urs query: skipped %d malformed ledger line(s) (torn \
+                 tail?)@."
+                t.Q.malformed;
+            print_string
+              (match format with
+              | `Table -> Q.render_table t
+              | `Json -> Q.render_json t ^ "\n"
+              | `Data -> Q.render_data t);
+            `Ok ())
+  in
+  let ledger =
+    Arg.(
+      value
+      & opt string "BENCH_ledger.jsonl"
+      & info [ "ledger" ] ~docv:"FILE"
+          ~doc:
+            "Ledger to query (urs-ledger JSONL). Rotated segments \
+             ($(docv).1, $(docv).2, ...) are merged oldest-first \
+             automatically.")
+  in
+  let filter_opt names docv doc =
+    Arg.(value & opt (some string) None & info names ~docv ~doc)
+  in
+  let kind = filter_opt [ "kind" ] "KIND"
+      "Only records of this kind (solve, sweep.point, http.access, ...)."
+  in
+  let strategy = filter_opt [ "strategy" ] "NAME"
+      "Only records with this strategy (solver name)."
+  in
+  let outcome = filter_opt [ "outcome" ] "OUTCOME"
+      "Only records with this outcome (ok, error, ...)."
+  in
+  let route = filter_opt [ "route" ] "ROUTE"
+      "Only http.access records for this route param."
+  in
+  let trace_id = filter_opt [ "trace" ] "TRACE_ID"
+      "Only records stamped with this trace id."
+  in
+  let time_opt names doc =
+    Arg.(value & opt (some float) None & info names ~docv:"UNIX_TS" ~doc)
+  in
+  let since =
+    time_opt [ "since" ]
+      "Only records with time >= $(docv) (inclusive; unix seconds)."
+  in
+  let until =
+    time_opt [ "until" ] "Only records with time <= $(docv) (inclusive)."
+  in
+  let group_by =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "group-by" ] ~docv:"KEYS"
+          ~doc:
+            "Comma-separated grouping keys: $(b,kind), $(b,strategy), \
+             $(b,outcome), $(b,route), $(b,trace). Without the flag \
+             everything aggregates into one row.")
+  in
+  let aggs =
+    Arg.(
+      value & opt_all string []
+      & info [ "agg" ] ~docv:"AGG"
+          ~doc:
+            "Aggregation (repeatable; default $(b,count)): $(b,count), \
+             $(b,rate), $(b,mean(F)), $(b,stddev(F)), $(b,min(F)), \
+             $(b,max(F)) or $(b,pN(F)) — N a percentile like 50, 99 or \
+             99.9 and F a field: $(b,wall_seconds), $(b,time), or any \
+             gauge/summary/param name.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("table", `Table); ("json", `Json); ("data", `Data) ])
+          `Table
+      & info [ "format" ]
+          ~doc:
+            "Output format: $(b,table) (fixed-width text), $(b,json), or \
+             $(b,data) (gnuplot-ready columns).")
+  in
+  let no_index =
+    Arg.(
+      value & flag
+      & info [ "no-index" ]
+          ~doc:
+            "Ignore the sparse sidecar indexes (FILE.idx) and parse every \
+             line. The default uses them to seek over blocks the --kind / \
+             --since / --until filters rule out.")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Filter, group and aggregate a run ledger (all rotated segments, \
+          streaming — a torn tail line is skipped with a warning, not \
+          fatal). Aggregations reuse the library's estimators, e.g. \
+          $(b,urs query --kind http.access --group-by route --agg count \
+          --agg p99(wall_seconds)).")
+    Term.(
+      ret
+        (const run $ ledger $ kind $ strategy $ outcome $ route $ trace_id
+       $ since $ until $ group_by $ aggs $ format $ no_index))
+
+(* ---- tail ---- *)
+
+let tail_cmd =
+  let run port kind n since_seq follow =
+    let open Urs_obs in
+    let str_field kvs k =
+      match List.assoc_opt k kvs with
+      | Some (Json.String s) -> s
+      | Some j -> Json.to_string j
+      | None -> "-"
+    in
+    let print_record (r : Ledger.record) =
+      if r.Ledger.kind = "http.access" then
+        Format.printf "[seq %d] %s %s -> %s (%.3fms) trace=%s@." r.Ledger.seq
+          (str_field r.Ledger.params "method")
+          (str_field r.Ledger.params "path")
+          (str_field r.Ledger.summary "status")
+          (r.Ledger.wall_seconds *. 1e3)
+          (Option.value r.Ledger.trace_id ~default:"-")
+      else
+        Format.printf "[seq %d] %s%s %s %.3fms trace=%s@." r.Ledger.seq
+          r.Ledger.kind
+          (match r.Ledger.strategy with Some s -> "/" ^ s | None -> "")
+          r.Ledger.outcome
+          (r.Ledger.wall_seconds *. 1e3)
+          (Option.value r.Ledger.trace_id ~default:"-")
+    in
+    let fetch ~seq ~wait_ms =
+      let path =
+        Printf.sprintf "/tail?since_seq=%d&n=%d&wait_ms=%d%s" seq n wait_ms
+          (match kind with None -> "" | Some k -> "&kind=" ^ k)
+      in
+      (* the server answers within max_tail_wait_ms; pad the socket
+         timeout so a full long-poll never reads as unreachable *)
+      let timeout_s = (float_of_int wait_ms /. 1000.0) +. 5.0 in
+      match Http.get ~timeout_s ~port path with
+      | Error msg ->
+          Error (Printf.sprintf "127.0.0.1:%d unreachable (%s)" port msg)
+      | Ok (status, body) when status <> 200 ->
+          Error (Printf.sprintf "/tail returned %d: %s" status
+                   (String.trim body))
+      | Ok (_, body) -> (
+          match Json.of_string (String.trim body) with
+          | Error msg -> Error ("bad /tail JSON: " ^ msg)
+          | Ok j ->
+              let cursor =
+                match Option.bind (Json.member "seq" j) Json.to_float_opt with
+                | Some f -> int_of_float f
+                | None -> seq
+              in
+              let records =
+                match Json.member "records" j with
+                | Some (Json.List rs) ->
+                    List.filter_map
+                      (fun rj -> Result.to_option (Ledger.of_json rj))
+                      rs
+                | _ -> []
+              in
+              Ok (records, cursor))
+    in
+    let rec loop seq =
+      let wait_ms = if follow then Routes.max_tail_wait_ms else 0 in
+      match fetch ~seq ~wait_ms with
+      | Error msg -> `Error (false, "urs tail: " ^ msg)
+      | Ok (records, cursor) ->
+          List.iter print_record records;
+          if follow then loop cursor else `Ok ()
+    in
+    loop since_seq
+  in
+  let port =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:
+            "Port of a running $(b,urs serve) or $(b,--serve-metrics) \
+             server on 127.0.0.1.")
+  in
+  let kind =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:"Only records of this kind (e.g. http.access, solve).")
+  in
+  let n =
+    Arg.(
+      value & opt int 100
+      & info [ "n" ] ~docv:"N" ~doc:"Records per poll (default 100).")
+  in
+  let since_seq =
+    Arg.(
+      value & opt int 0
+      & info [ "since-seq" ] ~docv:"SEQ"
+          ~doc:
+            "Start the cursor after this sequence number (default 0: \
+             everything still in the server's ring).")
+  in
+  let follow =
+    Arg.(
+      value & flag
+      & info [ "f"; "follow" ]
+          ~doc:
+            "Keep long-polling for new records (tail -f) until \
+             interrupted; without it, print one page and exit.")
+  in
+  Cmd.v
+    (Cmd.info "tail"
+       ~doc:
+         "Stream recent ledger records from another urs process's /tail \
+          endpoint (the in-memory ring): one page by default, a live \
+          follow with $(b,--follow). The cursor never skips records the \
+          server still holds, even across truncated pages.")
+    Term.(ret (const run $ port $ kind $ n $ since_seq $ follow))
 
 (* ---- trace ---- *)
 
@@ -1638,15 +1999,13 @@ let trace_grep_cmd =
       (match ledger_path with
       | None -> ()
       | Some path -> (
-          match Ledger.read_file path with
+          match
+            read_ledger_records "trace" path
+              ~filter:(fun r -> r.Ledger.trace_id = Some id)
+          with
           | Error msg ->
               Format.eprintf "urs trace: cannot read ledger: %s@." msg
-          | Ok records ->
-              let hits =
-                List.filter
-                  (fun r -> r.Ledger.trace_id = Some id)
-                  records
-              in
+          | Ok hits ->
               if hits <> [] then begin
                 matches := !matches + List.length hits;
                 Format.printf "ledger %s: %d record(s)@." path
@@ -1823,6 +2182,7 @@ let () =
     Cmd.group info
       [ solve_cmd; stability_cmd; optimize_cmd; capacity_cmd; simulate_cmd;
         sweep_cmd; metrics_cmd; dataset_cmd; fit_cmd; doctor_cmd; inspect_cmd;
-        serve_cmd; loadgen_cmd; slo_cmd; watch_cmd; report_cmd; trace_cmd ]
+        serve_cmd; loadgen_cmd; slo_cmd; watch_cmd; report_cmd; query_cmd;
+        tail_cmd; trace_cmd ]
   in
   exit (Cmd.eval group)

@@ -443,12 +443,15 @@ let start ?(addr = "127.0.0.1") ?(max_body_bytes = default_max_body_bytes)
 
 let port t = t.port
 
-let stop t =
+let shutdown t =
   t.stopping := true;
   (* closing the listening socket makes the blocked accept fail, which
      terminates the loop *)
   (try Unix.shutdown t.sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
-  (try Unix.close t.sock with Unix.Unix_error _ -> ());
+  (try Unix.close t.sock with Unix.Unix_error _ -> ())
+
+let stop t =
+  shutdown t;
   Thread.join t.thread
 
 let wait t = Thread.join t.thread

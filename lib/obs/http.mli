@@ -95,6 +95,12 @@ val start :
 val port : t -> int
 (** The actual bound port (useful with [~port:0]). *)
 
+val shutdown : t -> unit
+(** {!stop} without the join: close the listening socket so the accept
+    loop winds down, but never block. Safe to call from a signal
+    handler (which may run on the server thread itself, where joining
+    would deadlock); a later {!wait} or {!stop} observes the exit. *)
+
 val stop : t -> unit
 (** Close the listening socket and join the server thread. In-flight
     requests finish; queued connections are dropped. *)

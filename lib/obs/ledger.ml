@@ -24,7 +24,7 @@ let accepted_schemas = [ "urs-ledger/1"; "urs-ledger/2" ]
 
 (* ---- sinks ---- *)
 
-let channel : out_channel option ref = ref None
+let store : Ledger_store.t option ref = ref None
 
 let memory_enabled = ref false
 
@@ -44,15 +44,13 @@ let with_lock f =
 
 let seq_counter = ref 0
 
-let active () = !channel <> None || !memory_enabled
+let active () = !store <> None || !memory_enabled
 
 let close_unlocked () =
-  (match !channel with
-  | Some oc ->
-      (try flush oc with Sys_error _ -> ());
-      close_out_noerr oc
+  (match !store with
+  | Some st -> ( try Ledger_store.close st with Sys_error _ -> ())
   | None -> ());
-  channel := None
+  store := None
 
 let set_memory b =
   with_lock (fun () ->
@@ -61,15 +59,11 @@ let set_memory b =
 
 let close () = with_lock close_unlocked
 
-let open_file ?(truncate = false) path =
-  let flags =
-    Open_wronly :: Open_creat
-    :: (if truncate then [ Open_trunc ] else [ Open_append ])
-  in
-  let oc = open_out_gen flags 0o644 path in
+let open_file ?(truncate = false) ?max_bytes ?keep ?flush_every path =
+  let st = Ledger_store.open_ ~truncate ?max_bytes ?keep ?flush_every path in
   with_lock (fun () ->
       close_unlocked ();
-      channel := Some oc)
+      store := Some st)
 
 let recent ?(limit = max_recent) () =
   (* snapshot to an immutable list inside the critical section; the
@@ -193,7 +187,7 @@ let record ?strategy ?(params = []) ?(outcome = "ok") ?(summary = [])
   let trace_id = Option.map Context.trace_id_hex ctx in
   let span_id = Option.map Context.span_id_hex ctx in
   with_lock (fun () ->
-      if !channel <> None || !memory_enabled then begin
+      if !store <> None || !memory_enabled then begin
         incr seq_counter;
         let r =
           {
@@ -215,14 +209,60 @@ let record ?strategy ?(params = []) ?(outcome = "ok") ?(summary = [])
           if Queue.length recent_q > max_recent then
             ignore (Queue.pop recent_q)
         end;
-        match !channel with
+        match !store with
         | None -> ()
-        | Some oc -> (
-            try
-              Json.to_channel oc (to_json r);
-              flush oc
+        | Some st -> (
+            try Ledger_store.write st ~kind ~time (Json.to_string (to_json r))
             with Sys_error _ -> ())
       end)
+
+(* ---- tail cursor over the memory ring ---- *)
+
+let since ?kind ?(limit = max_recent) ~seq () =
+  with_lock (fun () ->
+      let latest = !seq_counter in
+      let matched =
+        Queue.fold
+          (fun acc r ->
+            if
+              r.seq > seq
+              && (match kind with None -> true | Some k -> r.kind = k)
+            then r :: acc
+            else acc)
+          [] recent_q
+      in
+      let matched = List.rev matched in
+      let rec take n = function
+        | x :: tl when n > 0 -> x :: take (n - 1) tl
+        | _ -> []
+      in
+      let page = take limit matched in
+      (* a truncated page must return the last seq actually delivered,
+         not the global counter, or the client's next poll would skip
+         everything between the page and the counter *)
+      let cursor =
+        if List.length matched > List.length page then
+          match List.rev page with r :: _ -> r.seq | [] -> latest
+        else latest
+      in
+      (page, cursor))
+
+let wait_since ?kind ?limit ~seq ~timeout_s () =
+  (* poll the ring rather than block on a condition variable: the
+     stdlib Condition has no timed wait, and 50 ms of tail latency is
+     invisible to an operator. The deadline uses the wall clock, not
+     Span.now — a frozen test clock must not turn this into a spin. *)
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    let rs, latest = since ?kind ?limit ~seq () in
+    if rs <> [] || timeout_s <= 0.0 || Unix.gettimeofday () >= deadline then
+      (rs, latest)
+    else begin
+      Thread.delay 0.05;
+      go ()
+    end
+  in
+  go ()
 
 (* ---- reading ---- *)
 
@@ -248,3 +288,49 @@ let read_file path =
                     | Ok r -> go (r :: acc) (lineno + 1)))
           in
           go [] 1)
+
+(* ---- streaming reads ---- *)
+
+type fold_stats = { malformed : int; seeked_records : int }
+
+let parse_line line = Result.bind (Json.of_string line) of_json
+
+let fold_file ?should_skip path ~init ~f =
+  match
+    Ledger_store.fold_lines ?should_skip path ~init:(init, 0)
+      ~f:(fun (acc, bad) line ->
+        if line = "" then (acc, bad)
+        else
+          match parse_line line with
+          | Ok r -> (f acc r, bad)
+          | Error _ ->
+              (* malformed mid-file line or the torn tail of a crashed
+                 writer: count it and keep going *)
+              (acc, bad + 1))
+  with
+  | Error _ as e -> e
+  | Ok ((acc, malformed), seeked_records) ->
+      Ok (acc, { malformed; seeked_records })
+
+let fold_path ?should_skip path ~init ~f =
+  match Ledger_store.segments path with
+  | [] -> Error (path ^ ": no such file")
+  | segs ->
+      let acc, stats =
+        List.fold_left
+          (fun (acc, stats) seg ->
+            match fold_file ?should_skip seg ~init:acc ~f with
+            | Error _ ->
+                (* a segment deleted by a racing rotation between the
+                   enumeration and the open: nothing left to read *)
+                (acc, stats)
+            | Ok (acc, s) ->
+                ( acc,
+                  {
+                    malformed = stats.malformed + s.malformed;
+                    seeked_records = stats.seeked_records + s.seeked_records;
+                  } ))
+          (init, { malformed = 0; seeked_records = 0 })
+          segs
+      in
+      Ok (acc, stats)

@@ -72,10 +72,18 @@ val record :
 
 val active : unit -> bool
 
-val open_file : ?truncate:bool -> string -> unit
+val open_file :
+  ?truncate:bool -> ?max_bytes:int -> ?keep:int -> ?flush_every:int ->
+  string -> unit
 (** Start journaling to a file (append mode by default; [~truncate:true]
-    starts fresh). Replaces any previously open file sink. Raises
-    [Sys_error] if the path cannot be opened. *)
+    starts fresh). Replaces any previously open file sink. The sink is a
+    {!Ledger_store}: [max_bytes] enables size-based rotation to
+    [path.1..K] with [keep] (default 3) retained segments, and
+    [flush_every] (default 1) batches channel flushes — see
+    {!Ledger_store.open_}. Every segment grows a sparse [.idx] sidecar
+    that filtered scans ({!fold_file} with [~should_skip], [urs query])
+    use to seek over irrelevant blocks. Raises [Sys_error] if the path
+    cannot be opened. *)
 
 val close : unit -> unit
 (** Flush and close the file sink (keeps the memory sink, if enabled). *)
@@ -87,6 +95,24 @@ val set_memory : bool -> unit
 val recent : ?limit:int -> unit -> record list
 (** Most recent records from the memory ring, oldest first. *)
 
+val since :
+  ?kind:string -> ?limit:int -> seq:int -> unit -> record list * int
+(** [since ~seq ()] is the tail cursor behind [/tail]: ring records
+    with a sequence number strictly greater than [seq] (oldest first,
+    at most [limit], filtered to [kind] when given), plus the client's
+    next cursor — the global sequence counter, except when [limit]
+    truncated the page, in which case it is the last returned record's
+    seq so the next poll resumes where the page ended. Records older
+    than the ring capacity are gone; a cursor further back than that
+    silently resumes at the ring. *)
+
+val wait_since :
+  ?kind:string -> ?limit:int -> seq:int -> timeout_s:float -> unit ->
+  record list * int
+(** {!since}, long-polling: blocks (in 50 ms ticks) until a matching
+    record arrives or [timeout_s] of wall clock elapses, whichever is
+    first. [timeout_s <= 0] degenerates to {!since}. *)
+
 val reset : unit -> unit
 (** Close the file sink, clear and disable the ring, restart [seq] —
     tests. *)
@@ -97,4 +123,33 @@ val of_json : Json.t -> (record, string) result
 
 val read_file : string -> (record list, string) result
 (** Parse a JSONL journal back into records; [Error] carries the path,
-    line number and reason of the first malformed line. *)
+    line number and reason of the first malformed line. Prefer
+    {!fold_file} for anything user-facing: a journal with a torn tail
+    (a crashed writer) should cost one warning, not the whole read. *)
+
+type fold_stats = {
+  malformed : int;
+      (** Lines that did not parse as records (torn tail, corruption)
+          — skipped, not fatal. *)
+  seeked_records : int;
+      (** Records never parsed because their index block was seeked
+          over ([~should_skip]). *)
+}
+
+val fold_file :
+  ?should_skip:(Ledger_store.block -> bool) -> string -> init:'a ->
+  f:('a -> record -> 'a) -> ('a * fold_stats, string) result
+(** Stream one segment file through [f], skipping (and counting)
+    malformed lines instead of aborting. With [~should_skip], the
+    segment's sparse sidecar index is consulted and blocks satisfying
+    the predicate are seeked over without parsing. [Error] only when
+    the file cannot be opened. *)
+
+val fold_path :
+  ?should_skip:(Ledger_store.block -> bool) -> string -> init:'a ->
+  f:('a -> record -> 'a) -> ('a * fold_stats, string) result
+(** {!fold_file} over every segment of the ledger at [path] — rotated
+    segments oldest-first ({!Ledger_store.segments}), then the active
+    file — so records stream in seq order across a rotation. A segment
+    deleted by a racing rotation mid-read is skipped. [Error] when no
+    segment exists at all. *)

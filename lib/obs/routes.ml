@@ -61,6 +61,50 @@ let timeline_response q =
         (Json.Obj
            [ ("series", Json.List (List.map Timeline.snapshot_json snaps)) ])
 
+(* since_seq/wait_ms accept 0 (query_pos_int would not): 0 means "from
+   the beginning" / "answer immediately" *)
+let query_nonneg q name ~default =
+  match Http.query_get q name with
+  | None -> Ok default
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some v when v >= 0 -> Ok v
+      | _ -> Error (Printf.sprintf "%s must be a non-negative integer" name))
+
+(* the server serves sequentially, so an unbounded long-poll would
+   starve /metrics scrapes; cap the wait and let the client re-poll *)
+let max_tail_wait_ms = 10_000
+
+let tail_response q =
+  (* /tail?kind=K&since_seq=S&n=N&wait_ms=W — cursor over the ledger
+     ring: records with seq > S (oldest first, at most N, filtered to
+     kind K), long-polling up to W ms for the first match. The reply's
+     "seq" is the client's next cursor even when no record matched. *)
+  let kind = Http.query_get q "kind" in
+  match
+    ( query_nonneg q "since_seq" ~default:0,
+      Http.query_pos_int q "n" ~default:100,
+      query_nonneg q "wait_ms" ~default:0 )
+  with
+  | Error msg, _, _ | _, Error msg, _ | _, _, Error msg ->
+      Http.respond ~status:400 (msg ^ "\n")
+  | Ok seq, Ok limit, Ok wait_ms ->
+      let wait_ms = min wait_ms max_tail_wait_ms in
+      let records, latest =
+        if wait_ms = 0 then Ledger.since ?kind ~limit ~seq ()
+        else
+          Ledger.wait_since ?kind ~limit ~seq
+            ~timeout_s:(float_of_int wait_ms /. 1000.0)
+            ()
+      in
+      json_response
+        (Json.Obj
+           [
+             ("seq", Json.Int latest);
+             ("count", Json.Int (List.length records));
+             ("records", Json.List (List.map Ledger.to_json records));
+           ])
+
 let convergence_response q =
   (* /convergence?n=N limits the traces returned (newest last) *)
   match Http.query_pos_int q "n" ~default:100 with
@@ -76,6 +120,7 @@ let standard =
     ("/progress", fun _q -> json_response (Progress.to_json ()));
     ("/runtime", fun _q -> json_response (Runtime.status_json ()));
     ("/convergence", convergence_response);
+    ("/tail", tail_response);
   ]
 
 let slo_response slo _q = json_response (Slo.to_json (Slo.evaluate slo))

@@ -6,7 +6,16 @@
     [?format=json] for the JSON rendering — both including interpolated
     p50/p90/p99 per non-empty histogram via {!Export.default_quantiles}),
     [/healthz] (doctor verdict gauge → status code), [/runs] (ledger
-    ring), [/timeline], [/progress], [/runtime], [/convergence]. *)
+    ring), [/timeline], [/progress], [/runtime], [/convergence], and
+    [/tail] ([?kind=&since_seq=&n=&wait_ms=] — a long-polling cursor
+    over the ledger ring via {!Ledger.since}/{!Ledger.wait_since},
+    capped at {!max_tail_wait_ms} because service is sequential; the
+    [urs tail] client re-polls with the returned ["seq"] cursor). *)
+
+val max_tail_wait_ms : int
+(** 10 s — upper bound on [/tail?wait_ms=]. *)
+
+val tail_response : Http.query -> Http.response
 
 val metrics_content_type : string
 (** ["text/plain; version=0.0.4"] — the Prometheus text exposition

@@ -1,0 +1,104 @@
+(* Self-starting two-sided CUSUM over a scalar series.
+
+   The baseline (mean and standard deviation) is estimated online from
+   the points seen so far via Welford, so the detector needs no training
+   split; points are only folded into the baseline while no alarm is
+   pending, which keeps a step change from contaminating its own
+   reference. Each new point is standardized against the current
+   baseline and accumulated into the one-sided statistics
+
+     S+ <- max 0 (S+ + z - drift)     S- <- max 0 (S- - z - drift)
+
+   (Page's test). An alarm fires when either side exceeds [threshold];
+   the change start is the point where the winning side last left zero,
+   which for an abrupt step is the first post-step point.
+
+   Perf series are multiplicative (a 2x regression is a +log 2 step
+   whatever the absolute scale), so callers working on wall times pass
+   the log of the series and read [shift] as a log-ratio. *)
+
+type direction = Up | Down
+
+type change = {
+  start : int;
+  detected : int;
+  direction : direction;
+  shift : float;
+  statistic : float;
+}
+
+let default_threshold = 5.0
+
+let default_drift = 0.5
+
+let default_warmup = 8
+
+(* A few baseline points can wildly underestimate the true spread, and
+   a single heavy-tailed observation should not fire the alarm on its
+   own either way: winsorize the standardized score. A genuine step
+   still accumulates [z_cap - drift] per point, so a 2x step at
+   realistic noise alarms within two points. *)
+let z_cap = 4.0
+
+(* A flat baseline (identical points, or quantized timings) would make
+   every deviation an infinite z-score; floor the scale at a small
+   fraction of the baseline magnitude so the statistic stays finite and
+   a genuine step still dwarfs the floor. *)
+let scale ~mean ~stddev =
+  Float.max stddev (Float.max (1e-3 *. Float.abs mean) 1e-12)
+
+let detect ?(threshold = default_threshold) ?(drift = default_drift)
+    ?(warmup = default_warmup) xs =
+  let n = Array.length xs in
+  if threshold <= 0.0 then invalid_arg "Changepoint.detect: threshold <= 0";
+  if drift < 0.0 then invalid_arg "Changepoint.detect: drift < 0";
+  let warmup = max 2 warmup in
+  if n < warmup + 2 then None
+  else begin
+    let base = Welford.create () in
+    let pos = ref 0.0 and neg = ref 0.0 in
+    (* index where each side last restarted from zero: the change-start
+       estimate if that side alarms *)
+    let pos_start = ref 0 and neg_start = ref 0 in
+    let found = ref None in
+    let i = ref 0 in
+    while !found = None && !i < n do
+      let x = xs.(!i) in
+      if Float.is_finite x then begin
+        if Welford.count base < warmup then Welford.add base x
+        else begin
+          let m = Welford.mean base in
+          let s = scale ~mean:m ~stddev:(Welford.std_dev base) in
+          let z = Float.max (-.z_cap) (Float.min z_cap ((x -. m) /. s)) in
+          if !pos = 0.0 then pos_start := !i;
+          if !neg = 0.0 then neg_start := !i;
+          pos := Float.max 0.0 (!pos +. z -. drift);
+          neg := Float.max 0.0 (!neg -. z -. drift);
+          if !pos > threshold || !neg > threshold then begin
+            let direction, statistic, start =
+              if !pos >= !neg then (Up, !pos, !pos_start)
+              else (Down, !neg, !neg_start)
+            in
+            (* mean shift of the post-change points vs the clean
+               baseline, in input units (a log-ratio for log series) *)
+            let post = Welford.create () in
+            for j = start to !i do
+              if Float.is_finite xs.(j) then Welford.add post xs.(j)
+            done;
+            found :=
+              Some
+                {
+                  start;
+                  detected = !i;
+                  direction;
+                  shift = Welford.mean post -. m;
+                  statistic;
+                }
+          end
+          else Welford.add base x
+        end
+      end;
+      incr i
+    done;
+    !found
+  end

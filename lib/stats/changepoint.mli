@@ -1,0 +1,50 @@
+(** Step-change (change-point) detection on scalar series: a
+    self-starting two-sided CUSUM (Page's test) whose baseline mean and
+    deviation are estimated online from the pre-change points only.
+
+    Built for the perf-history series behind [urs report --detect]: a
+    regression that lands as an abrupt level shift (a slower solver
+    merged at some commit) accumulates standardized deviations linearly
+    and alarms within a few points, while i.i.d. noise around a stable
+    baseline decays back to zero between excursions. Wall-time series
+    are multiplicative, so callers pass [log seconds] and read {!shift}
+    as a log-ratio ([exp shift] is the step factor). *)
+
+type direction = Up | Down
+
+type change = {
+  start : int;
+      (** Index of the estimated first post-change point (where the
+          alarming CUSUM side last left zero). *)
+  detected : int;  (** Index at which the statistic crossed the threshold. *)
+  direction : direction;  (** [Up]: level increased (a regression for
+                              wall times). *)
+  shift : float;
+      (** Estimated mean shift of the post-change points vs the
+          baseline, in input units. *)
+  statistic : float;  (** The winning CUSUM value at detection. *)
+}
+
+val default_threshold : float
+(** [5.0] — standard-deviations budget before an alarm. *)
+
+val default_drift : float
+(** [0.5] — per-point slack absorbed before deviations accumulate
+    (makes the statistic drain to zero under noise). *)
+
+val default_warmup : int
+(** [8] — baseline points folded in before testing starts. Shorter
+    warmups make the online scale estimate unreliable enough to
+    false-alarm on plain noise. *)
+
+val detect :
+  ?threshold:float -> ?drift:float -> ?warmup:int -> float array ->
+  change option
+(** [detect xs] scans the series in order and returns the first
+    confirmed change, or [None] — always [None] for series shorter than
+    [warmup + 2] points (too little history to call anything a step;
+    [warmup] is clamped to at least 2). Non-finite points are skipped.
+    Standardized scores are winsorized at 4 so no single outlier (or
+    early underestimated scale) fires the alarm by itself. Raises
+    [Invalid_argument] on a non-positive [threshold] or negative
+    [drift]. *)

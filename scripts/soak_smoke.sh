@@ -8,6 +8,14 @@
 # `urs slo check` to exit 1 and journal the breach. Used by
 # `make soak-smoke` (and hence `make ci`).
 #
+# The healthy leg also soaks the telemetry pipeline: the ledger runs
+# with rotation (--ledger-max-bytes 65536 --ledger-keep 3) and batched
+# flushing (--ledger-flush-every 64), and afterwards the disk footprint
+# must be bounded (at most 4 segment files, at most 256 KiB total) with
+# every surviving segment parseable. A third, bounded-traffic leg keeps
+# enough retention that nothing is deleted and cross-checks `urs query`
+# per-route counts against the server's urs_http_requests_total.
+#
 # SOAK_SECONDS (default 60) bounds the loadgen leg.
 set -eu
 
@@ -46,8 +54,10 @@ wait_up() {
 
 # ---- healthy leg: sustained solve traffic, SLOs must hold ----
 
-rm -f "$LEDGER" "$OUT"
-"$BIN" serve --port "$PORT" --ledger "$LEDGER" >"$LOG" 2>&1 &
+rm -f "$LEDGER" "$LEDGER".* "$OUT"
+"$BIN" serve --port "$PORT" --ledger "$LEDGER" \
+  --ledger-max-bytes 65536 --ledger-keep 3 --ledger-flush-every 64 \
+  >"$LOG" 2>&1 &
 PID=$!
 wait_up "$PORT" "$LOG"
 
@@ -84,12 +94,32 @@ ok=$(printf '%s\n' "$p99" | awk '$1 + 0 > 0 && $1 + 0 < 1.0 { print "ok" }')
 "$BIN" slo check --port "$PORT" || fail "slo check reported a breach on a healthy run"
 curl -sf "http://127.0.0.1:$PORT/metrics" | grep -q '^urs_slo_burn_rate{' ||
   fail "no urs_slo_burn_rate gauges in /metrics"
+
+# stop the server first: with --ledger-flush-every 64 the newest
+# records (the slo evaluation among them) may still be buffered, and
+# close flushes
+kill "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+
 grep -q '"kind":"slo"' "$LEDGER" || fail "no slo records in the ledger"
 grep '"kind":"slo"' "$LEDGER" | grep -q '"outcome":"ok"' ||
   fail "no ok-outcome slo records in the ledger"
 
-kill "$PID" 2>/dev/null || true
-wait "$PID" 2>/dev/null || true
+# ---- rotation kept the journal bounded and every segment readable ----
+
+seg_count=$(ls "$LEDGER" "$LEDGER".? 2>/dev/null | wc -l)
+[ "$seg_count" -le 4 ] ||
+  fail "$seg_count ledger segments on disk (want <= keep + 1 = 4)"
+total_bytes=$(cat "$LEDGER" "$LEDGER".? 2>/dev/null | wc -c)
+[ "$total_bytes" -le 262144 ] ||
+  fail "ledger segments total $total_bytes bytes (want <= 256 KiB)"
+[ -f "$LEDGER.1" ] || fail "a ${SOAK_SECONDS}s soak never rotated the ledger"
+
+# `urs query` streams every segment; zero malformed lines means each
+# surviving segment parses end to end
+qjson=$("$BIN" query --ledger "$LEDGER" --format json)
+printf '%s\n' "$qjson" | grep -q '"malformed":0' ||
+  fail "rotated ledger has malformed lines: $qjson"
 
 # ---- crippled leg: a starved solver must trip the error-rate SLO ----
 
@@ -114,5 +144,57 @@ curl -sf "http://127.0.0.1:$PORT2/metrics" | grep -q '^urs_slo_burn_rate{' ||
   fail "no urs_slo_burn_rate gauges on the crippled server"
 grep '"kind":"slo"' "$CRIPPLED_LEDGER" | grep -q '"outcome":"breach"' ||
   fail "no breach-outcome slo records in the crippled ledger"
+
+kill "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+
+# ---- bounded leg: ledger counts must reconcile with RED metrics ----
+#
+# Rotation is active but retention is generous (traffic volume stays
+# far below keep * max_bytes), so no record is ever deleted: the
+# per-route request counts `urs query` reads back from the journal
+# must equal the server's own urs_http_requests_total counters.
+
+PORT3=$((PORT + 2))
+ROT_LEDGER=/tmp/urs_soak_rot_ledger.jsonl
+ROT_LOG=/tmp/urs_soak_rot.log
+METRICS_SNAP=/tmp/urs_soak_rot_metrics.txt
+COUNTS=/tmp/urs_soak_rot_counts.txt
+
+rm -f "$ROT_LEDGER" "$ROT_LEDGER".*
+"$BIN" serve --port "$PORT3" --ledger "$ROT_LEDGER" \
+  --ledger-max-bytes 16384 --ledger-keep 64 >"$ROT_LOG" 2>&1 &
+PID=$!
+wait_up "$PORT3" "$ROT_LOG"
+
+"$BIN" loadgen --port "$PORT3" --mode open --rate 40 --workers 2 \
+  --duration 5 --solve -o /dev/null >/dev/null
+
+# snapshot the counters, then stop the server so the tail is flushed
+curl -sf "http://127.0.0.1:$PORT3/metrics" >"$METRICS_SNAP" ||
+  fail "no /metrics snapshot from the bounded-leg server"
+kill "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+
+[ -f "$ROT_LEDGER.1" ] || fail "bounded leg never rotated the ledger"
+
+"$BIN" query --ledger "$ROT_LEDGER" --kind http.access \
+  --group-by route --format data >"$COUNTS" ||
+  fail "urs query failed on the bounded-leg ledger"
+
+routes_checked=0
+while read -r route count; do
+  case "$route" in
+  \#* | "") continue ;;
+  /metrics) continue ;; # the snapshot request itself is in flight
+  esac
+  srv=$(awk -v want="route=\"$route\"" '
+    /^urs_http_requests_total\{/ && index($0, want) { sum += $2 }
+    END { printf "%d", sum }' "$METRICS_SNAP")
+  [ "$srv" = "$count" ] ||
+    fail "route $route: ledger counts $count, server counted $srv"
+  routes_checked=$((routes_checked + 1))
+done <"$COUNTS"
+[ "$routes_checked" -ge 1 ] || fail "no routes to reconcile (see $COUNTS)"
 
 echo "soak-smoke: ok"

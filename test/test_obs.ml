@@ -2293,6 +2293,396 @@ let test_slo_young_engine () =
         {|"breached":false|}
   | evs -> Alcotest.failf "expected one eval, got %d" (List.length evs)
 
+(* ---- ledger rotation, streaming reads and the sidecar index ---- *)
+
+module Store = Urs_obs.Ledger_store
+
+let with_tmp_ledger f =
+  let path = Filename.temp_file "urs_rot" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        (Store.index_path path
+        :: List.concat_map
+             (fun s -> [ s; Store.index_path s ])
+             (Store.segments path)))
+    (fun () -> f path)
+
+let seqs_of_path path =
+  match
+    Urs_obs.Ledger.fold_path path ~init:[] ~f:(fun acc r ->
+        r.Ledger.seq :: acc)
+  with
+  | Error e -> Alcotest.failf "fold_path: %s" e
+  | Ok (rev, stats) -> (List.rev rev, stats)
+
+let test_rotation_retention () =
+  with_clean_ledger @@ fun () ->
+  with_tmp_ledger @@ fun path ->
+  Ledger.open_file ~truncate:true ~max_bytes:4096 ~keep:2 path;
+  let total = 200 in
+  for _ = 1 to total do
+    sample_record ()
+  done;
+  Ledger.close ();
+  let segs = Store.segments path in
+  (* retention: at most keep rotated segments plus the live file *)
+  if List.length segs > 3 then
+    Alcotest.failf "%d segments survived retention (keep 2)"
+      (List.length segs);
+  List.iter
+    (fun seg ->
+      let size = (Unix.stat seg).Unix.st_size in
+      if size > 4096 then Alcotest.failf "%s is %d bytes > max" seg size)
+    segs;
+  let seqs, stats = seqs_of_path path in
+  Alcotest.(check int) "every surviving line parses" 0
+    stats.Ledger.malformed;
+  (* rotation deletes whole old segments, so the surviving seqs are a
+     contiguous run ending at the last record written *)
+  (match (seqs, List.rev seqs) with
+  | first :: _, last :: _ ->
+      Alcotest.(check int) "newest record survived" total last;
+      Alcotest.(check int)
+        "contiguous suffix" (last - first + 1) (List.length seqs)
+  | _ -> Alcotest.fail "no records survived");
+  ignore
+    (List.fold_left
+       (fun prev s ->
+         if s <> prev + 1 then Alcotest.failf "gap: %d after %d" s prev;
+         s)
+       (List.hd seqs - 1) seqs)
+
+let test_rotation_concurrent_domains () =
+  (* four domains hammer one ledger across forced rotations; with keep
+     high enough that nothing is deleted, not one record may be lost,
+     duplicated, or torn *)
+  with_clean_ledger @@ fun () ->
+  with_tmp_ledger @@ fun path ->
+  Ledger.open_file ~truncate:true ~max_bytes:8192 ~keep:64 path;
+  let domains = 4 and per_domain = 150 in
+  let workers =
+    Array.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Ledger.record
+                ~kind:(Printf.sprintf "load.d%d" d)
+                ~params:[ ("i", Json.Int i) ]
+                ~wall_seconds:0.001 ()
+            done))
+  in
+  Array.iter Domain.join workers;
+  Ledger.close ();
+  let segs = Store.segments path in
+  if List.length segs < 2 then
+    Alcotest.failf "expected forced rotation, got %d segment(s)"
+      (List.length segs);
+  let seqs, stats = seqs_of_path path in
+  Alcotest.(check int) "no torn lines" 0 stats.Ledger.malformed;
+  let total = domains * per_domain in
+  Alcotest.(check int) "no records lost" total (List.length seqs);
+  let sorted = List.sort_uniq compare seqs in
+  Alcotest.(check int) "no duplicate seqs" total (List.length sorted);
+  Alcotest.(check int) "seq range 1..total" total (List.nth sorted (total - 1))
+
+let test_fold_file_torn_tail () =
+  with_clean_ledger @@ fun () ->
+  with_tmp_ledger @@ fun path ->
+  Ledger.open_file ~truncate:true path;
+  for _ = 1 to 5 do
+    sample_record ()
+  done;
+  Ledger.close ();
+  (* a crashed writer's partial last line: no trailing newline, not
+     even valid JSON *)
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc {|{"schema":"urs-ledger/2","kind":"tru|};
+  close_out oc;
+  (match Ledger.read_file path with
+  | Ok _ -> Alcotest.fail "read_file should reject the torn tail"
+  | Error _ -> ());
+  match Ledger.fold_file path ~init:0 ~f:(fun n _ -> n + 1) with
+  | Error e -> Alcotest.failf "fold_file: %s" e
+  | Ok (n, stats) ->
+      Alcotest.(check int) "complete records kept" 5 n;
+      Alcotest.(check int) "torn line counted" 1 stats.Ledger.malformed
+
+let test_flush_batching () =
+  with_clean_ledger @@ fun () ->
+  with_tmp_ledger @@ fun path ->
+  (* flush_every 64: records sit in the buffer until the batch fills
+     or the ledger closes *)
+  Ledger.open_file ~truncate:true ~flush_every:64 path;
+  for _ = 1 to 3 do
+    sample_record ()
+  done;
+  let count () =
+    match Ledger.fold_file path ~init:0 ~f:(fun n _ -> n + 1) with
+    | Ok (n, _) -> n
+    | Error _ -> 0
+  in
+  Alcotest.(check int) "buffered, nothing visible yet" 0 (count ());
+  Ledger.close ();
+  Alcotest.(check int) "close flushes the batch" 3 (count ());
+  (* the default flush_every 1 makes every record immediately visible *)
+  Ledger.open_file ~truncate:true path;
+  sample_record ();
+  Alcotest.(check int) "flushed per record" 1 (count ());
+  Ledger.close ()
+
+let test_index_sidecar_seek () =
+  with_clean_ledger @@ fun () ->
+  with_tmp_ledger @@ fun path ->
+  Ledger.open_file ~truncate:true path;
+  (* 300 of kind a then 300 of kind b: with 256-record blocks, block 0
+     is pure a, block 1 mixed, block 2 (88 records) pure b *)
+  for _ = 1 to 300 do
+    Ledger.record ~kind:"a" ~wall_seconds:0.001 ()
+  done;
+  for _ = 1 to 300 do
+    Ledger.record ~kind:"b" ~wall_seconds:0.001 ()
+  done;
+  Ledger.close ();
+  let blocks = Store.read_index path in
+  Alcotest.(check int) "three blocks" 3 (List.length blocks);
+  Alcotest.(check int) "blocks cover every record" 600
+    (List.fold_left (fun acc b -> acc + b.Store.count) 0 blocks);
+  ignore
+    (List.fold_left
+       (fun prev b ->
+         if b.Store.start_off < prev then Alcotest.fail "blocks overlap";
+         b.Store.end_off)
+       0 blocks);
+  (* a kind-a scan proves block 2 (pure b) irrelevant and seeks it *)
+  match
+    Ledger.fold_file path
+      ~should_skip:(fun b -> not (List.mem_assoc "a" b.Store.kinds))
+      ~init:0
+      ~f:(fun n r -> if r.Ledger.kind = "a" then n + 1 else n)
+  with
+  | Error e -> Alcotest.failf "fold_file: %s" e
+  | Ok (n, stats) ->
+      Alcotest.(check int) "every a record seen" 300 n;
+      Alcotest.(check int) "pure-b tail block seeked" 88
+        stats.Ledger.seeked_records
+
+(* ---- query engine ---- *)
+
+module Query = Urs_obs.Query
+
+let qrec ~seq ~time ~kind ?route ~wall () =
+  let params =
+    match route with
+    | None -> []
+    | Some r -> [ ("route", Json.String r) ]
+  in
+  match
+    Ledger.of_json
+      (Json.Obj
+         [ ("seq", Json.Int seq); ("time", Json.Float time);
+           ("kind", Json.String kind); ("params", Json.Obj params);
+           ("wall_seconds", Json.Float wall);
+           ("outcome", Json.String "ok") ])
+  with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "qrec: %s" e
+
+let test_query_agg_goldens () =
+  let walls = [ 3.0; 1.0; 4.0; 1.0; 5.0; 9.0; 2.0; 6.0 ] in
+  let records =
+    List.mapi
+      (fun i w -> qrec ~seq:(i + 1) ~time:(float_of_int i) ~kind:"k" ~wall:w ())
+      walls
+  in
+  let aggs =
+    [ Query.Count; Query.Rate; Query.Mean Query.Wall_seconds;
+      Query.Stddev Query.Wall_seconds; Query.Min Query.Wall_seconds;
+      Query.Max Query.Wall_seconds;
+      Query.Quantile (0.9, Query.Wall_seconds) ]
+  in
+  let r = Query.run_records ~aggs records in
+  match r.Query.rows with
+  | [ { Query.cells = [ count; rate; mean; stddev; mn; mx; p90 ]; _ } ] ->
+      (* the aggregations must agree with the library's own estimators
+         to the last bit *)
+      let w = Urs_stats.Welford.create () in
+      List.iter (Urs_stats.Welford.add w) walls;
+      check_float "count" 8.0 count;
+      (* 8 records over times 0..7: (count-1)/span *)
+      check_float "rate" 1.0 rate;
+      check_float "mean" (Urs_stats.Welford.mean w) mean;
+      check_float "stddev" (Urs_stats.Welford.std_dev w) stddev;
+      check_float "min" 1.0 mn;
+      check_float "max" 9.0 mx;
+      check_float "p90"
+        (Urs_stats.Empirical.quantile (Array.of_list walls) 0.9)
+        p90
+  | rows -> Alcotest.failf "expected 1 row, got %d" (List.length rows)
+
+let test_query_filter_group () =
+  let records =
+    [ qrec ~seq:1 ~time:1.0 ~kind:"http.access" ~route:"/solve" ~wall:0.1 ();
+      qrec ~seq:2 ~time:2.0 ~kind:"http.access" ~route:"/solve" ~wall:0.2 ();
+      qrec ~seq:3 ~time:3.0 ~kind:"http.access" ~route:"/metrics" ~wall:0.3 ();
+      qrec ~seq:4 ~time:4.0 ~kind:"solve" ~wall:0.4 () ]
+  in
+  let filter = { Query.no_filter with kind = Some "http.access" } in
+  let r =
+    Query.run_records ~filter ~group_by:[ Query.Route ]
+      ~aggs:[ Query.Count ] records
+  in
+  Alcotest.(check int) "matched" 3 r.Query.matched;
+  Alcotest.(check (list (pair (list string) (list (float 1e-9)))))
+    "per-route counts"
+    [ ([ "/metrics" ], [ 1.0 ]); ([ "/solve" ], [ 2.0 ]) ]
+    (List.map (fun row -> (row.Query.group, row.Query.cells)) r.Query.rows);
+  (* time-window filter is inclusive on both ends *)
+  let windowed =
+    Query.run_records
+      ~filter:{ Query.no_filter with since = Some 2.0; until = Some 3.0 }
+      records
+  in
+  Alcotest.(check int) "window matched" 2 windowed.Query.matched
+
+let test_query_parse_grammar () =
+  (match Query.parse_agg "p99(wall_seconds)" with
+  | Ok (Query.Quantile (p, Query.Wall_seconds)) -> check_float "p" 0.99 p
+  | Ok _ -> Alcotest.fail "wrong agg"
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check string)
+    "label roundtrip" "p99(wall_seconds)"
+    (Query.agg_label (Query.Quantile (0.99, Query.Wall_seconds)));
+  (match Query.parse_group_by "kind,route" with
+  | Ok [ Query.Kind; Query.Route ] -> ()
+  | Ok _ -> Alcotest.fail "wrong keys"
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      match Query.parse_agg bad with
+      | Ok _ -> Alcotest.failf "parse_agg accepted %S" bad
+      | Error _ -> ())
+    [ ""; "bogus"; "p0(wall_seconds)"; "p100(x)"; "mean()"; "mean" ];
+  match Query.parse_key "nope" with
+  | Ok _ -> Alcotest.fail "parse_key accepted nonsense"
+  | Error _ -> ()
+
+let test_query_over_segments () =
+  with_clean_ledger @@ fun () ->
+  with_tmp_ledger @@ fun path ->
+  Ledger.open_file ~truncate:true ~max_bytes:2048 ~keep:32 path;
+  for _ = 1 to 30 do
+    Ledger.record ~kind:"solve" ~wall_seconds:0.01 ()
+  done;
+  Ledger.close ();
+  match
+    Query.run ~filter:{ Query.no_filter with kind = Some "solve" } path
+  with
+  | Error e -> Alcotest.failf "query: %s" e
+  | Ok r ->
+      Alcotest.(check bool) "spans rotated segments" true (r.Query.segments > 1);
+      Alcotest.(check int) "nothing lost across rotation" 30 r.Query.matched
+
+(* ---- tail cursor and /tail route ---- *)
+
+let test_since_cursor_truncation () =
+  with_clean_ledger @@ fun () ->
+  Ledger.set_memory true;
+  for _ = 1 to 5 do
+    sample_record ()
+  done;
+  let page, cursor = Ledger.since ~limit:2 ~seq:0 () in
+  Alcotest.(check (list int))
+    "first page" [ 1; 2 ]
+    (List.map (fun r -> r.Ledger.seq) page);
+  (* truncated page: the cursor stops at the last delivered record *)
+  Alcotest.(check int) "cursor resumes at page end" 2 cursor;
+  let page2, cursor2 = Ledger.since ~limit:10 ~seq:cursor () in
+  Alcotest.(check (list int))
+    "second page" [ 3; 4; 5 ]
+    (List.map (fun r -> r.Ledger.seq) page2);
+  Alcotest.(check int) "exhausted cursor = counter" 5 cursor2;
+  let empty, cursor3 = Ledger.since ~seq:cursor2 () in
+  Alcotest.(check int) "no new records" 0 (List.length empty);
+  Alcotest.(check int) "cursor stable" 5 cursor3;
+  (* a kind filter that matches nothing still advances the cursor *)
+  let none, c = Ledger.since ~kind:"nope" ~seq:0 () in
+  Alcotest.(check int) "filtered empty" 0 (List.length none);
+  Alcotest.(check int) "filter skips ahead" 5 c
+
+let test_wait_since_timeout () =
+  with_clean_ledger @@ fun () ->
+  Ledger.set_memory true;
+  let t0 = Unix.gettimeofday () in
+  let rs, _ = Ledger.wait_since ~seq:0 ~timeout_s:0.15 () in
+  let waited = Unix.gettimeofday () -. t0 in
+  Alcotest.(check int) "nothing arrived" 0 (List.length rs);
+  if waited < 0.1 then Alcotest.failf "returned too early (%.3fs)" waited;
+  (* with records already buffered it answers immediately *)
+  sample_record ();
+  let rs, _ = Ledger.wait_since ~seq:0 ~timeout_s:5.0 () in
+  Alcotest.(check int) "immediate answer" 1 (List.length rs)
+
+let test_tail_route () =
+  with_clean_ledger @@ fun () ->
+  Ledger.set_memory true;
+  for _ = 1 to 3 do
+    sample_record ()
+  done;
+  Alcotest.(check bool) "registered in standard routes" true
+    (List.mem_assoc "/tail" Routes.standard);
+  let resp = Routes.tail_response [ ("since_seq", "0"); ("n", "2") ] in
+  Alcotest.(check int) "200" 200 resp.Http.status;
+  (match Json.of_string (String.trim resp.Http.body) with
+  | Error e -> Alcotest.failf "body: %s" e
+  | Ok j ->
+      let num k = Option.bind (Json.member k j) Json.to_float_opt in
+      check_float "count" 2.0 (Option.get (num "count"));
+      check_float "truncated cursor" 2.0 (Option.get (num "seq"));
+      match Json.member "records" j with
+      | Some (Json.List [ _; _ ]) -> ()
+      | _ -> Alcotest.fail "expected 2 records");
+  let bad = Routes.tail_response [ ("since_seq", "-3") ] in
+  Alcotest.(check int) "negative cursor rejected" 400 bad.Http.status
+
+(* ---- perf drift detection ---- *)
+
+let test_perf_detect_drift () =
+  let entry i factor =
+    {
+      Perf.time = 1000.0 +. (3600.0 *. float_of_int i);
+      git_rev = Printf.sprintf "r%02d" i;
+      ocaml = "5.1.0";
+      jobs = 1;
+      sections = [];
+      solvers =
+        [ ( "spectral",
+            {
+              Perf.seconds = 0.0026 *. factor;
+              minor_words = 1.0;
+              promoted_words = 0.0;
+              major_words = 0.0;
+            } ) ];
+    }
+  in
+  let entries =
+    List.init 24 (fun i -> entry i (if i >= 16 then 2.0 else 1.0))
+  in
+  (match Perf.detect_drift entries with
+  | [ d ] ->
+      Alcotest.(check string) "solver" "spectral" d.Perf.d_solver;
+      Alcotest.(check bool) "gated" true d.Perf.d_gated;
+      Alcotest.(check string) "commit the step arrived with" "r16"
+        d.Perf.d_git_rev;
+      check_float ~tol:0.2 "2x ratio" 2.0 d.Perf.d_ratio;
+      Alcotest.(check int) "regression subset" 1
+        (List.length (Perf.drift_regressions [ d ]))
+  | ds -> Alcotest.failf "expected 1 drift, got %d" (List.length ds));
+  (* a short tail — like the committed history — never flags *)
+  let short = List.init 4 (fun i -> entry i 1.0) in
+  Alcotest.(check int) "short history quiet" 0
+    (List.length (Perf.detect_drift short))
+
 let () =
   Alcotest.run "urs_obs"
     [
@@ -2460,6 +2850,38 @@ let () =
             test_conv_metrics_and_ledger;
           Alcotest.test_case "pp flags stalls" `Quick
             test_conv_pp_not_converged;
+        ] );
+      ( "ledger-rotation",
+        [
+          Alcotest.test_case "retention bound" `Quick test_rotation_retention;
+          Alcotest.test_case "concurrent domains" `Quick
+            test_rotation_concurrent_domains;
+          Alcotest.test_case "torn tail" `Quick test_fold_file_torn_tail;
+          Alcotest.test_case "flush batching" `Quick test_flush_batching;
+          Alcotest.test_case "index sidecar seeks" `Quick
+            test_index_sidecar_seek;
+        ] );
+      ( "ledger-query",
+        [
+          Alcotest.test_case "aggregation goldens" `Quick
+            test_query_agg_goldens;
+          Alcotest.test_case "filter and group" `Quick test_query_filter_group;
+          Alcotest.test_case "grammar" `Quick test_query_parse_grammar;
+          Alcotest.test_case "spans rotated segments" `Quick
+            test_query_over_segments;
+        ] );
+      ( "tail",
+        [
+          Alcotest.test_case "since cursor truncation" `Quick
+            test_since_cursor_truncation;
+          Alcotest.test_case "wait_since timeout" `Quick
+            test_wait_since_timeout;
+          Alcotest.test_case "/tail route" `Quick test_tail_route;
+        ] );
+      ( "perf-drift",
+        [
+          Alcotest.test_case "detect and attribute" `Quick
+            test_perf_detect_drift;
         ] );
       ( "build-info",
         [ Alcotest.test_case "gauge" `Quick test_build_info ] );
